@@ -1,0 +1,801 @@
+(* same — the SAME command-line tool: automated FME(D)A, safety-mechanism
+   search, fault-tree analysis and assurance-case evaluation over block
+   diagram models. *)
+
+open Cmdliner
+
+let load_diagram path =
+  try Ok (Blockdiag.Text_format.parse_file path) with
+  | Blockdiag.Text_format.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Sys_error m -> Error m
+
+let load_reliability = function
+  | None -> Ok Reliability.Reliability_model.table_ii
+  | Some path -> (
+      try Ok (Reliability.Reliability_model.of_spreadsheet (Modelio.Spreadsheet.load path))
+      with
+      | Reliability.Reliability_model.Format_error m ->
+          Error (Printf.sprintf "%s: %s" path m)
+      | Sys_error m -> Error m
+      | Modelio.Csv.Parse_error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" path line message))
+
+let load_sm_model = function
+  | None -> Ok Reliability.Sm_model.extended_catalogue
+  | Some path -> (
+      try Ok (Reliability.Sm_model.of_spreadsheet (Modelio.Spreadsheet.load path))
+      with
+      | Reliability.Sm_model.Format_error m ->
+          Error (Printf.sprintf "%s: %s" path m)
+      | Sys_error m -> Error m
+      | Modelio.Csv.Parse_error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" path line message))
+
+let target_conv =
+  let parse s =
+    match Ssam.Requirement.integrity_level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown integrity level %S" s))
+  in
+  let print ppf l =
+    Format.fprintf ppf "%s" (Ssam.Requirement.integrity_level_to_string l)
+  in
+  Arg.conv (parse, print)
+
+(* Common arguments *)
+
+let diagram_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"DIAGRAM" ~doc:"Block diagram model (.bd text format).")
+
+let reliability_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "r"; "reliability" ] ~docv:"CSV"
+        ~doc:
+          "Component reliability model (CSV: Component, FIT, Failure_Mode, \
+           Distribution).  Defaults to the paper's Table II.")
+
+let sm_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "s"; "safety-mechanisms" ] ~docv:"CSV"
+        ~doc:
+          "Safety mechanism model (CSV: Component, Failure_Mode, \
+           Safety_Mechanism, Cov., Cost(hrs)).  Defaults to the built-in \
+           catalogue.")
+
+let exclude_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "exclude" ] ~docv:"ID"
+        ~doc:"Component assumed stable and excluded from injection.")
+
+let monitored_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "m"; "monitor" ] ~docv:"SENSOR"
+        ~doc:
+          "Sensor forming the safety observation (repeatable).  Default: all \
+           sensors.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"CSV" ~doc:"Write the FMEDA table as CSV.")
+
+let route_arg =
+  let routes =
+    [
+      ("injection", Decisive.Api.Via_injection);
+      ("ssam", Decisive.Api.Via_ssam_paths);
+      ("fta", Decisive.Api.Via_fta);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum routes) Decisive.Api.Via_injection
+    & info [ "route" ] ~docv:"ROUTE"
+        ~doc:
+          "Analysis route: $(b,injection) (circuit failure injection), \
+           $(b,ssam) (path algorithm on the transformed model) or $(b,fta) \
+           (fault-tree cut sets).")
+
+let with_diagram_and_models diagram_path reliability_path f =
+  match load_diagram diagram_path with
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  | Ok diagram -> (
+      match load_reliability reliability_path with
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+      | Ok reliability -> f diagram reliability)
+
+let report_table output table =
+  Format.printf "%a@." Fmea.Table.pp table;
+  Format.printf "%a@." Fmea.Metrics.pp_breakdown (Fmea.Metrics.compute table);
+  (match output with
+  | Some path ->
+      Decisive.Api.export_fmeda ~path table;
+      Format.printf "FMEDA written to %s@." path
+  | None -> ());
+  0
+
+(* same fmea *)
+
+let fmea_cmd =
+  let run diagram_path reliability_path exclude monitored output route =
+    with_diagram_and_models diagram_path reliability_path
+      (fun diagram reliability ->
+        let monitored_sensors =
+          match monitored with [] -> None | ids -> Some ids
+        in
+        match
+          Decisive.Api.analyse ~route ~exclude ?monitored_sensors diagram
+            reliability
+        with
+        | table -> report_table output table
+        | exception Fmea.Injection_fmea.Golden_run_failed m ->
+            Printf.eprintf "error: golden simulation failed: %s\n" m;
+            1
+        | exception Fta.From_ssam.No_paths c ->
+            Printf.eprintf "error: no input-output paths through %s\n" c;
+            1)
+  in
+  let doc = "Automated FMEA (DECISIVE Step 4a)." in
+  Cmd.v
+    (Cmd.info "fmea" ~doc)
+    Term.(
+      const run $ diagram_arg $ reliability_arg $ exclude_arg $ monitored_arg
+      $ output_arg $ route_arg)
+
+(* same fmeda *)
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv Ssam.Requirement.ASIL_B
+    & info [ "t"; "target" ] ~docv:"LEVEL"
+        ~doc:"Target integrity level (QM, ASIL-A..D, SIL1..4).")
+
+let fmeda_cmd =
+  let run diagram_path reliability_path sm_path exclude monitored output target
+      =
+    with_diagram_and_models diagram_path reliability_path
+      (fun diagram reliability ->
+        match load_sm_model sm_path with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | Ok sm_model -> (
+            let monitored_sensors =
+              match monitored with [] -> None | ids -> Some ids
+            in
+            match
+              Decisive.Api.analyse ~exclude ?monitored_sensors diagram
+                reliability
+            with
+            | exception Fmea.Injection_fmea.Golden_run_failed m ->
+                Printf.eprintf "error: golden simulation failed: %s\n" m;
+                1
+            | table ->
+                let conversion = Blockdiag.To_netlist.convert diagram in
+                let refinement =
+                  Decisive.Api.refine ~target
+                    ~component_types:conversion.Blockdiag.To_netlist.block_types
+                    table sm_model
+                in
+                let code = report_table output refinement.Decisive.Api.refined_table in
+                Format.printf "%a@."
+                  (fun ppf () ->
+                    Fmea.Asil.pp_verdict ppf ~target
+                      ~spfm:refinement.Decisive.Api.achieved_spfm)
+                  ();
+                (match refinement.Decisive.Api.chosen with
+                | Some c ->
+                    List.iter
+                      (fun (d : Fmea.Fmeda.deployment) ->
+                        Format.printf "deploy %s on %s/%s@."
+                          d.Fmea.Fmeda.mechanism.Reliability.Sm_model.sm_name
+                          d.Fmea.Fmeda.target_component
+                          d.Fmea.Fmeda.target_failure_mode)
+                      c.Optimize.Search.deployments
+                | None -> Format.printf "no deployment meets the target@.");
+                code))
+  in
+  let doc = "Automated FMEDA with safety-mechanism search (Steps 4a + 4b)." in
+  Cmd.v
+    (Cmd.info "fmeda" ~doc)
+    Term.(
+      const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
+      $ monitored_arg $ output_arg $ target_arg)
+
+(* same optimize *)
+
+let optimize_cmd =
+  let run diagram_path reliability_path sm_path exclude target =
+    with_diagram_and_models diagram_path reliability_path
+      (fun diagram reliability ->
+        match load_sm_model sm_path with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | Ok sm_model ->
+            let table = Decisive.Api.analyse ~exclude diagram reliability in
+            let conversion = Blockdiag.To_netlist.convert diagram in
+            let refinement =
+              Decisive.Api.refine ~target
+                ~component_types:conversion.Blockdiag.To_netlist.block_types
+                table sm_model
+            in
+            Format.printf "Pareto front (cost vs SPFM):@.";
+            List.iter
+              (fun (c : Optimize.Search.candidate) ->
+                Format.printf "  cost %6.1f h   SPFM %6.2f%%   (%d mechanisms)@."
+                  c.Optimize.Search.cost c.Optimize.Search.spfm_pct
+                  (List.length c.Optimize.Search.deployments))
+              refinement.Decisive.Api.pareto_front;
+            (match refinement.Decisive.Api.chosen with
+            | Some c ->
+                Format.printf "chosen: cost %.1f h, SPFM %.2f%%@."
+                  c.Optimize.Search.cost c.Optimize.Search.spfm_pct
+            | None -> Format.printf "no candidate meets the target@.");
+            0)
+  in
+  let doc = "Search the cost/SPFM Pareto front of SM deployments." in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
+      $ target_arg)
+
+(* same transform *)
+
+let transform_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the round-tripped diagram (default: print summary).")
+  in
+  let run diagram_path out =
+    match load_diagram diagram_path with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok diagram ->
+        let package = Blockdiag.Transform.to_ssam diagram in
+        let back = Blockdiag.Transform.to_diagram package in
+        let lossless = Blockdiag.Diagram.equal diagram back in
+        Format.printf
+          "transformed '%s': %d SSAM elements, round-trip lossless: %b@."
+          diagram.Blockdiag.Diagram.diagram_name
+          (Ssam.Architecture.count_package_elements package)
+          lossless;
+        (match out with
+        | Some path ->
+            Blockdiag.Text_format.write_file path back;
+            Format.printf "round-tripped diagram written to %s@." path
+        | None -> ());
+        if lossless then 0 else 1
+  in
+  let doc = "Transform a diagram to SSAM and verify the lossless round-trip." in
+  Cmd.v (Cmd.info "transform" ~doc) Term.(const run $ diagram_arg $ out_arg)
+
+(* same fta *)
+
+let fta_cmd =
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the tree as Graphviz dot.")
+  in
+  let psa_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "open-psa" ] ~docv:"FILE"
+          ~doc:"Write the tree as Open-PSA MEF XML.")
+  in
+  let run diagram_path reliability_path dot psa =
+    with_diagram_and_models diagram_path reliability_path
+      (fun diagram reliability ->
+        let root = Decisive.Api.functional_root ~reliability diagram in
+        match Fta.From_ssam.generate root with
+        | exception Fta.From_ssam.No_paths c ->
+            Printf.eprintf "error: no input-output paths through %s\n" c;
+            1
+        | tree ->
+            Format.printf "%a@." Fta.Fault_tree.pp_ascii tree;
+            let sets = Fta.Cut_sets.minimal tree in
+            Format.printf "minimal cut sets (%d):@." (List.length sets);
+            List.iter
+              (fun s -> Format.printf "  {%s}@." (String.concat ", " s))
+              sets;
+            let probs = Fta.Quant.event_probabilities tree in
+            Format.printf "top event (rare-event bound, 10,000 h): %.3e@."
+              (Fta.Quant.rare_event_bound sets probs);
+            (match dot with
+            | Some path ->
+                Fta.Export.save_dot ~path
+                  ~name:diagram.Blockdiag.Diagram.diagram_name tree;
+                Format.printf "dot written to %s@." path
+            | None -> ());
+            (match psa with
+            | Some path ->
+                Fta.Export.save_open_psa ~path
+                  ~model_name:diagram.Blockdiag.Diagram.diagram_name tree;
+                Format.printf "Open-PSA written to %s@." path
+            | None -> ());
+            0)
+  in
+  let doc = "Generate and analyse the fault tree of a design." in
+  Cmd.v (Cmd.info "fta" ~doc)
+    Term.(const run $ diagram_arg $ reliability_arg $ dot_arg $ psa_arg)
+
+(* same assure *)
+
+let assure_cmd =
+  let csv_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FMEDA_CSV" ~doc:"FMEDA table produced by $(b,same fmea -o).")
+  in
+  let system_arg =
+    Arg.(
+      value & opt string "system"
+      & info [ "n"; "name" ] ~docv:"NAME" ~doc:"System name for the case.")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write the goal structure as Graphviz dot, coloured by verdict.")
+  in
+  let run csv system target dot =
+    let case =
+      Decisive.Api.assurance_case_for ~system ~target ~fmeda_csv:csv
+    in
+    let report = Assurance.Eval.evaluate case in
+    Format.printf "%a@." Assurance.Eval.pp_report report;
+    print_string (Assurance.Gsn_render.to_text ~report case);
+    (match dot with
+    | Some path ->
+        Assurance.Gsn_render.save_dot ~path ~report case;
+        Format.printf "dot written to %s@." path
+    | None -> ());
+    match report.Assurance.Eval.overall with
+    | Assurance.Eval.Holds -> 0
+    | Assurance.Eval.Fails | Assurance.Eval.Undetermined -> 1
+  in
+  let doc = "Build and evaluate the assurance case over an FMEDA artefact." in
+  Cmd.v
+    (Cmd.info "assure" ~doc)
+    Term.(const run $ csv_arg $ system_arg $ target_arg $ dot_arg)
+
+(* same run (full DECISIVE loop) *)
+
+let run_cmd =
+  let name_arg =
+    Arg.(
+      value & opt string "system"
+      & info [ "n"; "name" ] ~docv:"NAME" ~doc:"Process/system name.")
+  in
+  let run diagram_path reliability_path sm_path exclude monitored target name =
+    with_diagram_and_models diagram_path reliability_path
+      (fun diagram reliability ->
+        match load_sm_model sm_path with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | Ok sm_model ->
+            let monitored_sensors =
+              match monitored with [] -> None | ids -> Some ids
+            in
+            let process, table =
+              Decisive.Api.run_decisive ~name ~target ~exclude
+                ?monitored_sensors diagram reliability sm_model
+            in
+            Format.printf "%a@." Decisive.Process.pp_history process;
+            Format.printf "%a@." Fmea.Table.pp table;
+            if Decisive.Process.is_complete process then 0 else 1)
+  in
+  let doc = "Run the full DECISIVE loop (Fig. 1) to a safety concept." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
+      $ monitored_arg $ target_arg $ name_arg)
+
+(* same simulate *)
+
+let simulate_cmd =
+  let source_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"ID"
+          ~doc:"Source element to drive with a sine disturbance.")
+  in
+  let amplitude_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "amplitude" ] ~docv:"V" ~doc:"Disturbance amplitude.")
+  in
+  let hz_arg =
+    Arg.(
+      value & opt float 5000.0
+      & info [ "hz" ] ~docv:"HZ" ~doc:"Disturbance frequency.")
+  in
+  let dt_arg =
+    Arg.(value & opt float 1e-6 & info [ "dt" ] ~docv:"S" ~doc:"Time step.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5e-3
+      & info [ "duration" ] ~docv:"S" ~doc:"Simulated duration.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"CSV"
+          ~doc:"Write all node-voltage traces as CSV.")
+  in
+  let run diagram_path source amplitude hz dt duration out =
+    match load_diagram diagram_path with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok diagram -> (
+        let conversion = Blockdiag.To_netlist.convert diagram in
+        let nl = conversion.Blockdiag.To_netlist.netlist in
+        let waveforms =
+          match source with
+          | None -> []
+          | Some id ->
+              let nominal =
+                match Circuit.Netlist.find nl id with
+                | Some { Circuit.Element.kind = Circuit.Element.Vsource v; _ } -> v
+                | Some { Circuit.Element.kind = Circuit.Element.Isource i; _ } -> i
+                | Some _ | None -> 0.0
+              in
+              [
+                ( id,
+                  fun t ->
+                    nominal +. (amplitude *. sin (2.0 *. Float.pi *. hz *. t)) );
+              ]
+        in
+        match Circuit.Transient.simulate ~waveforms nl ~dt ~duration with
+        | Error e ->
+            Format.eprintf "error: %a@." Circuit.Dc.pp_error e;
+            1
+        | Ok r ->
+            let times = Circuit.Transient.times r in
+            let nodes = Circuit.Netlist.nodes nl in
+            Printf.printf "%d steps over %gs; final node voltages:\n"
+              (Array.length times - 1)
+              duration;
+            List.iter
+              (fun n ->
+                let trace = Circuit.Transient.node_voltage r n in
+                Printf.printf "  %-8s %+10.5f V   ripple %8.5f V\n" n
+                  (Circuit.Transient.final_value trace)
+                  (Circuit.Transient.ripple trace))
+              nodes;
+            (match out with
+            | Some path ->
+                let header = "t" :: nodes in
+                let rows =
+                  List.init (Array.length times) (fun i ->
+                      Printf.sprintf "%g" times.(i)
+                      :: List.map
+                           (fun n ->
+                             Printf.sprintf "%g"
+                               (Circuit.Transient.node_voltage r n).(i))
+                           nodes)
+                in
+                Modelio.Csv.write_file path (header :: rows);
+                Printf.printf "traces written to %s\n" path
+            | None -> ());
+            0)
+  in
+  let doc = "Transient (time-domain) simulation of a design." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ diagram_arg $ source_arg $ amplitude_arg $ hz_arg $ dt_arg
+      $ duration_arg $ out_arg)
+
+(* same bode *)
+
+let bode_cmd =
+  let source_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "source" ] ~docv:"ID" ~doc:"Source carrying the AC stimulus.")
+  in
+  let sensor_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sensor" ] ~docv:"ID"
+          ~doc:"Sensor whose transfer function to print (default: all).")
+  in
+  let from_arg =
+    Arg.(value & opt float 10.0 & info [ "from" ] ~docv:"HZ" ~doc:"Sweep start.")
+  in
+  let to_arg =
+    Arg.(
+      value & opt float 100_000.0 & info [ "to" ] ~docv:"HZ" ~doc:"Sweep end.")
+  in
+  let points_arg =
+    Arg.(value & opt int 31 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  let run diagram_path source sensor from_hz to_hz points =
+    match load_diagram diagram_path with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok diagram -> (
+        let conversion = Blockdiag.To_netlist.convert diagram in
+        let nl = conversion.Blockdiag.To_netlist.netlist in
+        let freqs = Circuit.Ac.log_space ~from_hz ~to_hz ~points in
+        match Circuit.Ac.analyse ~source nl ~frequencies_hz:freqs with
+        | Error e ->
+            Format.eprintf "error: %a@." Circuit.Dc.pp_error e;
+            1
+        | Ok sweep ->
+            let sensors =
+              match sensor with
+              | Some id -> [ id ]
+              | None ->
+                  List.filter_map
+                    (fun (e : Circuit.Element.t) ->
+                      match e.Circuit.Element.kind with
+                      | Circuit.Element.Current_sensor
+                      | Circuit.Element.Voltage_sensor ->
+                          Some e.Circuit.Element.id
+                      | _ -> None)
+                    (Circuit.Netlist.elements nl)
+            in
+            List.iter
+              (fun id ->
+                match Circuit.Ac.sensor_response sweep id with
+                | exception Not_found ->
+                    Printf.eprintf "warning: no sensor %s\n" id
+                | pts ->
+                    Printf.printf "%s (stimulus on %s):\n" id source;
+                    List.iter
+                      (fun (p : Circuit.Ac.point) ->
+                        Printf.printf "  %10.1f Hz  %8.2f dB  %7.1f deg\n"
+                          p.Circuit.Ac.frequency_hz p.Circuit.Ac.magnitude_db
+                          p.Circuit.Ac.phase_deg)
+                      pts;
+                    (match Circuit.Ac.cutoff_hz pts with
+                    | Some fc -> Printf.printf "  -3 dB cutoff: %.0f Hz\n" fc
+                    | None -> Printf.printf "  no cutoff within the sweep\n"))
+              sensors;
+            0)
+  in
+  let doc = "AC small-signal frequency sweep (Bode data) of a design." in
+  Cmd.v
+    (Cmd.info "bode" ~doc)
+    Term.(
+      const run $ diagram_arg $ source_arg $ sensor_arg $ from_arg $ to_arg
+      $ points_arg)
+
+(* same degrade *)
+
+let degrade_cmd =
+  let source_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "source" ] ~docv:"ID"
+          ~doc:"Supply element to drive with the disturbance.")
+  in
+  let factor_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "factor" ] ~docv:"X"
+          ~doc:"Report failures whose ripple exceeds this multiple of nominal.")
+  in
+  let run diagram_path reliability_path source factor exclude =
+    with_diagram_and_models diagram_path reliability_path
+      (fun diagram reliability ->
+        let conversion = Blockdiag.To_netlist.convert diagram in
+        let options =
+          {
+            (Fmea.Degradation.default_options ~disturbance_source:source) with
+            Fmea.Degradation.ripple_factor = factor;
+            exclude;
+          }
+        in
+        match
+          Fmea.Degradation.analyse
+            ~element_types:conversion.Blockdiag.To_netlist.block_types ~options
+            conversion.Blockdiag.To_netlist.netlist reliability
+        with
+        | findings ->
+            Format.printf "%a@." Fmea.Degradation.pp_findings findings;
+            0
+        | exception Fmea.Degradation.Golden_transient_failed m ->
+            Printf.eprintf "error: golden transient failed: %s\n" m;
+            1)
+  in
+  let doc =
+    "Time-domain degradation analysis: failures that weaken disturbance \
+     rejection without breaking the DC function."
+  in
+  Cmd.v
+    (Cmd.info "degrade" ~doc)
+    Term.(
+      const run $ diagram_arg $ reliability_arg $ source_arg $ factor_arg
+      $ exclude_arg)
+
+(* same report *)
+
+let report_cmd =
+  let name_arg =
+    Arg.(
+      value & opt string "system"
+      & info [ "n"; "name" ] ~docv:"NAME" ~doc:"System name for the report.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"MD"
+          ~doc:"Write the safety-concept report to this file (default: stdout).")
+  in
+  let run diagram_path reliability_path sm_path exclude monitored target name
+      out =
+    with_diagram_and_models diagram_path reliability_path
+      (fun diagram reliability ->
+        match load_sm_model sm_path with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | Ok sm_model ->
+            let monitored_sensors =
+              match monitored with [] -> None | ids -> Some ids
+            in
+            let process, fmeda =
+              Decisive.Api.run_decisive ~name ~target ~exclude
+                ?monitored_sensors diagram reliability sm_model
+            in
+            let deployments =
+              List.filter_map
+                (fun (r : Fmea.Table.row) ->
+                  match (r.Fmea.Table.safety_mechanism, r.Fmea.Table.sm_coverage_pct) with
+                  | Some sm, Some cov ->
+                      Some
+                        (Fmea.Fmeda.deploy ~component:r.Fmea.Table.component
+                           ~failure_mode:r.Fmea.Table.failure_mode
+                           {
+                             Reliability.Sm_model.sm_name = sm;
+                             component_type = r.Fmea.Table.component;
+                             failure_mode = r.Fmea.Table.failure_mode;
+                             coverage_pct = cov;
+                             cost = 0.0;
+                           })
+                  | _ -> None)
+                fmeda.Fmea.Table.rows
+            in
+            let input =
+              Decisive.Report.make_input ~deployments ~process
+                ~system_name:name ~target fmeda
+            in
+            (match out with
+            | Some path ->
+                Decisive.Report.save ~path input;
+                Format.printf "report written to %s@." path
+            | None -> print_string (Decisive.Report.to_markdown input));
+            if Decisive.Report.verdict input then 0 else 1)
+  in
+  let doc = "Generate the Markdown safety-concept report (Step 5)." in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(
+      const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
+      $ monitored_arg $ target_arg $ name_arg $ out_arg)
+
+(* same diff *)
+
+let diff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Previous iteration's diagram.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Current iteration's diagram.")
+  in
+  let run old_path new_path =
+    match (load_diagram old_path, load_diagram new_path) with
+    | Error m, _ | _, Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok old_diagram, Ok new_diagram ->
+        let wrap d =
+          Blockdiag.Transform.to_ssam_model d
+        in
+        let impact =
+          Ssam.Diff.analyse ~old_model:(wrap old_diagram)
+            ~new_model:(wrap new_diagram)
+        in
+        Format.printf "%a@." Ssam.Diff.pp_impact impact;
+        if impact.Ssam.Diff.reanalysis_required then begin
+          Format.printf
+            "re-run `same fmea %s` — the previous analysis is stale@."
+            new_path;
+          1
+        end
+        else 0
+  in
+  let doc =
+    "Change-impact analysis between two design iterations (exit 1 when \
+     re-analysis is required)."
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ old_arg $ new_arg)
+
+(* same coverage *)
+
+let coverage_cmd =
+  let run diagram_path =
+    match load_diagram diagram_path with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok diagram ->
+        let types =
+          List.map
+            (fun (b : Blockdiag.Diagram.block) -> b.Blockdiag.Diagram.block_type)
+            (Blockdiag.Diagram.all_blocks diagram)
+        in
+        Format.printf "%a@." Circuit.Library.pp_coverage
+          (Circuit.Library.coverage types);
+        0
+  in
+  let doc = "Report block-library coverage for a design (evaluation RQ2)." in
+  Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ diagram_arg)
+
+let main =
+  let doc = "Safety Analysis Management Environment (DECISIVE tooling)" in
+  let info = Cmd.info "same" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      fmea_cmd;
+      fmeda_cmd;
+      optimize_cmd;
+      transform_cmd;
+      fta_cmd;
+      assure_cmd;
+      run_cmd;
+      report_cmd;
+      diff_cmd;
+      simulate_cmd;
+      bode_cmd;
+      degrade_cmd;
+      coverage_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

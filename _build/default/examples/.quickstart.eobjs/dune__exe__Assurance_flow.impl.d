@@ -1,0 +1,1 @@
+examples/assurance_flow.ml: Assurance Decisive Filename Format Ssam Sys

@@ -1,0 +1,1 @@
+examples/assurance_flow.mli:

@@ -1,0 +1,1 @@
+examples/auv_control.ml: Blockdiag Decisive Fmea Format List Optimize Printf Ssam String

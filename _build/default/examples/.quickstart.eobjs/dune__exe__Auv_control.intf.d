@@ -1,0 +1,1 @@
+examples/auv_control.mli:

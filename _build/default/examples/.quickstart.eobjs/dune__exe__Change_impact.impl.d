@@ -1,0 +1,1 @@
+examples/change_impact.ml: Architecture Base Blockdiag Decisive Diff Fmea Format Hara Hazard List Model Option Reliability Requirement Ssam

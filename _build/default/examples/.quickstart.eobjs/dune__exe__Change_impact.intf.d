@@ -1,0 +1,1 @@
+examples/change_impact.mli:

@@ -1,0 +1,1 @@
+examples/model_federation.ml: Blockdiag Decisive Filename Format List Modelio Query Ssam Sys

@@ -1,0 +1,1 @@
+examples/pll_fmeda.ml: Decisive Fmea Format List Optimize Reliability Ssam String

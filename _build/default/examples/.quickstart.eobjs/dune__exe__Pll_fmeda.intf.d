@@ -1,0 +1,1 @@
+examples/pll_fmeda.mli:

@@ -1,0 +1,1 @@
+examples/power_supply.ml: Assurance Blockdiag Decisive Filename Fmea Format Fta Hara List Ssam String Sys

@@ -1,0 +1,1 @@
+examples/power_supply.mli:

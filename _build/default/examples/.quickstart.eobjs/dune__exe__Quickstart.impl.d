@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blockdiag Decisive Fmea Format Reliability Ssam

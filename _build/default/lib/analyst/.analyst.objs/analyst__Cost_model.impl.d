@@ -1,0 +1,1 @@
+lib/analyst/cost_model.pp.ml:

@@ -1,0 +1,1 @@
+lib/analyst/experiment.pp.ml: Cost_model Fmea Format List Printf Process Rng String

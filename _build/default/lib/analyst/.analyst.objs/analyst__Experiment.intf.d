@@ -1,0 +1,1 @@
+lib/analyst/experiment.pp.mli: Cost_model Fmea Format Process

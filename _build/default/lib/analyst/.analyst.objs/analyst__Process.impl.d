@@ -1,0 +1,1 @@
+lib/analyst/process.pp.ml: Cost_model Float Fmea Int List Rng String

@@ -1,0 +1,1 @@
+lib/analyst/process.pp.mli: Cost_model Fmea Rng

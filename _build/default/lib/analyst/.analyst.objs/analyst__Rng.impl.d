@@ -1,0 +1,1 @@
+lib/analyst/rng.pp.ml: Float Int64

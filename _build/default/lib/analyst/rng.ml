@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let range t ~min ~max =
+  if min > max then invalid_arg "Rng.range: min > max";
+  min + int_of_float (float t *. float_of_int (max - min + 1))
+
+let gaussian t ~mean ~stddev =
+  let u1 = Float.max (float t) 1e-12 in
+  let u2 = float t in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let bernoulli t ~p = float t < p

@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers for the analyst process model.
+
+    SplitMix64: every experiment seeds its own generator, so results are
+    reproducible run-to-run and independent of global state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next_int64 : t -> int64
+(** Advances the state. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val range : t -> min:int -> max:int -> int
+(** Uniform integer in [min, max] inclusive.  Raises [Invalid_argument]
+    when [min > max]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller. *)
+
+val bernoulli : t -> p:float -> bool

@@ -1,0 +1,1 @@
+lib/assurance/eval.pp.ml: Format List Modelio Ppx_deriving_runtime Printf Query Sacm String

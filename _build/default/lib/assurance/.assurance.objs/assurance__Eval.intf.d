@@ -1,0 +1,1 @@
+lib/assurance/eval.pp.mli: Format Ppx_deriving_runtime Sacm

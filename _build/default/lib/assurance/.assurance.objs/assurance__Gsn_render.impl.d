@@ -1,0 +1,1 @@
+lib/assurance/gsn_render.pp.ml: Buffer Eval Fun List Printf Sacm String

@@ -1,0 +1,1 @@
+lib/assurance/gsn_render.pp.mli: Eval Sacm

@@ -1,0 +1,1 @@
+lib/assurance/sacm.pp.ml: Hashtbl List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/assurance/sacm.pp.mli: Ppx_deriving_runtime

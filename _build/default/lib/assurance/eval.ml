@@ -1,0 +1,88 @@
+type status = Holds | Fails | Undetermined [@@deriving eq, show]
+
+type node_result = { result_node : string; status : status; detail : string }
+[@@deriving eq, show]
+
+type report = { case : string; overall : status; nodes : node_result list }
+
+let evaluate_artifact (a : Sacm.artifact) =
+  match
+    Modelio.Driver.resolve ~model_type:a.Sacm.artifact_driver
+      ~location:a.Sacm.artifact_location ~metadata:[]
+  with
+  | exception Modelio.Driver.Unknown_driver d ->
+      (Undetermined, Printf.sprintf "unknown driver '%s'" d)
+  | exception Modelio.Driver.Load_error { message; _ } ->
+      (Undetermined, Printf.sprintf "evidence failed to load: %s" message)
+  | model -> (
+      match a.Sacm.acceptance_query with
+      | None -> (Holds, "evidence present (no acceptance query)")
+      | Some query -> (
+          let env = Query.Interp.env_of_models [ ("Artifact", model) ] in
+          match Query.Interp.run_string env query with
+          | result ->
+              if Modelio.Mvalue.truthy result then
+                (Holds, Format.asprintf "query holds: %a" Modelio.Mvalue.pp result)
+              else
+                (Fails, Format.asprintf "query fails: %a" Modelio.Mvalue.pp result)
+          | exception Query.Interp.Runtime_error m ->
+              (Undetermined, Printf.sprintf "query error: %s" m)
+          | exception Query.Parser.Parse_error { message; _ } ->
+              (Undetermined, Printf.sprintf "query parse error: %s" message)
+          | exception Query.Lexer.Lex_error { message; _ } ->
+              (Undetermined, Printf.sprintf "query lex error: %s" message)))
+
+let combine statuses =
+  if List.exists (fun s -> s = Fails) statuses then Fails
+  else if List.exists (fun s -> s = Undetermined) statuses then Undetermined
+  else Holds
+
+let evaluate (case : Sacm.case) =
+  let results = ref [] in
+  let record node status detail =
+    results :=
+      { result_node = node.Sacm.node_id; status; detail } :: !results;
+    status
+  in
+  let rec eval (n : Sacm.node) =
+    match n.Sacm.kind with
+    | Sacm.Context | Sacm.Assumption | Sacm.Justification ->
+        record n Holds "contextual"
+    | Sacm.Solution -> (
+        match n.Sacm.artifact with
+        | None -> record n Undetermined "no evidence attached"
+        | Some a ->
+            let status, detail = evaluate_artifact a in
+            record n status detail)
+    | Sacm.Goal | Sacm.Strategy ->
+        if n.Sacm.supported_by = [] then
+          record n Undetermined "undeveloped (no support)"
+        else begin
+          let child_statuses = List.map eval n.Sacm.supported_by in
+          (* Contexts are evaluated for the report but do not gate. *)
+          List.iter (fun c -> ignore (eval c)) n.Sacm.in_context_of;
+          record n (combine child_statuses) "combined from supports"
+        end
+  in
+  let overall = eval case.Sacm.root in
+  { case = case.Sacm.case_name; overall; nodes = List.rev !results }
+
+let status_of report id =
+  List.find_map
+    (fun r -> if String.equal r.result_node id then Some r.status else None)
+    report.nodes
+
+let pp_status ppf = function
+  | Holds -> Format.fprintf ppf "HOLDS"
+  | Fails -> Format.fprintf ppf "FAILS"
+  | Undetermined -> Format.fprintf ppf "UNDETERMINED"
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>assurance case '%s': %a@," r.case pp_status r.overall;
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "  %-16s %-12s %s@," n.result_node
+        (Format.asprintf "%a" pp_status n.status)
+        n.detail)
+    r.nodes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Automated assurance-case evaluation.
+
+    A {!Sacm.Solution}'s status comes from its artifact: load the external
+    model through {!Modelio.Driver}, bind it as [Artifact], run the
+    acceptance query.  Goals and strategies hold when all their supports
+    hold.  Context-kind nodes are always [Holds] (they assert context, not
+    claims). *)
+
+type status = Holds | Fails | Undetermined [@@deriving eq, show]
+
+type node_result = {
+  result_node : string;
+  status : status;
+  detail : string;  (** query result, load error, "no evidence"... *)
+}
+[@@deriving eq, show]
+
+type report = {
+  case : string;
+  overall : status;
+  nodes : node_result list;
+      (** in evaluation order: children before their parents *)
+}
+
+val evaluate : Sacm.case -> report
+(** Never raises: driver and query failures become [Undetermined] with the
+    error message in [detail]. *)
+
+val status_of : report -> string -> status option
+
+val pp_report : Format.formatter -> report -> unit
+(** Indented goal structure with per-node verdicts. *)

@@ -1,0 +1,121 @@
+let sanitise id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    id
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Wrap statements so nodes stay readable. *)
+let wrap width s =
+  let words = String.split_on_char ' ' s in
+  let lines, current =
+    List.fold_left
+      (fun (lines, current) word ->
+        if current = "" then (lines, word)
+        else if String.length current + 1 + String.length word <= width then
+          (lines, current ^ " " ^ word)
+        else (current :: lines, word))
+      ([], "") words
+  in
+  String.concat "\\n" (List.rev (current :: lines))
+
+let shape_of = function
+  | Sacm.Goal -> "box"
+  | Sacm.Strategy -> "parallelogram"
+  | Sacm.Solution -> "circle"
+  | Sacm.Context -> "box, style=rounded"
+  | Sacm.Assumption -> "ellipse"
+  | Sacm.Justification -> "ellipse"
+
+let fill_of report node_id =
+  match report with
+  | None -> None
+  | Some r -> (
+      match Eval.status_of r node_id with
+      | Some Eval.Holds -> Some "#c8e6c9"
+      | Some Eval.Fails -> Some "#ffcdd2"
+      | Some Eval.Undetermined -> Some "#e0e0e0"
+      | None -> None)
+
+let to_dot ?report (case : Sacm.case) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph %s {\n" (sanitise case.Sacm.case_name);
+  add "  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n";
+  let rec emit (n : Sacm.node) =
+    let nid = sanitise n.Sacm.node_id in
+    let style =
+      match fill_of report n.Sacm.node_id with
+      | Some color -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" color
+      | None -> ""
+    in
+    add "  %s [shape=%s%s, label=\"%s\\n%s\"];\n" nid (shape_of n.Sacm.kind)
+      style
+      (escape n.Sacm.node_id)
+      (wrap 28 (escape n.Sacm.statement));
+    List.iter
+      (fun (c : Sacm.node) ->
+        emit c;
+        add "  %s -> %s;\n" nid (sanitise c.Sacm.node_id))
+      n.Sacm.supported_by;
+    List.iter
+      (fun (c : Sacm.node) ->
+        emit c;
+        add "  %s -> %s [style=dashed, arrowhead=empty];\n" nid
+          (sanitise c.Sacm.node_id))
+      n.Sacm.in_context_of
+  in
+  emit case.Sacm.root;
+  add "}\n";
+  Buffer.contents buf
+
+let save_dot ~path ?report case =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_dot ?report case))
+
+let to_text ?report (case : Sacm.case) =
+  let buf = Buffer.create 512 in
+  let marker node_id =
+    match report with
+    | None -> ""
+    | Some r -> (
+        match Eval.status_of r node_id with
+        | Some Eval.Holds -> " [ok]"
+        | Some Eval.Fails -> " [FAIL]"
+        | Some Eval.Undetermined -> " [?]"
+        | None -> "")
+  in
+  let kind_str = function
+    | Sacm.Goal -> "Goal"
+    | Sacm.Strategy -> "Strategy"
+    | Sacm.Solution -> "Solution"
+    | Sacm.Context -> "Context"
+    | Sacm.Assumption -> "Assumption"
+    | Sacm.Justification -> "Justification"
+  in
+  let rec emit indent (n : Sacm.node) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s: %s%s\n"
+         (String.make indent ' ')
+         (kind_str n.Sacm.kind) n.Sacm.node_id n.Sacm.statement
+         (marker n.Sacm.node_id));
+    List.iter (emit (indent + 2)) n.Sacm.in_context_of;
+    List.iter (emit (indent + 2)) n.Sacm.supported_by
+  in
+  emit 0 case.Sacm.root;
+  Buffer.contents buf

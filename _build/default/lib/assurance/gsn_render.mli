@@ -1,0 +1,18 @@
+(** GSN rendering of assurance cases.
+
+    Goal Structuring Notation is the argument notation the paper's
+    authors maintain (Sec. VIII bio); this module renders a {!Sacm.case}
+    as Graphviz dot using the standard GSN shapes — goals as rectangles,
+    strategies as parallelograms, solutions as circles, context as
+    rounded rectangles — optionally coloured by an evaluation report, and
+    as indented plain text for terminals. *)
+
+val to_dot : ?report:Eval.report -> Sacm.case -> string
+(** With [report], nodes are filled green (holds), red (fails) or grey
+    (undetermined).  SupportedBy edges are solid arrows, InContextOf
+    edges hollow-headed dashed, per GSN convention. *)
+
+val save_dot : path:string -> ?report:Eval.report -> Sacm.case -> unit
+
+val to_text : ?report:Eval.report -> Sacm.case -> string
+(** Indented outline with [✓]/[✗]/[?] markers when a report is given. *)

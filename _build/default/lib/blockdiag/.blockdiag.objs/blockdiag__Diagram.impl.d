@@ -1,0 +1,1 @@
+lib/blockdiag/diagram.pp.ml: List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/blockdiag/diagram.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/blockdiag/text_format.pp.ml: Buffer Diagram Fun List Modelio Mvalue Printf String

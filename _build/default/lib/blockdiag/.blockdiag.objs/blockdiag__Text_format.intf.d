@@ -1,0 +1,1 @@
+lib/blockdiag/text_format.pp.mli: Diagram

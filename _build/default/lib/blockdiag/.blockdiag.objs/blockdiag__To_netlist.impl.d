@@ -1,0 +1,1 @@
+lib/blockdiag/to_netlist.pp.ml: Circuit Diagram Hashtbl List Option Printf String

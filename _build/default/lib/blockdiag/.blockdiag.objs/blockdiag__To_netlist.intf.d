@@ -1,0 +1,1 @@
+lib/blockdiag/to_netlist.pp.mli: Circuit Diagram

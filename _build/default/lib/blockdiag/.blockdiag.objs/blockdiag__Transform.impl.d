@@ -1,0 +1,1 @@
+lib/blockdiag/transform.pp.ml: Architecture Base Diagram List Model Printf Reliability Ssam String

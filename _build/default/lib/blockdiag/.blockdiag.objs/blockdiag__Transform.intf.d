@@ -1,0 +1,1 @@
+lib/blockdiag/transform.pp.mli: Diagram Reliability Ssam

@@ -1,0 +1,34 @@
+(** Textual serialisation of block diagrams — the "model file" format that
+    stands in for Simulink's .slx in examples, drivers and tests.
+
+    {v
+    diagram psu {
+      block DC1 : vsource { volts = 5; }
+      block MC1 : microcontroller ports (conserving a, conserving b) {
+        ohms = 100;
+        annotation = "complex MCU modelled as annotated subsystem";
+      }
+      connect DC1.a -> D1.a;
+      subsystem filter {
+        block L1 : inductor { henries = 0.001; }
+      }
+    }
+    v}
+
+    Comments run [#] to end of line.  [parse (print d) = d]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Diagram.t
+
+val parse_file : string -> Diagram.t
+
+val print : Diagram.t -> string
+
+val write_file : string -> Diagram.t -> unit
+
+val install_driver : unit -> unit
+(** Registers the ["blockdiag"] driver with {!Modelio.Driver}: diagrams
+    load as records with ["name"], ["blocks"] (seq of records with id,
+    type, parameters...), ["connections"] and ["subsystems"], so queries
+    can federate design data.  Idempotent; called at library init. *)

@@ -1,0 +1,198 @@
+type skipped = { block_id : string; reason : string }
+
+type result = {
+  netlist : Circuit.Netlist.t;
+  skipped : skipped list;
+  block_types : (string * string) list;
+}
+
+exception Unsupported_block of { block_id : string; block_type : string }
+
+let simulation_only = [ "scope"; "solver_config"; "out"; "display"; "workspace" ]
+
+let element_kind_of_block (b : Diagram.block) =
+  let num name default = Option.value ~default (Diagram.param_num b name) in
+  let canonical =
+    match Circuit.Library.find b.Diagram.block_type with
+    | Some info -> info.Circuit.Library.block_type
+    | None -> String.lowercase_ascii b.Diagram.block_type
+  in
+  match canonical with
+  | "vsource" -> Some (Circuit.Element.Vsource (num "volts" 5.0))
+  | "isource" -> Some (Circuit.Element.Isource (num "amps" 0.001))
+  | "resistor" -> Some (Circuit.Element.Resistor (num "ohms" 1000.0))
+  | "capacitor" -> Some (Circuit.Element.Capacitor (num "farads" 1e-6))
+  | "inductor" -> Some (Circuit.Element.Inductor (num "henries" 1e-3))
+  | "diode" -> Some (Circuit.Element.Diode Circuit.Element.default_diode)
+  | "switch" ->
+      let closed =
+        match List.assoc_opt "closed" b.Diagram.parameters with
+        | Some (Diagram.P_bool v) -> v
+        | Some (Diagram.P_num f) -> f <> 0.0
+        | Some (Diagram.P_str s) -> String.lowercase_ascii s = "true"
+        | None -> true
+      in
+      Some (Circuit.Element.Switch closed)
+  | "current_sensor" -> Some Circuit.Element.Current_sensor
+  | "voltage_sensor" -> Some Circuit.Element.Voltage_sensor
+  | "load" -> Some (Circuit.Element.Load (num "ohms" 100.0))
+  | "microcontroller" | "pll" ->
+      (* The paper's work-around: annotated subsystems analysed as loads. *)
+      Some (Circuit.Element.Load (num "ohms" 100.0))
+  | "ground" -> None (* handled by net naming *)
+  | other ->
+      if List.mem other simulation_only then None
+      else if
+        List.for_all
+          (fun (p : Diagram.port) -> p.Diagram.port_kind = Diagram.Conserving)
+          b.Diagram.ports
+        && b.Diagram.ports <> []
+      then
+        raise
+          (Unsupported_block
+             { block_id = b.Diagram.block_id; block_type = b.Diagram.block_type })
+      else None
+
+(* Flatten subsystems, qualifying nested ids. *)
+let rec flatten prefix (d : Diagram.t) =
+  let qualify id = if prefix = "" then id else prefix ^ "/" ^ id in
+  let blocks =
+    List.map
+      (fun (b : Diagram.block) ->
+        { b with Diagram.block_id = qualify b.Diagram.block_id })
+      d.Diagram.blocks
+  in
+  let connections =
+    List.map
+      (fun (c : Diagram.connection) ->
+        {
+          Diagram.from_ep =
+            {
+              c.Diagram.from_ep with
+              Diagram.ep_block = qualify c.Diagram.from_ep.Diagram.ep_block;
+            };
+          to_ep =
+            {
+              c.Diagram.to_ep with
+              Diagram.ep_block = qualify c.Diagram.to_ep.Diagram.ep_block;
+            };
+        })
+      d.Diagram.connections
+  in
+  List.fold_left
+    (fun (bs, cs) sub ->
+      let sb, sc = flatten (qualify sub.Diagram.diagram_name) sub in
+      (bs @ sb, cs @ sc))
+    (blocks, connections) d.Diagram.subsystems
+
+let endpoint_key block port = block ^ "." ^ port
+
+let convert d =
+  let blocks, connections = flatten "" d in
+  (* Union-find over endpoint keys, local to this conversion. *)
+  let parents : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let rec uf_find k =
+    match Hashtbl.find_opt parents k with
+    | None -> k
+    | Some p ->
+        let root = uf_find p in
+        if root <> p then Hashtbl.replace parents k root;
+        root
+  in
+  let uf_union a b =
+    let ra = uf_find a and rb = uf_find b in
+    if ra <> rb then Hashtbl.replace parents ra rb
+  in
+  List.iter
+    (fun (c : Diagram.connection) ->
+      uf_union
+        (endpoint_key c.Diagram.from_ep.Diagram.ep_block
+           c.Diagram.from_ep.Diagram.ep_port)
+        (endpoint_key c.Diagram.to_ep.Diagram.ep_block
+           c.Diagram.to_ep.Diagram.ep_port))
+    connections;
+  (* Ground roots. *)
+  let ground_roots = Hashtbl.create 4 in
+  List.iter
+    (fun (b : Diagram.block) ->
+      let canonical =
+        match Circuit.Library.find b.Diagram.block_type with
+        | Some info -> info.Circuit.Library.block_type
+        | None -> String.lowercase_ascii b.Diagram.block_type
+      in
+      if String.equal canonical "ground" then
+        List.iter
+          (fun (p : Diagram.port) ->
+            Hashtbl.replace ground_roots
+              (uf_find (endpoint_key b.Diagram.block_id p.Diagram.port_name))
+              ())
+          b.Diagram.ports)
+    blocks;
+  let net_names = Hashtbl.create 32 in
+  let counter = ref 0 in
+  let net_of block port =
+    let root = uf_find (endpoint_key block port) in
+    if Hashtbl.mem ground_roots root then Circuit.Netlist.ground
+    else
+      match Hashtbl.find_opt net_names root with
+      | Some n -> n
+      | None ->
+          incr counter;
+          let n = Printf.sprintf "n%d" !counter in
+          Hashtbl.add net_names root n;
+          n
+  in
+  let skipped = ref [] in
+  let block_types = ref [] in
+  let netlist = ref (Circuit.Netlist.empty d.Diagram.diagram_name) in
+  List.iter
+    (fun (b : Diagram.block) ->
+      match element_kind_of_block b with
+      | None ->
+          let canonical =
+            match Circuit.Library.find b.Diagram.block_type with
+            | Some info -> info.Circuit.Library.block_type
+            | None -> String.lowercase_ascii b.Diagram.block_type
+          in
+          if not (String.equal canonical "ground") then
+            skipped :=
+              {
+                block_id = b.Diagram.block_id;
+                reason =
+                  Printf.sprintf "non-electrical block type '%s'"
+                    b.Diagram.block_type;
+              }
+              :: !skipped
+      | Some kind -> (
+          match b.Diagram.ports with
+          | [ pa; pb ] ->
+              let node_a = net_of b.Diagram.block_id pa.Diagram.port_name in
+              let node_b = net_of b.Diagram.block_id pb.Diagram.port_name in
+              if String.equal node_a node_b then
+                skipped :=
+                  {
+                    block_id = b.Diagram.block_id;
+                    reason = "both terminals on the same net";
+                  }
+                  :: !skipped
+              else begin
+                netlist :=
+                  Circuit.Netlist.add !netlist
+                    (Circuit.Element.make ~id:b.Diagram.block_id ~kind node_a
+                       node_b);
+                block_types :=
+                  (b.Diagram.block_id, b.Diagram.block_type) :: !block_types
+              end
+          | _ ->
+              skipped :=
+                {
+                  block_id = b.Diagram.block_id;
+                  reason = "not a two-terminal block";
+                }
+                :: !skipped))
+    blocks;
+  {
+    netlist = !netlist;
+    skipped = List.rev !skipped;
+    block_types = List.rev !block_types;
+  }

@@ -1,0 +1,28 @@
+(** Electrical-net extraction: block diagram → {!Circuit.Netlist}.
+
+    Conserving ports wired together collapse into nets (union-find); any
+    net containing a ["ground"] block's port becomes the ground net.
+    Simulation-only blocks (scopes, solver configs) and pure signal blocks
+    are skipped.  Subsystem contents are flattened with
+    ["<subsystem>/<block>"] ids. *)
+
+type skipped = { block_id : string; reason : string }
+
+type result = {
+  netlist : Circuit.Netlist.t;
+  skipped : skipped list;  (** non-electrical blocks left out *)
+  block_types : (string * string) list;
+      (** element id → original block type (e.g. ["MC1", "microcontroller"]),
+          so the reliability model resolves MCU-as-load blocks correctly *)
+}
+
+exception Unsupported_block of { block_id : string; block_type : string }
+
+val convert : Diagram.t -> result
+(** Raises {!Unsupported_block} for electrical-looking two-terminal blocks
+    whose type the converter does not know (signal blocks are skipped, not
+    raised). *)
+
+val element_kind_of_block : Diagram.block -> Circuit.Element.kind option
+(** The element a block maps to; [None] for simulation-only / signal
+    blocks.  Raises {!Unsupported_block} as {!convert}. *)

@@ -1,0 +1,285 @@
+open Ssam
+
+let type_language = "blockdiag-type"
+
+let param_language = "blockdiag-param"
+
+let param_constraint (name, value) =
+  let kind, repr =
+    match value with
+    | Diagram.P_num f -> ("num", Printf.sprintf "%.17g" f)
+    | Diagram.P_str s -> ("str", s)
+    | Diagram.P_bool b -> ("bool", string_of_bool b)
+  in
+  {
+    Base.constraint_id = Printf.sprintf "param:%s" name;
+    description = kind;
+    language = param_language;
+    expression = Printf.sprintf "%s=%s" name repr;
+  }
+
+let parse_param (c : Base.constraint_) =
+  match String.index_opt c.Base.expression '=' with
+  | None -> None
+  | Some i ->
+      let name = String.sub c.Base.expression 0 i in
+      let repr =
+        String.sub c.Base.expression (i + 1)
+          (String.length c.Base.expression - i - 1)
+      in
+      let value =
+        match c.Base.description with
+        | "num" -> (
+            match float_of_string_opt repr with
+            | Some f -> Diagram.P_num f
+            | None -> Diagram.P_str repr)
+        | "bool" -> Diagram.P_bool (String.equal repr "true")
+        | _ -> Diagram.P_str repr
+      in
+      Some (name, value)
+
+let io_node_of_port block_id (p : Diagram.port) =
+  let direction =
+    match p.Diagram.port_kind with
+    | Diagram.In_port -> Architecture.Input
+    | Diagram.Out_port -> Architecture.Output
+    | Diagram.Conserving -> Architecture.Bidirectional
+  in
+  Architecture.io_node
+    ~meta:
+      (Base.meta
+         ~name:p.Diagram.port_name
+         (Printf.sprintf "%s:io:%s" block_id p.Diagram.port_name))
+    direction
+
+let component_of_block (b : Diagram.block) =
+  let constraints =
+    {
+      Base.constraint_id = Printf.sprintf "%s:type" b.Diagram.block_id;
+      description = "";
+      language = type_language;
+      expression = b.Diagram.block_type;
+    }
+    :: List.map param_constraint b.Diagram.parameters
+  in
+  let meta =
+    Base.meta ~name:b.Diagram.block_id
+      ?description:b.Diagram.annotation ~constraints b.Diagram.block_id
+  in
+  let component_type =
+    match String.lowercase_ascii b.Diagram.block_type with
+    | "software" | "task" | "driver" | "service" -> Architecture.Software
+    | _ -> Architecture.Hardware
+  in
+  Architecture.component ~component_type
+    ~io_nodes:(List.map (io_node_of_port b.Diagram.block_id) b.Diagram.ports)
+    ~meta ()
+
+let relationship_of_connection ~scope (c : Diagram.connection) i =
+  let from_b = c.Diagram.from_ep.Diagram.ep_block in
+  let to_b = c.Diagram.to_ep.Diagram.ep_block in
+  Architecture.relationship
+    ~from_node:
+      (Printf.sprintf "%s:io:%s" from_b c.Diagram.from_ep.Diagram.ep_port)
+    ~to_node:(Printf.sprintf "%s:io:%s" to_b c.Diagram.to_ep.Diagram.ep_port)
+    ~meta:(Base.meta (Printf.sprintf "%s:conn:%d" scope i))
+    ~from_component:from_b ~to_component:to_b ()
+
+let rec subsystem_component (d : Diagram.t) =
+  let children =
+    List.map component_of_block d.Diagram.blocks
+    @ List.map subsystem_component d.Diagram.subsystems
+  in
+  let connections =
+    List.mapi
+      (fun i c -> relationship_of_connection ~scope:d.Diagram.diagram_name c i)
+      d.Diagram.connections
+  in
+  Architecture.component ~component_type:Architecture.System ~children
+    ~connections
+    ~meta:
+      (Base.meta ~name:d.Diagram.diagram_name
+         ~constraints:
+           [
+             {
+               Base.constraint_id = d.Diagram.diagram_name ^ ":type";
+               description = "";
+               language = type_language;
+               expression = "subsystem";
+             };
+           ]
+         d.Diagram.diagram_name)
+    ()
+
+let to_ssam (d : Diagram.t) =
+  let elements =
+    List.map (fun b -> Architecture.Component (component_of_block b)) d.Diagram.blocks
+    @ List.map
+        (fun s -> Architecture.Component (subsystem_component s))
+        d.Diagram.subsystems
+    @ List.mapi
+        (fun i c ->
+          Architecture.Relationship
+            (relationship_of_connection ~scope:d.Diagram.diagram_name c i))
+        d.Diagram.connections
+  in
+  Architecture.package
+    ~meta:
+      (Base.meta ~name:d.Diagram.diagram_name
+         ~description:"transformed from block diagram"
+         ("pkg:" ^ d.Diagram.diagram_name))
+    elements
+
+let to_ssam_model d =
+  Model.create
+    ~component_packages:[ to_ssam d ]
+    ~meta:
+      (Base.meta
+         ~name:(d.Diagram.diagram_name ^ "-model")
+         ("model:" ^ d.Diagram.diagram_name))
+    ()
+
+exception Not_a_diagram of string
+
+let block_type_of_component (c : Architecture.component) =
+  List.find_map
+    (fun (k : Base.constraint_) ->
+      if String.equal k.Base.language type_language then Some k.Base.expression
+      else None)
+    c.Architecture.c_meta.Base.constraints
+
+let port_of_io_node (io : Architecture.io_node) =
+  let kind =
+    match io.Architecture.direction with
+    | Architecture.Input -> Diagram.In_port
+    | Architecture.Output -> Diagram.Out_port
+    | Architecture.Bidirectional -> Diagram.Conserving
+  in
+  {
+    Diagram.port_name = Base.display_name io.Architecture.io_meta;
+    port_kind = kind;
+  }
+
+let block_of_component (c : Architecture.component) =
+  let block_type =
+    match block_type_of_component c with
+    | Some t -> t
+    | None ->
+        raise (Not_a_diagram (Architecture.component_id c ^ ": no block-type marker"))
+  in
+  let parameters =
+    List.filter_map
+      (fun (k : Base.constraint_) ->
+        if String.equal k.Base.language param_language then parse_param k
+        else None)
+      c.Architecture.c_meta.Base.constraints
+  in
+  let annotation =
+    match c.Architecture.c_meta.Base.description with "" -> None | d -> Some d
+  in
+  {
+    Diagram.block_id = Architecture.component_id c;
+    block_type;
+    parameters;
+    ports = List.map port_of_io_node c.Architecture.io_nodes;
+    annotation;
+  }
+
+let connection_of_relationship (r : Architecture.relationship) =
+  let port_name node_id =
+    (* io ids look like "<block>:io:<port>". *)
+    match node_id with
+    | Some id -> (
+        match String.rindex_opt id ':' with
+        | Some i -> String.sub id (i + 1) (String.length id - i - 1)
+        | None -> id)
+    | None -> "a"
+  in
+  Diagram.connect
+    (r.Architecture.from_component, port_name r.Architecture.from_node)
+    (r.Architecture.to_component, port_name r.Architecture.to_node)
+
+let rec diagram_of_composite (c : Architecture.component) =
+  let blocks, subsystems =
+    List.fold_left
+      (fun (bs, ss) child ->
+        match block_type_of_component child with
+        | Some "subsystem" -> (bs, diagram_of_composite child :: ss)
+        | Some _ | None -> (block_of_component child :: bs, ss))
+      ([], []) c.Architecture.children
+  in
+  Diagram.diagram
+    ~connections:(List.map connection_of_relationship c.Architecture.connections)
+    ~subsystems:(List.rev subsystems)
+    ~name:(Architecture.component_id c)
+    (List.rev blocks)
+
+let to_diagram (p : Architecture.package) =
+  let blocks, subsystems =
+    List.fold_left
+      (fun (bs, ss) -> function
+        | Architecture.Component c -> (
+            match block_type_of_component c with
+            | Some "subsystem" -> (bs, diagram_of_composite c :: ss)
+            | Some _ -> (block_of_component c :: bs, ss)
+            | None ->
+                raise
+                  (Not_a_diagram
+                     (Architecture.component_id c ^ ": no block-type marker")))
+        | Architecture.Relationship _ -> (bs, ss))
+      ([], []) p.Architecture.elements
+  in
+  let connections =
+    List.map connection_of_relationship (Architecture.relationships p)
+  in
+  Diagram.diagram ~connections ~subsystems:(List.rev subsystems)
+    ~name:(Base.display_name p.Architecture.package_meta)
+    (List.rev blocks)
+
+(* ---------- Step 3: reliability aggregation ---------- *)
+
+let failure_mode_of_entry component_id (fm : Reliability.Reliability_model.failure_mode) =
+  let nature =
+    if fm.Reliability.Reliability_model.loss_of_function then
+      Architecture.Loss_of_function
+    else Architecture.Erroneous
+  in
+  Architecture.failure_mode
+    ~meta:
+      (Base.meta
+         ~name:fm.Reliability.Reliability_model.fm_name
+         (Printf.sprintf "%s:fm:%s" component_id
+            (String.lowercase_ascii fm.Reliability.Reliability_model.fm_name)))
+    ~nature
+    ~distribution_pct:fm.Reliability.Reliability_model.distribution_pct ()
+
+let rec aggregate_component rm (c : Architecture.component) =
+  let c =
+    { c with Architecture.children = List.map (aggregate_component rm) c.Architecture.children }
+  in
+  match block_type_of_component c with
+  | None -> c
+  | Some btype -> (
+      match Reliability.Reliability_model.find rm btype with
+      | None -> c
+      | Some entry ->
+          {
+            c with
+            Architecture.fit = entry.Reliability.Reliability_model.fit;
+            failure_modes =
+              List.map
+                (failure_mode_of_entry (Architecture.component_id c))
+                entry.Reliability.Reliability_model.failure_modes;
+          })
+
+let aggregate_reliability rm (p : Architecture.package) =
+  {
+    p with
+    Architecture.elements =
+      List.map
+        (function
+          | Architecture.Component c ->
+              Architecture.Component (aggregate_component rm c)
+          | Architecture.Relationship _ as r -> r)
+        p.Architecture.elements;
+  }

@@ -1,0 +1,37 @@
+(** Model-to-model transformation: block diagrams ↔ SSAM architecture
+    packages (the paper's simulink2ssam, Sec. IV-D2, "transform Simulink
+    models to SSAM without information loss").
+
+    Every block becomes a {!Ssam.Architecture.component}; ports become IO
+    nodes; connections become relationships; subsystems become composite
+    components.  Block type and parameters are preserved in
+    implementation constraints (languages ["blockdiag-type"] and
+    ["blockdiag-param"]) so {!to_diagram} can reconstruct the diagram —
+    the no-information-loss property the tests check. *)
+
+val to_ssam : Diagram.t -> Ssam.Architecture.package
+(** Component ids equal block ids; nested ids are qualified as
+    ["sub/block"] only in the netlist path, not here — SSAM keeps the
+    hierarchy. *)
+
+val to_ssam_model : Diagram.t -> Ssam.Model.t
+(** Wraps {!to_ssam} in a one-package model whose meta records the source
+    diagram name. *)
+
+exception Not_a_diagram of string
+(** Raised by {!to_diagram} when a package lacks the blockdiag markers
+    (it was not produced by {!to_ssam}). *)
+
+val to_diagram : Ssam.Architecture.package -> Diagram.t
+
+val block_type_of_component : Ssam.Architecture.component -> string option
+(** Reads the ["blockdiag-type"] marker. *)
+
+val aggregate_reliability :
+  Reliability.Reliability_model.t ->
+  Ssam.Architecture.package ->
+  Ssam.Architecture.package
+(** DECISIVE Step 3 on a transformed package: for every component whose
+    block type has a reliability entry, set its FIT and attach the
+    catalogue failure modes (ids ["<component>:fm:<name>"]).  Components
+    without an entry are left untouched. *)

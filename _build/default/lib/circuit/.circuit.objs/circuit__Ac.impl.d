@@ -1,0 +1,1 @@
+lib/circuit/ac.pp.ml: Array Complex Dc Element Float Hashtbl List Netlist Numeric Printf String

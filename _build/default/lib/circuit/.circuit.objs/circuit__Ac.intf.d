@@ -1,0 +1,1 @@
+lib/circuit/ac.pp.mli: Dc Netlist

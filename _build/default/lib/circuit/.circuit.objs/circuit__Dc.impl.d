@@ -1,0 +1,1 @@
+lib/circuit/dc.pp.ml: Array Element Float Format Hashtbl List Netlist Numeric Printf String

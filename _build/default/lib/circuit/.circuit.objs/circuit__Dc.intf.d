@@ -1,0 +1,1 @@
+lib/circuit/dc.pp.mli: Element Format Netlist

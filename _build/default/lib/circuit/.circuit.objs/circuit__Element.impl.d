@@ -1,0 +1,1 @@
+lib/circuit/element.pp.ml: Ppx_deriving_runtime Printf String

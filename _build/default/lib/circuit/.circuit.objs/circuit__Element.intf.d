@@ -1,0 +1,1 @@
+lib/circuit/element.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/circuit/fault.pp.ml: Element Netlist Ppx_deriving_runtime Printf String

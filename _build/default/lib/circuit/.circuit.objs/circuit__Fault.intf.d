@@ -1,0 +1,1 @@
+lib/circuit/fault.pp.mli: Element Netlist Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/circuit/library.pp.ml: Fault Format List String

@@ -1,0 +1,1 @@
+lib/circuit/library.pp.mli: Fault Format

@@ -1,0 +1,1 @@
+lib/circuit/netlist.pp.ml: Element Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/circuit/netlist.pp.mli: Element

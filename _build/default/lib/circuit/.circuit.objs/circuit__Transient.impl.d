@@ -1,0 +1,1 @@
+lib/circuit/transient.pp.ml: Array Dc Element Float Hashtbl Int List Netlist Numeric Printf String

@@ -1,0 +1,1 @@
+lib/circuit/transient.pp.mli: Dc Netlist Stdlib

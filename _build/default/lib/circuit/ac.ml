@@ -1,0 +1,215 @@
+type point = {
+  frequency_hz : float;
+  magnitude : float;
+  magnitude_db : float;
+  phase_deg : float;
+}
+
+type response = (string, Complex.t array) Hashtbl.t
+
+type sweep = {
+  frequencies : float array;
+  node_h : response;
+  sensor_h : response;
+}
+
+let closed_switch_resistance = 1e-3
+
+let cx re = { Complex.re; im = 0.0 }
+
+let analyse ?(gmin = 1e-9) ~source netlist ~frequencies_hz =
+  List.iter
+    (fun f ->
+      if f <= 0.0 then invalid_arg "Ac.analyse: non-positive frequency")
+    frequencies_hz;
+  let elements = Netlist.elements netlist in
+  (match Netlist.find netlist source with
+  | Some { Element.kind = Element.Vsource _ | Element.Isource _; _ } -> ()
+  | Some _ -> invalid_arg "Ac.analyse: stimulus element is not a source"
+  | None -> invalid_arg "Ac.analyse: unknown stimulus element");
+  (* Operating point for diode linearisation. *)
+  match Dc.analyse ~gmin netlist with
+  | Error e -> Error e
+  | Ok dc ->
+      let node_names = Netlist.nodes netlist in
+      let node_index = Hashtbl.create 16 in
+      List.iteri (fun i n -> Hashtbl.add node_index n i) node_names;
+      let n_nodes = List.length node_names in
+      (* Branch unknowns: voltage sources, inductors and current sensors
+         (same layout as DC — inductors keep their branch so their
+         impedance stamps cleanly). *)
+      let branch_elements =
+        List.filter
+          (fun (e : Element.t) -> Element.is_branch_element e.Element.kind)
+          elements
+      in
+      let branch_index = Hashtbl.create 8 in
+      List.iteri
+        (fun i (e : Element.t) ->
+          Hashtbl.add branch_index e.Element.id (n_nodes + i))
+        branch_elements;
+      let size = n_nodes + List.length branch_elements in
+      let node n =
+        if String.equal n Netlist.ground then None
+        else Hashtbl.find_opt node_index n
+      in
+      let frequencies = Array.of_list frequencies_hz in
+      let node_h : response = Hashtbl.create 16 in
+      List.iter
+        (fun n ->
+          Hashtbl.add node_h n (Array.make (Array.length frequencies) Complex.zero))
+        node_names;
+      let sensor_h : response = Hashtbl.create 8 in
+      let sensors =
+        List.filter_map
+          (fun (e : Element.t) ->
+            match e.Element.kind with
+            | Element.Current_sensor -> Some (e.Element.id, `Current)
+            | Element.Voltage_sensor ->
+                Some (e.Element.id, `Voltage (e.Element.node_a, e.Element.node_b))
+            | _ -> None)
+          elements
+      in
+      List.iter
+        (fun (id, _) ->
+          Hashtbl.add sensor_h id (Array.make (Array.length frequencies) Complex.zero))
+        sensors;
+      let solve_at idx freq =
+        let omega = 2.0 *. Float.pi *. freq in
+        let a = Numeric.Cmatrix.create size size in
+        let b = Array.make size Complex.zero in
+        let stamp_admittance na nb y =
+          (match node na with
+          | Some i -> Numeric.Cmatrix.add_to a i i y
+          | None -> ());
+          (match node nb with
+          | Some j -> Numeric.Cmatrix.add_to a j j y
+          | None -> ());
+          match (node na, node nb) with
+          | Some i, Some j ->
+              Numeric.Cmatrix.add_to a i j (Complex.neg y);
+              Numeric.Cmatrix.add_to a j i (Complex.neg y)
+          | _ -> ()
+        in
+        let stamp_current na nb amps =
+          (match node na with
+          | Some i -> b.(i) <- Complex.sub b.(i) amps
+          | None -> ());
+          match node nb with
+          | Some j -> b.(j) <- Complex.add b.(j) amps
+          | None -> ()
+        in
+        let stamp_voltage_branch e_id na nb volts impedance =
+          let k = Hashtbl.find branch_index e_id in
+          (match node na with
+          | Some i ->
+              Numeric.Cmatrix.add_to a i k Complex.one;
+              Numeric.Cmatrix.add_to a k i Complex.one
+          | None -> ());
+          (match node nb with
+          | Some j ->
+              Numeric.Cmatrix.add_to a j k (cx (-1.0));
+              Numeric.Cmatrix.add_to a k j (cx (-1.0))
+          | None -> ());
+          (* v(a) - v(b) - Z i = volts *)
+          Numeric.Cmatrix.add_to a k k (Complex.neg impedance);
+          b.(k) <- Complex.add b.(k) volts
+        in
+        List.iter
+          (fun (e : Element.t) ->
+            let na = e.Element.node_a and nb = e.Element.node_b in
+            let is_stimulus = String.equal e.Element.id source in
+            match e.Element.kind with
+            | Element.Resistor r | Element.Load r ->
+                stamp_admittance na nb (cx (1.0 /. r))
+            | Element.Switch true ->
+                stamp_admittance na nb (cx (1.0 /. closed_switch_resistance))
+            | Element.Switch false | Element.Voltage_sensor -> ()
+            | Element.Capacitor c ->
+                stamp_admittance na nb { Complex.re = 0.0; im = omega *. c }
+            | Element.Inductor l ->
+                stamp_voltage_branch e.Element.id na nb Complex.zero
+                  { Complex.re = 0.0; im = omega *. l }
+            | Element.Diode p ->
+                let v = Dc.node_voltage dc na -. Dc.node_voltage dc nb in
+                stamp_admittance na nb
+                  (cx (Float.max (Dc.diode_conductance p v) 1e-12))
+            | Element.Vsource _ ->
+                (* AC: unit stimulus on the chosen source, short otherwise. *)
+                stamp_voltage_branch e.Element.id na nb
+                  (if is_stimulus then Complex.one else Complex.zero)
+                  Complex.zero
+            | Element.Current_sensor ->
+                stamp_voltage_branch e.Element.id na nb Complex.zero Complex.zero
+            | Element.Isource _ ->
+                if is_stimulus then stamp_current na nb Complex.one)
+          elements;
+        (* gmin keeps faulted topologies solvable, as at DC. *)
+        let g = cx gmin in
+        for i = 0 to n_nodes - 1 do
+          Numeric.Cmatrix.add_to a i i g
+        done;
+        match Numeric.Cmatrix.solve a b with
+        | exception Numeric.Cmatrix.Singular k ->
+            Error (Dc.Singular_system (Printf.sprintf "AC pivot failure at %d" k))
+        | x ->
+            List.iteri
+              (fun i n -> (Hashtbl.find node_h n).(idx) <- x.(i))
+              node_names;
+            List.iter
+              (fun (id, kind) ->
+                let h =
+                  match kind with
+                  | `Current -> x.(Hashtbl.find branch_index id)
+                  | `Voltage (na, nb) ->
+                      let v n =
+                        match node n with Some i -> x.(i) | None -> Complex.zero
+                      in
+                      Complex.sub (v na) (v nb)
+                in
+                (Hashtbl.find sensor_h id).(idx) <- h)
+              sensors;
+            Ok ()
+      in
+      let rec run idx =
+        if idx >= Array.length frequencies then
+          Ok { frequencies; node_h; sensor_h }
+        else
+          match solve_at idx frequencies.(idx) with
+          | Error e -> Error e
+          | Ok () -> run (idx + 1)
+      in
+      run 0
+
+let points_of sweep trace =
+  Array.to_list
+    (Array.mapi
+       (fun i h ->
+         let magnitude = Complex.norm h in
+         {
+           frequency_hz = sweep.frequencies.(i);
+           magnitude;
+           magnitude_db = 20.0 *. log10 (Float.max magnitude 1e-300);
+           phase_deg = Complex.arg h *. 180.0 /. Float.pi;
+         })
+       trace)
+
+let node_response sweep n = points_of sweep (Hashtbl.find sweep.node_h n)
+
+let sensor_response sweep id = points_of sweep (Hashtbl.find sweep.sensor_h id)
+
+let cutoff_hz = function
+  | [] -> None
+  | first :: _ as points ->
+      let threshold = first.magnitude_db -. 3.0 in
+      List.find_map
+        (fun p -> if p.magnitude_db <= threshold then Some p.frequency_hz else None)
+        points
+
+let log_space ~from_hz ~to_hz ~points =
+  if from_hz <= 0.0 || to_hz <= from_hz then
+    invalid_arg "Ac.log_space: need 0 < from < to";
+  if points < 2 then invalid_arg "Ac.log_space: need at least 2 points";
+  let lo = log10 from_hz and hi = log10 to_hz in
+  List.init points (fun i ->
+      10.0 ** (lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1))))

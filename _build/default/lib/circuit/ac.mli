@@ -1,0 +1,44 @@
+(** AC small-signal (frequency-domain) analysis.
+
+    Linearises the circuit about its DC operating point — diodes become
+    their small-signal conductances, capacitors [jωC], inductors
+    [1/(jωL)] — and solves the complex MNA system with one source driven
+    by a unit phasor.  The result is the transfer function from that
+    source to every node and sensor: Bode data, filter cutoffs, ripple
+    rejection — the frequency-domain view of what {!Transient} shows in
+    time. *)
+
+type point = {
+  frequency_hz : float;
+  magnitude : float;  (** |H| *)
+  magnitude_db : float;  (** 20 log10 |H| *)
+  phase_deg : float;
+}
+
+type sweep
+
+val analyse :
+  ?gmin:float ->
+  source:string ->
+  Netlist.t ->
+  frequencies_hz:float list ->
+  (sweep, Dc.error) result
+(** [source] names the [Vsource]/[Isource] carrying the unit AC stimulus
+    (its DC value still sets the operating point).  Raises
+    [Invalid_argument] when [source] is missing or not a source, or when
+    a frequency is not positive. *)
+
+val node_response : sweep -> string -> point list
+(** Transfer function to a node voltage.  Raises [Not_found]. *)
+
+val sensor_response : sweep -> string -> point list
+(** Transfer function to a sensor reading (amps for current sensors,
+    volts for voltage sensors).  Raises [Not_found]. *)
+
+val cutoff_hz : point list -> float option
+(** First frequency at which the magnitude falls 3 dB below the
+    lowest-frequency point; [None] if it never does within the sweep. *)
+
+val log_space : from_hz:float -> to_hz:float -> points:int -> float list
+(** Logarithmically spaced frequencies, inclusive of both ends.  Raises
+    [Invalid_argument] on non-positive bounds or [points < 2]. *)

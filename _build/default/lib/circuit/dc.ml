@@ -1,0 +1,230 @@
+type solution = {
+  voltages : (string, float) Hashtbl.t;
+  currents : (string, float) Hashtbl.t;
+  current_sensors : (string * float) list;
+  voltage_sensors : (string * float) list;
+}
+
+type error = Singular_system of string | No_convergence of int
+
+let pp_error ppf = function
+  | Singular_system what ->
+      Format.fprintf ppf "singular MNA system (%s)" what
+  | No_convergence n ->
+      Format.fprintf ppf "Newton iteration did not converge in %d steps" n
+
+let closed_switch_resistance = 1e-3
+
+(* Junction-voltage critical value above which the exponential is
+   linearised to avoid overflow (SPICE's pnjlim idea, simplified). *)
+let junction_limit (p : Element.diode_params) v =
+  let vt = p.Element.thermal_voltage *. p.Element.emission in
+  let vcrit = vt *. log (vt /. (Float.sqrt 2.0 *. p.Element.saturation_current)) in
+  if v > vcrit then vcrit +. (vt *. log (1.0 +. ((v -. vcrit) /. vt)))
+  else v
+
+let diode_current (p : Element.diode_params) v =
+  let vt = p.Element.thermal_voltage *. p.Element.emission in
+  let v = junction_limit p v in
+  p.Element.saturation_current *. (exp (v /. vt) -. 1.0)
+
+(* True derivative of [diode_current], including the limiter's chain-rule
+   factor — an inconsistent Jacobian makes Newton oscillate around the
+   operating point instead of converging. *)
+let diode_conductance (p : Element.diode_params) v =
+  let vt = p.Element.thermal_voltage *. p.Element.emission in
+  let vcrit =
+    vt *. log (vt /. (Float.sqrt 2.0 *. p.Element.saturation_current))
+  in
+  let vl = junction_limit p v in
+  let limiter_slope =
+    if v > vcrit then 1.0 /. (1.0 +. ((v -. vcrit) /. vt)) else 1.0
+  in
+  p.Element.saturation_current /. vt *. exp (vl /. vt) *. limiter_slope
+
+let analyse ?(gmin = 1e-9) ?(max_iterations = 200) ?(max_step_param = 0.5) netlist =
+  let elements = Netlist.elements netlist in
+  let node_names = Netlist.nodes netlist in
+  let node_index = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.add node_index n i) node_names;
+  let n_nodes = List.length node_names in
+  let branch_elements =
+    List.filter (fun (e : Element.t) -> Element.is_branch_element e.Element.kind)
+      elements
+  in
+  let branch_index = Hashtbl.create 8 in
+  List.iteri
+    (fun i (e : Element.t) -> Hashtbl.add branch_index e.Element.id (n_nodes + i))
+    branch_elements;
+  let size = n_nodes + List.length branch_elements in
+  let node n = if String.equal n Netlist.ground then None else Hashtbl.find_opt node_index n in
+  (* Voltage guess per node, refined by Newton when diodes are present. *)
+  let guess = Array.make size 0.0 in
+  let has_diodes =
+    List.exists
+      (fun (e : Element.t) ->
+        match e.Element.kind with Element.Diode _ -> true | _ -> false)
+      elements
+  in
+  let build v_guess =
+    let a = Numeric.Matrix.create size size in
+    let b = Numeric.Vector.create size in
+    let stamp_conductance na nb g =
+      (match node na with
+      | Some i -> Numeric.Matrix.add_to a i i g
+      | None -> ());
+      (match node nb with
+      | Some j -> Numeric.Matrix.add_to a j j g
+      | None -> ());
+      match (node na, node nb) with
+      | Some i, Some j ->
+          Numeric.Matrix.add_to a i j (-.g);
+          Numeric.Matrix.add_to a j i (-.g)
+      | _ -> ()
+    in
+    let stamp_current_source na nb amps =
+      (* amps flows a -> b inside the source, i.e. out of node b. *)
+      (match node na with
+      | Some i -> b.(i) <- b.(i) -. amps
+      | None -> ());
+      match node nb with
+      | Some j -> b.(j) <- b.(j) +. amps
+      | None -> ()
+    in
+    let stamp_voltage_branch e_id na nb volts =
+      let k = Hashtbl.find branch_index e_id in
+      (match node na with
+      | Some i ->
+          Numeric.Matrix.add_to a i k 1.0;
+          Numeric.Matrix.add_to a k i 1.0
+      | None -> ());
+      (match node nb with
+      | Some j ->
+          Numeric.Matrix.add_to a j k (-1.0);
+          Numeric.Matrix.add_to a k j (-1.0)
+      | None -> ());
+      b.(k) <- b.(k) +. volts
+    in
+    let node_v n =
+      match node n with Some i -> v_guess.(i) | None -> 0.0
+    in
+    List.iter
+      (fun (e : Element.t) ->
+        let na = e.Element.node_a and nb = e.Element.node_b in
+        match e.Element.kind with
+        | Element.Resistor r | Element.Load r -> stamp_conductance na nb (1.0 /. r)
+        | Element.Switch true -> stamp_conductance na nb (1.0 /. closed_switch_resistance)
+        | Element.Switch false | Element.Capacitor _ | Element.Voltage_sensor -> ()
+        | Element.Isource amps -> stamp_current_source na nb amps
+        | Element.Vsource volts -> stamp_voltage_branch e.Element.id na nb volts
+        | Element.Inductor _ -> stamp_voltage_branch e.Element.id na nb 0.0
+        | Element.Current_sensor -> stamp_voltage_branch e.Element.id na nb 0.0
+        | Element.Diode p ->
+            (* Newton companion model: conductance g and current source
+               i_eq = i(v) - g v, in parallel a -> b. *)
+            let v = node_v na -. node_v nb in
+            let g = Float.max (diode_conductance p v) 1e-12 in
+            let i_eq = diode_current p v -. (g *. v) in
+            stamp_conductance na nb g;
+            stamp_current_source na nb i_eq)
+      elements;
+    (* gmin to ground for solvability under fault injection. *)
+    for i = 0 to n_nodes - 1 do
+      Numeric.Matrix.add_to a i i gmin
+    done;
+    (a, b)
+  in
+  let solve_once v_guess =
+    let a, b = build v_guess in
+    match Numeric.Lu.solve a b with
+    | x -> Ok x
+    | exception Numeric.Lu.Singular k ->
+        Error (Singular_system (Printf.sprintf "pivot failure at unknown %d" k))
+  in
+  let rec newton v_guess iter =
+    if iter > max_iterations then Error (No_convergence max_iterations)
+    else
+      match solve_once v_guess with
+      | Error _ as e -> e
+      | Ok x ->
+          (* Damp the node-voltage update to keep the diode exponential
+             stable. *)
+          let damped = Array.copy x in
+          let max_step = max_step_param in
+          for i = 0 to n_nodes - 1 do
+            let dv = x.(i) -. v_guess.(i) in
+            if Float.abs dv > max_step then
+              damped.(i) <- v_guess.(i) +. (if dv > 0.0 then max_step else -.max_step)
+          done;
+          (* SPICE-style per-variable tolerance: |Δv| ≤ reltol·|v| + vntol.
+             An absolute-only criterion is unreachable when the system is
+             ill-conditioned (mΩ switches vs gmin span ~12 decades and the
+             diode companion amplifies LU roundoff). *)
+          let reltol = 1e-6 and vntol = 1e-6 in
+          let converged = ref true in
+          for i = 0 to Array.length damped - 1 do
+            let dv = Float.abs (damped.(i) -. v_guess.(i)) in
+            if dv > (reltol *. Float.abs damped.(i)) +. vntol then
+              converged := false
+          done;
+          if !converged then Ok damped else newton damped (iter + 1)
+  in
+  let result = if has_diodes then newton guess 0 else solve_once guess in
+  match result with
+  | Error _ as e -> e
+  | Ok x ->
+      let voltages = Hashtbl.create 16 in
+      Hashtbl.add voltages Netlist.ground 0.0;
+      List.iteri (fun i n -> Hashtbl.add voltages n x.(i)) node_names;
+      let v n = Hashtbl.find voltages n in
+      let currents = Hashtbl.create 16 in
+      let current_sensors = ref [] in
+      let voltage_sensors = ref [] in
+      List.iter
+        (fun (e : Element.t) ->
+          let na = e.Element.node_a and nb = e.Element.node_b in
+          let i_branch () = x.(Hashtbl.find branch_index e.Element.id) in
+          let current =
+            match e.Element.kind with
+            | Element.Resistor r | Element.Load r -> (v na -. v nb) /. r
+            | Element.Switch true -> (v na -. v nb) /. closed_switch_resistance
+            | Element.Switch false | Element.Capacitor _ | Element.Voltage_sensor
+              ->
+                0.0
+            | Element.Isource amps -> amps
+            | Element.Diode p -> diode_current p (v na -. v nb)
+            | Element.Vsource _ | Element.Inductor _ | Element.Current_sensor ->
+                i_branch ()
+          in
+          Hashtbl.replace currents e.Element.id current;
+          (match e.Element.kind with
+          | Element.Current_sensor ->
+              current_sensors := (e.Element.id, current) :: !current_sensors
+          | Element.Voltage_sensor ->
+              voltage_sensors := (e.Element.id, v na -. v nb) :: !voltage_sensors
+          | _ -> ()))
+        elements;
+      Ok
+        {
+          voltages;
+          currents;
+          current_sensors = List.rev !current_sensors;
+          voltage_sensors = List.rev !voltage_sensors;
+        }
+
+let node_voltage s n =
+  match Hashtbl.find_opt s.voltages n with
+  | Some v -> v
+  | None ->
+      if String.equal (String.lowercase_ascii n) "0" then 0.0 else raise Not_found
+
+let element_current s id =
+  match Hashtbl.find_opt s.currents id with
+  | Some i -> i
+  | None -> raise Not_found
+
+let current_sensor_readings s = s.current_sensors
+
+let voltage_sensor_readings s = s.voltage_sensors
+
+let all_sensor_readings s = s.current_sensors @ s.voltage_sensors

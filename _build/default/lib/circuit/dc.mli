@@ -1,0 +1,50 @@
+(** DC operating-point analysis by Modified Nodal Analysis.
+
+    Unknowns are the non-ground node voltages plus one branch current per
+    voltage-defined element (sources, inductors — DC shorts — and current
+    sensors).  Diodes are solved by damped Newton iteration on the
+    Shockley equation.  A small [gmin] conductance from every node to
+    ground keeps fault-injected circuits (floating nodes after an "open")
+    solvable; the affected readings then collapse towards zero, which is
+    exactly the observable the failure-injection FMEA compares. *)
+
+type solution
+
+type error =
+  | Singular_system of string
+  | No_convergence of int  (** Newton iterations exhausted *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val analyse : ?gmin:float -> ?max_iterations:int -> ?max_step_param:float -> Netlist.t -> (solution, error) result
+(** Default [gmin] 1e-9 S, [max_iterations] 200. *)
+
+val node_voltage : solution -> string -> float
+(** 0.0 for ground; raises [Not_found] for unknown nodes. *)
+
+val element_current : solution -> string -> float
+(** Current a → b through the element.  Raises [Not_found] for unknown
+    ids; 0.0 for voltage sensors, capacitors and open switches. *)
+
+val current_sensor_readings : solution -> (string * float) list
+(** [(sensor id, amps)] for every {!Element.Current_sensor}, in netlist
+    order. *)
+
+val voltage_sensor_readings : solution -> (string * float) list
+(** [(sensor id, volts)] for every {!Element.Voltage_sensor}. *)
+
+val all_sensor_readings : solution -> (string * float) list
+(** Current then voltage sensors — the observation vector the
+    failure-injection FMEA compares between golden and faulty runs. *)
+
+(** {1 Device equations}
+
+    Exposed for the transient engine ({!module:Transient}), which shares
+    the Newton companion model. *)
+
+val diode_current : Element.diode_params -> float -> float
+(** Shockley current at a junction voltage, with overflow limiting. *)
+
+val diode_conductance : Element.diode_params -> float -> float
+(** The exact derivative of {!diode_current} (limiter chain rule
+    included). *)

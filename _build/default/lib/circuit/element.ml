@@ -1,0 +1,67 @@
+type kind =
+  | Resistor of float
+  | Vsource of float
+  | Isource of float
+  | Diode of diode_params
+  | Inductor of float
+  | Capacitor of float
+  | Current_sensor
+  | Voltage_sensor
+  | Switch of bool
+  | Load of float
+
+and diode_params = {
+  saturation_current : float;
+  thermal_voltage : float;
+  emission : float;
+}
+[@@deriving eq, show]
+
+let default_diode =
+  { saturation_current = 1e-12; thermal_voltage = 0.025852; emission = 1.0 }
+
+let kind_name = function
+  | Resistor _ -> "resistor"
+  | Vsource _ -> "vsource"
+  | Isource _ -> "isource"
+  | Diode _ -> "diode"
+  | Inductor _ -> "inductor"
+  | Capacitor _ -> "capacitor"
+  | Current_sensor -> "current_sensor"
+  | Voltage_sensor -> "voltage_sensor"
+  | Switch _ -> "switch"
+  | Load _ -> "load"
+
+type t = { id : string; kind : kind; node_a : string; node_b : string }
+[@@deriving eq, show]
+
+let make ~id ~kind node_a node_b =
+  if String.equal node_a node_b then
+    invalid_arg (Printf.sprintf "Element.make %s: terminals on the same node" id);
+  (match kind with
+  | Resistor r | Load r ->
+      if r <= 0.0 then
+        invalid_arg (Printf.sprintf "Element.make %s: non-positive resistance" id)
+  | Inductor l ->
+      if l <= 0.0 then
+        invalid_arg (Printf.sprintf "Element.make %s: non-positive inductance" id)
+  | Capacitor c ->
+      if c <= 0.0 then
+        invalid_arg (Printf.sprintf "Element.make %s: non-positive capacitance" id)
+  | Vsource _ | Isource _ | Diode _ | Current_sensor | Voltage_sensor
+  | Switch _ ->
+      ());
+  { id; kind; node_a; node_b }
+
+let is_branch_element = function
+  | Vsource _ | Inductor _ | Current_sensor -> true
+  | Resistor _ | Isource _ | Diode _ | Capacitor _ | Voltage_sensor | Switch _
+  | Load _ ->
+      false
+
+let conducts = function
+  | Capacitor _ | Voltage_sensor -> false
+  | Switch closed -> closed
+  | Resistor _ | Vsource _ | Isource _ | Diode _ | Inductor _ | Current_sensor
+  | Load _ ->
+      true

@@ -1,0 +1,51 @@
+(** Circuit element models — the Simscape Foundation analogue blocks the
+    paper's SAME analyses (Sec. VI-B: "electrical systems built using
+    Simulink's Simscape Foundation Library").
+
+    Two-terminal elements connect node [a] to node [b]; conventional
+    current flows a → b when positive. *)
+
+type kind =
+  | Resistor of float  (** ohms > 0 *)
+  | Vsource of float  (** ideal DC voltage source, volts (a is +) *)
+  | Isource of float  (** ideal DC current source, amps (a → b) *)
+  | Diode of diode_params
+  | Inductor of float  (** henries; a short at DC *)
+  | Capacitor of float  (** farads; open at DC *)
+  | Current_sensor  (** ideal ammeter: a 0 V source whose branch current is read *)
+  | Voltage_sensor  (** ideal voltmeter: open circuit, reads v(a) - v(b) *)
+  | Switch of bool  (** closed = tiny resistance, open = no conduction *)
+  | Load of float  (** resistive load (e.g. an MCU supply pin), ohms *)
+
+and diode_params = {
+  saturation_current : float;  (** Is, amps (default 1e-12) *)
+  thermal_voltage : float;  (** Vt, volts (default 0.025852) *)
+  emission : float;  (** ideality factor n (default 1.0) *)
+}
+[@@deriving eq, show]
+
+val default_diode : diode_params
+
+val kind_name : kind -> string
+(** ["resistor"], ["vsource"], ... — the block-type vocabulary used by the
+    reliability model and the block-library coverage report. *)
+
+type t = {
+  id : string;
+  kind : kind;
+  node_a : string;
+  node_b : string;
+}
+[@@deriving eq, show]
+
+val make : id:string -> kind:kind -> string -> string -> t
+(** [make ~id ~kind a b].  Raises [Invalid_argument] for non-positive
+    resistance/load values or identical terminal nodes. *)
+
+val is_branch_element : kind -> bool
+(** Elements that contribute an extra MNA branch-current unknown: voltage
+    sources, inductors (DC shorts) and current sensors. *)
+
+val conducts : kind -> bool
+(** [false] for elements that never conduct at DC: capacitors, voltage
+    sensors and open switches.  Used by connectivity-based analyses. *)

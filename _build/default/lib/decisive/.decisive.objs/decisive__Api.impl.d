@@ -1,0 +1,1 @@
+lib/decisive/api.pp.ml: Assurance Blockdiag Fmea Format Fta List Modelio Optimize Printf Process Ssam String

@@ -1,0 +1,1 @@
+lib/decisive/api.pp.mli: Assurance Blockdiag Fmea Optimize Process Reliability Ssam

@@ -1,0 +1,1 @@
+lib/decisive/case_study.pp.ml: Architecture Base Blockdiag Fmea Hazard List Printf Reliability Ssam

@@ -1,0 +1,1 @@
+lib/decisive/case_study.pp.mli: Blockdiag Circuit Fmea Reliability Ssam

@@ -1,0 +1,1 @@
+lib/decisive/monitor.pp.ml: Architecture Base Format List Printf Ssam String

@@ -1,0 +1,1 @@
+lib/decisive/monitor.pp.mli: Format Ssam

@@ -1,0 +1,1 @@
+lib/decisive/process.pp.ml: Fmea Format List Option Ppx_deriving_runtime Ssam

@@ -1,0 +1,1 @@
+lib/decisive/process.pp.mli: Format Ppx_deriving_runtime Ssam

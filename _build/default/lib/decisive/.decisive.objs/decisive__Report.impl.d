@@ -1,0 +1,1 @@
+lib/decisive/report.pp.ml: Buffer Fmea Format Fun Hara List Printf Process Reliability Ssam String

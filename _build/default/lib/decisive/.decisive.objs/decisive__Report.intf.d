@@ -1,0 +1,1 @@
+lib/decisive/report.pp.mli: Fmea Hara Process Ssam

@@ -1,0 +1,1 @@
+lib/decisive/systems.pp.ml: Analyst Blockdiag Circuit Fit Fmea List Printf Reliability Reliability_model Ssam String

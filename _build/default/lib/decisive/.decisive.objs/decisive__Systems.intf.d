@@ -1,0 +1,1 @@
+lib/decisive/systems.pp.mli: Analyst Blockdiag Fmea Reliability Ssam

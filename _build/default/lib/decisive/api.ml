@@ -1,0 +1,268 @@
+type analysis_route = Via_injection | Via_ssam_paths | Via_fta
+
+(* Functional abstraction of an electrical diagram for path analysis
+   (Algorithm 1 and FTA): the input→output notion of the paper's SSAM
+   models is the *power/function flow*, not the raw wiring, so
+
+   - ground blocks and their edges are dropped (every return path runs
+     through ground; keeping them would make everything bypassable);
+   - supply blocks (vsource/isource) form the input boundary;
+   - consumers (loads, MCUs, PLLs) form the output boundary;
+   - simulation-only blocks never appear (the transformation keeps them,
+     but they carry no reliability data).
+
+   This mirrors how the paper's Fig. 12 SSAM twin is drawn: a directed
+   chain from supply to load with off-path branches hanging off. *)
+let functional_root ~reliability (diagram : Blockdiag.Diagram.t) =
+  let package =
+    Blockdiag.Transform.aggregate_reliability reliability
+      (Blockdiag.Transform.to_ssam diagram)
+  in
+  let classify id =
+    match Ssam.Architecture.find_in_package package id with
+    | None -> `Absent
+    | Some c -> (
+        match Blockdiag.Transform.block_type_of_component c with
+        | Some "ground" -> `Ground
+        | Some ("vsource" | "isource") -> `Source c
+        | Some ("load" | "microcontroller" | "pll") -> `Sink c
+        | Some _ | None -> `Plain c)
+  in
+  let root_id = "root:" ^ diagram.Blockdiag.Diagram.diagram_name in
+  let children = ref [] in
+  let connections = ref [] in
+  let k = ref 0 in
+  let conn a b =
+    incr k;
+    connections :=
+      Ssam.Architecture.relationship
+        ~meta:(Ssam.Base.meta (Printf.sprintf "%s:c%d" root_id !k))
+        ~from_component:a ~to_component:b ()
+      :: !connections
+  in
+  List.iter
+    (fun (b : Blockdiag.Diagram.block) ->
+      match classify b.Blockdiag.Diagram.block_id with
+      | `Ground | `Absent -> ()
+      | `Source c | `Sink c | `Plain c ->
+          children := c :: !children;
+          (match classify b.Blockdiag.Diagram.block_id with
+          | `Source _ -> conn root_id b.Blockdiag.Diagram.block_id
+          | `Sink _ -> conn b.Blockdiag.Diagram.block_id root_id
+          | `Ground | `Absent | `Plain _ -> ()))
+    diagram.Blockdiag.Diagram.blocks;
+  List.iter
+    (fun (c : Blockdiag.Diagram.connection) ->
+      let f = c.Blockdiag.Diagram.from_ep.Blockdiag.Diagram.ep_block in
+      let t = c.Blockdiag.Diagram.to_ep.Blockdiag.Diagram.ep_block in
+      match (classify f, classify t) with
+      | (`Ground | `Absent), _ | _, (`Ground | `Absent) -> ()
+      | _, _ -> conn f t)
+    diagram.Blockdiag.Diagram.connections;
+  Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+    ~children:(List.rev !children)
+    ~connections:(List.rev !connections)
+    ~meta:
+      (Ssam.Base.meta
+         ~name:diagram.Blockdiag.Diagram.diagram_name
+         root_id)
+    ()
+
+let analyse ?(route = Via_injection) ?(exclude = []) ?monitored_sensors diagram
+    reliability =
+  match route with
+  | Via_injection ->
+      let conversion = Blockdiag.To_netlist.convert diagram in
+      let options =
+        {
+          Fmea.Injection_fmea.default_options with
+          exclude;
+          monitored_sensors;
+        }
+      in
+      Fmea.Injection_fmea.analyse ~options
+        ~element_types:conversion.Blockdiag.To_netlist.block_types
+        conversion.Blockdiag.To_netlist.netlist reliability
+  | Via_ssam_paths ->
+      let options = { Fmea.Path_fmea.default_options with exclude } in
+      Fmea.Path_fmea.analyse ~options (functional_root ~reliability diagram)
+  | Via_fta ->
+      let table =
+        Fta.Fmea_from_fta.analyse (functional_root ~reliability diagram)
+      in
+      (* The FTA route has no exclusion machinery; filter rows here. *)
+      {
+        table with
+        Fmea.Table.rows =
+          List.filter
+            (fun (r : Fmea.Table.row) ->
+              not (List.exists (String.equal r.Fmea.Table.component) exclude))
+            table.Fmea.Table.rows;
+      }
+
+type refinement = {
+  refined_table : Fmea.Table.t;
+  chosen : Optimize.Search.candidate option;
+  pareto_front : Optimize.Search.candidate list;
+  achieved_spfm : float;
+  meets_target : bool;
+}
+
+let refine ~target ?(component_types = []) table sm_model =
+  let chosen, pareto_front =
+    Optimize.Search.optimise ~component_types ~target table sm_model
+  in
+  let refined_table =
+    match chosen with
+    | Some c -> Fmea.Fmeda.apply table c.Optimize.Search.deployments
+    | None -> table
+  in
+  let achieved_spfm = Fmea.Metrics.spfm refined_table in
+  {
+    refined_table;
+    chosen;
+    pareto_front;
+    achieved_spfm;
+    meets_target = Fmea.Asil.meets ~target ~spfm:achieved_spfm;
+  }
+
+let run_decisive ~name ~target ?(exclude = []) ?monitored_sensors
+    ?(max_iterations = 5) diagram reliability sm_model =
+  let conversion = Blockdiag.To_netlist.convert diagram in
+  let component_types = conversion.Blockdiag.To_netlist.block_types in
+  let perform_exn process step produces =
+    match Process.perform process step ~produces with
+    | Ok p -> p
+    | Error e ->
+        invalid_arg
+          (Format.asprintf "run_decisive: %a" Process.pp_error e)
+  in
+  let rec loop process iteration =
+    let process =
+      perform_exn process Process.Step1_plan
+        [
+          (Process.System_definition, name ^ " definition");
+          (Process.Function_requirements, name ^ " function requirements");
+          (Process.Hazard_log, name ^ " hazard log");
+        ]
+    in
+    let process =
+      perform_exn process Process.Step2_design
+        [
+          (Process.Safety_requirements, name ^ " safety requirements");
+          (Process.Architectural_design, diagram.Blockdiag.Diagram.diagram_name);
+        ]
+    in
+    let process =
+      perform_exn process Process.Step3_reliability
+        [ (Process.Component_reliability_model, "reliability model") ]
+    in
+    let table = analyse ~exclude ?monitored_sensors diagram reliability in
+    let process =
+      perform_exn process Process.Step4a_evaluate
+        [
+          (Process.Component_safety_analysis_model, "FMEA table");
+          (Process.Architecture_metrics, "SPFM");
+        ]
+    in
+    let process = Process.record_spfm process (Fmea.Metrics.spfm table) in
+    if Fmea.Asil.meets ~target ~spfm:(Fmea.Metrics.spfm table) then
+      let process =
+        perform_exn process Process.Step5_safety_concept
+          [ (Process.Safety_concept, name ^ " safety concept") ]
+      in
+      (process, table)
+    else begin
+      let refinement = refine ~target ~component_types table sm_model in
+      let process =
+        perform_exn process Process.Step4b_refine
+          [ (Process.Safety_mechanism_model, "SM deployment proposal") ]
+      in
+      let process =
+        perform_exn process Process.Step4a_evaluate
+          [
+            (Process.Component_safety_analysis_model, "FMEDA table");
+            (Process.Architecture_metrics, "SPFM (refined)");
+          ]
+      in
+      let process = Process.record_spfm process refinement.achieved_spfm in
+      if refinement.meets_target then
+        let process =
+          perform_exn process Process.Step5_safety_concept
+            [ (Process.Safety_concept, name ^ " safety concept") ]
+        in
+        (process, refinement.refined_table)
+      else if iteration >= max_iterations then (process, refinement.refined_table)
+      else loop (Process.iterate process) (iteration + 1)
+    end
+  in
+  loop (Process.start ~name ~target) 1
+
+let spfm_query ~target =
+  let threshold =
+    match Fmea.Asil.spfm_target target with Some t -> t | None -> 0.0
+  in
+  Printf.sprintf
+    "var sr := Artifact.rows.select(r | r.safety_related = 'Yes');\n\
+     var comps := sr.collect(r | r.component).distinct();\n\
+     var lambda := comps.collect(c | Artifact.rows.select(r | r.component = \
+     c).first().fit.toNumber()).sum();\n\
+     var spf := sr.collect(r | \
+     r.single_point_failure_rate.split(' ').first().toNumber()).sum();\n\
+     return lambda > 0 and (100 * (1 - spf / lambda)) >= %g;"
+    threshold
+
+let export_fmeda ~path table =
+  Modelio.Csv.write_file path
+    (Fmea.Table.to_csv ~repeat_component_cells:true table)
+
+let assurance_case_for ~system ~target ~fmeda_csv =
+  let open Assurance.Sacm in
+  let target_name = Ssam.Requirement.integrity_level_to_string target in
+  {
+    case_name = system ^ " safety case";
+    root =
+      goal ~id:"G1"
+        ~in_context_of:
+          [
+            context ~id:"C1" (system ^ " as a Safety Element out of Context");
+            context ~id:"C2" ("target integrity level " ^ target_name);
+          ]
+        ~supported_by:
+          [
+            strategy ~id:"S1"
+              "Argument over the results of the automated safety analysis"
+              ~supported_by:
+                [
+                  goal ~id:"G2"
+                    (Printf.sprintf
+                       "The architecture metrics meet the %s targets"
+                       target_name)
+                    ~supported_by:
+                      [
+                        solution ~id:"Sn1"
+                          "FMEDA results generated by SAME"
+                          ~artifact:
+                            (artifact
+                               ~query:(spfm_query ~target)
+                               ~description:
+                                 "Excel-based FMEDA table produced by Step 4a"
+                               ~location:fmeda_csv ~driver:"csv" ());
+                      ];
+                  goal ~id:"G3"
+                    "All safety-related components carry mitigations or are \
+                     covered by safety mechanisms"
+                    ~supported_by:
+                      [
+                        solution ~id:"Sn2"
+                          "Safety-mechanism deployment record"
+                          ~artifact:
+                            (artifact
+                               ~description:"Step 4b deployment decision"
+                               ~location:fmeda_csv ~driver:"csv" ());
+                      ];
+                ];
+          ]
+        (Printf.sprintf "%s is acceptably safe to operate in its defined \
+                         operational context" system);
+  }

@@ -1,0 +1,200 @@
+open Ssam
+
+let hazard_h1 =
+  let h1 =
+    Hazard.situation
+      ~exposure:Hazard.E4 ~controllability:Hazard.C2
+      ~causes:
+        [
+          Hazard.cause
+            ~meta:(Base.meta ~name:"component failure" "H1:cause:1")
+            "failure of a power-path component";
+        ]
+      ~meta:(Base.meta ~name:"The power supply fails unexpectedly" "H1")
+      ~severity:Hazard.S3 ()
+  in
+  Hazard.package
+    ~meta:(Base.meta ~name:"sensor power supply hazards" "pkg:hazards:psu")
+    [ Hazard.Situation h1 ]
+
+let power_supply_diagram =
+  let open Blockdiag.Diagram in
+  let b = block in
+  diagram ~name:"sensor_power_supply"
+    [
+      b ~id:"DC1" ~block_type:"vsource" ~parameters:[ ("volts", P_num 5.0) ] ();
+      b ~id:"D1" ~block_type:"diode" ();
+      b ~id:"C1" ~block_type:"capacitor" ~parameters:[ ("farads", P_num 1e-5) ] ();
+      b ~id:"L1" ~block_type:"inductor" ~parameters:[ ("henries", P_num 1e-3) ] ();
+      b ~id:"C2" ~block_type:"capacitor" ~parameters:[ ("farads", P_num 1e-5) ] ();
+      b ~id:"CS1" ~block_type:"current_sensor" ();
+      b
+        ~id:"MC1" ~block_type:"microcontroller"
+        ~parameters:[ ("ohms", P_num 100.0) ]
+        ~annotation:"annotated subsystem standing in for the MCU" ();
+      b ~id:"GND1" ~block_type:"ground"
+        ~ports:[ { port_name = "a"; port_kind = Conserving } ]
+        ();
+      (* Simulation-only blocks of Fig. 11. *)
+      b ~id:"S1" ~block_type:"solver_config" ~ports:[] ();
+      b ~id:"Scope1" ~block_type:"scope"
+        ~ports:[ { port_name = "in"; port_kind = In_port } ]
+        ();
+      b ~id:"Out1" ~block_type:"workspace"
+        ~ports:[ { port_name = "in"; port_kind = In_port } ]
+        ();
+    ]
+    ~connections:
+      [
+        connect ("DC1", "a") ("D1", "a");
+        connect ("D1", "b") ("C1", "a");
+        connect ("D1", "b") ("L1", "a");
+        connect ("L1", "b") ("C2", "a");
+        connect ("L1", "b") ("CS1", "a");
+        connect ("CS1", "b") ("MC1", "a");
+        connect ("MC1", "b") ("GND1", "a");
+        connect ("DC1", "b") ("GND1", "a");
+        connect ("C1", "b") ("GND1", "a");
+        connect ("C2", "b") ("GND1", "a");
+      ]
+
+let power_supply_netlist =
+  (Blockdiag.To_netlist.convert power_supply_diagram).Blockdiag.To_netlist.netlist
+
+let reliability_model = Reliability.Reliability_model.table_ii
+
+let sm_model = Reliability.Sm_model.table_iii
+
+(* The SSAM twin (Fig. 12): the diagram transformed to SSAM with
+   reliability data aggregated (Step 3). *)
+let power_supply_ssam =
+  Blockdiag.Transform.aggregate_reliability reliability_model
+    (Blockdiag.Transform.to_ssam power_supply_diagram)
+
+(* The composite for Algorithm 1: the analysable power path as children of
+   a PSU root, with boundary connections marking supply input and load
+   output.  C1/C2 hang off the path; the simulation-only blocks are not
+   part of the safety analysis. *)
+let power_supply_root =
+  let children =
+    List.filter_map
+      (fun id -> Architecture.find_in_package power_supply_ssam id)
+      [ "DC1"; "D1"; "C1"; "L1"; "C2"; "CS1"; "MC1" ]
+  in
+  let conn i from_c to_c =
+    Architecture.relationship
+      ~meta:(Base.meta (Printf.sprintf "PSU:conn:%d" i))
+      ~from_component:from_c ~to_component:to_c ()
+  in
+  Architecture.component ~component_type:Architecture.System ~children
+    ~connections:
+      [
+        conn 0 "PSU" "DC1";
+        conn 1 "DC1" "D1";
+        conn 2 "D1" "C1";
+        conn 3 "D1" "L1";
+        conn 4 "L1" "C2";
+        conn 5 "L1" "CS1";
+        conn 6 "CS1" "MC1";
+        conn 7 "MC1" "PSU";
+      ]
+    ~meta:(Base.meta ~name:"PSU" "PSU")
+    ()
+
+let injection_options =
+  { Fmea.Injection_fmea.default_options with exclude = [ "DC1" ] }
+
+let fmea_via_injection () =
+  let conversion = Blockdiag.To_netlist.convert power_supply_diagram in
+  Fmea.Injection_fmea.analyse ~options:injection_options
+    ~element_types:conversion.Blockdiag.To_netlist.block_types
+    conversion.Blockdiag.To_netlist.netlist reliability_model
+
+let fmea_via_ssam () =
+  let options =
+    { Fmea.Path_fmea.default_options with exclude = [ "DC1" ] }
+  in
+  Fmea.Path_fmea.analyse ~options power_supply_root
+
+let fmeda table =
+  let deployments =
+    Fmea.Fmeda.auto_deploy
+      ~component_types:[ ("MC1", "microcontroller") ]
+      table sm_model
+  in
+  Fmea.Fmeda.apply table deployments
+
+(* ---------- the Table I PLL example ---------- *)
+
+type pll_row = {
+  pll_fm : string;
+  pll_impact : string;
+  pll_distribution : float;
+  pll_sm : string option;
+  pll_coverage : float;
+}
+
+let pll_rows =
+  [
+    {
+      pll_fm = "lower frequency";
+      pll_impact = "DVF";
+      pll_distribution = 40.1;
+      pll_sm = Some "time-out watchdog";
+      pll_coverage = 70.0;
+    };
+    {
+      pll_fm = "higher frequency";
+      pll_impact = "IVF";
+      pll_distribution = 28.7;
+      pll_sm = None;
+      pll_coverage = 0.0;
+    };
+    {
+      pll_fm = "jitter";
+      pll_impact = "DVF";
+      pll_distribution = 31.2;
+      pll_sm = Some "dual-core lockstep";
+      pll_coverage = 99.0;
+    };
+  ]
+
+let pll_component =
+  let fm name nature dist =
+    Architecture.failure_mode
+      ~meta:(Base.meta ~name (Printf.sprintf "PLL:fm:%s" name))
+      ~nature ~distribution_pct:dist ()
+  in
+  let sm name coverage cost covers =
+    Architecture.safety_mechanism
+      ~covers
+      ~meta:(Base.meta ~name (Printf.sprintf "PLL:sm:%s" name))
+      ~coverage_pct:coverage ~cost ()
+  in
+  Architecture.component ~fit:50.0 ~safety_related:true
+    ~failure_modes:
+      [
+        fm "lower frequency" Architecture.Loss_of_function 40.1;
+        fm "higher frequency" Architecture.Erroneous 28.7;
+        fm "jitter" Architecture.Erroneous 31.2;
+      ]
+    ~safety_mechanisms:
+      [
+        sm "time-out watchdog" 70.0 0.5 [ "PLL:fm:lower frequency" ];
+        sm "dual-core lockstep" 99.0 8.0 [ "PLL:fm:jitter" ];
+      ]
+    ~meta:(Base.meta ~name:"PLL" "PLL")
+    ()
+
+let pll_fmeda ~fit =
+  let rows =
+    List.map
+      (fun r ->
+        Fmea.Table.make_row ~impact:r.pll_impact
+          ?safety_mechanism:r.pll_sm
+          ?sm_coverage_pct:(if r.pll_sm = None then None else Some r.pll_coverage)
+          ~component:"PLL" ~component_fit:fit ~failure_mode:r.pll_fm
+          ~distribution_pct:r.pll_distribution ~safety_related:true ())
+      pll_rows
+  in
+  { Fmea.Table.system_name = "PLL (Table I)"; rows }

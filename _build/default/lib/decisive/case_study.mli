@@ -1,0 +1,66 @@
+(** The Section V case study: a power supply for a proximity sensor,
+    developed as a Safety Element out of Context, plus the Table I PLL
+    FMEDA example.
+
+    Both analysis routes of the paper are provided: failure injection on
+    the circuit model (the Simulink path, Sec. V-A) and the path algorithm
+    on the SSAM twin (Sec. V-B).  The published results reproduce exactly:
+    SPFM 5.38 % without safety mechanisms, 96.77 % with ECC on MC1
+    (ASIL-B). *)
+
+val hazard_h1 : Ssam.Hazard.package
+(** H1: "The power supply fails unexpectedly" (S3/E4/C2 → ASIL-C by the
+    risk graph; the paper targets ASIL-B for its safety requirement). *)
+
+val power_supply_diagram : Blockdiag.Diagram.t
+(** Fig. 11: DC1, D1, C1, L1, C2, CS1, MC1, GND1, plus the
+    simulation-only S1/Scope1/Out1 blocks. *)
+
+val power_supply_netlist : Circuit.Netlist.t
+(** Extracted electrical net of the diagram. *)
+
+val power_supply_ssam : Ssam.Architecture.package
+(** Fig. 12: the SSAM twin, transformed from the diagram with reliability
+    data aggregated (Step 3) — ready for {!Fmea.Path_fmea}. *)
+
+val power_supply_root : Ssam.Architecture.component
+(** The composite "PSU" component with boundary connections, for
+    Algorithm 1 and FTA generation. *)
+
+val reliability_model : Reliability.Reliability_model.t
+(** Table II. *)
+
+val sm_model : Reliability.Sm_model.t
+(** Table III. *)
+
+val injection_options : Fmea.Injection_fmea.options
+(** DC1 excluded ("assume that DC1 is stable"), default thresholds. *)
+
+val fmea_via_injection : unit -> Fmea.Table.t
+(** Step 4a on the circuit (Sec. V-A). *)
+
+val fmea_via_ssam : unit -> Fmea.Table.t
+(** Step 4a on the SSAM model (Sec. V-B). *)
+
+val fmeda : Fmea.Table.t -> Fmea.Table.t
+(** Step 4b: deploy ECC on MC1 (Table III) — Table IV. *)
+
+(** {1 The Table I PLL example} *)
+
+type pll_row = {
+  pll_fm : string;
+  pll_impact : string;  (** "DVF" / "IVF" *)
+  pll_distribution : float;
+  pll_sm : string option;
+  pll_coverage : float;
+}
+
+val pll_component : Ssam.Architecture.component
+(** Safety-critical PLL with the three failure modes of Table I and their
+    mechanisms (time-out watchdog 70 %, none, dual-core lockstep 99 %). *)
+
+val pll_fmeda : fit:float -> Fmea.Table.t
+(** Table I as an FMEDA table, for a given PLL FIT. *)
+
+val pll_rows : pll_row list
+(** The literal Table I rows. *)

@@ -1,0 +1,178 @@
+type input = {
+  system_name : string;
+  target : Ssam.Requirement.integrity_level;
+  hazard_log : Hara.log option;
+  requirements : Ssam.Requirement.requirement list;
+  allocation_matrix : Ssam.Allocation.matrix_row list;
+  fmeda : Fmea.Table.t;
+  deployments : Fmea.Fmeda.deployment list;
+  process : Process.t option;
+}
+
+let make_input ?hazard_log ?(requirements = []) ?(allocation_matrix = [])
+    ?(deployments = []) ?process ~system_name ~target fmeda =
+  {
+    system_name;
+    target;
+    hazard_log;
+    requirements;
+    allocation_matrix;
+    fmeda;
+    deployments;
+    process;
+  }
+
+let verdict input =
+  Fmea.Asil.meets_all ~target:input.target
+    ~spfm:(Fmea.Metrics.spfm input.fmeda)
+    ~lfm:(Fmea.Metrics.lfm input.fmeda)
+    ~pmhf:(Fmea.Metrics.pmhf_per_hour input.fmeda)
+
+let level_str = Ssam.Requirement.integrity_level_to_string
+
+let markdown_table buf header rows =
+  let line cells = Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n") in
+  line header;
+  line (List.map (fun _ -> "---") header);
+  List.iter line rows;
+  Buffer.add_char buf '\n'
+
+let to_markdown input =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let spfm = Fmea.Metrics.spfm input.fmeda in
+  let latent = Fmea.Metrics.latent input.fmeda in
+  let pmhf = Fmea.Metrics.pmhf_per_hour input.fmeda in
+  add "# Safety concept: %s\n\n" input.system_name;
+  add "Target integrity level: **%s**.  Verdict: **%s**.\n\n" (level_str input.target)
+    (if verdict input then "acceptably safe (all architecture metrics met)"
+     else "NOT acceptably safe — further refinement required");
+
+  (* Hazard log *)
+  (match input.hazard_log with
+  | Some log ->
+      add "## Hazard analysis and risk assessment\n\n";
+      markdown_table buf
+        [ "Hazard"; "Severity"; "ASIL" ]
+        (List.map
+           (fun (e : Hara.assessed) ->
+             [
+               Ssam.Base.display_name e.Hara.situation.Ssam.Hazard.hs_meta;
+               (match e.Hara.situation.Ssam.Hazard.severity with
+               | Ssam.Hazard.S0 -> "S0"
+               | Ssam.Hazard.S1 -> "S1"
+               | Ssam.Hazard.S2 -> "S2"
+               | Ssam.Hazard.S3 -> "S3");
+               (match e.Hara.asil with Some a -> level_str a | None -> "unassessed");
+             ])
+           log.Hara.entries)
+  | None -> ());
+
+  (* Requirements + allocation *)
+  if input.requirements <> [] then begin
+    add "## Safety requirements\n\n";
+    markdown_table buf
+      [ "Id"; "Integrity"; "Requirement"; "Allocated to" ]
+      (List.map
+         (fun (r : Ssam.Requirement.requirement) ->
+           let rid = r.Ssam.Requirement.meta.Ssam.Base.id in
+           let allocated =
+             match
+               List.find_opt
+                 (fun (row : Ssam.Allocation.matrix_row) ->
+                   String.equal row.Ssam.Allocation.requirement_id rid)
+                 input.allocation_matrix
+             with
+             | Some { Ssam.Allocation.allocated_to = []; _ } | None -> "(unallocated)"
+             | Some row -> String.concat ", " row.Ssam.Allocation.allocated_to
+           in
+           [
+             rid;
+             (match r.Ssam.Requirement.integrity with
+             | Some l -> level_str l
+             | None -> "-");
+             r.Ssam.Requirement.text;
+             allocated;
+           ])
+         input.requirements)
+  end;
+
+  (* FMEDA *)
+  add "## FMEDA (Component Safety Analysis)\n\n";
+  (match Fmea.Table.to_csv input.fmeda with
+  | header :: rows -> markdown_table buf header rows
+  | [] -> ());
+  let warnings = Fmea.Table.warnings input.fmeda in
+  if warnings <> [] then begin
+    add "### Analysis warnings\n\n";
+    List.iter (fun (c, w) -> add "- **%s**: %s\n" c w) warnings;
+    add "\n"
+  end;
+
+  (* Metrics *)
+  add "## Architecture metrics\n\n";
+  let target_cell f =
+    match f input.target with
+    | Some t -> Printf.sprintf "%g" t
+    | None -> "(no target)"
+  in
+  markdown_table buf
+    [ "Metric"; "Value"; "Target"; "Met" ]
+    [
+      [
+        "SPFM";
+        Printf.sprintf "%.2f%%" spfm;
+        target_cell Fmea.Asil.spfm_target ^ "%";
+        (if Fmea.Asil.meets ~target:input.target ~spfm then "yes" else "**no**");
+      ];
+      [
+        "LFM";
+        Printf.sprintf "%.2f%%" latent.Fmea.Metrics.lfm_pct;
+        target_cell Fmea.Asil.lfm_target ^ "%";
+        (match Fmea.Asil.lfm_target input.target with
+        | Some t -> if latent.Fmea.Metrics.lfm_pct >= t then "yes" else "**no**"
+        | None -> "yes");
+      ];
+      [
+        "PMHF";
+        Printf.sprintf "%.3e /h" pmhf;
+        (match Fmea.Asil.pmhf_target input.target with
+        | Some t -> Printf.sprintf "%.0e /h" t
+        | None -> "(no target)");
+        (match Fmea.Asil.pmhf_target input.target with
+        | Some t -> if pmhf <= t then "yes" else "**no**"
+        | None -> "yes");
+      ];
+    ];
+
+  (* Safety mechanisms *)
+  if input.deployments <> [] then begin
+    add "## Deployed safety mechanisms\n\n";
+    markdown_table buf
+      [ "Component"; "Failure mode"; "Mechanism"; "Coverage"; "Cost (h)" ]
+      (List.map
+         (fun (d : Fmea.Fmeda.deployment) ->
+           [
+             d.Fmea.Fmeda.target_component;
+             d.Fmea.Fmeda.target_failure_mode;
+             d.Fmea.Fmeda.mechanism.Reliability.Sm_model.sm_name;
+             Printf.sprintf "%g%%" d.Fmea.Fmeda.mechanism.Reliability.Sm_model.coverage_pct;
+             Printf.sprintf "%g" d.Fmea.Fmeda.mechanism.Reliability.Sm_model.cost;
+           ])
+         input.deployments);
+    add "Total mechanism cost: %g hours.\n\n" (Fmea.Fmeda.total_cost input.deployments)
+  end;
+
+  (* Process history *)
+  (match input.process with
+  | Some p ->
+      add "## DECISIVE process record\n\n";
+      add "```\n%s```\n" (Format.asprintf "%a" Process.pp_history p)
+  | None -> ());
+  Buffer.contents buf
+
+let save ~path input =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_markdown input))

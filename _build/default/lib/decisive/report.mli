@@ -1,0 +1,39 @@
+(** Safety-concept report generation (DECISIVE Step 5).
+
+    "Once the system design is deemed acceptably safe, a safety concept
+    can be synthesised" — this module renders one as Markdown: system
+    overview, hazard log with risk assessment, derived safety
+    requirements with their allocations, the FME(D)A table, architecture
+    metrics against their targets, deployed safety mechanisms, and the
+    process history.  Everything a reviewer needs in one artefact, all
+    regenerable. *)
+
+type input = {
+  system_name : string;
+  target : Ssam.Requirement.integrity_level;
+  hazard_log : Hara.log option;
+  requirements : Ssam.Requirement.requirement list;
+  allocation_matrix : Ssam.Allocation.matrix_row list;
+  fmeda : Fmea.Table.t;
+  deployments : Fmea.Fmeda.deployment list;
+  process : Process.t option;
+}
+
+val make_input :
+  ?hazard_log:Hara.log ->
+  ?requirements:Ssam.Requirement.requirement list ->
+  ?allocation_matrix:Ssam.Allocation.matrix_row list ->
+  ?deployments:Fmea.Fmeda.deployment list ->
+  ?process:Process.t ->
+  system_name:string ->
+  target:Ssam.Requirement.integrity_level ->
+  Fmea.Table.t ->
+  input
+
+val to_markdown : input -> string
+
+val save : path:string -> input -> unit
+
+val verdict : input -> bool
+(** Whether all three architecture metrics meet the target — the
+    "acceptably safe" gate the report's summary states. *)

@@ -1,0 +1,1 @@
+lib/fmea/asil.pp.ml: Format Requirement Ssam

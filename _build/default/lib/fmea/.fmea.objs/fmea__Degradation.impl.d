@@ -1,0 +1,1 @@
+lib/fmea/degradation.pp.ml: Circuit Float Format List Ppx_deriving_runtime Reliability String

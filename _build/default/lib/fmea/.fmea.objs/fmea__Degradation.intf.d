@@ -1,0 +1,1 @@
+lib/fmea/degradation.pp.mli: Circuit Format Ppx_deriving_runtime Reliability

@@ -1,0 +1,1 @@
+lib/fmea/fmeda.pp.ml: List Option Ppx_deriving_runtime Reliability String Table

@@ -1,0 +1,1 @@
+lib/fmea/fmeda.pp.mli: Ppx_deriving_runtime Reliability Table

@@ -1,0 +1,1 @@
+lib/fmea/injection_fmea.pp.ml: Circuit Float Format List Printf Reliability String Table

@@ -1,0 +1,1 @@
+lib/fmea/injection_fmea.pp.mli: Circuit Reliability Table

@@ -1,0 +1,1 @@
+lib/fmea/metrics.pp.ml: Format List Reliability String Table

@@ -1,0 +1,1 @@
+lib/fmea/metrics.pp.mli: Format Table

@@ -1,0 +1,1 @@
+lib/fmea/path_fmea.pp.ml: Architecture Base List Printf Ssam String Table

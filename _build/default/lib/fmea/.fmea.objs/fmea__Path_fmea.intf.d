@@ -1,0 +1,1 @@
+lib/fmea/path_fmea.pp.mli: Ssam Table

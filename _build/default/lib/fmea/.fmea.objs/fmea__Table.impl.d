@@ -1,0 +1,1 @@
+lib/fmea/table.pp.ml: Format Int List Modelio Option Ppx_deriving_runtime Printf Reliability String

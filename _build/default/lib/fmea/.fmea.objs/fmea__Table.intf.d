@@ -1,0 +1,1 @@
+lib/fmea/table.pp.mli: Format Modelio Ppx_deriving_runtime

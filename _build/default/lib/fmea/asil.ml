@@ -1,0 +1,43 @@
+open Ssam
+
+let spfm_target = function
+  | Requirement.ASIL_B -> Some 90.0
+  | Requirement.ASIL_C -> Some 97.0
+  | Requirement.ASIL_D -> Some 99.0
+  | Requirement.QM | Requirement.ASIL_A | Requirement.SIL _ -> None
+
+let meets ~target ~spfm =
+  match spfm_target target with None -> true | Some t -> spfm >= t
+
+let achieved ~spfm =
+  if spfm >= 99.0 then Requirement.ASIL_D
+  else if spfm >= 97.0 then Requirement.ASIL_C
+  else if spfm >= 90.0 then Requirement.ASIL_B
+  else Requirement.ASIL_A
+
+let lfm_target = function
+  | Requirement.ASIL_B -> Some 60.0
+  | Requirement.ASIL_C -> Some 80.0
+  | Requirement.ASIL_D -> Some 90.0
+  | Requirement.QM | Requirement.ASIL_A | Requirement.SIL _ -> None
+
+let pmhf_target = function
+  | Requirement.ASIL_B | Requirement.ASIL_C -> Some 1e-7
+  | Requirement.ASIL_D -> Some 1e-8
+  | Requirement.QM | Requirement.ASIL_A | Requirement.SIL _ -> None
+
+let meets_all ~target ~spfm ~lfm ~pmhf =
+  meets ~target ~spfm
+  && (match lfm_target target with None -> true | Some t -> lfm >= t)
+  && match pmhf_target target with None -> true | Some t -> pmhf <= t
+
+let pp_verdict ppf ~target ~spfm =
+  match spfm_target target with
+  | None ->
+      Format.fprintf ppf "SPFM %.2f%% — %s sets no SPFM target" spfm
+        (Requirement.integrity_level_to_string target)
+  | Some t ->
+      Format.fprintf ppf "SPFM %.2f%% — %s %s (target ≥ %g%%)" spfm
+        (if spfm >= t then "meets" else "FAILS")
+        (Requirement.integrity_level_to_string target)
+        t

@@ -1,0 +1,36 @@
+(** ASIL targets for architecture metrics (ISO 26262 Part 5).
+
+    SPFM targets: ASIL-B ≥ 90 %, ASIL-C ≥ 97 %, ASIL-D ≥ 99 %.  ASIL-A
+    and QM set no SPFM target. *)
+
+val spfm_target : Ssam.Requirement.integrity_level -> float option
+(** [None] for QM / ASIL-A / SILs (IEC 61508 uses different metrics); the
+    percentage otherwise. *)
+
+val meets : target:Ssam.Requirement.integrity_level -> spfm:float -> bool
+(** Levels without a target are always met. *)
+
+val achieved : spfm:float -> Ssam.Requirement.integrity_level
+(** Highest ASIL whose SPFM target the value meets: ≥99 → ASIL-D,
+    ≥97 → ASIL-C, ≥90 → ASIL-B, otherwise ASIL-A (no SPFM floor). *)
+
+val pp_verdict :
+  Format.formatter -> target:Ssam.Requirement.integrity_level -> spfm:float -> unit
+(** e.g. ["SPFM 96.77% — meets ASIL-B (target ≥ 90%)"]. *)
+
+(** {1 Companion metric targets (ISO 26262 Part 5)} *)
+
+val lfm_target : Ssam.Requirement.integrity_level -> float option
+(** Latent Fault Metric targets: ASIL-B ≥ 60 %, C ≥ 80 %, D ≥ 90 %. *)
+
+val pmhf_target : Ssam.Requirement.integrity_level -> float option
+(** PMHF ceilings in failures/hour: ASIL-B and C ≤ 1e-7, D ≤ 1e-8. *)
+
+val meets_all :
+  target:Ssam.Requirement.integrity_level ->
+  spfm:float ->
+  lfm:float ->
+  pmhf:float ->
+  bool
+(** All three architecture metrics against their targets (absent targets
+    are vacuously met). *)

@@ -1,0 +1,56 @@
+(** Time-domain degradation analysis — the complement to the DC
+    failure-injection FMEA.
+
+    The DC analysis of {!Injection_fmea} classifies failure modes by
+    their *steady-state* effect on the safety observation; failures that
+    only degrade dynamic behaviour (a filter capacitor opening, say) are
+    invisible to it — the paper's Table IV rightly reports them as not
+    safety-related.  This analysis injects the same faults, drives a
+    source with a disturbance waveform through the transient engine, and
+    compares each monitored sensor's ripple against the golden run.
+
+    The output is a set of *degradation findings*, not safety verdicts:
+    a degraded-but-functional design is a quality/robustness concern for
+    the next DECISIVE iteration, exactly the kind of input Step 2 takes. *)
+
+type options = {
+  disturbance_source : string;  (** element id of the source to perturb *)
+  disturbance_amplitude : float;  (** volts (or amps for current sources) *)
+  disturbance_hz : float;
+  dt : float;
+  duration : float;
+  ripple_factor : float;
+      (** flag when faulty ripple exceeds this multiple of golden (default 2.0) *)
+  exclude : string list;
+  monitored_sensors : string list option;
+}
+
+val default_options : disturbance_source:string -> options
+(** 0.3 amplitude at 5 kHz (above the case study's LC cutoff, where the
+    filter actually earns its keep), dt 1 µs, 5 ms duration, factor 2. *)
+
+type finding = {
+  component : string;
+  failure_mode : string;
+  sensor : string;
+  golden_ripple : float;
+  faulty_ripple : float;
+  ratio : float;
+}
+[@@deriving show]
+
+exception Golden_transient_failed of string
+
+val analyse :
+  ?element_types:(string * string) list ->
+  options:options ->
+  Circuit.Netlist.t ->
+  Reliability.Reliability_model.t ->
+  finding list
+(** One finding per (failure mode, sensor) whose ripple grows beyond the
+    factor.  Faults whose runs fail to simulate, and failure modes the DC
+    analysis would already flag (the observation collapses rather than
+    ripples — final value shifted by more than 20 %), are skipped: this
+    analysis reports *pure* degradations. *)
+
+val pp_findings : Format.formatter -> finding list -> unit

@@ -1,0 +1,38 @@
+(** FMEDA — FMEA with diagnostic analysis (DECISIVE Step 4b).
+
+    Takes an FMEA table and a set of safety-mechanism deployments and
+    produces the FMEDA table: covered rows carry the mechanism, its
+    diagnostic coverage and the residual single-point failure rate
+    (paper Table IV). *)
+
+type deployment = {
+  target_component : string;  (** component id in the FMEA table *)
+  target_failure_mode : string;  (** failure-mode name, case-insensitive *)
+  mechanism : Reliability.Sm_model.mechanism;
+}
+[@@deriving eq, show]
+
+val deploy :
+  component:string ->
+  failure_mode:string ->
+  Reliability.Sm_model.mechanism ->
+  deployment
+
+val apply : Table.t -> deployment list -> Table.t
+(** Rows matched by (component, failure mode) get the mechanism attached
+    and their [single_point_fit] recomputed under its coverage.  Multiple
+    deployments on the same row: the highest-coverage one wins (the others
+    are ignored — coverages do not stack).  Deployments matching no row
+    are ignored. *)
+
+val total_cost : deployment list -> float
+
+val auto_deploy :
+  ?component_types:(string * string) list ->
+  Table.t ->
+  Reliability.Sm_model.t ->
+  deployment list
+(** For every safety-related row, pick the applicable mechanism with the
+    highest coverage (ties: cheapest).  [component_types] maps component
+    ids to catalogue types for the SM lookup (defaults to the component id
+    itself, which works when ids are type names). *)

@@ -1,0 +1,148 @@
+type options = {
+  threshold_rel : float;
+  threshold_abs : float;
+  exclude : string list;
+  overcurrent_factor : float option;
+  monitored_sensors : string list option;
+}
+
+let default_options =
+  {
+    threshold_rel = 0.2;
+    threshold_abs = 1e-9;
+    exclude = [];
+    overcurrent_factor = Some 8.0;
+    monitored_sensors = None;
+  }
+
+type element_types = (string * string) list
+
+exception Golden_run_failed of string
+
+let golden_solution netlist =
+  match Circuit.Dc.analyse netlist with
+  | Ok s -> s
+  | Error e -> raise (Golden_run_failed (Format.asprintf "%a" Circuit.Dc.pp_error e))
+
+let max_element_current netlist solution =
+  List.fold_left
+    (fun acc (e : Circuit.Element.t) ->
+      Float.max acc (Float.abs (Circuit.Dc.element_current solution e.Circuit.Element.id)))
+    0.0
+    (Circuit.Netlist.elements netlist)
+
+(* Compare faulty sensor readings against golden; return the worst
+   offending sensor when the deviation exceeds the thresholds. *)
+let compare_readings options golden faulty =
+  let monitored readings =
+    match options.monitored_sensors with
+    | None -> readings
+    | Some ids ->
+        List.filter (fun (id, _) -> List.exists (String.equal id) ids) readings
+  in
+  let golden_readings = monitored (Circuit.Dc.all_sensor_readings golden) in
+  let faulty_readings = Circuit.Dc.all_sensor_readings faulty in
+  List.fold_left
+    (fun acc (sensor, g) ->
+      match List.assoc_opt sensor faulty_readings with
+      | None ->
+          (* The fault removed the sensor itself: the observation channel
+             is lost, which violates the monitoring goal outright. *)
+          Some (sensor ^ " (observation lost)", 1.0)
+      | Some f ->
+          let abs_diff = Float.abs (f -. g) in
+          let rel_diff = abs_diff /. Float.max (Float.abs g) options.threshold_abs in
+          if abs_diff > options.threshold_abs && rel_diff > options.threshold_rel
+          then
+            match acc with
+            | Some (_, worst) when worst >= rel_diff -> acc
+            | Some _ | None -> Some (sensor, rel_diff)
+          else acc)
+    None golden_readings
+
+let classify ~options ~golden ~golden_max_current netlist element_id fault =
+  match Circuit.Fault.inject netlist ~element_id fault with
+  | exception Circuit.Fault.Not_applicable { reason; _ } ->
+      `Simulation_failed (Printf.sprintf "fault not applicable: %s" reason)
+  | faulted -> (
+      match Circuit.Dc.analyse faulted with
+      | Error e -> `Simulation_failed (Format.asprintf "%a" Circuit.Dc.pp_error e)
+      | Ok solution -> (
+          let plausible =
+            match options.overcurrent_factor with
+            | None -> true
+            | Some factor ->
+                max_element_current faulted solution
+                <= factor *. Float.max golden_max_current 1e-12
+          in
+          if not plausible then
+            `Excluded
+              "non-physical operating point (supply overcurrent) — violates \
+               the stable-supply assumption; excluded from classification"
+          else
+            match compare_readings options golden solution with
+            | Some (sensor, rel) ->
+                `Safety_related
+                  (Printf.sprintf "%s deviates by %.0f%%" sensor (100.0 *. rel))
+            | None -> `No_effect))
+
+let classify_single ?(options = default_options) netlist ~element_id fault =
+  let golden = golden_solution netlist in
+  let golden_max_current = max_element_current netlist golden in
+  classify ~options ~golden ~golden_max_current netlist element_id fault
+
+let analyse ?(options = default_options) ?(element_types = []) netlist
+    reliability =
+  let golden = golden_solution netlist in
+  let golden_max_current = max_element_current netlist golden in
+  let type_of (e : Circuit.Element.t) =
+    match List.assoc_opt e.Circuit.Element.id element_types with
+    | Some t -> t
+    | None -> Circuit.Element.kind_name e.Circuit.Element.kind
+  in
+  let rows =
+    List.concat_map
+      (fun (e : Circuit.Element.t) ->
+        let id = e.Circuit.Element.id in
+        if List.exists (String.equal id) options.exclude then []
+        else
+          match Reliability.Reliability_model.find reliability (type_of e) with
+          | None -> []
+          | Some entry ->
+              let fit = entry.Reliability.Reliability_model.fit in
+              List.map
+                (fun (fm : Reliability.Reliability_model.failure_mode) ->
+                  let name = fm.Reliability.Reliability_model.fm_name in
+                  let dist = fm.Reliability.Reliability_model.distribution_pct in
+                  let mk =
+                    Table.make_row ~component:id ~component_fit:fit
+                      ~failure_mode:name ~distribution_pct:dist
+                  in
+                  match fm.Reliability.Reliability_model.fault with
+                  | None ->
+                      mk
+                        ~warning:
+                          (Printf.sprintf
+                             "no fault model for failure mode '%s' — review \
+                              manually"
+                             name)
+                        ~safety_related:false ()
+                  | Some fault -> (
+                      match
+                        classify ~options ~golden ~golden_max_current netlist id
+                          fault
+                      with
+                      | `Safety_related impact ->
+                          mk ~impact ~safety_related:true ()
+                      | `No_effect ->
+                          mk ~impact:"sensor readings within threshold"
+                            ~safety_related:false ()
+                      | `Excluded why -> mk ~warning:why ~safety_related:false ()
+                      | `Simulation_failed why ->
+                          mk
+                            ~warning:(Printf.sprintf "simulation failed: %s" why)
+                            ~safety_related:false ()))
+                entry.Reliability.Reliability_model.failure_modes)
+      (Circuit.Netlist.elements netlist)
+  in
+  { Table.system_name = Circuit.Netlist.name netlist; rows }

@@ -1,0 +1,65 @@
+(** Automated FMEA by failure injection on circuit models (the paper's
+    Sec. IV-D1 workflow for Simulink models).
+
+    1. {b Initialise}: solve the golden netlist, record all sensor
+       readings.
+    2. {b Iterate}: for every element with a reliability entry and every
+       failure mode, inject the fault, re-solve, and compare the sensor
+       readings against the golden ones.
+    3. {b Output}: a {!Table.t}; architecture metrics come from
+       {!Metrics}.
+
+    A failure mode is classified safety-related when at least one sensor
+    reading moves by more than [threshold_rel] (relative to the golden
+    value, with [threshold_abs] as a floor for near-zero readings).
+
+    Runs that violate the supply-stability assumption — any element
+    current exceeding [overcurrent_factor] times the golden run's maximum
+    element current — are excluded with a warning: the paper's case study
+    "assume[s] that DC1 is stable", and a shorted rail capacitor draws a
+    non-physical source current (a current-limited or fused supply would
+    shut down rather than deliver it), which is why the paper's Table IV
+    lists no capacitor as safety-related. *)
+
+type options = {
+  threshold_rel : float;  (** default 0.2 (20 %) *)
+  threshold_abs : float;  (** default 1e-9 *)
+  exclude : string list;  (** element ids not injected (e.g. ["DC1"]) *)
+  overcurrent_factor : float option;
+      (** default [Some 8.0] — multiples of the golden maximum element
+          current beyond which a run is excluded; [None] disables the
+          check *)
+  monitored_sensors : string list option;
+      (** sensors whose readings constitute the safety observation
+          ([None], the default, monitors all sensors).  Debug test points
+          should not be listed: losing one is not a hazard. *)
+}
+
+val default_options : options
+
+type element_types = (string * string) list
+(** Element id → component type for reliability lookup (from
+    {!Blockdiag.To_netlist}); elements not listed fall back to their
+    {!Circuit.Element.kind_name}. *)
+
+exception Golden_run_failed of string
+(** The un-faulted netlist itself does not solve. *)
+
+val analyse :
+  ?options:options ->
+  ?element_types:element_types ->
+  Circuit.Netlist.t ->
+  Reliability.Reliability_model.t ->
+  Table.t
+
+val classify_single :
+  ?options:options ->
+  Circuit.Netlist.t ->
+  element_id:string ->
+  Circuit.Fault.t ->
+  [ `Safety_related of string  (** worst offending sensor *)
+  | `No_effect
+  | `Excluded of string  (** plausibility/assumption violation *)
+  | `Simulation_failed of string ]
+(** One injection, exposed for tests and for the paper's "delve into a
+    component" workflow. *)

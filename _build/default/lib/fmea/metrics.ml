@@ -1,0 +1,92 @@
+type breakdown = {
+  safety_related_fit : float;
+  single_point_fit : float;
+  spfm_pct : float;
+  per_component : (string * float * float) list;
+}
+
+let compute (t : Table.t) =
+  let sr_components = Table.safety_related_components t in
+  let per_component =
+    List.map
+      (fun c ->
+        let rows = Table.rows_for t c in
+        let fit =
+          match rows with
+          | r :: _ -> r.Table.component_fit
+          | [] -> 0.0
+        in
+        let spf =
+          List.fold_left (fun acc r -> acc +. r.Table.single_point_fit) 0.0 rows
+        in
+        (c, fit, spf))
+      sr_components
+  in
+  let safety_related_fit =
+    List.fold_left (fun acc (_, fit, _) -> acc +. fit) 0.0 per_component
+  in
+  let single_point_fit =
+    List.fold_left (fun acc (_, _, spf) -> acc +. spf) 0.0 per_component
+  in
+  let spfm_pct =
+    if safety_related_fit <= 0.0 then 100.0
+    else 100.0 *. (1.0 -. (single_point_fit /. safety_related_fit))
+  in
+  { safety_related_fit; single_point_fit; spfm_pct; per_component }
+
+let spfm t = (compute t).spfm_pct
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "@[<v>SPFM = %.2f%%  (λ_SPF %.4g FIT / λ %.4g FIT)@,"
+    b.spfm_pct b.single_point_fit b.safety_related_fit;
+  List.iter
+    (fun (c, fit, spf) ->
+      Format.fprintf ppf "  %-12s λ = %8.4g FIT   λ_SPF = %8.4g FIT@," c fit spf)
+    b.per_component;
+  Format.fprintf ppf "@]"
+
+let residual_total_fit (t : Table.t) =
+  List.fold_left (fun acc r -> acc +. r.Table.single_point_fit) 0.0 t.Table.rows
+
+type latent_breakdown = {
+  multipoint_fit : float;
+  latent_fit : float;
+  lfm_pct : float;
+}
+
+let latent (t : Table.t) =
+  let sr_components = Table.safety_related_components t in
+  let multipoint = ref 0.0 in
+  let latent_fit = ref 0.0 in
+  List.iter
+    (fun (r : Table.row) ->
+      if List.exists (String.equal r.Table.component) sr_components then begin
+        let lambda_fm =
+          Reliability.Fit.share r.Table.component_fit
+            ~distribution_pct:r.Table.distribution_pct
+        in
+        if r.Table.safety_related then
+          (* The diagnostic-covered share is a detected multi-point fault;
+             the residual is single-point and does not count here. *)
+          multipoint := !multipoint +. (lambda_fm -. r.Table.single_point_fit)
+        else begin
+          multipoint := !multipoint +. lambda_fm;
+          let covered =
+            match r.Table.sm_coverage_pct with
+            | Some cov -> lambda_fm *. cov /. 100.0
+            | None -> 0.0
+          in
+          latent_fit := !latent_fit +. (lambda_fm -. covered)
+        end
+      end)
+    t.Table.rows;
+  let lfm_pct =
+    if !multipoint <= 0.0 then 100.0
+    else 100.0 *. (1.0 -. (!latent_fit /. !multipoint))
+  in
+  { multipoint_fit = !multipoint; latent_fit = !latent_fit; lfm_pct }
+
+let lfm t = (latent t).lfm_pct
+
+let pmhf_per_hour (t : Table.t) =
+  (compute t).single_point_fit *. 1e-9

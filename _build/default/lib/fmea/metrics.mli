@@ -1,0 +1,59 @@
+(** Architecture metrics from FME(D)A tables — SPFM (paper Eq. 1) and the
+    residual-rate summary.
+
+    {v SPFM = 1 - (Σ_SR_HW λ_SPF) / (Σ_SR_HW λ) v}
+
+    where the sums range over *safety-related hardware* (components with at
+    least one safety-related failure mode), λ is the component's total
+    failure rate and λ_SPF the rate of its failure modes that cause single
+    point faults, after diagnostic coverage. *)
+
+type breakdown = {
+  safety_related_fit : float;  (** Σ λ over safety-related components *)
+  single_point_fit : float;  (** Σ λ_SPF, after coverage *)
+  spfm_pct : float;  (** in percent; 100 when there is no safety-related HW *)
+  per_component : (string * float * float) list;
+      (** (component, λ, λ_SPF) for each safety-related component *)
+}
+
+val spfm : Table.t -> float
+(** SPFM in percent. *)
+
+val compute : Table.t -> breakdown
+
+val pp_breakdown : Format.formatter -> breakdown -> unit
+
+val residual_total_fit : Table.t -> float
+(** Σ single-point FIT over the whole table — the quantity Step 4b drives
+    down. *)
+
+(** {1 Companion metrics (ISO 26262 Part 5)}
+
+    The paper computes SPFM; a production FMEDA also reports the Latent
+    Fault Metric and the Probabilistic Metric for random Hardware
+    Failures.  Mapping from the table rows (documented here because the
+    table does not carry the full ISO fault taxonomy):
+
+    - safety-related rows split into residual faults
+      ([single_point_fit], violates the goal undetected) and detected
+      multi-point faults (the diagnostic-covered share);
+    - non-safety-related rows of safety-related components are latent
+      multi-point candidates: their covered share is detected, the rest
+      is latent;
+    - components with no safety-related row contribute nothing (their
+      faults are safe with respect to the goal). *)
+
+type latent_breakdown = {
+  multipoint_fit : float;  (** Σ (λ − λ_SPF) over safety-related components *)
+  latent_fit : float;  (** Σ undetected multi-point FIT *)
+  lfm_pct : float;  (** 100 when there are no multi-point faults *)
+}
+
+val latent : Table.t -> latent_breakdown
+
+val lfm : Table.t -> float
+(** Latent Fault Metric in percent: [1 - latent / multipoint]. *)
+
+val pmhf_per_hour : Table.t -> float
+(** Probabilistic Metric for random Hardware Failures: the residual
+    single-point failure rate in failures/hour (Σ λ_SPF × 1e-9). *)

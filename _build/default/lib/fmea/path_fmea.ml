@@ -1,0 +1,188 @@
+open Ssam
+
+type options = { exclude : string list; recurse : bool }
+
+let default_options = { exclude = []; recurse = true }
+
+let max_paths = 20_000
+
+exception Too_many_paths
+
+(* Child-level connection graph of a composite component.  Edges whose
+   endpoint is the composite itself mark the input/output boundary. *)
+let child_graph (c : Architecture.component) =
+  let self = Architecture.component_id c in
+  let child_ids = List.map Architecture.component_id c.Architecture.children in
+  let is_child id = List.exists (String.equal id) child_ids in
+  let edges = ref [] in
+  let boundary_in = ref [] in
+  let boundary_out = ref [] in
+  List.iter
+    (fun (r : Architecture.relationship) ->
+      let f = r.Architecture.from_component and t = r.Architecture.to_component in
+      if String.equal f self && is_child t then boundary_in := t :: !boundary_in
+      else if String.equal t self && is_child f then
+        boundary_out := f :: !boundary_out
+      else if is_child f && is_child t then edges := (f, t) :: !edges)
+    c.Architecture.connections;
+  (child_ids, List.rev !edges, List.rev !boundary_in, List.rev !boundary_out)
+
+let successors edges id =
+  List.filter_map (fun (f, t) -> if String.equal f id then Some t else None) edges
+
+let predecessors edges id =
+  List.filter_map (fun (f, t) -> if String.equal t id then Some f else None) edges
+
+let enumerate_paths ~edges ~sources ~sinks =
+  let count = ref 0 in
+  let results = ref [] in
+  let rec dfs path node =
+    if List.exists (String.equal node) path then () (* simple paths only *)
+    else begin
+      let path = node :: path in
+      if List.exists (String.equal node) sinks then begin
+        incr count;
+        if !count > max_paths then raise Too_many_paths;
+        results := List.rev path :: !results
+      end;
+      (* A sink may still have successors; continue exploring. *)
+      List.iter (dfs path) (successors edges node)
+    end
+  in
+  List.iter (dfs []) sources;
+  List.rev !results
+
+let path_ids (c : Architecture.component) =
+  let child_ids, edges, boundary_in, boundary_out = child_graph c in
+  let sources =
+    match boundary_in with
+    | [] ->
+        List.filter (fun id -> predecessors edges id = []) child_ids
+    | srcs -> List.sort_uniq String.compare srcs
+  in
+  let sinks =
+    match boundary_out with
+    | [] -> List.filter (fun id -> successors edges id = []) child_ids
+    | snks -> List.sort_uniq String.compare snks
+  in
+  enumerate_paths ~edges ~sources ~sinks
+
+let paths (c : Architecture.component) =
+  let find id =
+    List.find
+      (fun ch -> String.equal (Architecture.component_id ch) id)
+      c.Architecture.children
+  in
+  List.map (fun ids -> List.map find ids) (path_ids c)
+
+(* A child is never a single point if all its declared functions are
+   redundant (1oo2 / 1oo3 / 2oo3). *)
+let redundant (child : Architecture.component) =
+  child.Architecture.functions <> []
+  && List.for_all
+       (fun (f : Architecture.func) ->
+         match f.Architecture.tolerance with
+         | Architecture.OneOoOne -> false
+         | Architecture.OneOoTwo | Architecture.OneOoThree
+         | Architecture.TwoOoThree ->
+             true)
+       child.Architecture.functions
+
+let rec analyse_into ~options acc (c : Architecture.component) =
+  let ids =
+    match path_ids c with
+    | ids -> ids
+    | exception Too_many_paths -> []
+  in
+  let on_all_paths id =
+    ids <> [] && List.for_all (fun p -> List.exists (String.equal id) p) ids
+  in
+  let acc =
+    List.fold_left
+      (fun acc (child : Architecture.component) ->
+        let cid = Architecture.component_id child in
+        let excluded = List.exists (String.equal cid) options.exclude in
+        let acc =
+          List.fold_left
+            (fun acc (fm : Architecture.failure_mode) ->
+              let fm_name = Base.display_name fm.Architecture.fm_meta in
+              let row =
+                if excluded then
+                  Table.make_row
+                    ~warning:"component excluded from analysis by assumption"
+                    ~component:cid ~component_fit:child.Architecture.fit
+                    ~failure_mode:fm_name
+                    ~distribution_pct:fm.Architecture.distribution_pct
+                    ~safety_related:false ()
+                else if Architecture.is_loss_like fm.Architecture.nature then
+                  if redundant child then
+                    Table.make_row
+                      ~impact:"tolerated by redundant function (no single point)"
+                      ~component:cid ~component_fit:child.Architecture.fit
+                      ~failure_mode:fm_name
+                      ~distribution_pct:fm.Architecture.distribution_pct
+                      ~safety_related:false ()
+                  else if on_all_paths cid then
+                    Table.make_row
+                      ~impact:"breaks every input-output path (single point)"
+                      ~component:cid ~component_fit:child.Architecture.fit
+                      ~failure_mode:fm_name
+                      ~distribution_pct:fm.Architecture.distribution_pct
+                      ~safety_related:true ()
+                  else
+                    Table.make_row ~impact:"alternative paths remain"
+                      ~component:cid ~component_fit:child.Architecture.fit
+                      ~failure_mode:fm_name
+                      ~distribution_pct:fm.Architecture.distribution_pct
+                      ~safety_related:false ()
+                else
+                  Table.make_row
+                    ~warning:
+                      (Printf.sprintf
+                         "failure mode '%s' is not loss-of-function; path \
+                          analysis cannot classify it — review manually"
+                         fm_name)
+                    ~component:cid ~component_fit:child.Architecture.fit
+                    ~failure_mode:fm_name
+                    ~distribution_pct:fm.Architecture.distribution_pct
+                    ~safety_related:false ()
+              in
+              row :: acc)
+            acc child.Architecture.failure_modes
+        in
+        if options.recurse && child.Architecture.children <> [] then
+          analyse_into ~options acc child
+        else acc)
+      acc c.Architecture.children
+  in
+  acc
+
+let analyse ?(options = default_options) c =
+  let rows = List.rev (analyse_into ~options [] c) in
+  { Table.system_name = Architecture.component_name c; rows }
+
+let wrap_flat_package (p : Architecture.package) =
+  let name = Base.display_name p.Architecture.package_meta in
+  Architecture.component ~component_type:Architecture.System
+    ~children:(Architecture.top_components p)
+    ~connections:(Architecture.relationships p)
+    ~meta:(Base.meta ~name ("synthetic-root:" ^ name))
+    ()
+
+let analyse_package ?(options = default_options) (p : Architecture.package) =
+  let tops = Architecture.top_components p in
+  let composite, flat =
+    List.partition (fun c -> c.Architecture.children <> []) tops
+  in
+  let tables =
+    List.map (fun c -> analyse ~options c) composite
+    @
+    if flat <> [] || Architecture.relationships p <> [] then
+      [ analyse ~options (wrap_flat_package p) ]
+    else []
+  in
+  let rows = List.concat_map (fun t -> t.Table.rows) tables in
+  {
+    Table.system_name = Base.display_name p.Architecture.package_meta;
+    rows;
+  }

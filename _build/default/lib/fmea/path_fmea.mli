@@ -1,0 +1,42 @@
+(** Automated FMEA on SSAM models — the paper's Algorithm 1.
+
+    For a composite component, enumerate all simple paths from its input
+    boundary to its output boundary through the child connection graph.  A
+    loss-of-function failure mode of a child is a *single-point fault*
+    (safety-related) when the child lies on **every** path — losing it
+    makes the output unreachable.  Non-loss-like modes get a warning
+    (Algorithm 1's else-branch).  The algorithm recurses into composite
+    children.
+
+    Extension (documented in DESIGN.md): children whose every
+    {!Ssam.Architecture.func} declares a redundant tolerance (1oo2, 1oo3,
+    2oo3) are never single points — a single channel loss is tolerated —
+    and their loss-like modes are reported not-safety-related with a
+    note. *)
+
+type options = {
+  exclude : string list;
+      (** component ids exempt from analysis (the paper's "assume DC1 is
+          stable") *)
+  recurse : bool;  (** analyse composite children too (default true) *)
+}
+
+val default_options : options
+
+val paths :
+  Ssam.Architecture.component -> Ssam.Architecture.component list list
+(** All simple input→output paths through [component]'s children, each as
+    the list of traversed children (boundary endpoints omitted).  The
+    input/output boundary is defined by connections whose endpoint is the
+    composite itself; when there are none, sources are children without
+    incoming edges and sinks are children without outgoing edges. *)
+
+val analyse :
+  ?options:options -> Ssam.Architecture.component -> Table.t
+(** FMEA table for one composite component. *)
+
+val analyse_package :
+  ?options:options -> Ssam.Architecture.package -> Table.t
+(** Analyses every top-level composite; a package whose top level is a
+    flat block list (with package-level relationships) is wrapped in a
+    synthetic root first. *)

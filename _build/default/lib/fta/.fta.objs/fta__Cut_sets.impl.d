@@ -1,0 +1,1 @@
+lib/fta/cut_sets.pp.ml: Fault_tree Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/fta/cut_sets.pp.mli: Fault_tree

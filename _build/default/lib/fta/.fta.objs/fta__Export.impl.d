@@ -1,0 +1,1 @@
+lib/fta/export.pp.ml: Buffer Fault_tree Fun Hashtbl List Modelio Printf String

@@ -1,0 +1,1 @@
+lib/fta/export.pp.mli: Fault_tree Modelio

@@ -1,0 +1,1 @@
+lib/fta/fault_tree.pp.ml: Format Hashtbl Int List Ppx_deriving_runtime Printf String

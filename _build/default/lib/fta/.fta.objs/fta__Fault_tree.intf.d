@@ -1,0 +1,1 @@
+lib/fta/fault_tree.pp.mli: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/fta/fmea_from_fta.pp.ml: Architecture Base Cut_sets Fmea From_ssam List Printf Ssam String

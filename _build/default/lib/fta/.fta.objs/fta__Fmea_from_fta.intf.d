@@ -1,0 +1,1 @@
+lib/fta/fmea_from_fta.pp.mli: Fmea Ssam

@@ -1,0 +1,1 @@
+lib/fta/from_ssam.pp.ml: Architecture Fault_tree Fmea List Printf Reliability Ssam

@@ -1,0 +1,1 @@
+lib/fta/from_ssam.pp.mli: Fault_tree Ssam

@@ -1,0 +1,1 @@
+lib/fta/quant.pp.ml: Fault_tree Float List Option String

@@ -1,0 +1,1 @@
+lib/fta/quant.pp.mli: Cut_sets Fault_tree

@@ -1,0 +1,88 @@
+type cut_set = string list
+
+let normalize set = List.sort_uniq String.compare set
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(* Keep only sets with no proper (or equal, earlier) subset present. *)
+let minimize sets =
+  let sorted =
+    List.sort (fun a b -> Int.compare (List.length a) (List.length b)) sets
+  in
+  List.rev
+    (List.fold_left
+       (fun kept s -> if List.exists (fun k -> subset k s) kept then kept else s :: kept)
+       [] sorted)
+
+(* All k-subsets of a list. *)
+let rec choose k items =
+  if k = 0 then [ [] ]
+  else
+    match items with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (choose (k - 1) rest) @ choose k rest
+
+let minimal ?(max_sets = 100_000) tree =
+  let check n =
+    if n > max_sets then
+      invalid_arg
+        (Printf.sprintf "Cut_sets.minimal: intermediate size %d exceeds %d" n
+           max_sets)
+  in
+  (* Bottom-up: each node yields its list of cut sets (a DNF). *)
+  let rec go node : cut_set list =
+    match node with
+    | Fault_tree.Basic e -> [ [ e.Fault_tree.event_id ] ]
+    | Fault_tree.Or (_, cs) ->
+        let union = List.concat_map go cs in
+        check (List.length union);
+        minimize (List.map normalize union)
+    | Fault_tree.And (_, cs) ->
+        let parts = List.map go cs in
+        (* Minimise after every factor: repeated events across factors
+           collapse early, which keeps the product from exploding on
+           deep series-parallel structures. *)
+        let product =
+          List.fold_left
+            (fun acc part ->
+              let combined =
+                List.concat_map
+                  (fun a -> List.map (fun b -> normalize (a @ b)) part)
+                  acc
+              in
+              check (List.length combined);
+              minimize combined)
+            [ [] ] parts
+        in
+        minimize product
+    | Fault_tree.Koon (id, k, cs) ->
+        let subsets = choose k cs in
+        go
+          (Fault_tree.Or
+             ( id ^ ":expanded",
+               List.mapi
+                 (fun i subset ->
+                   Fault_tree.And (Printf.sprintf "%s:%d" id i, subset))
+                 subsets ))
+  in
+  let sets = go tree in
+  List.sort
+    (fun a b ->
+      match Int.compare (List.length a) (List.length b) with
+      | 0 -> List.compare String.compare a b
+      | n -> n)
+    sets
+
+let singletons sets =
+  List.filter_map (function [ e ] -> Some e | _ -> None) sets
+
+let order_histogram sets =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let n = List.length s in
+      Hashtbl.replace tbl n (1 + Option.value ~default:0 (Hashtbl.find_opt tbl n)))
+    sets;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,20 @@
+(** Minimal cut sets by MOCUS-style expansion.
+
+    A cut set is a set of basic-event ids whose joint occurrence raises
+    the top event; it is minimal when no proper subset is a cut set.
+    Singleton minimal cut sets are exactly the single-point faults that
+    FMEA looks for — the bridge {!Fmea_from_fta} exploits. *)
+
+type cut_set = string list
+(** Sorted, duplicate-free basic-event ids. *)
+
+val minimal : ?max_sets:int -> Fault_tree.t -> cut_set list
+(** Sorted by size then lexicographically.  K-out-of-N gates are expanded
+    into the OR of all [k]-subsets.  Raises [Invalid_argument] when the
+    intermediate product exceeds [max_sets] (default 100_000). *)
+
+val singletons : cut_set list -> string list
+(** Events forming size-1 minimal cut sets. *)
+
+val order_histogram : cut_set list -> (int * int) list
+(** [(cut-set order, count)] pairs, ascending order. *)

@@ -1,0 +1,151 @@
+let sanitise id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    id
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(name = "fault_tree") tree =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph %s {\n" (sanitise name);
+  add "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  let emitted_events = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let rec emit node =
+    match node with
+    | Fault_tree.Basic e ->
+        let nid = "ev_" ^ sanitise e.Fault_tree.event_id in
+        if not (Hashtbl.mem emitted_events nid) then begin
+          Hashtbl.add emitted_events nid ();
+          let rate =
+            match e.Fault_tree.rate_fit with
+            | Some r -> Printf.sprintf "\\n%g FIT" r
+            | None -> ""
+          in
+          add "  %s [shape=circle, label=\"%s%s\"];\n" nid
+            (escape e.Fault_tree.event_id) rate
+        end;
+        nid
+    | Fault_tree.And (id, children) ->
+        let nid = Printf.sprintf "g%d_%s" !counter (sanitise id) in
+        incr counter;
+        add "  %s [shape=trapezium, label=\"AND\\n%s\"];\n" nid (escape id);
+        List.iter (fun c -> add "  %s -> %s;\n" nid (emit c)) children;
+        nid
+    | Fault_tree.Or (id, children) ->
+        let nid = Printf.sprintf "g%d_%s" !counter (sanitise id) in
+        incr counter;
+        add "  %s [shape=invhouse, label=\"OR\\n%s\"];\n" nid (escape id);
+        List.iter (fun c -> add "  %s -> %s;\n" nid (emit c)) children;
+        nid
+    | Fault_tree.Koon (id, k, children) ->
+        let nid = Printf.sprintf "g%d_%s" !counter (sanitise id) in
+        incr counter;
+        add "  %s [shape=diamond, label=\"%d/%d\\n%s\"];\n" nid k
+          (List.length children) (escape id);
+        List.iter (fun c -> add "  %s -> %s;\n" nid (emit c)) children;
+        nid
+  in
+  ignore (emit tree);
+  add "}\n";
+  Buffer.contents buf
+
+(* ---------- Open-PSA MEF ---------- *)
+
+let el tag attributes children =
+  Modelio.Xml.Element { Modelio.Xml.tag; attributes; children }
+
+let gate_counter = ref 0
+
+let rec formula_of node (definitions : Modelio.Xml.t list ref) =
+  match node with
+  | Fault_tree.Basic e ->
+      el "basic-event" [ ("name", e.Fault_tree.event_id) ] []
+  | Fault_tree.And (id, children) ->
+      define_gate id "and" children definitions
+  | Fault_tree.Or (id, children) ->
+      define_gate id "or" children definitions
+  | Fault_tree.Koon (id, k, children) ->
+      incr gate_counter;
+      let gname = Printf.sprintf "%s_%d" (sanitise id) !gate_counter in
+      let child_formulas = List.map (fun c -> formula_of c definitions) children in
+      definitions :=
+        el "define-gate"
+          [ ("name", gname) ]
+          [ el "atleast" [ ("min", string_of_int k) ] child_formulas ]
+        :: !definitions;
+      el "gate" [ ("name", gname) ] []
+
+and define_gate id connective children definitions =
+  incr gate_counter;
+  let gname = Printf.sprintf "%s_%d" (sanitise id) !gate_counter in
+  let child_formulas = List.map (fun c -> formula_of c definitions) children in
+  definitions :=
+    el "define-gate" [ ("name", gname) ] [ el connective [] child_formulas ]
+    :: !definitions;
+  el "gate" [ ("name", gname) ] []
+
+let to_open_psa ?(model_name = "decisive-fta") tree =
+  gate_counter := 0;
+  let definitions = ref [] in
+  let top_formula = formula_of tree definitions in
+  let basic_defs =
+    List.map
+      (fun (e : Fault_tree.event) ->
+        el "define-basic-event"
+          [ ("name", e.Fault_tree.event_id) ]
+          (match e.Fault_tree.rate_fit with
+          | Some fit ->
+              [
+                el "exponential" []
+                  [
+                    el "float" [ ("value", Printf.sprintf "%.6e" (fit *. 1e-9)) ] [];
+                  ];
+              ]
+          | None -> []))
+      (Fault_tree.basic_events tree)
+  in
+  {
+    Modelio.Xml.tag = "opsa-mef";
+    attributes = [ ("name", model_name) ];
+    children =
+      [
+        el "define-fault-tree"
+          [ ("name", "top") ]
+          ((el "define-gate" [ ("name", "top") ] [ top_formula ]
+           :: List.rev !definitions)
+          @ basic_defs);
+      ];
+  }
+
+let to_open_psa_string ?model_name tree =
+  Modelio.Xml.to_string (to_open_psa ?model_name tree)
+
+let save_dot ~path ?name tree =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_dot ?name tree))
+
+let save_open_psa ~path ?model_name tree =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "<?xml version=\"1.0\"?>\n";
+      output_string oc (to_open_psa_string ?model_name tree);
+      output_char oc '\n')

@@ -1,0 +1,20 @@
+(** Fault-tree export: Graphviz dot for documentation, Open-PSA MEF XML
+    for interchange with quantitative FTA tools. *)
+
+val to_dot : ?name:string -> Fault_tree.t -> string
+(** Graphviz digraph, top event first.  Gates render as shaped nodes
+    (AND trapezium, OR inverted-house, k/N diamond), basic events as
+    circles labelled with their rate when known.  Node ids are sanitised;
+    repeated basic events share one node, as is conventional. *)
+
+val to_open_psa : ?model_name:string -> Fault_tree.t -> Modelio.Xml.element
+(** An Open-PSA Model Exchange Format document: one fault tree whose top
+    gate is ["top"], gate definitions for every internal node, and
+    [define-basic-event] entries with exponential rates (in per-hour)
+    when FIT data is present. *)
+
+val to_open_psa_string : ?model_name:string -> Fault_tree.t -> string
+
+val save_dot : path:string -> ?name:string -> Fault_tree.t -> unit
+
+val save_open_psa : path:string -> ?model_name:string -> Fault_tree.t -> unit

@@ -1,0 +1,87 @@
+type event = {
+  event_id : string;
+  event_description : string;
+  rate_fit : float option;
+}
+[@@deriving eq, show]
+
+type t =
+  | Basic of event
+  | And of string * t list
+  | Or of string * t list
+  | Koon of string * int * t list
+[@@deriving eq, show]
+
+let basic ?(description = "") ?rate_fit event_id =
+  Basic { event_id; event_description = description; rate_fit }
+
+let check_children what id = function
+  | [] -> invalid_arg (Printf.sprintf "Fault_tree.%s %s: no children" what id)
+  | _ :: _ -> ()
+
+let and_ id children =
+  check_children "and_" id children;
+  And (id, children)
+
+let or_ id children =
+  check_children "or_" id children;
+  Or (id, children)
+
+let koon id ~k children =
+  check_children "koon" id children;
+  if k < 1 || k > List.length children then
+    invalid_arg
+      (Printf.sprintf "Fault_tree.koon %s: k=%d out of range for %d children" id
+         k (List.length children));
+  Koon (id, k, children)
+
+let basic_events t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go = function
+    | Basic e ->
+        if not (Hashtbl.mem seen e.event_id) then begin
+          Hashtbl.add seen e.event_id ();
+          acc := e :: !acc
+        end
+    | And (_, cs) | Or (_, cs) | Koon (_, _, cs) -> List.iter go cs
+  in
+  go t;
+  List.rev !acc
+
+let rec gate_count = function
+  | Basic _ -> 0
+  | And (_, cs) | Or (_, cs) | Koon (_, _, cs) ->
+      1 + List.fold_left (fun acc c -> acc + gate_count c) 0 cs
+
+let rec depth = function
+  | Basic _ -> 1
+  | And (_, cs) | Or (_, cs) | Koon (_, _, cs) ->
+      1 + List.fold_left (fun acc c -> Int.max acc (depth c)) 0 cs
+
+let find_event t id =
+  List.find_opt (fun e -> String.equal e.event_id id) (basic_events t)
+
+let pp_ascii ppf t =
+  let rec go indent node =
+    let pad = String.make indent ' ' in
+    match node with
+    | Basic e ->
+        Format.fprintf ppf "%s[%s]%s%s@," pad e.event_id
+          (if e.event_description = "" then "" else " " ^ e.event_description)
+          (match e.rate_fit with
+          | Some r -> Printf.sprintf " (%g FIT)" r
+          | None -> "")
+    | And (id, cs) ->
+        Format.fprintf ppf "%sAND %s@," pad id;
+        List.iter (go (indent + 2)) cs
+    | Or (id, cs) ->
+        Format.fprintf ppf "%sOR %s@," pad id;
+        List.iter (go (indent + 2)) cs
+    | Koon (id, k, cs) ->
+        Format.fprintf ppf "%s%d-out-of-%d %s@," pad k (List.length cs) id;
+        List.iter (go (indent + 2)) cs
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** Fault trees (the paper's future-work item VIII.1, implemented here).
+
+    Standard static fault trees: basic events with optional failure rates,
+    AND/OR gates and k-out-of-N voting gates (which model the
+    1oo2/2oo3-style tolerances of SSAM functions). *)
+
+type event = {
+  event_id : string;
+  event_description : string;
+  rate_fit : float option;  (** failure rate in FIT, when known *)
+}
+[@@deriving eq, show]
+
+type t =
+  | Basic of event
+  | And of string * t list  (** gate id, children *)
+  | Or of string * t list
+  | Koon of string * int * t list  (** fails when ≥ k of the children fail *)
+[@@deriving eq, show]
+
+val basic : ?description:string -> ?rate_fit:float -> string -> t
+
+val and_ : string -> t list -> t
+(** Raises [Invalid_argument] on an empty child list (also [or_]/[koon]). *)
+
+val or_ : string -> t list -> t
+
+val koon : string -> k:int -> t list -> t
+(** Raises [Invalid_argument] unless [1 <= k <= length children]. *)
+
+val basic_events : t -> event list
+(** Distinct by id, first occurrence order. *)
+
+val gate_count : t -> int
+
+val depth : t -> int
+(** A basic event has depth 1. *)
+
+val find_event : t -> string -> event option
+
+val pp_ascii : Format.formatter -> t -> unit
+(** Indented tree rendering for reports. *)

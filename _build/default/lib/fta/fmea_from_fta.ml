@@ -1,0 +1,62 @@
+open Ssam
+
+let strip_prefix s prefix =
+  let n = String.length prefix in
+  if String.length s >= n && String.sub s 0 n = prefix then
+    Some (String.sub s n (String.length s - n))
+  else None
+
+let single_point_components tree =
+  let sets = Cut_sets.minimal tree in
+  List.filter_map
+    (fun event_id ->
+      match strip_prefix event_id "loss:" with
+      | Some rest -> (
+          (* Voting channels ("loss:C:ch1") are not whole-component ids. *)
+          match String.index_opt rest ':' with
+          | Some _ -> None
+          | None -> Some rest)
+      | None -> None)
+    (Cut_sets.singletons sets)
+
+let analyse (c : Architecture.component) =
+  let tree = From_ssam.generate c in
+  let spf = single_point_components tree in
+  let is_spf id = List.exists (String.equal id) spf in
+  let rows =
+    List.concat_map
+      (fun (child : Architecture.component) ->
+        let cid = Architecture.component_id child in
+        List.map
+          (fun (fm : Architecture.failure_mode) ->
+            let fm_name = Base.display_name fm.Architecture.fm_meta in
+            let loss = Architecture.is_loss_like fm.Architecture.nature in
+            Fmea.Table.make_row
+              ~impact:
+                (if loss && is_spf cid then "singleton minimal cut set"
+                 else "not a singleton cut set")
+              ?warning:
+                (if loss then None
+                 else
+                   Some
+                     (Printf.sprintf
+                        "failure mode '%s' is not loss-of-function; FTA route \
+                         cannot classify it"
+                        fm_name))
+              ~component:cid ~component_fit:child.Architecture.fit
+              ~failure_mode:fm_name
+              ~distribution_pct:fm.Architecture.distribution_pct
+              ~safety_related:(loss && is_spf cid) ())
+          child.Architecture.failure_modes)
+      c.Architecture.children
+  in
+  {
+    Fmea.Table.system_name = Architecture.component_name c ^ " (via FTA)";
+    rows;
+  }
+
+let agrees_with_path_fmea (c : Architecture.component) =
+  let fta_table = analyse c in
+  let path_table = Fmea.Path_fmea.analyse ~options:{ Fmea.Path_fmea.default_options with recurse = false } c in
+  let sr t = List.sort String.compare (Fmea.Table.safety_related_components t) in
+  sr fta_table = sr path_table

@@ -1,0 +1,20 @@
+(** FMEA tables derived from fault trees — the HiP-HOPS route
+    ("FMEA tables can be generated from the fault trees", related work
+    [14]), used as a cross-check baseline for the direct graph algorithm.
+
+    A component's loss-of-function mode is safety-related iff its loss
+    event forms a singleton minimal cut set.  The paper's contrast — "our
+    generation of FMEA does not rely on the existence of a fault tree" —
+    is what the benches measure: this route pays for cut-set computation
+    where {!Fmea.Path_fmea} does not. *)
+
+val analyse : Ssam.Architecture.component -> Fmea.Table.t
+(** Generates the fault tree with {!From_ssam.generate}, computes minimal
+    cut sets and classifies.  Raises {!From_ssam.No_paths} on components
+    with no input→output paths, [Invalid_argument] when the cut-set
+    expansion explodes. *)
+
+val agrees_with_path_fmea : Ssam.Architecture.component -> bool
+(** The cross-check: both routes find the same set of safety-related
+    components.  Exposed so tests and benches can assert it on every
+    generated system. *)

@@ -1,0 +1,71 @@
+open Ssam
+
+exception No_paths of string
+
+let loss_event_id ~component_id = "loss:" ^ component_id
+
+let loss_rate_fit (c : Architecture.component) =
+  if c.Architecture.failure_modes = [] then c.Architecture.fit
+  else
+    List.fold_left
+      (fun acc (fm : Architecture.failure_mode) ->
+        if Architecture.is_loss_like fm.Architecture.nature then
+          acc
+          +. Reliability.Fit.share c.Architecture.fit
+               ~distribution_pct:fm.Architecture.distribution_pct
+        else acc)
+      0.0 c.Architecture.failure_modes
+
+(* Loss of one component: a basic event for leaves; redundant functions
+   become k-out-of-N over per-channel events. *)
+let component_loss (c : Architecture.component) =
+  let cid = Architecture.component_id c in
+  let base =
+    Fault_tree.basic
+      ~description:(Printf.sprintf "loss of function of %s" (Architecture.component_name c))
+      ~rate_fit:(loss_rate_fit c)
+      (loss_event_id ~component_id:cid)
+  in
+  let redundancy =
+    List.find_map
+      (fun (f : Architecture.func) ->
+        match f.Architecture.tolerance with
+        | Architecture.OneOoOne -> None
+        | Architecture.OneOoTwo -> Some (2, 2)
+        | Architecture.OneOoThree -> Some (3, 3)
+        | Architecture.TwoOoThree -> Some (2, 3)
+      )
+      c.Architecture.functions
+  in
+  match redundancy with
+  | None -> base
+  | Some (k, n) ->
+      (* The function survives unless k (or more) of the n channels fail. *)
+      let channels =
+        List.init n (fun i ->
+            Fault_tree.basic
+              ~description:
+                (Printf.sprintf "channel %d of %s fails" (i + 1)
+                   (Architecture.component_name c))
+              ~rate_fit:(loss_rate_fit c)
+              (Printf.sprintf "%s:ch%d" (loss_event_id ~component_id:cid) (i + 1)))
+      in
+      Fault_tree.koon (loss_event_id ~component_id:cid ^ ":vote") ~k channels
+
+let generate (c : Architecture.component) =
+  let paths = Fmea.Path_fmea.paths c in
+  if paths = [] then raise (No_paths (Architecture.component_id c));
+  let path_gates =
+    List.mapi
+      (fun i path ->
+        Fault_tree.or_
+          (Printf.sprintf "path%d-broken" (i + 1))
+          (List.map component_loss path))
+      paths
+  in
+  match path_gates with
+  | [ single ] -> single
+  | gates ->
+      Fault_tree.and_
+        (Printf.sprintf "%s-output-unreachable" (Architecture.component_id c))
+        gates

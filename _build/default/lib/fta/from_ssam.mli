@@ -1,0 +1,29 @@
+(** Fault-tree generation from SSAM architectures.
+
+    For a composite component, the top event "output unreachable" holds
+    exactly when every input→output path is broken, and a path is broken
+    when some component on it loses function:
+
+    {v TOP = AND over paths p ( OR over components c ∈ p  loss(c) ) v}
+
+    Basic events are the loss-of-function failure modes of leaf
+    components, with rates from FIT × distribution.  Components whose
+    functions declare redundant tolerances become k-out-of-N gates.
+
+    Consistency theorem (tested): the singleton minimal cut sets of the
+    generated tree are exactly the safety-related components found by
+    {!Fmea.Path_fmea} — the basis of the HiP-HOPS-style cross-check in
+    {!Fmea_from_fta}. *)
+
+exception No_paths of string
+(** The composite has no input→output paths to analyse. *)
+
+val loss_event_id : component_id:string -> string
+(** ["loss:<component>"] — basic-event naming convention. *)
+
+val generate : Ssam.Architecture.component -> Fault_tree.t
+(** Raises {!No_paths}. *)
+
+val loss_rate_fit : Ssam.Architecture.component -> float
+(** Σ FIT × distribution over the component's loss-of-function modes (the
+    whole FIT when it has no failure modes — pessimistic default). *)

@@ -1,0 +1,74 @@
+type probabilities = (string * float) list
+
+let event_probabilities ?(mission_hours = 10_000.0) tree =
+  List.map
+    (fun (e : Fault_tree.event) ->
+      let p =
+        match e.Fault_tree.rate_fit with
+        | Some fit ->
+            let lambda = fit *. 1e-9 in
+            1.0 -. exp (-.lambda *. mission_hours)
+        | None -> 0.0
+      in
+      (e.Fault_tree.event_id, p))
+    (Fault_tree.basic_events tree)
+
+let prob probabilities id =
+  Option.value ~default:0.0 (List.assoc_opt id probabilities)
+
+let rec top_probability_exact tree probabilities =
+  match tree with
+  | Fault_tree.Basic e -> prob probabilities e.Fault_tree.event_id
+  | Fault_tree.And (_, cs) ->
+      List.fold_left
+        (fun acc c -> acc *. top_probability_exact c probabilities)
+        1.0 cs
+  | Fault_tree.Or (_, cs) ->
+      1.0
+      -. List.fold_left
+           (fun acc c -> acc *. (1.0 -. top_probability_exact c probabilities))
+           1.0 cs
+  | Fault_tree.Koon (_, k, cs) ->
+      (* Probability that at least k of the children fail: enumerate child
+         outcome combinations (children counts are small in practice). *)
+      let ps = List.map (fun c -> top_probability_exact c probabilities) cs in
+      let rec go ps failed_needed =
+        match ps with
+        | [] -> if failed_needed <= 0 then 1.0 else 0.0
+        | p :: rest ->
+            (p *. go rest (failed_needed - 1))
+            +. ((1.0 -. p) *. go rest failed_needed)
+      in
+      go ps k
+
+let cut_set_probability probabilities set =
+  List.fold_left (fun acc id -> acc *. prob probabilities id) 1.0 set
+
+let rare_event_bound sets probabilities =
+  List.fold_left (fun acc s -> acc +. cut_set_probability probabilities s) 0.0 sets
+
+let esary_proschan sets probabilities =
+  1.0
+  -. List.fold_left
+       (fun acc s -> acc *. (1.0 -. cut_set_probability probabilities s))
+       1.0 sets
+
+let importance sets probabilities =
+  let total = rare_event_bound sets probabilities in
+  if total <= 0.0 then []
+  else
+    let events =
+      List.sort_uniq String.compare (List.concat sets)
+    in
+    List.map
+      (fun id ->
+        let contribution =
+          List.fold_left
+            (fun acc s ->
+              if List.mem id s then acc +. cut_set_probability probabilities s
+              else acc)
+            0.0 sets
+        in
+        (id, contribution /. total))
+      events
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)

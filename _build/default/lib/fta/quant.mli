@@ -1,0 +1,32 @@
+(** Quantitative fault-tree analysis.
+
+    Basic-event probabilities come from their FIT rates over a mission
+    time: [p = 1 - exp(-λ t)] with λ in failures/hour.  Events without a
+    rate can be given explicitly. *)
+
+type probabilities = (string * float) list
+(** Basic-event id → probability in [0,1]. *)
+
+val event_probabilities :
+  ?mission_hours:float -> Fault_tree.t -> probabilities
+(** From each event's [rate_fit] (default mission 10_000 h — roughly a
+    vehicle lifetime of operation); events without a rate get probability
+    0 and should be overridden. *)
+
+val top_probability_exact :
+  Fault_tree.t -> probabilities -> float
+(** Exact evaluation assuming independent basic events, by recursive gate
+    composition (AND = product, OR = 1-Π(1-p), k-oo-n by enumeration over
+    children).  Events appearing under several gates are treated as
+    independent copies — use the cut-set bounds when events repeat. *)
+
+val rare_event_bound : Cut_sets.cut_set list -> probabilities -> float
+(** Σ over minimal cut sets of Π p — the standard upper bound, tight for
+    small probabilities. *)
+
+val esary_proschan : Cut_sets.cut_set list -> probabilities -> float
+(** [1 - Π (1 - Π p)] — a tighter upper bound than rare-event. *)
+
+val importance : Cut_sets.cut_set list -> probabilities -> (string * float) list
+(** Fussell-Vesely importance per basic event: share of the rare-event sum
+    contributed by cut sets containing the event; descending. *)

@@ -1,0 +1,1 @@
+lib/hara/hara.pp.ml: Base Format Hazard Int List Option Printf Requirement Risk Ssam

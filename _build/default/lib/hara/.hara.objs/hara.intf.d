@@ -1,0 +1,1 @@
+lib/hara/hara.pp.mli: Format Risk Ssam

@@ -1,0 +1,1 @@
+lib/hara/risk.pp.mli: Ssam

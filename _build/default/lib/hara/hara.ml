@@ -1,0 +1,102 @@
+module Risk = Risk
+
+open Ssam
+
+type assessed = {
+  situation : Hazard.hazardous_situation;
+  asil : Requirement.integrity_level option;
+  priority : int option;
+}
+
+type log = { log_name : string; entries : assessed list }
+
+let assess ~name (p : Hazard.package) =
+  let entries =
+    List.map
+      (fun (s : Hazard.hazardous_situation) ->
+        let asil = Risk.of_situation s in
+        let priority =
+          match (s.Hazard.exposure, s.Hazard.controllability) with
+          | Some e, Some c ->
+              Some
+                (Risk.risk_priority ~severity:s.Hazard.severity ~exposure:e
+                   ~controllability:c)
+          | _ -> None
+        in
+        { situation = s; asil; priority })
+      (Hazard.situations p)
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match (a.priority, b.priority) with
+        | Some x, Some y -> Int.compare y x
+        | Some _, None -> -1
+        | None, Some _ -> 1
+        | None, None -> 0)
+      entries
+  in
+  { log_name = name; entries = sorted }
+
+let derive_requirements ?(id_prefix = "SR") log =
+  List.filteri (fun _ e -> Option.is_some e.asil) log.entries
+  |> List.mapi (fun i e ->
+         let hs = e.situation in
+         let hid = hs.Hazard.hs_meta.Base.id in
+         Requirement.requirement
+           ?integrity:e.asil
+           ~meta:
+             (Base.meta
+                ~name:(Printf.sprintf "%s-%d" id_prefix (i + 1))
+                ~cites:[ hid ]
+                (Printf.sprintf "%s-%d" id_prefix (i + 1)))
+           (Printf.sprintf "The system shall prevent or mitigate: %s"
+              (Base.display_name hs.Hazard.hs_meta)))
+
+let to_package ~package_id log =
+  let requirements = derive_requirements log in
+  let elements =
+    List.map (fun r -> Requirement.Requirement r) requirements
+    @ List.concat_map
+        (fun (r : Requirement.requirement) ->
+          List.map
+            (fun hid ->
+              Requirement.Relationship
+                (Requirement.relationship
+                   ~meta:
+                     (Base.meta
+                        (Printf.sprintf "%s:derives:%s" r.Requirement.meta.Base.id
+                           hid))
+                   ~kind:Requirement.Derives ~source:r.Requirement.meta.Base.id
+                   ~target:hid))
+            r.Requirement.meta.Base.cites)
+        requirements
+  in
+  Requirement.package
+    ~meta:(Base.meta ~name:log.log_name package_id)
+    elements
+
+let highest_asil log =
+  List.fold_left
+    (fun acc e ->
+      match (acc, e.asil) with
+      | None, x -> x
+      | x, None -> x
+      | Some a, Some b ->
+          Some (if Requirement.compare_integrity_level a b >= 0 then a else b))
+    None log.entries
+
+let pp ppf log =
+  Format.fprintf ppf "@[<v>Hazard log: %s@," log.log_name;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-24s %s%s@,"
+        (Base.display_name e.situation.Hazard.hs_meta)
+        (match e.asil with
+        | Some a -> Requirement.integrity_level_to_string a
+        | None -> "(unassessed)")
+        (match e.priority with
+        | Some p -> Printf.sprintf "  priority %d" p
+        | None -> ""))
+    log.entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Hazard Analysis and Risk Assessment (DECISIVE Step 1).
+
+    This file is the library's entry module; the risk graph lives in
+    {!module:Risk}, re-exported here. *)
+
+module Risk = Risk
+
+
+type assessed = {
+  situation : Ssam.Hazard.hazardous_situation;
+  asil : Ssam.Requirement.integrity_level option;
+  priority : int option;
+}
+
+type log = {
+  log_name : string;
+  entries : assessed list;  (** sorted by descending priority *)
+}
+
+val assess : name:string -> Ssam.Hazard.package -> log
+
+val derive_requirements :
+  ?id_prefix:string -> log -> Ssam.Requirement.requirement list
+(** One safety requirement per assessed situation with a known ASIL:
+    "the system shall prevent or mitigate <situation>", at that ASIL.
+    [id_prefix] defaults to ["SR"]. *)
+
+val to_package :
+  package_id:string -> log -> Ssam.Requirement.package
+(** Wraps {!derive_requirements} in a requirement package with Derives
+    relationships back to the hazardous situations. *)
+
+val highest_asil : log -> Ssam.Requirement.integrity_level option
+(** The most stringent ASIL in the log. *)
+
+val pp : Format.formatter -> log -> unit

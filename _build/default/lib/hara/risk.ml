@@ -1,0 +1,65 @@
+open Ssam
+
+(* ISO 26262-3 Table 4.  Rows: severity; the QM→A→B→C→D ladder climbs one
+   step per increment of exposure or controllability class. *)
+let determine ~severity ~exposure ~controllability =
+  let s_idx =
+    match severity with
+    | Hazard.S0 -> 0
+    | Hazard.S1 -> 1
+    | Hazard.S2 -> 2
+    | Hazard.S3 -> 3
+  in
+  let e_idx =
+    match exposure with
+    | Hazard.E1 -> 1
+    | Hazard.E2 -> 2
+    | Hazard.E3 -> 3
+    | Hazard.E4 -> 4
+  in
+  let c_idx =
+    match controllability with
+    | Hazard.C1 -> 1
+    | Hazard.C2 -> 2
+    | Hazard.C3 -> 3
+  in
+  if s_idx = 0 then Requirement.QM
+  else
+    (* The ladder position: S3/E4/C3 (sum 10) is ASIL-D; each decrement of
+       any class steps down one level, bottoming out at QM.  This compact
+       formulation reproduces ISO 26262-3 Table 4 exactly. *)
+    match s_idx + e_idx + c_idx with
+    | 10 -> Requirement.ASIL_D
+    | 9 -> Requirement.ASIL_C
+    | 8 -> Requirement.ASIL_B
+    | 7 -> Requirement.ASIL_A
+    | _ -> Requirement.QM
+
+let of_situation (s : Hazard.hazardous_situation) =
+  match (s.Hazard.exposure, s.Hazard.controllability) with
+  | Some exposure, Some controllability ->
+      Some (determine ~severity:s.Hazard.severity ~exposure ~controllability)
+  | _ -> None
+
+let risk_priority ~severity ~exposure ~controllability =
+  let s =
+    match severity with
+    | Hazard.S0 -> 0
+    | Hazard.S1 -> 1
+    | Hazard.S2 -> 2
+    | Hazard.S3 -> 3
+  in
+  let e =
+    match exposure with
+    | Hazard.E1 -> 1
+    | Hazard.E2 -> 2
+    | Hazard.E3 -> 3
+    | Hazard.E4 -> 4
+  in
+  let c =
+    match controllability with
+    | Hazard.C1 -> 1
+    | Hazard.C2 -> 2
+    | Hazard.C3 -> 3
+  in
+  s + e + c

@@ -1,0 +1,23 @@
+(** Risk assessment: the ISO 26262 risk graph.
+
+    ASIL determination from severity (S0–S3), exposure (E1–E4) and
+    controllability (C1–C3), per ISO 26262-3 Table 4. *)
+
+val determine :
+  severity:Ssam.Hazard.severity ->
+  exposure:Ssam.Hazard.exposure ->
+  controllability:Ssam.Hazard.controllability ->
+  Ssam.Requirement.integrity_level
+(** S0 is always QM.  The highest combination (S3/E4/C3) is ASIL-D. *)
+
+val of_situation :
+  Ssam.Hazard.hazardous_situation -> Ssam.Requirement.integrity_level option
+(** [None] when exposure or controllability is unset on the situation. *)
+
+val risk_priority :
+  severity:Ssam.Hazard.severity ->
+  exposure:Ssam.Hazard.exposure ->
+  controllability:Ssam.Hazard.controllability ->
+  int
+(** A simple ordinal (S index + E index + C index) used only for sorting
+    hazard logs in reports; not an ISO quantity. *)

@@ -1,0 +1,1 @@
+lib/modelio/csv.pp.ml: Buffer Fun List String

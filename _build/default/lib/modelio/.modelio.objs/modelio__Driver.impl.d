@@ -1,0 +1,1 @@
+lib/modelio/driver.pp.ml: Csv Hashtbl Json List Mvalue Printf Spreadsheet String Xml

@@ -1,0 +1,1 @@
+lib/modelio/driver.pp.mli: Mvalue

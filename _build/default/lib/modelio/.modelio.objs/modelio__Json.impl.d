@@ -1,0 +1,1 @@
+lib/modelio/json.pp.ml: Buffer Char Float Fun List Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/modelio/json.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/modelio/mvalue.pp.ml: Csv Json List Ppx_deriving_runtime String Xml

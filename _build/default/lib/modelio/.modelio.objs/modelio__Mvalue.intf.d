@@ -1,0 +1,1 @@
+lib/modelio/mvalue.pp.mli: Csv Json Ppx_deriving_runtime Xml

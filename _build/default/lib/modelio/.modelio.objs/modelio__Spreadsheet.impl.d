@@ -1,0 +1,1 @@
+lib/modelio/spreadsheet.pp.ml: Array Csv Filename List String Sys

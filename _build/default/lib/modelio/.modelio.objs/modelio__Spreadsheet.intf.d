@@ -1,0 +1,1 @@
+lib/modelio/spreadsheet.pp.mli: Csv

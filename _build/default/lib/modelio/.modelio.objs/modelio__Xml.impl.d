@@ -1,0 +1,1 @@
+lib/modelio/xml.pp.ml: Buffer Char Fun List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/modelio/xml.pp.mli: Ppx_deriving_runtime

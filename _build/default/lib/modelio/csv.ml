@@ -1,0 +1,136 @@
+type t = string list list
+
+exception Parse_error of { line : int; message : string }
+
+let parse s =
+  let n = String.length s in
+  let line = ref 1 in
+  let buf = Buffer.create 64 in
+  let fields = ref [] in
+  let rows = ref [] in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  (* States: `Field (unquoted), `Quoted, `Quote_seen (just closed a quote —
+     expecting ',', newline, '"' for an escaped quote, or EOF). *)
+  let rec go i state =
+    if i >= n then begin
+      (match state with
+      | `Quoted -> raise (Parse_error { line = !line; message = "unterminated quote" })
+      | `Field | `Quote_seen -> ());
+      (* Trailing newline yields no extra empty row. *)
+      if Buffer.length buf > 0 || !fields <> [] then flush_row ()
+    end
+    else
+      let c = s.[i] in
+      match (state, c) with
+      | `Field, ',' ->
+          flush_field ();
+          go (i + 1) `Field
+      | `Field, '\n' ->
+          flush_row ();
+          incr line;
+          go (i + 1) `Field
+      | `Field, '\r' ->
+          (* Swallow the CR of a CRLF; a lone CR is treated as a newline. *)
+          if i + 1 < n && s.[i + 1] = '\n' then go (i + 1) `Field
+          else begin
+            flush_row ();
+            incr line;
+            go (i + 1) `Field
+          end
+      | `Field, '"' ->
+          if Buffer.length buf = 0 then go (i + 1) `Quoted
+          else
+            raise
+              (Parse_error
+                 { line = !line; message = "quote inside unquoted field" })
+      | `Field, c ->
+          Buffer.add_char buf c;
+          go (i + 1) `Field
+      | `Quoted, '"' -> go (i + 1) `Quote_seen
+      | `Quoted, c ->
+          if c = '\n' then incr line;
+          Buffer.add_char buf c;
+          go (i + 1) `Quoted
+      | `Quote_seen, '"' ->
+          Buffer.add_char buf '"';
+          go (i + 1) `Quoted
+      | `Quote_seen, ',' ->
+          flush_field ();
+          go (i + 1) `Field
+      | `Quote_seen, '\n' ->
+          flush_row ();
+          incr line;
+          go (i + 1) `Field
+      | `Quote_seen, '\r' ->
+          if i + 1 < n && s.[i + 1] = '\n' then go (i + 1) `Quote_seen
+          else begin
+            flush_row ();
+            incr line;
+            go (i + 1) `Field
+          end
+      | `Quote_seen, _ ->
+          raise
+            (Parse_error
+               { line = !line; message = "unexpected character after quote" })
+  in
+  go 0 `Field;
+  List.rev !rows
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let needs_quoting f =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) f
+
+let quote f =
+  let buf = Buffer.create (String.length f + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    f;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_string rows =
+  let field_str f = if needs_quoting f then quote f else f in
+  let row_str row = String.concat "," (List.map field_str row) in
+  String.concat "" (List.map (fun r -> row_str r ^ "\n") rows)
+
+let write_file path rows =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string rows))
+
+type table = { header : string list; rows : string list list }
+
+let to_table = function
+  | [] -> invalid_arg "Csv.to_table: empty CSV"
+  | header :: rows -> { header; rows }
+
+let column_index tbl name =
+  let lname = String.lowercase_ascii name in
+  let rec go i = function
+    | [] -> None
+    | h :: tl ->
+        if String.equal (String.lowercase_ascii h) lname then Some i
+        else go (i + 1) tl
+  in
+  go 0 tbl.header
+
+let field tbl row name =
+  match column_index tbl name with
+  | None -> None
+  | Some i -> List.nth_opt row i

@@ -1,0 +1,37 @@
+(** RFC-4180-style CSV reading and writing.
+
+    Supports quoted fields (embedded commas, quotes doubled, embedded
+    newlines), CRLF and LF line endings.  This is the format the paper's
+    Excel-based reliability and safety-mechanism models are exchanged in. *)
+
+type t = string list list
+(** Rows of fields.  The empty file is [[]]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> t
+(** Raises {!Parse_error} on unterminated quotes or stray quote characters. *)
+
+val parse_file : string -> t
+(** Raises [Sys_error] on IO failure, {!Parse_error} on malformed content. *)
+
+val to_string : t -> string
+(** Quotes fields containing commas, quotes or newlines; terminates each
+    row with ["\n"].  [parse (to_string t) = t] for rectangular data. *)
+
+val write_file : string -> t -> unit
+
+(** {1 Header-indexed access} *)
+
+type table = { header : string list; rows : string list list }
+
+val to_table : t -> table
+(** First row becomes the header.  Raises [Invalid_argument] on empty
+    input. *)
+
+val column_index : table -> string -> int option
+(** Case-insensitive header lookup. *)
+
+val field : table -> string list -> string -> string option
+(** [field tbl row name] is the field of [row] under header [name];
+    [None] when the column is missing or the row is too short. *)

@@ -1,0 +1,51 @@
+(** Model drivers — SAME's counterpart of Epsilon's EMC layer.
+
+    A driver knows how to load one external modelling technology and render
+    it as an {!Mvalue.t}.  SSAM [ExternalReference]s name a driver through
+    their [model_type] field; {!resolve} dispatches on it.
+
+    The registry is process-global and mutable so that higher layers (e.g.
+    the block-diagram library) can contribute drivers without this module
+    depending on them. *)
+
+type t = {
+  driver_name : string;
+  load : location:string -> metadata:(string * string) list -> Mvalue.t;
+      (** Raises {!Load_error} wrapping underlying failures. *)
+}
+
+exception Load_error of { driver : string; location : string; message : string }
+
+exception Unknown_driver of string
+
+val register : t -> unit
+(** Last registration for a name wins (case-insensitive). *)
+
+val find : string -> t option
+
+val resolve :
+  model_type:string ->
+  location:string ->
+  metadata:(string * string) list ->
+  Mvalue.t
+(** Raises {!Unknown_driver} or {!Load_error}. *)
+
+val registered_names : unit -> string list
+(** Sorted. *)
+
+val csv_driver : t
+(** ["csv"] — a file loads to {!Mvalue.of_csv_table}. *)
+
+val json_driver : t
+(** ["json"]. *)
+
+val xml_driver : t
+(** ["xml"]. *)
+
+val spreadsheet_driver : t
+(** ["spreadsheet"] (alias "excel") — a csv file or directory-of-csv
+    workbook; renders as a record of sheet-name → table. *)
+
+val install_builtin : unit -> unit
+(** Registers the four drivers above (idempotent).  Called automatically
+    at library initialisation. *)

@@ -1,0 +1,43 @@
+(** A small JSON parser and printer (no external dependency).
+
+    Covers the JSON the tool federates: objects, arrays, strings with
+    escapes (including [\uXXXX] encoded to UTF-8), numbers, booleans and
+    null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Object of (string * t) list
+[@@deriving eq, show]
+
+exception Parse_error of { pos : int; message : string }
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val parse_file : string -> t
+
+val to_string : ?indent:int -> t -> string
+(** [indent] > 0 pretty-prints; default 0 is compact. *)
+
+val write_file : ?indent:int -> string -> t -> unit
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] for non-objects. *)
+
+val path : string list -> t -> t option
+(** Nested {!member}. *)
+
+val to_float : t -> float option
+(** [Number]; also accepts numeric [String]s. *)
+
+val to_str : t -> string option
+
+val to_list : t -> t list option
+
+val to_bool : t -> bool option

@@ -1,0 +1,87 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Seq of t list
+  | Record of (string * t) list
+[@@deriving eq, show]
+
+let canon_key k =
+  String.lowercase_ascii k
+  |> String.map (function ' ' -> '_' | c -> c)
+
+let field v name =
+  match v with
+  | Record fields ->
+      let target = canon_key name in
+      List.find_map
+        (fun (k, v) -> if canon_key k = target then Some v else None)
+        fields
+  | Null | Bool _ | Num _ | Str _ | Seq _ -> None
+
+let rec of_json = function
+  | Json.Null -> Null
+  | Json.Bool b -> Bool b
+  | Json.Number f -> Num f
+  | Json.String s -> Str s
+  | Json.List items -> Seq (List.map of_json items)
+  | Json.Object fields ->
+      Record (List.map (fun (k, v) -> (k, of_json v)) fields)
+
+let of_csv_table (tbl : Csv.table) =
+  let row_record row =
+    let rec pair hs vs =
+      match (hs, vs) with
+      | [], _ -> []
+      | h :: hs, [] -> (h, Null) :: pair hs []
+      | h :: hs, v :: vs -> (h, Str v) :: pair hs vs
+    in
+    Record (pair tbl.Csv.header row)
+  in
+  Record
+    [
+      ("header", Seq (List.map (fun h -> Str h) tbl.Csv.header));
+      ("rows", Seq (List.map row_record tbl.Csv.rows));
+    ]
+
+let rec of_xml (e : Xml.element) =
+  Record
+    [
+      ("tag", Str e.Xml.tag);
+      ( "attributes",
+        Record (List.map (fun (k, v) -> (k, Str v)) e.Xml.attributes) );
+      ( "children",
+        Seq
+          (List.filter_map
+             (function
+               | Xml.Element c -> Some (of_xml c)
+               | Xml.Text _ -> None)
+             e.Xml.children) );
+      ("text", Str (Xml.text_content e));
+    ]
+
+let rec to_json = function
+  | Null -> Json.Null
+  | Bool b -> Json.Bool b
+  | Num f -> Json.Number f
+  | Str s -> Json.String s
+  | Seq items -> Json.List (List.map to_json items)
+  | Record fields ->
+      Json.Object (List.map (fun (k, v) -> (k, to_json v)) fields)
+
+let truthy = function
+  | Null -> false
+  | Bool b -> b
+  | Num f -> f <> 0.0
+  | Str s -> s <> ""
+  | Seq items -> items <> []
+  | Record _ -> true
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Seq _ -> "sequence"
+  | Record _ -> "record"

@@ -1,0 +1,41 @@
+(** The generic model value — the lingua franca of model federation.
+
+    Every {!module:Driver} renders its external model as an {!t}; the query
+    language of {!module:Query} navigates {!t}s.  This mirrors the role of
+    Epsilon's model-connectivity layer: one uniform object graph over
+    arbitrary modelling technologies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Seq of t list
+  | Record of (string * t) list
+[@@deriving eq, show]
+
+val field : t -> string -> t option
+(** Case-insensitive record-field access; [None] on other shapes.  Spaces
+    and underscores in field names are treated as equivalent, so a query
+    can write [r.failure_mode] against a CSV header ["Failure_Mode"] or
+    ["Failure Mode"]. *)
+
+val of_json : Json.t -> t
+
+val of_csv_table : Csv.table -> t
+(** [Record [("header", Seq ...); ("rows", Seq of Record ...)]] — each row
+    becomes a record keyed by the header. *)
+
+val of_xml : Xml.element -> t
+(** [Record] with ["tag"], ["attributes"] (record), ["children"] (seq) and
+    ["text"]. *)
+
+val to_json : t -> Json.t
+(** Lossy for [Null]-keyed records only in the trivial sense; [Seq]→array,
+    [Record]→object. *)
+
+val truthy : t -> bool
+(** [false] for [Null], [Bool false], [Num 0.], [Str ""], empty [Seq];
+    [true] otherwise. *)
+
+val type_name : t -> string

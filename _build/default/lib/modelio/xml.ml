@@ -1,0 +1,323 @@
+type t = Element of element | Text of string
+
+and element = {
+  tag : string;
+  attributes : (string * string) list;
+  children : t list;
+}
+[@@deriving eq, show]
+
+exception Parse_error of { pos : int; message : string }
+
+let fail pos message = raise (Parse_error { pos; message })
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let advance ?(n = 1) st = st.pos <- st.pos + n
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | Some _ | None -> ()
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let parse_name st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_name_char c | None -> false) do
+    advance st
+  done;
+  if st.pos = start then fail st.pos "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entities pos s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | None -> fail pos "unterminated entity"
+      | Some j ->
+          let entity = String.sub s (i + 1) (j - i - 1) in
+          (match entity with
+          | "lt" -> Buffer.add_char buf '<'
+          | "gt" -> Buffer.add_char buf '>'
+          | "amp" -> Buffer.add_char buf '&'
+          | "quot" -> Buffer.add_char buf '"'
+          | "apos" -> Buffer.add_char buf '\''
+          | _ ->
+              let numeric =
+                if String.length entity > 1 && entity.[0] = '#' then
+                  let body = String.sub entity 1 (String.length entity - 1) in
+                  let code =
+                    if String.length body > 1 && (body.[0] = 'x' || body.[0] = 'X')
+                    then
+                      int_of_string_opt
+                        ("0x" ^ String.sub body 1 (String.length body - 1))
+                    else int_of_string_opt body
+                  in
+                  code
+                else None
+              in
+              match numeric with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some code ->
+                  (* Re-encode as UTF-8. *)
+                  if code < 0x800 then begin
+                    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                  end
+                  else begin
+                    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                    Buffer.add_char buf
+                      (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                  end
+              | None -> fail pos (Printf.sprintf "unknown entity &%s;" entity));
+          go (j + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let parse_attribute_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+        advance st;
+        q
+    | Some _ | None -> fail st.pos "expected quoted attribute value"
+  in
+  let start = st.pos in
+  while (match peek st with Some c -> c <> quote | None -> false) do
+    advance st
+  done;
+  if peek st = None then fail st.pos "unterminated attribute value";
+  let raw = String.sub st.src start (st.pos - start) in
+  advance st;
+  decode_entities start raw
+
+let parse_attributes st =
+  let rec go acc =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_char c ->
+        let name = parse_name st in
+        skip_ws st;
+        (match peek st with
+        | Some '=' -> advance st
+        | Some _ | None -> fail st.pos "expected '=' after attribute name");
+        skip_ws st;
+        let value = parse_attribute_value st in
+        go ((name, value) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []
+
+let skip_until st marker =
+  let rec go () =
+    if looking_at st marker then advance ~n:(String.length marker) st
+    else if st.pos >= String.length st.src then
+      fail st.pos (Printf.sprintf "expected %S before end of input" marker)
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let rec skip_misc st =
+  skip_ws st;
+  if looking_at st "<?" then begin
+    skip_until st "?>";
+    skip_misc st
+  end
+  else if looking_at st "<!--" then begin
+    skip_until st "-->";
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" || looking_at st "<!doctype" then begin
+    (* Skip to the matching '>' (internal subsets with brackets supported
+       shallowly: skip until ']' then '>'). *)
+    let rec doctype depth =
+      match peek st with
+      | None -> fail st.pos "unterminated DOCTYPE"
+      | Some '[' ->
+          advance st;
+          doctype (depth + 1)
+      | Some ']' ->
+          advance st;
+          doctype (depth - 1)
+      | Some '>' when depth = 0 -> advance st
+      | Some _ ->
+          advance st;
+          doctype depth
+    in
+    advance ~n:9 st;
+    doctype 0;
+    skip_misc st
+  end
+
+let rec parse_element st =
+  (match peek st with
+  | Some '<' -> advance st
+  | Some _ | None -> fail st.pos "expected '<'");
+  let tag = parse_name st in
+  let attributes = parse_attributes st in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    advance ~n:2 st;
+    { tag; attributes; children = [] }
+  end
+  else begin
+    (match peek st with
+    | Some '>' -> advance st
+    | Some _ | None -> fail st.pos "expected '>'");
+    let children = parse_children st tag in
+    { tag; attributes; children }
+  end
+
+and parse_children st tag =
+  let close = "</" ^ tag in
+  let rec go acc =
+    if looking_at st close then begin
+      advance ~n:(String.length close) st;
+      skip_ws st;
+      (match peek st with
+      | Some '>' -> advance st
+      | Some _ | None -> fail st.pos "malformed closing tag");
+      List.rev acc
+    end
+    else if looking_at st "<!--" then begin
+      skip_until st "-->";
+      go acc
+    end
+    else if looking_at st "<![CDATA[" then begin
+      advance ~n:9 st;
+      let start = st.pos in
+      skip_until st "]]>";
+      let text = String.sub st.src start (st.pos - start - 3) in
+      go (Text text :: acc)
+    end
+    else if looking_at st "<?" then begin
+      skip_until st "?>";
+      go acc
+    end
+    else if looking_at st "</" then
+      fail st.pos (Printf.sprintf "mismatched closing tag (expected </%s>)" tag)
+    else if looking_at st "<" then go (Element (parse_element st) :: acc)
+    else begin
+      let start = st.pos in
+      while (match peek st with Some '<' -> false | Some _ -> true | None -> false) do
+        advance st
+      done;
+      if peek st = None then fail st.pos "unterminated element content";
+      let raw = String.sub st.src start (st.pos - start) in
+      let decoded = decode_entities start raw in
+      if String.trim decoded = "" then go acc else go (Text decoded :: acc)
+    end
+  in
+  go []
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  skip_misc st;
+  let e = parse_element st in
+  skip_misc st;
+  if st.pos <> String.length s then fail st.pos "trailing garbage";
+  e
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string root =
+  let buf = Buffer.create 256 in
+  let rec emit = function
+    | Text s -> Buffer.add_string buf (escape_text s)
+    | Element e ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf e.tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape_attr v)))
+          e.attributes;
+        if e.children = [] then Buffer.add_string buf "/>"
+        else begin
+          Buffer.add_char buf '>';
+          List.iter emit e.children;
+          Buffer.add_string buf (Printf.sprintf "</%s>" e.tag)
+        end
+  in
+  emit (Element root);
+  Buffer.contents buf
+
+let attribute e name = List.assoc_opt name e.attributes
+
+let child_elements e =
+  List.filter_map
+    (function Element c -> Some c | Text _ -> None)
+    e.children
+
+let find_children e tag =
+  List.filter (fun c -> String.equal c.tag tag) (child_elements e)
+
+let find_first e tag = List.nth_opt (find_children e tag) 0
+
+let descendants e tag =
+  let rec go acc e =
+    let acc = if String.equal e.tag tag then e :: acc else acc in
+    List.fold_left go acc (child_elements e)
+  in
+  (* The root participates in the search of its children only if it is not
+     the element we start from?  No: include descendants only, per doc. *)
+  List.rev (List.fold_left go [] (child_elements e))
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element e -> List.iter go e.children
+  in
+  go (Element e);
+  String.trim (Buffer.contents buf)

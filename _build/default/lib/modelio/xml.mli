@@ -1,0 +1,45 @@
+(** A small XML parser and printer.
+
+    Supports elements, attributes, text and CDATA content, comments,
+    processing instructions (skipped) and the five predefined entities.
+    DTDs and namespaces-as-semantics are out of scope — prefixed names are
+    kept verbatim — which matches the tool's federation needs (reading
+    XMI-style and plain configuration XML). *)
+
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attributes : (string * string) list;
+  children : t list;
+}
+[@@deriving eq, show]
+
+exception Parse_error of { pos : int; message : string }
+
+val parse : string -> element
+(** Parses one document (prolog allowed); raises {!Parse_error}. *)
+
+val parse_file : string -> element
+
+val to_string : element -> string
+(** No added whitespace; escapes attribute and text content. *)
+
+(** {1 Accessors} *)
+
+val attribute : element -> string -> string option
+
+val child_elements : element -> element list
+
+val find_children : element -> string -> element list
+(** Direct children with the given tag. *)
+
+val find_first : element -> string -> element option
+
+val descendants : element -> string -> element list
+(** All descendants (document order) with the given tag. *)
+
+val text_content : element -> string
+(** Concatenated text of the element and its descendants, trimmed. *)

@@ -1,0 +1,1 @@
+lib/numeric/cmatrix.mli: Complex

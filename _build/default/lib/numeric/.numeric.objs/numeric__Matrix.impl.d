@@ -1,0 +1,1 @@
+lib/numeric/matrix.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/numeric/matrix.mli: Format Vector

@@ -1,0 +1,1 @@
+lib/numeric/vector.ml: Array Float Format Printf

@@ -1,0 +1,1 @@
+lib/numeric/vector.mli: Format

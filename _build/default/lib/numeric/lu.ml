@@ -1,0 +1,96 @@
+exception Singular of int
+
+type factors = {
+  lu : Matrix.t; (* L below the diagonal (unit diagonal implied), U on and above *)
+  perm : int array; (* row permutation applied to the RHS *)
+  sign : int; (* permutation parity, for the determinant *)
+}
+
+let pivot_threshold = 1e-13
+
+let decompose a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.decompose: not square";
+  let lu = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: pick the largest magnitude in column k at/below row k. *)
+    let pivot_row = ref k in
+    let pivot_mag = ref (Float.abs (Matrix.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let m = Float.abs (Matrix.get lu i k) in
+      if m > !pivot_mag then begin
+        pivot_mag := m;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag < pivot_threshold then raise (Singular k);
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.get lu k j in
+        Matrix.set lu k j (Matrix.get lu !pivot_row j);
+        Matrix.set lu !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := - !sign
+    end;
+    let pivot = Matrix.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get lu i k /. pivot in
+      Matrix.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Matrix.add_to lu i j (-.factor *. Matrix.get lu k j)
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factored { lu; perm; sign = _ } b =
+  let n = Matrix.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: dimension";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit-diagonal L. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+    done
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Matrix.get lu i i
+  done;
+  x
+
+let solve a b = solve_factored (decompose a) b
+
+let det a =
+  match decompose a with
+  | exception Singular _ -> 0.0
+  | { lu; sign; _ } ->
+      let n = Matrix.rows lu in
+      let d = ref (float_of_int sign) in
+      for i = 0 to n - 1 do
+        d := !d *. Matrix.get lu i i
+      done;
+      !d
+
+let inverse a =
+  let n = Matrix.rows a in
+  let f = decompose a in
+  let inv = Matrix.create n n in
+  for j = 0 to n - 1 do
+    let e = Vector.create n in
+    e.(j) <- 1.0;
+    let col = solve_factored f e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j col.(i)
+    done
+  done;
+  inv

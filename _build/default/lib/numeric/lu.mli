@@ -1,0 +1,29 @@
+(** LU decomposition with partial pivoting, and linear solves.
+
+    This is the numerical core used by the circuit simulator's MNA
+    analysis.  Systems are small (node count + source count), so a dense
+    O(n^3) factorisation is appropriate. *)
+
+exception Singular of int
+(** Raised when elimination finds no usable pivot at the given step.  For
+    the circuit simulator this typically means a floating node (a node with
+    no DC path to ground), which failure injection can create. *)
+
+type factors
+(** An LU factorisation of a square matrix, with the row permutation. *)
+
+val decompose : Matrix.t -> factors
+(** Raises [Singular] if the matrix is (numerically) singular and
+    [Invalid_argument] if it is not square. *)
+
+val solve_factored : factors -> Vector.t -> Vector.t
+
+val solve : Matrix.t -> Vector.t -> Vector.t
+(** [solve a b] solves [a x = b].  Raises [Singular] / [Invalid_argument]
+    as {!decompose}. *)
+
+val det : Matrix.t -> float
+(** Determinant via LU; 0 if singular. *)
+
+val inverse : Matrix.t -> Matrix.t
+(** Raises [Singular] on singular input. *)

@@ -1,0 +1,1 @@
+lib/optimize/search.pp.ml: Float Fmea List Ppx_deriving_runtime Printf Reliability String

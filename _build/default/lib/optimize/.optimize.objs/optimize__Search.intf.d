@@ -1,0 +1,1 @@
+lib/optimize/search.pp.mli: Fmea Ppx_deriving_runtime Reliability Ssam

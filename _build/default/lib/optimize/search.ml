@@ -1,0 +1,188 @@
+type candidate = {
+  deployments : Fmea.Fmeda.deployment list;
+  spfm_pct : float;
+  cost : float;
+}
+[@@deriving show]
+
+type slot = {
+  slot_component : string;
+  slot_failure_mode : string;
+  slot_options : Reliability.Sm_model.mechanism list;
+}
+
+let slots ?(component_types = []) (table : Fmea.Table.t) sm_model =
+  List.filter_map
+    (fun (r : Fmea.Table.row) ->
+      if not r.Fmea.Table.safety_related then None
+      else
+        let ctype =
+          match List.assoc_opt r.Fmea.Table.component component_types with
+          | Some ty -> ty
+          | None -> r.Fmea.Table.component
+        in
+        let options =
+          Reliability.Sm_model.applicable sm_model ~component_type:ctype
+            ~failure_mode:r.Fmea.Table.failure_mode
+        in
+        if options = [] then None
+        else
+          Some
+            {
+              slot_component = r.Fmea.Table.component;
+              slot_failure_mode = r.Fmea.Table.failure_mode;
+              slot_options = options;
+            })
+    table.Fmea.Table.rows
+
+let evaluate table deployments =
+  let fmeda = Fmea.Fmeda.apply table deployments in
+  {
+    deployments;
+    spfm_pct = Fmea.Metrics.spfm fmeda;
+    cost = Fmea.Fmeda.total_cost deployments;
+  }
+
+let exhaustive ?(component_types = []) ?(max_combinations = 200_000) table
+    sm_model =
+  let slots = slots ~component_types table sm_model in
+  let combinations =
+    List.fold_left
+      (fun acc s -> acc * (List.length s.slot_options + 1))
+      1 slots
+  in
+  if combinations > max_combinations then
+    invalid_arg
+      (Printf.sprintf
+         "Search.exhaustive: %d combinations exceed the limit of %d"
+         combinations max_combinations);
+  let rec expand chosen = function
+    | [] -> [ List.rev chosen ]
+    | s :: rest ->
+        let without = expand chosen rest in
+        let with_each =
+          List.concat_map
+            (fun m ->
+              expand
+                (Fmea.Fmeda.deploy ~component:s.slot_component
+                   ~failure_mode:s.slot_failure_mode m
+                :: chosen)
+                rest)
+            s.slot_options
+        in
+        without @ with_each
+  in
+  List.map (evaluate table) (expand [] slots)
+
+let greedy ?(component_types = []) ~target table sm_model =
+  let all_slots = slots ~component_types table sm_model in
+  let target_spfm = Fmea.Asil.spfm_target target in
+  let met spfm =
+    match target_spfm with None -> true | Some t -> spfm >= t
+  in
+  let rec step current =
+    let current_candidate = evaluate table current in
+    if met current_candidate.spfm_pct then current_candidate
+    else begin
+      (* Candidate moves: deploy a mechanism on an empty slot, or upgrade
+         the mechanism on an occupied one.  Score is SPFM gain per added
+         cost (upgrades count only the cost delta, floored so free or
+         cheaper upgrades are strongly preferred). *)
+      let slot_matches s (d : Fmea.Fmeda.deployment) =
+        String.equal d.Fmea.Fmeda.target_component s.slot_component
+        && String.equal d.Fmea.Fmeda.target_failure_mode s.slot_failure_mode
+      in
+      let best =
+        List.fold_left
+          (fun acc s ->
+            let existing = List.find_opt (slot_matches s) current in
+            let others = List.filter (fun d -> not (slot_matches s d)) current in
+            List.fold_left
+              (fun acc (m : Reliability.Sm_model.mechanism) ->
+                let already =
+                  match existing with
+                  | Some d -> d.Fmea.Fmeda.mechanism = m
+                  | None -> false
+                in
+                if already then acc
+                else begin
+                  let d =
+                    Fmea.Fmeda.deploy ~component:s.slot_component
+                      ~failure_mode:s.slot_failure_mode m
+                  in
+                  let next = d :: others in
+                  let c = evaluate table next in
+                  let gain = c.spfm_pct -. current_candidate.spfm_pct in
+                  let cost_delta =
+                    m.Reliability.Sm_model.cost
+                    -.
+                    match existing with
+                    | Some e -> e.Fmea.Fmeda.mechanism.Reliability.Sm_model.cost
+                    | None -> 0.0
+                  in
+                  let score = gain /. Float.max cost_delta 0.01 in
+                  if gain <= 0.0 then acc
+                  else
+                    match acc with
+                    | Some (_, best_score) when best_score >= score -> acc
+                    | Some _ | None -> Some (next, score)
+                end)
+              acc s.slot_options)
+          None all_slots
+      in
+      match best with
+      | None -> current_candidate (* no mechanism helps further *)
+      | Some (next, _) -> step next
+    end
+  in
+  step []
+
+(* Sort by ascending cost (descending SPFM within equal cost; stable, so
+   the earliest candidate wins ties) and sweep: a candidate survives iff
+   its SPFM strictly beats everything cheaper-or-equal already kept.
+   O(n log n) — the exhaustive search can emit tens of thousands of
+   candidates, so the naive pairwise check is far too slow. *)
+let pareto_front candidates =
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        match Float.compare a.cost b.cost with
+        | 0 -> Float.compare b.spfm_pct a.spfm_pct
+        | n -> n)
+      candidates
+  in
+  let front, _ =
+    List.fold_left
+      (fun (kept, best_spfm) c ->
+        if c.spfm_pct > best_spfm then (c :: kept, c.spfm_pct)
+        else (kept, best_spfm))
+      ([], Float.neg_infinity) sorted
+  in
+  List.rev front
+
+let cheapest_meeting ~target candidates =
+  let target_spfm = Fmea.Asil.spfm_target target in
+  let meets c =
+    match target_spfm with None -> true | Some t -> c.spfm_pct >= t
+  in
+  List.fold_left
+    (fun acc c ->
+      if not (meets c) then acc
+      else
+        match acc with
+        | None -> Some c
+        | Some best ->
+            if
+              c.cost < best.cost
+              || (c.cost = best.cost && c.spfm_pct > best.spfm_pct)
+            then Some c
+            else acc)
+    None candidates
+
+let optimise ?(component_types = []) ~target table sm_model =
+  match exhaustive ~component_types table sm_model with
+  | candidates ->
+      (cheapest_meeting ~target candidates, pareto_front candidates)
+  | exception Invalid_argument _ ->
+      let g = greedy ~component_types ~target table sm_model in
+      (Some g, [ g ])

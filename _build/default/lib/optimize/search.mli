@@ -1,0 +1,76 @@
+(** Safety-mechanism deployment search (DECISIVE Step 4b).
+
+    "The users may ... let SAME determine the solution for the target
+    safety level and costs.  If there are multiple options available, the
+    users may ... ask SAME to search for the pareto front of viable
+    solutions."
+
+    A candidate solution is a set of deployments — at most one mechanism
+    per safety-related (component, failure-mode) row.  Its quality is the
+    SPFM of the FMEDA after applying it; its cost is the summed mechanism
+    cost. *)
+
+type candidate = {
+  deployments : Fmea.Fmeda.deployment list;
+  spfm_pct : float;
+  cost : float;
+}
+[@@deriving show]
+
+type slot = {
+  slot_component : string;
+  slot_failure_mode : string;
+  slot_options : Reliability.Sm_model.mechanism list;
+      (** applicable mechanisms, descending coverage; the empty deployment
+          is always also an option *)
+}
+
+val slots :
+  ?component_types:(string * string) list ->
+  Fmea.Table.t ->
+  Reliability.Sm_model.t ->
+  slot list
+(** One slot per safety-related row with at least one applicable
+    mechanism. *)
+
+val evaluate : Fmea.Table.t -> Fmea.Fmeda.deployment list -> candidate
+
+val exhaustive :
+  ?component_types:(string * string) list ->
+  ?max_combinations:int ->
+  Fmea.Table.t ->
+  Reliability.Sm_model.t ->
+  candidate list
+(** Every combination of per-slot choices (including "deploy nothing"),
+    evaluated.  Raises [Invalid_argument] if the combination count exceeds
+    [max_combinations] (default 200_000) — use {!greedy} then. *)
+
+val greedy :
+  ?component_types:(string * string) list ->
+  target:Ssam.Requirement.integrity_level ->
+  Fmea.Table.t ->
+  Reliability.Sm_model.t ->
+  candidate
+(** Baseline strategy (what a manual engineer approximates, and the
+    comparison point for the benches): repeatedly deploy the mechanism
+    with the best residual-FIT-reduction per cost until the target SPFM is
+    met or no mechanism helps. *)
+
+val pareto_front : candidate list -> candidate list
+(** Non-dominated candidates (maximise SPFM, minimise cost), sorted by
+    ascending cost.  Deterministic: among equal (spfm, cost) the first
+    candidate wins. *)
+
+val cheapest_meeting :
+  target:Ssam.Requirement.integrity_level -> candidate list -> candidate option
+(** Cheapest candidate meeting the SPFM target; ties broken by higher
+    SPFM. *)
+
+val optimise :
+  ?component_types:(string * string) list ->
+  target:Ssam.Requirement.integrity_level ->
+  Fmea.Table.t ->
+  Reliability.Sm_model.t ->
+  candidate option * candidate list
+(** SAME's end-to-end Step 4b: exhaustive search when feasible (falling
+    back to greedy), returning the chosen solution and the Pareto front. *)

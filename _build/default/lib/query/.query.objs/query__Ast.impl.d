@@ -1,0 +1,1 @@
+lib/query/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/query/interp.pp.ml: Ast Bool Buffer Float Format List Map Modelio Mvalue Option Parser Printf Spreadsheet String

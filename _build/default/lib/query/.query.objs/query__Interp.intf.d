@@ -1,0 +1,1 @@
+lib/query/interp.pp.mli: Ast Modelio

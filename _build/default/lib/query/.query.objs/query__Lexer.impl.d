@@ -1,0 +1,1 @@
+lib/query/lexer.pp.ml: Buffer List Printf String Token

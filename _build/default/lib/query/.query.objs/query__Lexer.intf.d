@@ -1,0 +1,1 @@
+lib/query/lexer.pp.mli: Token

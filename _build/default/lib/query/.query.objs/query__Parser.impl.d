@@ -1,0 +1,1 @@
+lib/query/parser.pp.ml: Ast Lexer List Printf Token

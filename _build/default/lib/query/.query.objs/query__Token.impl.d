@@ -1,0 +1,1 @@
+lib/query/token.pp.ml: Ppx_deriving_runtime Printf

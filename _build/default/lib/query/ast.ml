@@ -1,0 +1,55 @@
+(** Abstract syntax of the SAME query language.
+
+    Programs are statement sequences: variable declarations, assignments,
+    expression statements, conditionals and [return].  Expressions are
+    EOL-flavoured: navigation ([a.b]), first-order collection operations
+    with lambda arguments ([seq.select(x | x.fit > 10)]) and the usual
+    operators. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Implies
+[@@deriving eq, show]
+
+type unop = Neg | Not [@@deriving eq, show]
+
+type expr =
+  | Number of float
+  | String of string
+  | Bool of bool
+  | Null
+  | Ident of string
+  | Field of expr * string  (** [e.name] — record navigation *)
+  | Index of expr * expr  (** [e[i]] *)
+  | Call of expr * string * arg list  (** [e.m(args)] — method call *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | If_expr of expr * expr * expr  (** [if (c) e1 else e2] as an expression *)
+  | Seq_lit of expr list  (** [Sequence(e1, e2, ...)] — built by the parser *)
+
+and arg =
+  | Positional of expr
+  | Lambda of string * expr  (** [x | body] *)
+[@@deriving eq, show]
+
+type stmt =
+  | Var_decl of string * expr
+  | Assign of string * expr
+  | Expr_stmt of expr
+  | Return of expr
+  | If_stmt of expr * stmt list * stmt list
+[@@deriving eq, show]
+
+type program = stmt list [@@deriving eq, show]

@@ -1,0 +1,45 @@
+(** Evaluator for the SAME query language.
+
+    Values are {!Modelio.Mvalue.t}; the environment binds variable names
+    (and model roots injected by the caller) to values. *)
+
+exception Runtime_error of string
+
+type env
+
+val env_empty : env
+
+val env_bind : env -> string -> Modelio.Mvalue.t -> env
+
+val env_of_models : (string * Modelio.Mvalue.t) list -> env
+
+val eval_expr : env -> Ast.expr -> Modelio.Mvalue.t
+(** Raises {!Runtime_error} on type errors, unknown identifiers or unknown
+    methods. *)
+
+val run : env -> Ast.program -> Modelio.Mvalue.t
+(** Executes statements in order; the result is the value of the first
+    [return], or of the last expression statement, or [Null] for an
+    empty/effect-free program. *)
+
+val run_string : env -> string -> Modelio.Mvalue.t
+(** Parse and {!run}.  Raises {!Runtime_error}, {!Parser.Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+(** {1 Built-in methods}
+
+    Collections: [select(x|p)] [reject(x|p)] [collect(x|e)] [exists(x|p)]
+    [forAll(x|p)] [selectOne(x|p)] [sortBy(x|e)] [size()] [first()]
+    [last()] [at(i)] [sum()] [avg()] [min()] [max()] [isEmpty()]
+    [notEmpty()] [includes(v)] [flatten()] [distinct()] [count(x|p)]
+    [indexOf(v)].
+
+    Strings: [toUpperCase()] [toLowerCase()] [trim()] [length()]
+    [startsWith(s)] [endsWith(s)] [contains(s)] [split(sep)] [toNumber()]
+    [replace(a,b)].
+
+    Numbers: [abs()] [floor()] [ceil()] [round()] [toStr()].
+
+    Records: [fields()] [has(name)] [get(name)] — plus direct [.name]
+    navigation.  Navigating [.name] on a [Seq] maps the access over the
+    elements (EOL-style collection navigation). *)

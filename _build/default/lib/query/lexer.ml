@@ -1,0 +1,130 @@
+exception Lex_error of { pos : int; message : string }
+
+let fail pos message = raise (Lex_error { pos; message })
+
+let keyword = function
+  | "true" -> Some Token.TRUE
+  | "false" -> Some Token.FALSE
+  | "null" -> Some Token.NULL
+  | "var" -> Some Token.VAR
+  | "return" -> Some Token.RETURN
+  | "if" -> Some Token.IF
+  | "else" -> Some Token.ELSE
+  | "and" -> Some Token.AND
+  | "or" -> Some Token.OR
+  | "not" -> Some Token.NOT
+  | "mod" -> Some Token.MOD
+  | "implies" -> Some Token.IMPLIES
+  | _ -> None
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit pos t = tokens := (t, pos) :: !tokens in
+  let rec go i =
+    if i >= n then emit i Token.EOF
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then fail i "unterminated comment"
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else skip (j + 1)
+          in
+          go (skip (i + 2))
+      | '(' -> emit i Token.LPAREN; go (i + 1)
+      | ')' -> emit i Token.RPAREN; go (i + 1)
+      | '[' -> emit i Token.LBRACKET; go (i + 1)
+      | ']' -> emit i Token.RBRACKET; go (i + 1)
+      | '.' -> emit i Token.DOT; go (i + 1)
+      | ',' -> emit i Token.COMMA; go (i + 1)
+      | ';' -> emit i Token.SEMI; go (i + 1)
+      | '|' -> emit i Token.BAR; go (i + 1)
+      | '+' -> emit i Token.PLUS; go (i + 1)
+      | '-' -> emit i Token.MINUS; go (i + 1)
+      | '*' -> emit i Token.STAR; go (i + 1)
+      | '/' -> emit i Token.SLASH; go (i + 1)
+      | '=' -> emit i Token.EQ; go (i + 1)
+      | ':' when i + 1 < n && src.[i + 1] = '=' ->
+          emit i Token.ASSIGN;
+          go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' ->
+          emit i Token.NEQ;
+          go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' ->
+          emit i Token.LE;
+          go (i + 2)
+      | '<' -> emit i Token.LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+          emit i Token.GE;
+          go (i + 2)
+      | '>' -> emit i Token.GT; go (i + 1)
+      | ('"' | '\'') as quote ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then fail i "unterminated string"
+            else if src.[j] = quote then j + 1
+            else if src.[j] = '\\' && j + 1 < n then begin
+              (match src.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | c -> Buffer.add_char buf c);
+              str (j + 2)
+            end
+            else begin
+              Buffer.add_char buf src.[j];
+              str (j + 1)
+            end
+          in
+          let next = str (i + 1) in
+          emit i (Token.STRING (Buffer.contents buf));
+          go next
+      | c when is_digit c ->
+          let rec num j =
+            if j < n && (is_digit src.[j] || src.[j] = '.') then num (j + 1)
+            else if
+              j < n
+              && (src.[j] = 'e' || src.[j] = 'E')
+              && j + 1 < n
+              && (is_digit src.[j + 1] || src.[j + 1] = '-' || src.[j + 1] = '+')
+            then begin
+              let k = j + 2 in
+              let rec exp k = if k < n && is_digit src.[k] then exp (k + 1) else k in
+              exp k
+            end
+            else j
+          in
+          let next = num i in
+          let text = String.sub src i (next - i) in
+          (match float_of_string_opt text with
+          | Some f -> emit i (Token.NUMBER f)
+          | None -> fail i (Printf.sprintf "invalid number %S" text));
+          go next
+      | c when is_ident_start c ->
+          let rec ident j =
+            if j < n && is_ident_char src.[j] then ident (j + 1) else j
+          in
+          let next = ident i in
+          let text = String.sub src i (next - i) in
+          emit i
+            (match keyword text with
+            | Some t -> t
+            | None -> Token.IDENT text);
+          go next
+      | c -> fail i (Printf.sprintf "unexpected character '%c'" c)
+  in
+  go 0;
+  List.rev !tokens

@@ -1,0 +1,10 @@
+(** Lexer for the SAME query language.
+
+    Comments: [// to end of line] and [/* ... */].  Strings use single or
+    double quotes with backslash escapes. *)
+
+exception Lex_error of { pos : int; message : string }
+
+val tokenize : string -> (Token.t * int) list
+(** Token plus its starting offset; always ends with [(EOF, _)].
+    Raises {!Lex_error}. *)

@@ -1,0 +1,296 @@
+exception Parse_error of { pos : int; message : string }
+
+type state = { mutable toks : (Token.t * int) list }
+
+let fail pos message = raise (Parse_error { pos; message })
+
+let peek st =
+  match st.toks with
+  | (t, p) :: _ -> (t, p)
+  | [] -> (Token.EOF, 0)
+
+let advance st =
+  match st.toks with _ :: tl -> st.toks <- tl | [] -> ()
+
+let expect st tok =
+  let t, p = peek st in
+  if Token.equal t tok then advance st
+  else
+    fail p
+      (Printf.sprintf "expected %s, found %s" (Token.describe tok)
+         (Token.describe t))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name, _ ->
+      advance st;
+      name
+  | t, p -> fail p (Printf.sprintf "expected identifier, found %s" (Token.describe t))
+
+let rec parse_expr st = parse_implies st
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | Token.IMPLIES, _ ->
+      advance st;
+      let rhs = parse_implies st in
+      Ast.Binop (Ast.Implies, lhs, rhs)
+  | _ -> lhs
+
+and parse_or st =
+  let rec go lhs =
+    match peek st with
+    | Token.OR, _ ->
+        advance st;
+        go (Ast.Binop (Ast.Or, lhs, parse_and st))
+    | _ -> lhs
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go lhs =
+    match peek st with
+    | Token.AND, _ ->
+        advance st;
+        go (Ast.Binop (Ast.And, lhs, parse_cmp st))
+    | _ -> lhs
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Token.EQ, _ -> Some Ast.Eq
+    | Token.NEQ, _ -> Some Ast.Neq
+    | Token.LT, _ -> Some Ast.Lt
+    | Token.LE, _ -> Some Ast.Le
+    | Token.GT, _ -> Some Ast.Gt
+    | Token.GE, _ -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS, _ ->
+        advance st;
+        go (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Token.MINUS, _ ->
+        advance st;
+        go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Token.STAR, _ ->
+        advance st;
+        go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Token.SLASH, _ ->
+        advance st;
+        go (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Token.MOD, _ ->
+        advance st;
+        go (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS, _ ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.NOT, _ ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | Token.DOT, _ ->
+        advance st;
+        let name = expect_ident st in
+        (match peek st with
+        | Token.LPAREN, _ ->
+            advance st;
+            let args = parse_args st in
+            expect st Token.RPAREN;
+            go (Ast.Call (e, name, args))
+        | _ -> go (Ast.Field (e, name)))
+    | Token.LBRACKET, _ ->
+        advance st;
+        let idx = parse_expr st in
+        expect st Token.RBRACKET;
+        go (Ast.Index (e, idx))
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_args st =
+  match peek st with
+  | Token.RPAREN, _ -> []
+  | _ ->
+      (* A leading `IDENT |` introduces a lambda argument. *)
+      let first =
+        match st.toks with
+        | (Token.IDENT name, _) :: (Token.BAR, _) :: rest ->
+            st.toks <- rest;
+            Ast.Lambda (name, parse_expr st)
+        | _ -> Ast.Positional (parse_expr st)
+      in
+      let rec more acc =
+        match peek st with
+        | Token.COMMA, _ ->
+            advance st;
+            more (Ast.Positional (parse_expr st) :: acc)
+        | _ -> List.rev acc
+      in
+      more [ first ]
+
+and parse_primary st =
+  match peek st with
+  | Token.NUMBER f, _ ->
+      advance st;
+      Ast.Number f
+  | Token.STRING s, _ ->
+      advance st;
+      Ast.String s
+  | Token.TRUE, _ ->
+      advance st;
+      Ast.Bool true
+  | Token.FALSE, _ ->
+      advance st;
+      Ast.Bool false
+  | Token.NULL, _ ->
+      advance st;
+      Ast.Null
+  | Token.IDENT "Sequence", _ ->
+      advance st;
+      expect st Token.LPAREN;
+      let items =
+        match peek st with
+        | Token.RPAREN, _ -> []
+        | _ ->
+            let rec go acc =
+              let e = parse_expr st in
+              match peek st with
+              | Token.COMMA, _ ->
+                  advance st;
+                  go (e :: acc)
+              | _ -> List.rev (e :: acc)
+            in
+            go []
+      in
+      expect st Token.RPAREN;
+      Ast.Seq_lit items
+  | Token.IDENT name, _ ->
+      advance st;
+      Ast.Ident name
+  | Token.LPAREN, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.IF, _ ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_ = parse_expr st in
+      expect st Token.ELSE;
+      let else_ = parse_expr st in
+      Ast.If_expr (cond, then_, else_)
+  | t, p -> fail p (Printf.sprintf "unexpected %s" (Token.describe t))
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.VAR, _ ->
+      advance st;
+      let name = expect_ident st in
+      expect st Token.ASSIGN;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Var_decl (name, e)
+  | Token.RETURN, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Return e
+  | Token.IF, _ ->
+      (* Statement-level if: 'if' '(' e ')' block ('else' block)?
+         Disambiguated from the expression form by trying the statement
+         form first; an expression-if inside a statement needs parens. *)
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_ = parse_block st in
+      let else_ =
+        match peek st with
+        | Token.ELSE, _ ->
+            advance st;
+            parse_block st
+        | _ -> []
+      in
+      Ast.If_stmt (cond, then_, else_)
+  | Token.IDENT name, _ -> (
+      (* Could be `x := e;` or an expression statement. *)
+      match st.toks with
+      | (Token.IDENT _, _) :: (Token.ASSIGN, _) :: rest ->
+          st.toks <- rest;
+          let e = parse_expr st in
+          expect st Token.SEMI;
+          Ast.Assign (name, e)
+      | _ ->
+          let e = parse_expr st in
+          expect st Token.SEMI;
+          Ast.Expr_stmt e)
+  | _ ->
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Expr_stmt e
+
+and parse_block st =
+  (* No '{' '}' tokens in the lexer; blocks are single statements. *)
+  [ parse_stmt st ]
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  (* A bare expression (no trailing ';') is a one-expression program. *)
+  let rec stmts acc =
+    match peek st with
+    | Token.EOF, _ -> List.rev acc
+    | _ ->
+        (* Try a statement; if the expression is not followed by ';' and we
+           are at EOF, accept it as the program's result. *)
+        let saved = st.toks in
+        (match parse_stmt st with
+        | s -> stmts (s :: acc)
+        | exception Parse_error _ when acc = [] || true -> (
+            st.toks <- saved;
+            let e = parse_expr st in
+            match peek st with
+            | Token.EOF, _ -> List.rev (Ast.Return e :: acc)
+            | t, p ->
+                fail p (Printf.sprintf "unexpected %s" (Token.describe t))))
+  in
+  stmts []
+
+let parse_expression src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st in
+  (match peek st with
+  | Token.EOF, _ -> ()
+  | t, p -> fail p (Printf.sprintf "trailing %s" (Token.describe t)));
+  e

@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the SAME query language.
+
+    Grammar sketch (precedence low → high):
+    {v
+    program   ::= stmt* | expr            (a bare expression is a program
+                                           returning its value)
+    stmt      ::= 'var' IDENT ':=' expr ';'
+                | IDENT ':=' expr ';'
+                | 'return' expr ';'
+                | 'if' '(' expr ')' block ('else' block)?
+                | expr ';'
+    block     ::= '{' stmt* '}' | stmt
+    expr      ::= implies
+    implies   ::= or ('implies' or)*
+    or        ::= and ('or' and)*
+    and       ::= cmp ('and' cmp)*
+    cmp       ::= add (('='|'<>'|'<'|'<='|'>'|'>=') add)?
+    add       ::= mul (('+'|'-') mul)*
+    mul       ::= unary (('*'|'/'|'mod') unary)*
+    unary     ::= ('-'|'not') unary | postfix
+    postfix   ::= primary ('.' IDENT ( '(' args ')' )? | '[' expr ']')*
+    primary   ::= NUMBER | STRING | 'true' | 'false' | 'null'
+                | IDENT | '(' expr ')'
+                | 'Sequence' '(' exprs ')'
+                | 'if' '(' expr ')' expr 'else' expr
+    args      ::= (IDENT '|' expr | expr) (',' expr)*
+    v} *)
+
+exception Parse_error of { pos : int; message : string }
+
+val parse_program : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_expression : string -> Ast.expr
+(** Parses a single expression (the common case for extraction
+    constraints). *)

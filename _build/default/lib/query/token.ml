@@ -1,0 +1,76 @@
+(** Lexical tokens of the SAME query language. *)
+
+type t =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | TRUE
+  | FALSE
+  | NULL
+  | VAR
+  | RETURN
+  | IF
+  | ELSE
+  | AND
+  | OR
+  | NOT
+  | MOD
+  | IMPLIES
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | DOT
+  | COMMA
+  | SEMI
+  | BAR
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ          (* =  *)
+  | NEQ         (* <> *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ASSIGN      (* := *)
+  | EOF
+[@@deriving eq, show]
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | TRUE -> "'true'"
+  | FALSE -> "'false'"
+  | NULL -> "'null'"
+  | VAR -> "'var'"
+  | RETURN -> "'return'"
+  | IF -> "'if'"
+  | ELSE -> "'else'"
+  | AND -> "'and'"
+  | OR -> "'or'"
+  | NOT -> "'not'"
+  | MOD -> "'mod'"
+  | IMPLIES -> "'implies'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | DOT -> "'.'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | BAR -> "'|'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EQ -> "'='"
+  | NEQ -> "'<>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ASSIGN -> "':='"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/reliability/fit.pp.mli: Format

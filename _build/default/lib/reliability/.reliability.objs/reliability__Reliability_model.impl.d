@@ -1,0 +1,1 @@
+lib/reliability/reliability_model.pp.ml: Circuit Fit Float Json List Modelio Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/reliability/reliability_model.pp.mli: Circuit Fit Modelio Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/reliability/sm_model.pp.ml: Circuit Float List Modelio Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/reliability/sm_model.pp.mli: Modelio Ppx_deriving_runtime

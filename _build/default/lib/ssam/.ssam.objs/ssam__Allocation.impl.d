@@ -1,0 +1,1 @@
+lib/ssam/allocation.pp.ml: Architecture Base Format List Mbsa Model Printf Requirement String

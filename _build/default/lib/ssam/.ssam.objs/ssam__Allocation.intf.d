@@ -1,0 +1,1 @@
+lib/ssam/allocation.pp.mli: Base Format Mbsa Model Requirement

@@ -1,0 +1,1 @@
+lib/ssam/architecture.pp.ml: Base List Ppx_deriving_runtime Requirement String

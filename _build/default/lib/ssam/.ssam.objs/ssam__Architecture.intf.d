@@ -1,0 +1,1 @@
+lib/ssam/architecture.pp.mli: Base Ppx_deriving_runtime Requirement

@@ -1,0 +1,1 @@
+lib/ssam/base.pp.ml: Lang_string List Ppx_deriving_runtime Printf

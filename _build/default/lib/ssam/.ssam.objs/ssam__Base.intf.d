@@ -1,0 +1,1 @@
+lib/ssam/base.pp.mli: Lang_string Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ssam/diff.pp.ml: Architecture Base Format Hashtbl Hazard List Model Option Requirement String

@@ -1,0 +1,1 @@
+lib/ssam/diff.pp.mli: Base Format Model

@@ -1,0 +1,1 @@
+lib/ssam/hazard.pp.ml: Base List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/ssam/hazard.pp.mli: Base Ppx_deriving_runtime

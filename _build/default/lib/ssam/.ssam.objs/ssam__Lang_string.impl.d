@@ -1,0 +1,1 @@
+lib/ssam/lang_string.pp.ml: Format List Ppx_deriving_runtime String

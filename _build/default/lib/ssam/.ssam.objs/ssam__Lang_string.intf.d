@@ -1,0 +1,1 @@
+lib/ssam/lang_string.pp.mli: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ssam/mbsa.pp.ml: Base List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/ssam/mbsa.pp.mli: Base Ppx_deriving_runtime

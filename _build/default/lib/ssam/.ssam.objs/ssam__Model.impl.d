@@ -1,0 +1,1 @@
+lib/ssam/model.pp.ml: Architecture Base Hashtbl Hazard List Mbsa Requirement

@@ -1,0 +1,1 @@
+lib/ssam/model.pp.mli: Architecture Base Hazard Mbsa Requirement

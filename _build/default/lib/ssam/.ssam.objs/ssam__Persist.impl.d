@@ -1,0 +1,1 @@
+lib/ssam/persist.pp.ml: Architecture Base Fun Hazard Lang_string List Mbsa Model Modelio Option Printf Requirement String

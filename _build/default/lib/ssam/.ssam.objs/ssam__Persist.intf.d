@@ -1,0 +1,1 @@
+lib/ssam/persist.pp.mli: Model Modelio

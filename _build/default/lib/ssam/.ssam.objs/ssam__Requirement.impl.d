@@ -1,0 +1,1 @@
+lib/ssam/requirement.pp.ml: Base List Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/ssam/requirement.pp.mli: Base Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ssam/validate.pp.ml: Architecture Base Float Format Hashtbl Hazard List Mbsa Model Option Ppx_deriving_runtime Printf Requirement String

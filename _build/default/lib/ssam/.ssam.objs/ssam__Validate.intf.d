@@ -1,0 +1,1 @@
+lib/ssam/validate.pp.mli: Base Format Model Ppx_deriving_runtime

@@ -1,0 +1,51 @@
+type id = string [@@deriving eq, ord, show]
+
+type constraint_ = {
+  constraint_id : id;
+  description : string;
+  language : string;
+  expression : string;
+}
+[@@deriving eq, show]
+
+type external_reference = {
+  location : string;
+  model_type : string;
+  metadata : (string * string) list;
+  validation : constraint_ option;
+}
+[@@deriving eq, show]
+
+type meta = {
+  id : id;
+  name : Lang_string.set;
+  description : string;
+  constraints : constraint_ list;
+  external_references : external_reference list;
+  cites : id list;
+}
+[@@deriving eq, show]
+
+let meta ?name ?(names = []) ?(description = "") ?(constraints = [])
+    ?(external_references = []) ?(cites = []) id =
+  let name_set =
+    match name with Some n -> Lang_string.v n :: names | None -> names
+  in
+  { id; name = name_set; description; constraints; external_references; cites }
+
+let display_name ?(lang = "en") m =
+  match Lang_string.preferred ~lang m.name with "" -> m.id | s -> s
+
+let constraint_ ?(description = "") ?(language = "same-query") ~id expression =
+  { constraint_id = id; description; language; expression }
+
+let external_reference ?(metadata = []) ?validation ~location ~model_type () =
+  { location; model_type; metadata; validation }
+
+let counter = ref 0
+
+let fresh_id ~prefix () =
+  incr counter;
+  Printf.sprintf "%s-%d" prefix !counter
+
+let reset_fresh_ids () = counter := 0

@@ -1,0 +1,78 @@
+(** SSAM Base module (Fig. 2).
+
+    Every SSAM element carries a {!meta} record: identity, a multi-language
+    name, and the three utility facilities that the paper's Base module
+    provides —
+
+    - {!constraint_} ("ImplementationConstraint"): machine-executable
+      constraints attached to elements, written in the query language of
+      {!module:Query} (the paper used EOL);
+    - {!external_reference}: traceability to models defined in arbitrary
+      external technologies, with an optional executable extraction
+      constraint ("validation" in the paper's property editor);
+    - citations: intra-SSAM traceability from one element to another,
+      possibly across packages. *)
+
+type id = string [@@deriving eq, ord, show]
+(** Element identifiers — unique within a {!Model.t}. *)
+
+type constraint_ = {
+  constraint_id : id;
+  description : string;
+  language : string;  (** e.g. ["same-query"]; the paper used ["EOL"]. *)
+  expression : string;  (** source text, executed by {!module:Query}. *)
+}
+[@@deriving eq, show]
+
+type external_reference = {
+  location : string;  (** file path or URI of the external model *)
+  model_type : string;  (** driver name: ["csv"], ["json"], ["xml"], ["blockdiag"], ... *)
+  metadata : (string * string) list;
+  validation : constraint_ option;
+      (** executed against the external model to pull data into SSAM. *)
+}
+[@@deriving eq, show]
+
+type meta = {
+  id : id;
+  name : Lang_string.set;
+  description : string;
+  constraints : constraint_ list;
+  external_references : external_reference list;
+  cites : id list;  (** "cite" links to other ModelElements. *)
+}
+[@@deriving eq, show]
+
+val meta :
+  ?name:string ->
+  ?names:Lang_string.set ->
+  ?description:string ->
+  ?constraints:constraint_ list ->
+  ?external_references:external_reference list ->
+  ?cites:id list ->
+  id ->
+  meta
+(** Smart constructor.  [name] adds an English entry; [names] supplies a
+    full translation set (both may be given). *)
+
+val display_name : ?lang:string -> meta -> string
+(** Preferred name, falling back to the id when the element is unnamed. *)
+
+val constraint_ :
+  ?description:string -> ?language:string -> id:id -> string -> constraint_
+(** [constraint_ ~id expr] with default language ["same-query"]. *)
+
+val external_reference :
+  ?metadata:(string * string) list ->
+  ?validation:constraint_ ->
+  location:string ->
+  model_type:string ->
+  unit ->
+  external_reference
+
+val fresh_id : prefix:string -> unit -> id
+(** Process-wide counter-based ids ([prefix ^ "-" ^ n]) for callers that do
+    not care about stable names.  Deterministic within a run. *)
+
+val reset_fresh_ids : unit -> unit
+(** Reset the {!fresh_id} counter — tests use this for reproducibility. *)

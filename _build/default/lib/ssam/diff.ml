@@ -1,0 +1,214 @@
+type change =
+  | Added of Base.id
+  | Removed of Base.id
+  | Modified of Base.id * string
+
+let pp_change ppf = function
+  | Added id -> Format.fprintf ppf "+ %s" id
+  | Removed id -> Format.fprintf ppf "- %s" id
+  | Modified (id, what) -> Format.fprintf ppf "~ %s (%s)" id what
+
+let by_id_component model =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Architecture.component) ->
+      Hashtbl.replace tbl (Architecture.component_id c) c)
+    (Model.components model);
+  tbl
+
+(* What changed about a component itself (children are compared as their
+   own entries). *)
+let component_delta (a : Architecture.component) (b : Architecture.component) =
+  let deltas = ref [] in
+  let note what = deltas := what :: !deltas in
+  if a.Architecture.fit <> b.Architecture.fit then note "FIT";
+  if a.Architecture.component_type <> b.Architecture.component_type then note "type";
+  if
+    not
+      (Option.equal Requirement.equal_integrity_level a.Architecture.integrity
+         b.Architecture.integrity)
+  then note "integrity";
+  if a.Architecture.safety_related <> b.Architecture.safety_related then
+    note "safety-related flag";
+  if a.Architecture.dynamic <> b.Architecture.dynamic then note "dynamic flag";
+  if
+    not
+      (List.equal Architecture.equal_failure_mode a.Architecture.failure_modes
+         b.Architecture.failure_modes)
+  then note "failure modes";
+  if
+    not
+      (List.equal Architecture.equal_safety_mechanism
+         a.Architecture.safety_mechanisms b.Architecture.safety_mechanisms)
+  then note "safety mechanisms";
+  if not (List.equal Architecture.equal_func a.Architecture.functions b.Architecture.functions)
+  then note "functions";
+  if not (List.equal Architecture.equal_io_node a.Architecture.io_nodes b.Architecture.io_nodes)
+  then note "IO nodes";
+  if
+    not
+      (List.equal Architecture.equal_relationship a.Architecture.connections
+         b.Architecture.connections)
+  then note "connections";
+  if not (Base.equal_meta a.Architecture.c_meta b.Architecture.c_meta) then
+    note "metadata";
+  List.rev !deltas
+
+let diff_tables old_tbl new_tbl delta =
+  let changes = ref [] in
+  Hashtbl.iter
+    (fun id old_v ->
+      match Hashtbl.find_opt new_tbl id with
+      | None -> changes := Removed id :: !changes
+      | Some new_v -> (
+          match delta old_v new_v with
+          | [] -> ()
+          | whats -> changes := Modified (id, String.concat ", " whats) :: !changes))
+    old_tbl;
+  Hashtbl.iter
+    (fun id _ ->
+      if not (Hashtbl.mem old_tbl id) then changes := Added id :: !changes)
+    new_tbl;
+  List.sort
+    (fun a b ->
+      let id = function Added i | Removed i | Modified (i, _) -> i in
+      String.compare (id a) (id b))
+    !changes
+
+let component_changes ~old_model ~new_model =
+  diff_tables (by_id_component old_model) (by_id_component new_model)
+    component_delta
+
+let by_id_hazard model =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Hazard.package) ->
+      List.iter
+        (fun e -> Hashtbl.replace tbl (Hazard.element_id e) e)
+        p.Hazard.elements)
+    model.Model.hazard_packages;
+  tbl
+
+let hazard_changes ~old_model ~new_model =
+  diff_tables (by_id_hazard old_model) (by_id_hazard new_model) (fun a b ->
+      if Hazard.equal_element a b then [] else [ "content" ])
+
+let by_id_requirement model =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Requirement.package) ->
+      List.iter
+        (fun e -> Hashtbl.replace tbl (Requirement.element_id e) e)
+        p.Requirement.elements)
+    model.Model.requirement_packages;
+  tbl
+
+let requirement_changes ~old_model ~new_model =
+  diff_tables (by_id_requirement old_model) (by_id_requirement new_model)
+    (fun a b -> if Requirement.equal_element a b then [] else [ "content" ])
+
+type impact = {
+  changes : change list;
+  impacted_components : Base.id list;
+  reanalysis_required : bool;
+  rehara_required : bool;
+}
+
+(* Downstream closure over all connection graphs of the new model. *)
+let downstream_closure new_model seeds =
+  let edges = Hashtbl.create 64 in
+  let add_edge f t = Hashtbl.add edges f t in
+  List.iter
+    (fun (p : Architecture.package) ->
+      List.iter
+        (fun (r : Architecture.relationship) ->
+          add_edge r.Architecture.from_component r.Architecture.to_component)
+        (Architecture.relationships p);
+      List.iter
+        (fun c ->
+          Architecture.iter_components
+            (fun c ->
+              List.iter
+                (fun (r : Architecture.relationship) ->
+                  add_edge r.Architecture.from_component
+                    r.Architecture.to_component)
+                c.Architecture.connections)
+            c)
+        (Architecture.top_components p))
+    new_model.Model.component_packages;
+  let visited = Hashtbl.create 32 in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      List.iter visit (Hashtbl.find_all edges id)
+    end
+  in
+  List.iter visit seeds;
+  Hashtbl.fold (fun id () acc -> id :: acc) visited []
+  |> List.sort String.compare
+
+let analyse ~old_model ~new_model =
+  let comp = component_changes ~old_model ~new_model in
+  let haz = hazard_changes ~old_model ~new_model in
+  let req = requirement_changes ~old_model ~new_model in
+  let seeds =
+    List.filter_map
+      (function
+        | Added id | Modified (id, _) -> Some id
+        | Removed _ -> None)
+      comp
+  in
+  (* Removed components impact their former downstream partners too; use
+     the old model's edges from the removed node. *)
+  let removed_downstream =
+    let removed =
+      List.filter_map (function Removed id -> Some id | _ -> None) comp
+    in
+    if removed = [] then []
+    else
+      List.concat_map
+        (fun rid ->
+          List.concat_map
+            (fun (p : Architecture.package) ->
+              List.filter_map
+                (fun (r : Architecture.relationship) ->
+                  if String.equal r.Architecture.from_component rid then
+                    Some r.Architecture.to_component
+                  else None)
+                (Architecture.relationships p)
+              @ List.concat_map
+                  (fun c ->
+                    Architecture.fold_components
+                      (fun acc c ->
+                        List.filter_map
+                          (fun (r : Architecture.relationship) ->
+                            if String.equal r.Architecture.from_component rid
+                            then Some r.Architecture.to_component
+                            else None)
+                          c.Architecture.connections
+                        @ acc)
+                      [] c)
+                  (Architecture.top_components p))
+            old_model.Model.component_packages)
+        removed
+  in
+  let impacted_components =
+    downstream_closure new_model (seeds @ removed_downstream)
+  in
+  {
+    changes = comp @ haz @ req;
+    impacted_components;
+    reanalysis_required = comp <> [] || haz <> [];
+    rehara_required = haz <> [];
+  }
+
+let pp_impact ppf i =
+  Format.fprintf ppf "@[<v>changes:@,";
+  if i.changes = [] then Format.fprintf ppf "  (none)@,"
+  else List.iter (fun c -> Format.fprintf ppf "  %a@," pp_change c) i.changes;
+  Format.fprintf ppf "impacted components: %s@,"
+    (match i.impacted_components with
+    | [] -> "(none)"
+    | cs -> String.concat ", " cs);
+  Format.fprintf ppf "re-run Step 4a: %b; re-run HARA: %b@]"
+    i.reanalysis_required i.rehara_required

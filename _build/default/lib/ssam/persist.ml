@@ -1,0 +1,821 @@
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let el tag attributes children =
+  Modelio.Xml.Element { Modelio.Xml.tag; attributes; children }
+
+let elem tag attributes children : Modelio.Xml.element =
+  { Modelio.Xml.tag; attributes; children }
+
+let fstr f = Printf.sprintf "%.17g" f
+
+(* ---------- writing ---------- *)
+
+let meta_children (m : Base.meta) =
+  List.map
+    (fun (ls : Lang_string.t) ->
+      el "name"
+        [ ("lang", ls.Lang_string.lang) ]
+        [ Modelio.Xml.Text ls.Lang_string.value ])
+    m.Base.name
+  @ (if m.Base.description = "" then []
+     else [ el "description" [] [ Modelio.Xml.Text m.Base.description ] ])
+  @ List.map
+      (fun (c : Base.constraint_) ->
+        el "constraint"
+          [
+            ("id", c.Base.constraint_id);
+            ("language", c.Base.language);
+            ("description", c.Base.description);
+          ]
+          [ Modelio.Xml.Text c.Base.expression ])
+      m.Base.constraints
+  @ List.map
+      (fun (r : Base.external_reference) ->
+        el "externalRef"
+          [ ("location", r.Base.location); ("type", r.Base.model_type) ]
+          (List.map
+             (fun (k, v) -> el "meta" [ ("key", k); ("value", v) ] [])
+             r.Base.metadata
+          @
+          match r.Base.validation with
+          | Some c ->
+              [
+                el "validation"
+                  [
+                    ("id", c.Base.constraint_id);
+                    ("language", c.Base.language);
+                    ("description", c.Base.description);
+                  ]
+                  [ Modelio.Xml.Text c.Base.expression ];
+              ]
+          | None -> []))
+      m.Base.external_references
+  @ List.map (fun id -> el "cite" [ ("ref", id) ] []) m.Base.cites
+
+let meta_attr (m : Base.meta) = [ ("id", m.Base.id) ]
+
+(* Requirement package *)
+
+let integrity_attr = function
+  | Some level -> [ ("integrity", Requirement.integrity_level_to_string level) ]
+  | None -> []
+
+let requirement_element = function
+  | Requirement.Requirement r ->
+      el "requirement"
+        (meta_attr r.Requirement.meta @ integrity_attr r.Requirement.integrity)
+        (el "text" [] [ Modelio.Xml.Text r.Requirement.text ]
+        :: meta_children r.Requirement.meta)
+  | Requirement.Relationship r ->
+      let kind =
+        match r.Requirement.kind with
+        | Requirement.Derives -> "derives"
+        | Requirement.Refines -> "refines"
+        | Requirement.Satisfies -> "satisfies"
+        | Requirement.Conflicts -> "conflicts"
+      in
+      el "requirementRelationship"
+        (meta_attr r.Requirement.rel_meta
+        @ [
+            ("kind", kind);
+            ("source", r.Requirement.source);
+            ("target", r.Requirement.target);
+          ])
+        (meta_children r.Requirement.rel_meta)
+
+let interface_element tag (meta, exports) =
+  el tag (meta_attr meta)
+    (List.map (fun id -> el "export" [ ("ref", id) ] []) exports
+    @ meta_children meta)
+
+let requirement_package (p : Requirement.package) =
+  el "requirementPackage"
+    (meta_attr p.Requirement.package_meta)
+    (List.map requirement_element p.Requirement.elements
+    @ List.map
+        (fun (i : Requirement.package_interface) ->
+          interface_element "interface"
+            (i.Requirement.interface_meta, i.Requirement.exports))
+        p.Requirement.interfaces
+    @ meta_children p.Requirement.package_meta)
+
+(* Hazard package *)
+
+let severity_to_string = function
+  | Hazard.S0 -> "S0"
+  | Hazard.S1 -> "S1"
+  | Hazard.S2 -> "S2"
+  | Hazard.S3 -> "S3"
+
+let exposure_to_string = function
+  | Hazard.E1 -> "E1"
+  | Hazard.E2 -> "E2"
+  | Hazard.E3 -> "E3"
+  | Hazard.E4 -> "E4"
+
+let controllability_to_string = function
+  | Hazard.C1 -> "C1"
+  | Hazard.C2 -> "C2"
+  | Hazard.C3 -> "C3"
+
+let hazard_element = function
+  | Hazard.Situation s ->
+      el "hazardousSituation"
+        (meta_attr s.Hazard.hs_meta
+        @ [ ("severity", severity_to_string s.Hazard.severity) ]
+        @ (match s.Hazard.exposure with
+          | Some e -> [ ("exposure", exposure_to_string e) ]
+          | None -> [])
+        @ (match s.Hazard.controllability with
+          | Some c -> [ ("controllability", controllability_to_string c) ]
+          | None -> [])
+        @
+        match s.Hazard.probability with
+        | Some p -> [ ("probability", fstr p) ]
+        | None -> [])
+        (List.map
+           (fun (c : Hazard.cause) ->
+             el "cause" (meta_attr c.Hazard.cause_meta)
+               (el "text" [] [ Modelio.Xml.Text c.Hazard.description ]
+               :: meta_children c.Hazard.cause_meta))
+           s.Hazard.causes
+        @ meta_children s.Hazard.hs_meta)
+  | Hazard.Measure m ->
+      el "controlMeasure"
+        (meta_attr m.Hazard.cm_meta
+        @
+        match m.Hazard.effectiveness with
+        | Some e ->
+            [
+              ("verified", string_of_bool e.Hazard.verified);
+              ("effectiveness", fstr e.Hazard.effectiveness_pct);
+            ]
+        | None -> [])
+        ((if m.Hazard.safety_decision = "" then []
+          else
+            [ el "safetyDecision" [] [ Modelio.Xml.Text m.Hazard.safety_decision ] ])
+        @ (if m.Hazard.validation_plan = "" then []
+           else
+             [ el "validationPlan" [] [ Modelio.Xml.Text m.Hazard.validation_plan ] ])
+        @ List.map (fun id -> el "mitigates" [ ("ref", id) ] []) m.Hazard.mitigates
+        @ meta_children m.Hazard.cm_meta)
+
+let hazard_package (p : Hazard.package) =
+  el "hazardPackage"
+    (meta_attr p.Hazard.package_meta)
+    (List.map hazard_element p.Hazard.elements
+    @ List.map
+        (fun (i : Hazard.package_interface) ->
+          interface_element "interface" (i.Hazard.interface_meta, i.Hazard.exports))
+        p.Hazard.interfaces
+    @ meta_children p.Hazard.package_meta)
+
+(* Architecture package *)
+
+let opt_attr name = function Some v -> [ (name, fstr v) ] | None -> []
+
+let direction_to_string = function
+  | Architecture.Input -> "input"
+  | Architecture.Output -> "output"
+  | Architecture.Bidirectional -> "bidirectional"
+
+let nature_to_string = function
+  | Architecture.Loss_of_function -> "loss_of_function"
+  | Architecture.Degraded -> "degraded"
+  | Architecture.Erroneous -> "erroneous"
+  | Architecture.Other s -> "other:" ^ s
+
+let impact_to_string = function
+  | Architecture.DVF -> "dvf"
+  | Architecture.IVF -> "ivf"
+  | Architecture.Safe_impact -> "safe"
+
+let relationship_element (r : Architecture.relationship) =
+  el "connection"
+    (meta_attr r.Architecture.rel_meta
+    @ [ ("from", r.Architecture.from_component); ("to", r.Architecture.to_component) ]
+    @ (match r.Architecture.from_node with
+      | Some n -> [ ("fromNode", n) ]
+      | None -> [])
+    @
+    match r.Architecture.to_node with
+    | Some n -> [ ("toNode", n) ]
+    | None -> [])
+    (meta_children r.Architecture.rel_meta)
+
+let rec component_element (c : Architecture.component) =
+  let type_str =
+    match c.Architecture.component_type with
+    | Architecture.System -> "system"
+    | Architecture.Hardware -> "hardware"
+    | Architecture.Software -> "software"
+  in
+  el "component"
+    (meta_attr c.Architecture.c_meta
+    @ [
+        ("type", type_str);
+        ("fit", fstr c.Architecture.fit);
+        ("safetyRelated", string_of_bool c.Architecture.safety_related);
+        ("dynamic", string_of_bool c.Architecture.dynamic);
+      ]
+    @ integrity_attr c.Architecture.integrity)
+    (List.map
+       (fun (io : Architecture.io_node) ->
+         el "io"
+           (meta_attr io.Architecture.io_meta
+           @ [ ("direction", direction_to_string io.Architecture.direction) ]
+           @ opt_attr "value" io.Architecture.value
+           @ opt_attr "lower" io.Architecture.lower_limit
+           @ opt_attr "upper" io.Architecture.upper_limit)
+           (meta_children io.Architecture.io_meta))
+       c.Architecture.io_nodes
+    @ List.map
+        (fun (fm : Architecture.failure_mode) ->
+          el "failureMode"
+            (meta_attr fm.Architecture.fm_meta
+            @ [
+                ("nature", nature_to_string fm.Architecture.nature);
+                ("distribution", fstr fm.Architecture.distribution_pct);
+                ("cause", fm.Architecture.fm_cause);
+                ("exposure", fm.Architecture.fm_exposure);
+              ])
+            (List.map
+               (fun id -> el "hazardRef" [ ("ref", id) ] [])
+               fm.Architecture.hazards
+            @ List.map
+                (fun (fe : Architecture.failure_effect) ->
+                  el "effect"
+                    (meta_attr fe.Architecture.fe_meta
+                    @ [
+                        ("impact", impact_to_string fe.Architecture.impact);
+                        ("description", fe.Architecture.effect_description);
+                      ])
+                    (List.map
+                       (fun id -> el "affected" [ ("ref", id) ] [])
+                       fe.Architecture.affected_components
+                    @ meta_children fe.Architecture.fe_meta))
+                fm.Architecture.effects
+            @ meta_children fm.Architecture.fm_meta))
+        c.Architecture.failure_modes
+    @ List.map
+        (fun (sm : Architecture.safety_mechanism) ->
+          el "safetyMechanism"
+            (meta_attr sm.Architecture.sm_meta
+            @ [
+                ("coverage", fstr sm.Architecture.coverage_pct);
+                ("cost", fstr sm.Architecture.sm_cost);
+              ])
+            (List.map (fun id -> el "covers" [ ("ref", id) ] []) sm.Architecture.covers
+            @ meta_children sm.Architecture.sm_meta))
+        c.Architecture.safety_mechanisms
+    @ List.map
+        (fun (f : Architecture.func) ->
+          el "function"
+            (meta_attr f.Architecture.fn_meta
+            @ [ ("tolerance", Architecture.tolerance_to_string f.Architecture.tolerance) ])
+            (meta_children f.Architecture.fn_meta))
+        c.Architecture.functions
+    @ List.map component_element c.Architecture.children
+    @ List.map relationship_element c.Architecture.connections
+    @ meta_children c.Architecture.c_meta)
+
+let architecture_package (p : Architecture.package) =
+  el "componentPackage"
+    (meta_attr p.Architecture.package_meta)
+    (List.map
+       (function
+         | Architecture.Component c -> component_element c
+         | Architecture.Relationship r -> relationship_element r)
+       p.Architecture.elements
+    @ List.map
+        (fun (i : Architecture.package_interface) ->
+          interface_element "interface"
+            (i.Architecture.interface_meta, i.Architecture.exports))
+        p.Architecture.interfaces
+    @ meta_children p.Architecture.package_meta)
+
+(* MBSA package *)
+
+let analysis_kind_to_string = function
+  | Mbsa.FMEA -> "fmea"
+  | Mbsa.FMEDA -> "fmeda"
+  | Mbsa.FTA -> "fta"
+  | Mbsa.Other_analysis s -> "other:" ^ s
+
+let trace_kind_to_string = function
+  | Mbsa.Supports -> "supports"
+  | Mbsa.Addresses -> "addresses"
+  | Mbsa.Allocates -> "allocates"
+  | Mbsa.DerivedFrom -> "derivedFrom"
+
+let mbsa_package (p : Mbsa.package) =
+  el "mbsaPackage"
+    (meta_attr p.Mbsa.package_meta)
+    (List.map (fun id -> el "requirementPackageRef" [ ("ref", id) ] [])
+       p.Mbsa.requirement_packages
+    @ List.map (fun id -> el "hazardPackageRef" [ ("ref", id) ] [])
+        p.Mbsa.hazard_packages
+    @ List.map (fun id -> el "componentPackageRef" [ ("ref", id) ] [])
+        p.Mbsa.component_packages
+    @ List.map
+        (fun (a : Mbsa.artifact_reference) ->
+          el "artifact"
+            (meta_attr a.Mbsa.ar_meta
+            @ [
+                ("kind", analysis_kind_to_string a.Mbsa.kind);
+                ("location", a.Mbsa.location);
+                ("iteration", string_of_int a.Mbsa.iteration);
+              ])
+            (meta_children a.Mbsa.ar_meta))
+        p.Mbsa.artifacts
+    @ List.map
+        (fun (t : Mbsa.trace_link) ->
+          el "trace"
+            (meta_attr t.Mbsa.tl_meta
+            @ [
+                ("kind", trace_kind_to_string t.Mbsa.trace_kind);
+                ("source", t.Mbsa.trace_source);
+                ("target", t.Mbsa.trace_target);
+              ])
+            (meta_children t.Mbsa.tl_meta))
+        p.Mbsa.traces
+    @ meta_children p.Mbsa.package_meta)
+
+let to_xml (m : Model.t) =
+  elem "ssamModel"
+    (meta_attr m.Model.model_meta)
+    (List.map requirement_package m.Model.requirement_packages
+    @ List.map hazard_package m.Model.hazard_packages
+    @ List.map architecture_package m.Model.component_packages
+    @ List.map mbsa_package m.Model.mbsa_packages
+    @ meta_children m.Model.model_meta)
+
+(* ---------- reading ---------- *)
+
+let attr e name = Modelio.Xml.attribute e name
+
+let require_attr e name =
+  match attr e name with
+  | Some v -> v
+  | None -> fail "<%s> is missing attribute %S" e.Modelio.Xml.tag name
+
+let float_attr e name =
+  let raw = require_attr e name in
+  match float_of_string_opt raw with
+  | Some f -> f
+  | None -> fail "<%s %s=%S>: not a number" e.Modelio.Xml.tag name raw
+
+let opt_float_attr e name =
+  Option.map
+    (fun raw ->
+      match float_of_string_opt raw with
+      | Some f -> f
+      | None -> fail "<%s %s=%S>: not a number" e.Modelio.Xml.tag name raw)
+    (attr e name)
+
+let bool_attr e name =
+  match require_attr e name with
+  | "true" -> true
+  | "false" -> false
+  | other -> fail "<%s %s=%S>: not a boolean" e.Modelio.Xml.tag name other
+
+let children_named e tag = Modelio.Xml.find_children e tag
+
+let read_constraint (e : Modelio.Xml.element) =
+  {
+    Base.constraint_id = require_attr e "id";
+    language = require_attr e "language";
+    description = Option.value ~default:"" (attr e "description");
+    expression = Modelio.Xml.text_content e;
+  }
+
+let read_meta (e : Modelio.Xml.element) : Base.meta =
+  {
+    Base.id = require_attr e "id";
+    name =
+      List.map
+        (fun n ->
+          Lang_string.v
+            ~lang:(Option.value ~default:"en" (attr n "lang"))
+            (Modelio.Xml.text_content n))
+        (children_named e "name");
+    description =
+      (match children_named e "description" with
+      | d :: _ -> Modelio.Xml.text_content d
+      | [] -> "");
+    constraints = List.map read_constraint (children_named e "constraint");
+    external_references =
+      List.map
+        (fun r ->
+          {
+            Base.location = require_attr r "location";
+            model_type = require_attr r "type";
+            metadata =
+              List.map
+                (fun m -> (require_attr m "key", require_attr m "value"))
+                (children_named r "meta");
+            validation =
+              (match children_named r "validation" with
+              | v :: _ -> Some (read_constraint v)
+              | [] -> None);
+          })
+        (children_named e "externalRef");
+    cites = List.map (fun c -> require_attr c "ref") (children_named e "cite");
+  }
+
+let read_integrity e =
+  Option.map
+    (fun raw ->
+      match Requirement.integrity_level_of_string raw with
+      | Some l -> l
+      | None -> fail "unknown integrity level %S" raw)
+    (attr e "integrity")
+
+let read_interface e =
+  (read_meta e, List.map (fun x -> require_attr x "ref") (children_named e "export"))
+
+let read_requirement_package (e : Modelio.Xml.element) =
+  let elements =
+    List.filter_map
+      (fun (child : Modelio.Xml.element) ->
+        match child.Modelio.Xml.tag with
+        | "requirement" ->
+            let text =
+              match children_named child "text" with
+              | t :: _ -> Modelio.Xml.text_content t
+              | [] -> ""
+            in
+            Some
+              (Requirement.Requirement
+                 {
+                   Requirement.meta = read_meta child;
+                   text;
+                   integrity = read_integrity child;
+                 })
+        | "requirementRelationship" ->
+            let kind =
+              match require_attr child "kind" with
+              | "derives" -> Requirement.Derives
+              | "refines" -> Requirement.Refines
+              | "satisfies" -> Requirement.Satisfies
+              | "conflicts" -> Requirement.Conflicts
+              | other -> fail "unknown requirement relationship kind %S" other
+            in
+            Some
+              (Requirement.Relationship
+                 {
+                   Requirement.rel_meta = read_meta child;
+                   kind;
+                   source = require_attr child "source";
+                   target = require_attr child "target";
+                 })
+        | _ -> None)
+      (Modelio.Xml.child_elements e)
+  in
+  let interfaces =
+    List.map
+      (fun i ->
+        let meta, exports = read_interface i in
+        { Requirement.interface_meta = meta; exports })
+      (children_named e "interface")
+  in
+  Requirement.package ~interfaces ~meta:(read_meta e) elements
+
+let read_severity raw =
+  match raw with
+  | "S0" -> Hazard.S0
+  | "S1" -> Hazard.S1
+  | "S2" -> Hazard.S2
+  | "S3" -> Hazard.S3
+  | other -> fail "unknown severity %S" other
+
+let read_hazard_package (e : Modelio.Xml.element) =
+  let elements =
+    List.filter_map
+      (fun (child : Modelio.Xml.element) ->
+        match child.Modelio.Xml.tag with
+        | "hazardousSituation" ->
+            let exposure =
+              Option.map
+                (function
+                  | "E1" -> Hazard.E1
+                  | "E2" -> Hazard.E2
+                  | "E3" -> Hazard.E3
+                  | "E4" -> Hazard.E4
+                  | other -> fail "unknown exposure %S" other)
+                (attr child "exposure")
+            in
+            let controllability =
+              Option.map
+                (function
+                  | "C1" -> Hazard.C1
+                  | "C2" -> Hazard.C2
+                  | "C3" -> Hazard.C3
+                  | other -> fail "unknown controllability %S" other)
+                (attr child "controllability")
+            in
+            let causes =
+              List.map
+                (fun c ->
+                  let description =
+                    match children_named c "text" with
+                    | t :: _ -> Modelio.Xml.text_content t
+                    | [] -> ""
+                  in
+                  { Hazard.cause_meta = read_meta c; description })
+                (children_named child "cause")
+            in
+            Some
+              (Hazard.Situation
+                 {
+                   Hazard.hs_meta = read_meta child;
+                   severity = read_severity (require_attr child "severity");
+                   exposure;
+                   controllability;
+                   probability = opt_float_attr child "probability";
+                   causes;
+                 })
+        | "controlMeasure" ->
+            let effectiveness =
+              match attr child "effectiveness" with
+              | Some raw -> (
+                  match float_of_string_opt raw with
+                  | Some pct ->
+                      Some
+                        {
+                          Hazard.verified = bool_attr child "verified";
+                          effectiveness_pct = pct;
+                        }
+                  | None -> fail "bad effectiveness %S" raw)
+              | None -> None
+            in
+            let text tag =
+              match children_named child tag with
+              | t :: _ -> Modelio.Xml.text_content t
+              | [] -> ""
+            in
+            Some
+              (Hazard.Measure
+                 {
+                   Hazard.cm_meta = read_meta child;
+                   safety_decision = text "safetyDecision";
+                   validation_plan = text "validationPlan";
+                   effectiveness;
+                   mitigates =
+                     List.map
+                       (fun m -> require_attr m "ref")
+                       (children_named child "mitigates");
+                 })
+        | _ -> None)
+      (Modelio.Xml.child_elements e)
+  in
+  let interfaces =
+    List.map
+      (fun i ->
+        let meta, exports = read_interface i in
+        { Hazard.interface_meta = meta; exports })
+      (children_named e "interface")
+  in
+  Hazard.package ~interfaces ~meta:(read_meta e) elements
+
+let read_connection (e : Modelio.Xml.element) =
+  {
+    Architecture.rel_meta = read_meta e;
+    from_component = require_attr e "from";
+    from_node = attr e "fromNode";
+    to_component = require_attr e "to";
+    to_node = attr e "toNode";
+  }
+
+let rec read_component (e : Modelio.Xml.element) =
+  let component_type =
+    match require_attr e "type" with
+    | "system" -> Architecture.System
+    | "hardware" -> Architecture.Hardware
+    | "software" -> Architecture.Software
+    | other -> fail "unknown component type %S" other
+  in
+  let io_nodes =
+    List.map
+      (fun io ->
+        let direction =
+          match require_attr io "direction" with
+          | "input" -> Architecture.Input
+          | "output" -> Architecture.Output
+          | "bidirectional" -> Architecture.Bidirectional
+          | other -> fail "unknown direction %S" other
+        in
+        {
+          Architecture.io_meta = read_meta io;
+          direction;
+          value = opt_float_attr io "value";
+          lower_limit = opt_float_attr io "lower";
+          upper_limit = opt_float_attr io "upper";
+        })
+      (children_named e "io")
+  in
+  let failure_modes =
+    List.map
+      (fun fm ->
+        let nature =
+          match require_attr fm "nature" with
+          | "loss_of_function" -> Architecture.Loss_of_function
+          | "degraded" -> Architecture.Degraded
+          | "erroneous" -> Architecture.Erroneous
+          | other ->
+              if String.length other > 6 && String.sub other 0 6 = "other:" then
+                Architecture.Other (String.sub other 6 (String.length other - 6))
+              else fail "unknown failure nature %S" other
+        in
+        let effects =
+          List.map
+            (fun fe ->
+              let impact =
+                match require_attr fe "impact" with
+                | "dvf" -> Architecture.DVF
+                | "ivf" -> Architecture.IVF
+                | "safe" -> Architecture.Safe_impact
+                | other -> fail "unknown impact %S" other
+              in
+              {
+                Architecture.fe_meta = read_meta fe;
+                effect_description = Option.value ~default:"" (attr fe "description");
+                impact;
+                affected_components =
+                  List.map
+                    (fun a -> require_attr a "ref")
+                    (children_named fe "affected");
+              })
+            (children_named fm "effect")
+        in
+        {
+          Architecture.fm_meta = read_meta fm;
+          nature;
+          distribution_pct = float_attr fm "distribution";
+          fm_cause = Option.value ~default:"" (attr fm "cause");
+          fm_exposure = Option.value ~default:"" (attr fm "exposure");
+          hazards =
+            List.map (fun h -> require_attr h "ref") (children_named fm "hazardRef");
+          effects;
+        })
+      (children_named e "failureMode")
+  in
+  let safety_mechanisms =
+    List.map
+      (fun sm ->
+        {
+          Architecture.sm_meta = read_meta sm;
+          coverage_pct = float_attr sm "coverage";
+          sm_cost = float_attr sm "cost";
+          covers =
+            List.map (fun c -> require_attr c "ref") (children_named sm "covers");
+        })
+      (children_named e "safetyMechanism")
+  in
+  let functions =
+    List.map
+      (fun f ->
+        let tolerance =
+          match Architecture.tolerance_of_string (require_attr f "tolerance") with
+          | Some t -> t
+          | None -> fail "unknown tolerance %S" (require_attr f "tolerance")
+        in
+        { Architecture.fn_meta = read_meta f; tolerance })
+      (children_named e "function")
+  in
+  {
+    Architecture.c_meta = read_meta e;
+    component_type;
+    fit = float_attr e "fit";
+    integrity = read_integrity e;
+    safety_related = bool_attr e "safetyRelated";
+    dynamic = bool_attr e "dynamic";
+    io_nodes;
+    failure_modes;
+    safety_mechanisms;
+    functions;
+    children = List.map read_component (children_named e "component");
+    connections = List.map read_connection (children_named e "connection");
+  }
+
+let read_architecture_package (e : Modelio.Xml.element) =
+  let elements =
+    List.filter_map
+      (fun (child : Modelio.Xml.element) ->
+        match child.Modelio.Xml.tag with
+        | "component" -> Some (Architecture.Component (read_component child))
+        | "connection" -> Some (Architecture.Relationship (read_connection child))
+        | _ -> None)
+      (Modelio.Xml.child_elements e)
+  in
+  let interfaces =
+    List.map
+      (fun i ->
+        let meta, exports = read_interface i in
+        { Architecture.interface_meta = meta; exports })
+      (children_named e "interface")
+  in
+  Architecture.package ~interfaces ~meta:(read_meta e) elements
+
+let read_mbsa_package (e : Modelio.Xml.element) =
+  let refs tag = List.map (fun r -> require_attr r "ref") (children_named e tag) in
+  let artifacts =
+    List.map
+      (fun a ->
+        let kind =
+          match require_attr a "kind" with
+          | "fmea" -> Mbsa.FMEA
+          | "fmeda" -> Mbsa.FMEDA
+          | "fta" -> Mbsa.FTA
+          | other ->
+              if String.length other > 6 && String.sub other 0 6 = "other:" then
+                Mbsa.Other_analysis (String.sub other 6 (String.length other - 6))
+              else fail "unknown analysis kind %S" other
+        in
+        let iteration =
+          match int_of_string_opt (require_attr a "iteration") with
+          | Some i -> i
+          | None -> fail "bad iteration"
+        in
+        {
+          Mbsa.ar_meta = read_meta a;
+          kind;
+          location = require_attr a "location";
+          iteration;
+        })
+      (children_named e "artifact")
+  in
+  let traces =
+    List.map
+      (fun t ->
+        let kind =
+          match require_attr t "kind" with
+          | "supports" -> Mbsa.Supports
+          | "addresses" -> Mbsa.Addresses
+          | "allocates" -> Mbsa.Allocates
+          | "derivedFrom" -> Mbsa.DerivedFrom
+          | other -> fail "unknown trace kind %S" other
+        in
+        {
+          Mbsa.tl_meta = read_meta t;
+          trace_kind = kind;
+          trace_source = require_attr t "source";
+          trace_target = require_attr t "target";
+        })
+      (children_named e "trace")
+  in
+  Mbsa.package
+    ~requirement_packages:(refs "requirementPackageRef")
+    ~hazard_packages:(refs "hazardPackageRef")
+    ~component_packages:(refs "componentPackageRef")
+    ~artifacts ~traces ~meta:(read_meta e) ()
+
+let of_xml (root : Modelio.Xml.element) =
+  if not (String.equal root.Modelio.Xml.tag "ssamModel") then
+    fail "expected <ssamModel>, found <%s>" root.Modelio.Xml.tag;
+  Model.create
+    ~requirement_packages:
+      (List.map read_requirement_package (children_named root "requirementPackage"))
+    ~hazard_packages:
+      (List.map read_hazard_package (children_named root "hazardPackage"))
+    ~component_packages:
+      (List.map read_architecture_package (children_named root "componentPackage"))
+    ~mbsa_packages:(List.map read_mbsa_package (children_named root "mbsaPackage"))
+    ~meta:(read_meta root) ()
+
+let to_string m = Modelio.Xml.to_string (to_xml m)
+
+let of_string s = of_xml (Modelio.Xml.parse s)
+
+let save path m =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+      output_string oc (to_string m);
+      output_char oc '\n')
+
+let load path = of_xml (Modelio.Xml.parse_file path)
+
+let install_driver () =
+  Modelio.Driver.register
+    {
+      Modelio.Driver.driver_name = "ssam";
+      load =
+        (fun ~location ~metadata:_ ->
+          match Modelio.Xml.parse_file location with
+          | xml -> Modelio.Mvalue.of_xml xml
+          | exception Modelio.Xml.Parse_error { pos; message } ->
+              raise
+                (Modelio.Driver.Load_error
+                   {
+                     driver = "ssam";
+                     location;
+                     message = Printf.sprintf "offset %d: %s" pos message;
+                   }));
+    }
+
+let () = install_driver ()

@@ -1,0 +1,94 @@
+type integrity_level = QM | ASIL_A | ASIL_B | ASIL_C | ASIL_D | SIL of int
+[@@deriving eq, ord, show]
+
+let integrity_level_to_string = function
+  | QM -> "QM"
+  | ASIL_A -> "ASIL-A"
+  | ASIL_B -> "ASIL-B"
+  | ASIL_C -> "ASIL-C"
+  | ASIL_D -> "ASIL-D"
+  | SIL n -> Printf.sprintf "SIL%d" n
+
+let integrity_level_of_string s =
+  let canon =
+    String.lowercase_ascii s
+    |> String.map (function '-' | '_' | ' ' -> '-' | c -> c)
+  in
+  match canon with
+  | "qm" -> Some QM
+  | "asil-a" | "asila" | "a" -> Some ASIL_A
+  | "asil-b" | "asilb" | "b" -> Some ASIL_B
+  | "asil-c" | "asilc" | "c" -> Some ASIL_C
+  | "asil-d" | "asild" | "d" -> Some ASIL_D
+  | _ ->
+      let is_sil =
+        String.length canon >= 4 && String.sub canon 0 3 = "sil"
+      in
+      if is_sil then
+        match int_of_string_opt (String.sub canon 3 (String.length canon - 3)) with
+        | Some n when n >= 1 && n <= 4 -> Some (SIL n)
+        | Some _ | None -> None
+      else None
+
+type relationship_kind = Derives | Refines | Satisfies | Conflicts
+[@@deriving eq, show]
+
+type requirement = {
+  meta : Base.meta;
+  text : string;
+  integrity : integrity_level option;
+}
+[@@deriving eq, show]
+
+type relationship = {
+  rel_meta : Base.meta;
+  kind : relationship_kind;
+  source : Base.id;
+  target : Base.id;
+}
+[@@deriving eq, show]
+
+type element = Requirement of requirement | Relationship of relationship
+[@@deriving eq, show]
+
+type package_interface = { interface_meta : Base.meta; exports : Base.id list }
+[@@deriving eq, show]
+
+type package = {
+  package_meta : Base.meta;
+  elements : element list;
+  interfaces : package_interface list;
+}
+[@@deriving eq, show]
+
+let requirement ?integrity ~meta text = { meta; text; integrity }
+
+let is_safety_requirement r = Option.is_some r.integrity
+
+let relationship ~meta ~kind ~source ~target =
+  { rel_meta = meta; kind; source; target }
+
+let package ?(interfaces = []) ~meta elements =
+  { package_meta = meta; elements; interfaces }
+
+let element_meta = function
+  | Requirement r -> r.meta
+  | Relationship r -> r.rel_meta
+
+let element_id e = (element_meta e).Base.id
+
+let requirements p =
+  List.filter_map
+    (function Requirement r -> Some r | Relationship _ -> None)
+    p.elements
+
+let relationships p =
+  List.filter_map
+    (function Relationship r -> Some r | Requirement _ -> None)
+    p.elements
+
+let find p id =
+  List.find_opt (fun e -> String.equal (element_id e) id) p.elements
+
+let exported_elements p iface =
+  List.filter_map (fun id -> find p id) iface.exports

@@ -1,0 +1,84 @@
+(** SSAM Requirement module (Fig. 3).
+
+    [RequirementElement]s — plain requirements, safety requirements and
+    relationships between them — are organised in [RequirementPackage]s
+    whose [RequirementPackageInterface]s export a subset of elements for
+    reuse and interchange. *)
+
+type integrity_level =
+  | QM  (** "quality managed" — no safety relevance (ISO 26262). *)
+  | ASIL_A
+  | ASIL_B
+  | ASIL_C
+  | ASIL_D
+  | SIL of int  (** IEC 61508 SIL 1–4, for non-automotive domains. *)
+[@@deriving eq, ord, show]
+
+val integrity_level_to_string : integrity_level -> string
+
+val integrity_level_of_string : string -> integrity_level option
+(** Case-insensitive; accepts ["ASIL-B"], ["asil_b"], ["B"], ["SIL3"], ["QM"]. *)
+
+type relationship_kind = Derives | Refines | Satisfies | Conflicts
+[@@deriving eq, show]
+
+type requirement = {
+  meta : Base.meta;
+  text : string;  (** the functional part *)
+  integrity : integrity_level option;
+      (** [Some _] makes this a SafetyRequirement in the paper's terms. *)
+}
+[@@deriving eq, show]
+
+type relationship = {
+  rel_meta : Base.meta;
+  kind : relationship_kind;
+  source : Base.id;
+  target : Base.id;
+}
+[@@deriving eq, show]
+
+type element = Requirement of requirement | Relationship of relationship
+[@@deriving eq, show]
+
+type package_interface = { interface_meta : Base.meta; exports : Base.id list }
+[@@deriving eq, show]
+
+type package = {
+  package_meta : Base.meta;
+  elements : element list;
+  interfaces : package_interface list;
+}
+[@@deriving eq, show]
+
+val requirement :
+  ?integrity:integrity_level -> meta:Base.meta -> string -> requirement
+
+val is_safety_requirement : requirement -> bool
+
+val relationship :
+  meta:Base.meta ->
+  kind:relationship_kind ->
+  source:Base.id ->
+  target:Base.id ->
+  relationship
+
+val package :
+  ?interfaces:package_interface list ->
+  meta:Base.meta ->
+  element list ->
+  package
+
+val element_id : element -> Base.id
+
+val element_meta : element -> Base.meta
+
+val requirements : package -> requirement list
+
+val relationships : package -> relationship list
+
+val find : package -> Base.id -> element option
+
+val exported_elements : package -> package_interface -> element list
+(** Elements of [package] listed by the interface, in interface order;
+    unknown ids are skipped. *)

@@ -1,0 +1,325 @@
+type severity = Error | Warning [@@deriving eq, show]
+
+type issue = { severity : severity; element : Base.id; message : string }
+[@@deriving eq, show]
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%s: [%s] %s"
+    (match i.severity with Error -> "error" | Warning -> "warning")
+    i.element i.message
+
+let errors issues = List.filter (fun i -> i.severity = Error) issues
+
+let warnings issues = List.filter (fun i -> i.severity = Warning) issues
+
+(* Collect every id in declaration order, including duplicates, so
+   uniqueness can be checked (Model.index silently keeps the first). *)
+let collect_ids model =
+  let acc = ref [] in
+  let push (m : Base.meta) = acc := m.Base.id :: !acc in
+  push model.Model.model_meta;
+  List.iter
+    (fun (p : Requirement.package) ->
+      push p.Requirement.package_meta;
+      List.iter
+        (fun e -> push (Requirement.element_meta e))
+        p.Requirement.elements;
+      List.iter
+        (fun (i : Requirement.package_interface) ->
+          push i.Requirement.interface_meta)
+        p.Requirement.interfaces)
+    model.Model.requirement_packages;
+  List.iter
+    (fun (p : Hazard.package) ->
+      push p.Hazard.package_meta;
+      List.iter
+        (fun e ->
+          push (Hazard.element_meta e);
+          match e with
+          | Hazard.Situation s ->
+              List.iter (fun c -> push c.Hazard.cause_meta) s.Hazard.causes
+          | Hazard.Measure _ -> ())
+        p.Hazard.elements)
+    model.Model.hazard_packages;
+  List.iter
+    (fun (p : Architecture.package) ->
+      push p.Architecture.package_meta;
+      List.iter
+        (function
+          | Architecture.Relationship r -> push r.Architecture.rel_meta
+          | Architecture.Component root ->
+              Architecture.iter_components
+                (fun c ->
+                  push c.Architecture.c_meta;
+                  List.iter
+                    (fun (io : Architecture.io_node) ->
+                      push io.Architecture.io_meta)
+                    c.Architecture.io_nodes;
+                  List.iter
+                    (fun (fm : Architecture.failure_mode) ->
+                      push fm.Architecture.fm_meta;
+                      List.iter
+                        (fun (fe : Architecture.failure_effect) ->
+                          push fe.Architecture.fe_meta)
+                        fm.Architecture.effects)
+                    c.Architecture.failure_modes;
+                  List.iter
+                    (fun (sm : Architecture.safety_mechanism) ->
+                      push sm.Architecture.sm_meta)
+                    c.Architecture.safety_mechanisms;
+                  List.iter
+                    (fun (f : Architecture.func) -> push f.Architecture.fn_meta)
+                    c.Architecture.functions;
+                  List.iter
+                    (fun (r : Architecture.relationship) ->
+                      push r.Architecture.rel_meta)
+                    c.Architecture.connections)
+                root)
+        p.Architecture.elements)
+    model.Model.component_packages;
+  List.iter
+    (fun (p : Mbsa.package) ->
+      push p.Mbsa.package_meta;
+      List.iter (fun a -> push a.Mbsa.ar_meta) p.Mbsa.artifacts;
+      List.iter (fun t -> push t.Mbsa.tl_meta) p.Mbsa.traces)
+    model.Model.mbsa_packages;
+  List.rev !acc
+
+let check_duplicates ids add =
+  let seen = Hashtbl.create 97 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then
+        add Error id "duplicate element id"
+      else Hashtbl.add seen id ())
+    ids
+
+let check_numeric_component add (c : Architecture.component) =
+  let cid = Architecture.component_id c in
+  if c.Architecture.fit < 0.0 then add Error cid "negative FIT";
+  List.iter
+    (fun (fm : Architecture.failure_mode) ->
+      let fid = fm.Architecture.fm_meta.Base.id in
+      let d = fm.Architecture.distribution_pct in
+      if d < 0.0 || d > 100.0 then
+        add Error fid
+          (Printf.sprintf "failure-mode distribution %.2f%% outside [0,100]" d))
+    c.Architecture.failure_modes;
+  if c.Architecture.failure_modes <> [] then begin
+    let sum =
+      List.fold_left
+        (fun s (fm : Architecture.failure_mode) ->
+          s +. fm.Architecture.distribution_pct)
+        0.0 c.Architecture.failure_modes
+    in
+    if Float.abs (sum -. 100.0) > 0.5 then
+      add Warning cid
+        (Printf.sprintf "failure-mode distributions sum to %.2f%%, not 100%%"
+           sum)
+  end;
+  List.iter
+    (fun (sm : Architecture.safety_mechanism) ->
+      let sid = sm.Architecture.sm_meta.Base.id in
+      let cov = sm.Architecture.coverage_pct in
+      if cov < 0.0 || cov > 100.0 then
+        add Error sid
+          (Printf.sprintf "diagnostic coverage %.2f%% outside [0,100]" cov);
+      if sm.Architecture.sm_cost < 0.0 then add Error sid "negative SM cost")
+    c.Architecture.safety_mechanisms;
+  List.iter
+    (fun (io : Architecture.io_node) ->
+      match (io.Architecture.lower_limit, io.Architecture.upper_limit) with
+      | Some lo, Some hi when lo > hi ->
+          add Error io.Architecture.io_meta.Base.id
+            (Printf.sprintf "IO limits inverted (%.3g > %.3g)" lo hi)
+      | _ -> ())
+    c.Architecture.io_nodes
+
+let check_references model idx add =
+  let resolves id = Option.is_some (Model.lookup idx id) in
+  let check_ref owner kind id =
+    if not (resolves id) then
+      add Error owner (Printf.sprintf "dangling %s reference to '%s'" kind id)
+  in
+  let check_meta_cites (m : Base.meta) =
+    List.iter (fun id -> check_ref m.Base.id "cite" id) m.Base.cites
+  in
+  (* Citations everywhere. *)
+  Model.iter_entities (fun e -> check_meta_cites (Model.entity_meta e)) idx;
+  (* Architecture-specific referential checks. *)
+  List.iter
+    (fun (p : Architecture.package) ->
+      let check_relationship ~scope (r : Architecture.relationship) =
+        let rid = r.Architecture.rel_meta.Base.id in
+        let endpoint cid node =
+          (match Model.lookup idx cid with
+          | Some (Model.E_component c) ->
+              (match scope with
+              | Some allowed
+                when not (List.exists (String.equal cid) allowed) ->
+                  add Warning rid
+                    (Printf.sprintf
+                       "relationship endpoint '%s' is not a direct child of \
+                        the enclosing component"
+                       cid)
+              | Some _ | None -> ());
+              (match node with
+              | Some nid ->
+                  let io_ids =
+                    List.map
+                      (fun (io : Architecture.io_node) ->
+                        io.Architecture.io_meta.Base.id)
+                      c.Architecture.io_nodes
+                  in
+                  if not (List.exists (String.equal nid) io_ids) then
+                    add Error rid
+                      (Printf.sprintf "IO node '%s' not on component '%s'" nid
+                         cid)
+              | None -> ())
+          | Some _ ->
+              add Error rid
+                (Printf.sprintf "relationship endpoint '%s' is not a component"
+                   cid)
+          | None ->
+              add Error rid
+                (Printf.sprintf "dangling relationship endpoint '%s'" cid))
+        in
+        endpoint r.Architecture.from_component r.Architecture.from_node;
+        endpoint r.Architecture.to_component r.Architecture.to_node
+      in
+      List.iter
+        (function
+          | Architecture.Relationship r -> check_relationship ~scope:None r
+          | Architecture.Component root ->
+              Architecture.iter_components
+                (fun c ->
+                  let child_ids =
+                    List.map Architecture.component_id
+                      c.Architecture.children
+                    @ [ Architecture.component_id c ]
+                  in
+                  List.iter
+                    (check_relationship ~scope:(Some child_ids))
+                    c.Architecture.connections;
+                  (* SM covers must name failure modes of the same component. *)
+                  let fm_ids =
+                    List.map
+                      (fun (fm : Architecture.failure_mode) ->
+                        fm.Architecture.fm_meta.Base.id)
+                      c.Architecture.failure_modes
+                  in
+                  List.iter
+                    (fun (sm : Architecture.safety_mechanism) ->
+                      List.iter
+                        (fun fmid ->
+                          if not (List.exists (String.equal fmid) fm_ids) then
+                            add Error sm.Architecture.sm_meta.Base.id
+                              (Printf.sprintf
+                                 "safety mechanism covers '%s', not a failure \
+                                  mode of component '%s'"
+                                 fmid
+                                 (Architecture.component_id c)))
+                        sm.Architecture.covers)
+                    c.Architecture.safety_mechanisms;
+                  (* Hazard links on failure modes must resolve to situations. *)
+                  List.iter
+                    (fun (fm : Architecture.failure_mode) ->
+                      List.iter
+                        (fun hid ->
+                          match Model.lookup idx hid with
+                          | Some (Model.E_hazard (Hazard.Situation _)) -> ()
+                          | Some _ ->
+                              add Error fm.Architecture.fm_meta.Base.id
+                                (Printf.sprintf
+                                   "'%s' is not a hazardous situation" hid)
+                          | None ->
+                              add Error fm.Architecture.fm_meta.Base.id
+                                (Printf.sprintf
+                                   "dangling hazard reference '%s'" hid))
+                        fm.Architecture.hazards)
+                    c.Architecture.failure_modes)
+                root)
+        p.Architecture.elements;
+      List.iter
+        (fun (i : Architecture.package_interface) ->
+          List.iter
+            (fun id -> check_ref i.Architecture.interface_meta.Base.id "export" id)
+            i.Architecture.exports)
+        p.Architecture.interfaces)
+    model.Model.component_packages;
+  (* Requirement interfaces and relationships. *)
+  List.iter
+    (fun (p : Requirement.package) ->
+      List.iter
+        (function
+          | Requirement.Relationship r ->
+              check_ref r.Requirement.rel_meta.Base.id "requirement source"
+                r.Requirement.source;
+              check_ref r.Requirement.rel_meta.Base.id "requirement target"
+                r.Requirement.target
+          | Requirement.Requirement _ -> ())
+        p.Requirement.elements;
+      List.iter
+        (fun (i : Requirement.package_interface) ->
+          List.iter
+            (fun id ->
+              check_ref i.Requirement.interface_meta.Base.id "export" id)
+            i.Requirement.exports)
+        p.Requirement.interfaces)
+    model.Model.requirement_packages;
+  (* Hazard mitigation links. *)
+  List.iter
+    (fun (p : Hazard.package) ->
+      List.iter
+        (fun (m : Hazard.control_measure) ->
+          List.iter
+            (fun id -> check_ref m.Hazard.cm_meta.Base.id "mitigates" id)
+            m.Hazard.mitigates)
+        (Hazard.measures p))
+    model.Model.hazard_packages;
+  (* MBSA package references and traces. *)
+  List.iter
+    (fun (p : Mbsa.package) ->
+      let pid = p.Mbsa.package_meta.Base.id in
+      List.iter (check_ref pid "requirement package") p.Mbsa.requirement_packages;
+      List.iter (check_ref pid "hazard package") p.Mbsa.hazard_packages;
+      List.iter (check_ref pid "component package") p.Mbsa.component_packages;
+      List.iter
+        (fun (t : Mbsa.trace_link) ->
+          check_ref t.Mbsa.tl_meta.Base.id "trace source" t.Mbsa.trace_source;
+          check_ref t.Mbsa.tl_meta.Base.id "trace target" t.Mbsa.trace_target)
+        p.Mbsa.traces)
+    model.Model.mbsa_packages
+
+let check_hazard_numeric model add =
+  List.iter
+    (fun (p : Hazard.package) ->
+      List.iter
+        (fun (s : Hazard.hazardous_situation) ->
+          match s.Hazard.probability with
+          | Some p when p < 0.0 || p > 1.0 ->
+              add Error s.Hazard.hs_meta.Base.id
+                (Printf.sprintf "probability %g outside [0,1]" p)
+          | Some _ | None -> ())
+        (Hazard.situations p))
+    model.Model.hazard_packages
+
+let check model =
+  let issues = ref [] in
+  let add severity element message =
+    issues := { severity; element; message } :: !issues
+  in
+  check_duplicates (collect_ids model) add;
+  let idx = Model.index model in
+  List.iter
+    (fun (p : Architecture.package) ->
+      List.iter
+        (fun c -> Architecture.iter_components (check_numeric_component add) c)
+        (Architecture.top_components p))
+    model.Model.component_packages;
+  check_hazard_numeric model add;
+  check_references model idx add;
+  let all = List.rev !issues in
+  errors all @ warnings all
+
+let is_valid model = errors (check model) = []

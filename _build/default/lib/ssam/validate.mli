@@ -1,0 +1,36 @@
+(** Well-formedness validation for SSAM models.
+
+    SAME runs these checks before any automated analysis; analysis modules
+    assume a model that passed {!check} with no errors. *)
+
+type severity = Error | Warning [@@deriving eq, show]
+
+type issue = {
+  severity : severity;
+  element : Base.id;  (** offending element *)
+  message : string;
+}
+[@@deriving eq, show]
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Model.t -> issue list
+(** All issues, errors first.  Checks performed:
+
+    - id uniqueness across the whole model;
+    - dangling references: citations, relationship endpoints and their IO
+      nodes, safety-mechanism [covers], failure-mode hazard links, package
+      interface exports, MBSA package references and traces;
+    - numeric sanity: FIT ≥ 0, distribution percentages in [0,100] summing
+      to ≈100 per component with failure modes (warning otherwise),
+      diagnostic coverage in [0,100], SM cost ≥ 0, IO limits ordered,
+      hazard probability in [0,1];
+    - structural sanity: relationships connect sibling children (warning
+      when an endpoint is outside the enclosing component). *)
+
+val errors : issue list -> issue list
+
+val warnings : issue list -> issue list
+
+val is_valid : Model.t -> bool
+(** No [Error]-severity issues. *)

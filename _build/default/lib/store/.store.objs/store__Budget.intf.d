@@ -1,0 +1,1 @@
+lib/store/budget.pp.mli:

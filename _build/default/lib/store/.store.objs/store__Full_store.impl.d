@@ -1,0 +1,1 @@
+lib/store/full_store.pp.ml: Budget Fmea List Ssam Synthetic

@@ -1,0 +1,1 @@
+lib/store/lazy_store.pp.mli: Budget Synthetic

@@ -1,0 +1,1 @@
+lib/store/synthetic.pp.ml: Architecture Base Int List Model Printf Ssam

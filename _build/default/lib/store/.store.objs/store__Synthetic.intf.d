@@ -1,0 +1,1 @@
+lib/store/synthetic.pp.mli: Ssam

@@ -1,0 +1,25 @@
+type t = { max : int; mutable used : int }
+
+exception Overflow of { requested : int; available : int }
+
+let create ~max_bytes =
+  if max_bytes <= 0 then invalid_arg "Budget.create: non-positive budget";
+  { max = max_bytes; used = 0 }
+
+let jvm_default () = create ~max_bytes:(4 * 1024 * 1024 * 1024)
+
+let bytes_per_element = 96
+
+let charge_elements t n =
+  let requested = n * bytes_per_element in
+  let available = t.max - t.used in
+  if requested > available then raise (Overflow { requested; available });
+  t.used <- t.used + requested
+
+let release_elements t n = t.used <- Int.max 0 (t.used - (n * bytes_per_element))
+
+let used_bytes t = t.used
+
+let max_bytes t = t.max
+
+let reset t = t.used <- 0

@@ -1,0 +1,36 @@
+type loaded = { units : Ssam.Architecture.component list; elements : int }
+
+let load ~budget spec =
+  let units = ref [] in
+  match
+    Synthetic.iter_units spec (fun c ->
+        Budget.charge_elements budget (Ssam.Architecture.count_elements c);
+        units := c :: !units)
+  with
+  | total -> Ok { units = List.rev !units; elements = total }
+  | exception Budget.Overflow _ ->
+      (* Loading died midway, as EMF did; report how much was resident. *)
+      let used = Budget.used_bytes budget in
+      Budget.release_elements budget (used / Budget.bytes_per_element);
+      Error (`Memory_overflow used)
+
+let element_count l = l.elements
+
+let unit_count l = List.length l.units
+
+let evaluate l =
+  List.fold_left
+    (fun acc unit ->
+      let table = Fmea.Path_fmea.analyse unit in
+      acc
+      + List.length
+          (List.filter
+             (fun (r : Fmea.Table.row) -> r.Fmea.Table.safety_related)
+             table.Fmea.Table.rows))
+    0 l.units
+
+let release ~budget l =
+  List.iter
+    (fun c ->
+      Budget.release_elements budget (Ssam.Architecture.count_elements c))
+    l.units

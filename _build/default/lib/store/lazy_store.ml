@@ -1,0 +1,26 @@
+let analyse_unit unit =
+  let table = Fmea.Path_fmea.analyse unit in
+  List.length
+    (List.filter
+       (fun (r : Fmea.Table.row) -> r.Fmea.Table.safety_related)
+       table.Fmea.Table.rows)
+
+let evaluate ?budget spec =
+  let safety_related = ref 0 in
+  match
+    Synthetic.iter_units spec (fun unit ->
+        let n = Ssam.Architecture.count_elements unit in
+        (match budget with
+        | Some b -> Budget.charge_elements b n
+        | None -> ());
+        safety_related := !safety_related + analyse_unit unit;
+        match budget with
+        | Some b -> Budget.release_elements b n
+        | None -> ())
+  with
+  | total -> Ok (total, !safety_related)
+  | exception Budget.Overflow _ ->
+      let used = match budget with Some b -> Budget.used_bytes b | None -> 0 in
+      Error (`Memory_overflow used)
+
+let peak_resident_elements _spec = Synthetic.unit_elements

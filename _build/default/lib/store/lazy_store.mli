@@ -1,0 +1,17 @@
+(** The streaming/indexed store — the paper's future-work fix
+    ("integrate a scalable model indexing (or model storage) framework
+    into SAME", citing Hawk [23]).
+
+    Units are generated, analysed and dropped one at a time, so peak
+    memory is one unit regardless of set size: Set5 becomes analysable.
+    The benches contrast this ablation against {!Full_store}. *)
+
+val evaluate :
+  ?budget:Budget.t -> Synthetic.spec -> (int * int, [ `Memory_overflow of int ]) result
+(** [(elements_processed, safety_related_rows)].  With a [budget], each
+    unit is charged on entry and released after analysis; overflow is
+    only possible if a single unit exceeds the whole budget. *)
+
+val peak_resident_elements : Synthetic.spec -> int
+(** The store's memory high-water mark in elements (= one unit), for the
+    ablation report. *)

@@ -1,0 +1,142 @@
+open Ssam
+
+type spec = { set_name : string; target_elements : int }
+
+let table_vi_sets =
+  [
+    { set_name = "Set0"; target_elements = 109 };
+    { set_name = "Set1"; target_elements = 269 };
+    { set_name = "Set2"; target_elements = 1369 };
+    { set_name = "Set3"; target_elements = 5689 };
+    { set_name = "Set4"; target_elements = 5_689_000 };
+    { set_name = "Set5"; target_elements = 568_990_000 };
+  ]
+
+let scaled spec ~factor =
+  {
+    spec with
+    target_elements = Int.max 1 (spec.target_elements / Int.max 1 factor);
+  }
+
+let chain_length = 10
+
+let branch_count = 3
+
+let unit_composite ~index =
+  let uid fmt = Printf.ksprintf (fun s -> Printf.sprintf "u%d-%s" index s) fmt in
+  let chain_child j =
+    let cid = uid "c%d" j in
+    let fm name nature dist =
+      Architecture.failure_mode
+        ~meta:(Base.meta ~name (Printf.sprintf "%s:fm:%s" cid name))
+        ~nature ~distribution_pct:dist ()
+    in
+    let io name direction =
+      Architecture.io_node
+        ~meta:(Base.meta ~name (Printf.sprintf "%s:io:%s" cid name))
+        direction
+    in
+    let functions =
+      (* Child 5 carries a 1oo2-redundant function: its loss is tolerated,
+         which diversifies the path-FMEA outcomes across the unit. *)
+      if j = 5 then
+        [
+          Architecture.func
+            ~meta:(Base.meta ~name:"redundant" (cid ^ ":fn"))
+            Architecture.OneOoTwo;
+        ]
+      else []
+    in
+    Architecture.component ~fit:(10.0 +. float_of_int j)
+      ~io_nodes:[ io "in" Architecture.Input; io "out" Architecture.Output ]
+      ~failure_modes:
+        [
+          fm "Open" Architecture.Loss_of_function 30.0;
+          fm "Short" Architecture.Erroneous 70.0;
+        ]
+      ~functions
+      ~meta:(Base.meta ~name:cid cid)
+      ()
+  in
+  let branch_child j =
+    let cid = uid "b%d" j in
+    Architecture.component ~fit:5.0
+      ~failure_modes:
+        [
+          Architecture.failure_mode
+            ~meta:(Base.meta ~name:"Loss" (cid ^ ":fm:loss"))
+            ~nature:Architecture.Loss_of_function ~distribution_pct:100.0 ();
+        ]
+      ~meta:(Base.meta ~name:cid cid)
+      ()
+  in
+  let root_id = uid "root" in
+  let chain = List.init chain_length (fun j -> chain_child (j + 1)) in
+  let branches = List.init branch_count (fun j -> branch_child (j + 1)) in
+  let conn i from_c to_c =
+    Architecture.relationship
+      ~meta:(Base.meta (Printf.sprintf "%s:conn:%d" root_id i))
+      ~from_component:from_c ~to_component:to_c ()
+  in
+  let chain_id j = uid "c%d" j in
+  let connections =
+    (* boundary in, the chain, boundary out, and off-path branches *)
+    conn 0 root_id (chain_id 1)
+    :: List.init (chain_length - 1) (fun j ->
+           conn (j + 1) (chain_id (j + 1)) (chain_id (j + 2)))
+    @ [ conn chain_length (chain_id chain_length) root_id ]
+    @ List.mapi
+        (fun j branch ->
+          conn
+            (chain_length + 1 + j)
+            (chain_id (3 + (2 * j)))
+            (Architecture.component_id branch))
+        branches
+  in
+  Architecture.component ~component_type:Architecture.System
+    ~children:(chain @ branches) ~connections
+    ~meta:(Base.meta ~name:root_id root_id)
+    ()
+
+let unit_elements = Architecture.count_elements (unit_composite ~index:0)
+
+let pad_composite ~index ~elements =
+  (* A composite of exactly [elements] elements: itself + (elements-1)
+     bare children. *)
+  assert (elements >= 1);
+  let uid = Printf.sprintf "pad%d" index in
+  let children =
+    List.init (elements - 1) (fun j ->
+        let cid = Printf.sprintf "%s-p%d" uid j in
+        Architecture.component ~meta:(Base.meta ~name:cid cid) ())
+  in
+  Architecture.component ~component_type:Architecture.System ~children
+    ~meta:(Base.meta ~name:uid uid)
+    ()
+
+let iter_units spec f =
+  let remaining = ref spec.target_elements in
+  let index = ref 0 in
+  while !remaining >= unit_elements do
+    incr index;
+    f (unit_composite ~index:!index);
+    remaining := !remaining - unit_elements
+  done;
+  if !remaining > 0 then begin
+    incr index;
+    f (pad_composite ~index:!index ~elements:!remaining);
+    remaining := 0
+  end;
+  spec.target_elements
+
+let materialise spec =
+  let units = ref [] in
+  let _total = iter_units spec (fun c -> units := c :: !units) in
+  let package =
+    Architecture.package
+      ~meta:(Base.meta ~name:spec.set_name ("pkg:" ^ spec.set_name))
+      (List.rev_map (fun c -> Architecture.Component c) !units)
+  in
+  Model.create ~component_packages:[ package ]
+    ~meta:(Base.meta ~name:spec.set_name ("model:" ^ spec.set_name))
+    ()

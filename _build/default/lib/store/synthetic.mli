@@ -1,0 +1,39 @@
+(** Synthetic SSAM model sets for the scalability study (Table VI).
+
+    The paper built Set4/Set5 by duplicating its largest real model.  The
+    generator does the same: it emits copies of a fixed "unit" composite —
+    a chain of analysable children with failure modes, plus off-path
+    branches — until the requested element count is reached (padding with
+    bare components for an exact hit).
+
+    Big sets are never materialised wholesale here: {!iter_units} streams
+    the composites one at a time, and the two stores decide whether to
+    retain them ({!Full_store}) or process-and-drop ({!Lazy_store}). *)
+
+type spec = { set_name : string; target_elements : int }
+
+val table_vi_sets : spec list
+(** Set0 109, Set1 269, Set2 1369, Set3 5689, Set4 5_689_000,
+    Set5 568_990_000 — the paper's sizes. *)
+
+val scaled : spec -> factor:int -> spec
+(** Divide the target by [factor] (min 1) — used by the default bench run
+    to keep Set4/Set5 laptop-friendly; the scaling is reported. *)
+
+val unit_composite : index:int -> Ssam.Architecture.component
+(** One generation unit: a composite with a 10-child main chain (each
+    child: 2 failure modes, 2 IO nodes) and 3 off-path branch children —
+    some children redundant.  Element count {!unit_elements}. *)
+
+val unit_elements : int
+(** Elements contributed by one unit (composite + members + connections),
+    as counted by {!Ssam.Architecture.count_elements} + 1 for the package
+    slot it occupies. *)
+
+val iter_units : spec -> (Ssam.Architecture.component -> unit) -> int
+(** Stream units until the target is reached; returns the exact element
+    count delivered (>= target - small padding remainder handled with
+    bare components inside the last unit's sibling). *)
+
+val materialise : spec -> Ssam.Model.t
+(** Build the whole model in memory — small sets and tests only. *)

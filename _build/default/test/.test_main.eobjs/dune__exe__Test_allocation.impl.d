@@ -1,0 +1,1 @@
+test/test_allocation.ml: Alcotest Allocation Architecture Base Decisive Filename Hara Hazard List Mbsa Model Printf Requirement Ssam String Sys

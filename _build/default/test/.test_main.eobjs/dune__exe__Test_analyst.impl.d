@@ -1,0 +1,1 @@
+test/test_analyst.ml: Alcotest Analyst Cost_model Decisive Experiment Float Fmea List Printf Process Rng

@@ -1,0 +1,1 @@
+test/test_assurance.ml: Alcotest Assurance Decisive Eval Filename Gsn_render List Modelio Option Sacm Ssam String Sys

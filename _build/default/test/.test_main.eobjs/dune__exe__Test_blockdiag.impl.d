@@ -1,0 +1,1 @@
+test/test_blockdiag.ml: Alcotest Blockdiag Circuit Decisive Diagram Fun List Modelio Option Printf QCheck QCheck_alcotest Reliability Ssam String Text_format To_netlist Transform

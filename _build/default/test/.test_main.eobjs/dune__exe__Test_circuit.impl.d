@@ -1,0 +1,1 @@
+test/test_circuit.ml: Ac Alcotest Array Circuit Dc Decisive Element Fault Float Format Library List Netlist Option Printf QCheck QCheck_alcotest Transient

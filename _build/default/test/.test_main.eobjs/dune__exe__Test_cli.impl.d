@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Filename Fun List Modelio Printf Sys

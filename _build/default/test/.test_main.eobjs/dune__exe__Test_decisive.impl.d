@@ -1,0 +1,1 @@
+test/test_decisive.ml: Alcotest Api Assurance Blockdiag Case_study Decisive Filename Fmea Format Fta Hara List Monitor Process Ssam String Sys Systems

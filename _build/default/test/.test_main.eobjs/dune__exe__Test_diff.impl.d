@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Architecture Base Decisive Diff Hazard List Model Printf Requirement Ssam

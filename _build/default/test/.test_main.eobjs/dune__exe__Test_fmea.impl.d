@@ -1,0 +1,1 @@
+test/test_fmea.ml: Alcotest Architecture Base Blockdiag Circuit Decisive Float Fmea Int List Printf QCheck QCheck_alcotest Reliability Requirement Ssam String

@@ -1,0 +1,1 @@
+test/test_fta.ml: Alcotest Cut_sets Decisive Export Fault_tree Filename Fmea_from_fta From_ssam Fta Int List Modelio Option Printf QCheck QCheck_alcotest Quant Ssam String Sys

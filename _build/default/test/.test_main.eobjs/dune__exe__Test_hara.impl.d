@@ -1,0 +1,1 @@
+test/test_hara.ml: Alcotest Array Base Hara Hazard Int List Model Option QCheck QCheck_alcotest Requirement Ssam Validate

@@ -1,0 +1,1 @@
+test/test_modelio.ml: Alcotest Csv Driver Filename Json List Modelio Mvalue Option Printf QCheck QCheck_alcotest Spreadsheet Sys Xml

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Float Numeric Printf QCheck QCheck_alcotest

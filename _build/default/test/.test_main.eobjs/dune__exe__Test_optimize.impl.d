@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Fmea Fun List Optimize Option Printf QCheck QCheck_alcotest Reliability Ssam

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Architecture Base Decisive Filename Fun Hazard Lang_string List Mbsa Model Modelio Option Persist Printf QCheck QCheck_alcotest Query Requirement Ssam Sys

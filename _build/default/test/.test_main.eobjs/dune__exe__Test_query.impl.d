@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Csv Decisive List Modelio Mvalue Printf Query Ssam String

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Fit Float List Modelio Option Printf Reliability Reliability_model Sm_model String

@@ -1,0 +1,1 @@
+test/test_ssam.ml: Alcotest Architecture Base Hazard Lang_string List Mbsa Model Option Requirement Ssam Validate

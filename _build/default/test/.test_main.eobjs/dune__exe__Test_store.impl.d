@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Budget Fmea Full_store Lazy_store List Printf QCheck QCheck_alcotest Ssam Store Synthetic

@@ -1,0 +1,214 @@
+(* Tests for assurance cases: structure, validation and automated
+   evaluation against external evidence. *)
+
+open Assurance
+
+let simple_case ?artifact () =
+  {
+    Sacm.case_name = "t";
+    root =
+      Sacm.goal ~id:"G1" "system is safe"
+        ~in_context_of:[ Sacm.context ~id:"C1" "operational context" ]
+        ~supported_by:
+          [
+            Sacm.strategy ~id:"S1" "argue over evidence"
+              ~supported_by:[ Sacm.solution ?artifact ~id:"Sn1" "the evidence" ];
+          ];
+  }
+
+let test_structure () =
+  let case = simple_case () in
+  Alcotest.(check bool) "find" true (Option.is_some (Sacm.find case "S1"));
+  Alcotest.(check bool) "find missing" true (Sacm.find case "ZZ" = None);
+  Alcotest.(check int) "solutions" 1 (List.length (Sacm.solutions case));
+  Alcotest.(check int) "fold count" 4 (Sacm.fold (fun n _ -> n + 1) 0 case)
+
+let test_undeveloped () =
+  let case =
+    { Sacm.case_name = "u"; root = Sacm.goal ~id:"G1" "bare claim" }
+  in
+  Alcotest.(check int) "undeveloped" 1 (List.length (Sacm.undeveloped_goals case))
+
+let test_validate_structure () =
+  Alcotest.(check (list string)) "clean" [] (Sacm.validate (simple_case ()));
+  let bad =
+    {
+      Sacm.case_name = "bad";
+      root =
+        {
+          (Sacm.goal ~id:"G1" "claim") with
+          Sacm.supported_by =
+            [
+              Sacm.context ~id:"C1" "context used as support";
+              { (Sacm.solution ~id:"Sn1" "s") with
+                Sacm.supported_by = [ Sacm.goal ~id:"G1" "dup id" ] };
+            ];
+        };
+    }
+  in
+  let problems = Sacm.validate bad in
+  Alcotest.(check bool) "flags context-as-support" true
+    (List.exists (fun p -> String.length p > 0) problems);
+  Alcotest.(check bool) "several problems" true (List.length problems >= 2)
+
+let write_fmeda_csv path spfm_ok =
+  (* A two-row FMEDA whose SPFM either passes or fails the 90% bar. *)
+  let spf = if spfm_ok then "5 FIT" else "80 FIT" in
+  Modelio.Csv.write_file path
+    [
+      [
+        "Component"; "FIT"; "Safety_Related"; "Failure_Mode"; "Distribution";
+        "Safety_Mechanism"; "SM_Coverage"; "Single_Point_Failure_Rate";
+      ];
+      [ "X"; "100"; "Yes"; "f"; "100%"; "SM"; "95%"; spf ];
+    ]
+
+let test_eval_holds () =
+  let path = Filename.temp_file "ev" ".csv" in
+  write_fmeda_csv path true;
+  let case =
+    simple_case
+      ~artifact:
+        (Sacm.artifact
+           ~query:(Decisive.Api.spfm_query ~target:Ssam.Requirement.ASIL_B)
+           ~location:path ~driver:"csv" ())
+      ()
+  in
+  let report = Eval.evaluate case in
+  Sys.remove path;
+  Alcotest.(check bool) "holds" true (report.Eval.overall = Eval.Holds);
+  Alcotest.(check bool) "Sn1 holds" true (Eval.status_of report "Sn1" = Some Eval.Holds);
+  Alcotest.(check bool) "context holds" true
+    (Eval.status_of report "C1" = Some Eval.Holds)
+
+let test_eval_fails () =
+  let path = Filename.temp_file "ev" ".csv" in
+  write_fmeda_csv path false;
+  let case =
+    simple_case
+      ~artifact:
+        (Sacm.artifact
+           ~query:(Decisive.Api.spfm_query ~target:Ssam.Requirement.ASIL_B)
+           ~location:path ~driver:"csv" ())
+      ()
+  in
+  let report = Eval.evaluate case in
+  Sys.remove path;
+  Alcotest.(check bool) "fails propagates to root" true
+    (report.Eval.overall = Eval.Fails)
+
+let test_eval_undetermined_cases () =
+  (* Missing evidence file. *)
+  let case =
+    simple_case
+      ~artifact:(Sacm.artifact ~location:"/does/not/exist.csv" ~driver:"csv" ())
+      ()
+  in
+  Alcotest.(check bool) "missing file" true
+    ((Eval.evaluate case).Eval.overall = Eval.Undetermined);
+  (* Unknown driver. *)
+  let case =
+    simple_case ~artifact:(Sacm.artifact ~location:"x" ~driver:"martian" ()) ()
+  in
+  Alcotest.(check bool) "unknown driver" true
+    ((Eval.evaluate case).Eval.overall = Eval.Undetermined);
+  (* Solution without evidence. *)
+  Alcotest.(check bool) "no evidence" true
+    ((Eval.evaluate (simple_case ())).Eval.overall = Eval.Undetermined);
+  (* Broken query. *)
+  let path = Filename.temp_file "ev" ".csv" in
+  write_fmeda_csv path true;
+  let case =
+    simple_case
+      ~artifact:(Sacm.artifact ~query:"syntax error ((" ~location:path ~driver:"csv" ())
+      ()
+  in
+  let verdict = (Eval.evaluate case).Eval.overall in
+  Sys.remove path;
+  Alcotest.(check bool) "broken query" true (verdict = Eval.Undetermined)
+
+let test_eval_presence_only () =
+  let path = Filename.temp_file "ev" ".csv" in
+  write_fmeda_csv path false;
+  (* No acceptance query: presence of the artefact suffices. *)
+  let case =
+    simple_case ~artifact:(Sacm.artifact ~location:path ~driver:"csv" ()) ()
+  in
+  let verdict = (Eval.evaluate case).Eval.overall in
+  Sys.remove path;
+  Alcotest.(check bool) "presence-only holds" true (verdict = Eval.Holds)
+
+let test_fails_beats_undetermined () =
+  let path = Filename.temp_file "ev" ".csv" in
+  write_fmeda_csv path false;
+  let case =
+    {
+      Sacm.case_name = "mix";
+      root =
+        Sacm.goal ~id:"G1" "claim"
+          ~supported_by:
+            [
+              Sacm.solution ~id:"Sn-undet" "no evidence";
+              Sacm.solution
+                ~artifact:
+                  (Sacm.artifact
+                     ~query:(Decisive.Api.spfm_query ~target:Ssam.Requirement.ASIL_B)
+                     ~location:path ~driver:"csv" ())
+                ~id:"Sn-fail" "failing evidence";
+            ];
+    }
+  in
+  let verdict = (Eval.evaluate case).Eval.overall in
+  Sys.remove path;
+  Alcotest.(check bool) "fails dominates" true (verdict = Eval.Fails)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "undeveloped goals" `Quick test_undeveloped;
+    Alcotest.test_case "validate structure" `Quick test_validate_structure;
+    Alcotest.test_case "eval holds" `Quick test_eval_holds;
+    Alcotest.test_case "eval fails" `Quick test_eval_fails;
+    Alcotest.test_case "eval undetermined" `Quick test_eval_undetermined_cases;
+    Alcotest.test_case "presence-only evidence" `Quick test_eval_presence_only;
+    Alcotest.test_case "fails beats undetermined" `Quick test_fails_beats_undetermined;
+  ]
+
+(* ---------- GSN rendering ---------- *)
+
+let render_suite =
+  let contains haystack needle =
+    let n = String.length haystack and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let test_dot_shapes () =
+    let case = simple_case () in
+    let dot = Gsn_render.to_dot case in
+    Alcotest.(check bool) "goal box" true (contains dot "shape=box");
+    Alcotest.(check bool) "strategy parallelogram" true
+      (contains dot "parallelogram");
+    Alcotest.(check bool) "solution circle" true (contains dot "shape=circle");
+    Alcotest.(check bool) "context edge dashed" true
+      (contains dot "style=dashed, arrowhead=empty")
+  in
+  let test_dot_colours () =
+    let case = simple_case () in
+    let report = Eval.evaluate case in
+    let dot = Gsn_render.to_dot ~report case in
+    (* Undetermined solution -> grey fill somewhere. *)
+    Alcotest.(check bool) "grey fill" true (contains dot "#e0e0e0")
+  in
+  let test_text () =
+    let case = simple_case () in
+    let report = Eval.evaluate case in
+    let text = Gsn_render.to_text ~report case in
+    Alcotest.(check bool) "indented outline" true
+      (contains text "  Strategy S1");
+    Alcotest.(check bool) "undetermined marker" true (contains text "[?]")
+  in
+  [
+    Alcotest.test_case "dot shapes" `Quick test_dot_shapes;
+    Alcotest.test_case "dot colours" `Quick test_dot_colours;
+    Alcotest.test_case "text outline" `Quick test_text;
+  ]

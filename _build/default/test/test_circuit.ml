@@ -1,0 +1,622 @@
+(* Tests for the circuit simulator: elements, netlists, MNA DC analysis,
+   Newton convergence, fault injection and the block catalogue. *)
+
+open Circuit
+
+let solve_exn nl =
+  match Dc.analyse nl with
+  | Ok s -> s
+  | Error e -> Alcotest.fail (Format.asprintf "analysis failed: %a" Dc.pp_error e)
+
+let check_float ?(eps = 1e-6) what expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" what expected actual)
+    true
+    (Float.abs (expected -. actual) <= eps)
+
+(* ---------- Element / Netlist ---------- *)
+
+let test_element_validation () =
+  Alcotest.check_raises "same node"
+    (Invalid_argument "Element.make x: terminals on the same node") (fun () ->
+      ignore (Element.make ~id:"x" ~kind:(Element.Resistor 1.0) "n1" "n1"));
+  Alcotest.check_raises "bad resistance"
+    (Invalid_argument "Element.make r: non-positive resistance") (fun () ->
+      ignore (Element.make ~id:"r" ~kind:(Element.Resistor 0.0) "n1" "n2"))
+
+let test_netlist_basics () =
+  let nl =
+    Netlist.of_elements "t"
+      [
+        Element.make ~id:"V" ~kind:(Element.Vsource 5.0) "n1" "0";
+        Element.make ~id:"R" ~kind:(Element.Resistor 10.0) "n1" "GND";
+      ]
+  in
+  Alcotest.(check int) "count" 2 (Netlist.element_count nl);
+  Alcotest.(check (list string)) "nodes normalised (0 and GND are ground)"
+    [ "n1" ] (Netlist.nodes nl);
+  Alcotest.(check bool) "find" true (Option.is_some (Netlist.find nl "R"));
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Netlist.add: duplicate element id R") (fun () ->
+      ignore (Netlist.add nl (Element.make ~id:"R" ~kind:(Element.Resistor 1.0) "a" "b")))
+
+let test_netlist_replace_remove () =
+  let nl =
+    Netlist.of_elements "t"
+      [ Element.make ~id:"R" ~kind:(Element.Resistor 10.0) "n1" "gnd" ]
+  in
+  let nl2 = Netlist.replace nl "R" (Element.Resistor 20.0) in
+  (match Netlist.find nl2 "R" with
+  | Some { Element.kind = Element.Resistor r; _ } -> check_float "replaced" 20.0 r
+  | _ -> Alcotest.fail "missing");
+  let nl3 = Netlist.remove nl2 "R" in
+  Alcotest.(check int) "removed" 0 (Netlist.element_count nl3);
+  Alcotest.check_raises "remove missing" Not_found (fun () ->
+      ignore (Netlist.remove nl3 "R"))
+
+let test_netlist_validate () =
+  let nl =
+    Netlist.of_elements "t"
+      [
+        Element.make ~id:"V" ~kind:(Element.Vsource 5.0) "n1" "gnd";
+        (* n2-n3 florating pair: a capacitor does not conduct at DC *)
+        Element.make ~id:"C" ~kind:(Element.Capacitor 1e-6) "n2" "n3";
+      ]
+  in
+  Alcotest.(check int) "floating nodes reported" 2
+    (List.length (Netlist.validate nl))
+
+(* ---------- DC analysis on textbook circuits ---------- *)
+
+let test_voltage_divider () =
+  let nl =
+    Netlist.of_elements "divider"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 10.0) "in" "gnd";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 1000.0) "in" "mid";
+        Element.make ~id:"R2" ~kind:(Element.Resistor 1000.0) "mid" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  (* gmin (1e-9 S per node) perturbs voltages at the 1e-5 level. *)
+  check_float ~eps:1e-4 "midpoint" 5.0 (Dc.node_voltage s "mid");
+  check_float ~eps:1e-6 "source current" (-0.005) (Dc.element_current s "V1")
+
+let test_current_source () =
+  let nl =
+    Netlist.of_elements "isrc"
+      [
+        Element.make ~id:"I1" ~kind:(Element.Isource 0.001) "gnd" "n1";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 1000.0) "n1" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  check_float "1mA into 1k" 1.0 (Dc.node_voltage s "n1")
+
+let test_inductor_is_dc_short () =
+  let nl =
+    Netlist.of_elements "lshort"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 3.0) "a" "gnd";
+        Element.make ~id:"L1" ~kind:(Element.Inductor 1e-3) "a" "b";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 100.0) "b" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  check_float "no drop across L" 3.0 (Dc.node_voltage s "b");
+  check_float "current through L" 0.03 (Dc.element_current s "L1")
+
+let test_capacitor_is_dc_open () =
+  let nl =
+    Netlist.of_elements "copen"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 3.0) "a" "gnd";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 100.0) "a" "b";
+        Element.make ~id:"C1" ~kind:(Element.Capacitor 1e-6) "b" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  (* No DC current, so no drop across R1. *)
+  check_float ~eps:1e-3 "b floats to source" 3.0 (Dc.node_voltage s "b");
+  check_float "no current" 0.0 (Dc.element_current s "C1")
+
+let test_diode_forward_drop () =
+  let nl =
+    Netlist.of_elements "dfwd"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 5.0) "a" "gnd";
+        Element.make ~id:"D1" ~kind:(Element.Diode Element.default_diode) "a" "b";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 1000.0) "b" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  let drop = Dc.node_voltage s "a" -. Dc.node_voltage s "b" in
+  Alcotest.(check bool) (Printf.sprintf "forward drop 0.4-0.8V, got %g" drop)
+    true
+    (drop > 0.4 && drop < 0.8);
+  (* Shockley consistency: i = Is (exp(v/vt) - 1) at the operating point. *)
+  let i = Dc.element_current s "D1" in
+  let p = Element.default_diode in
+  let expected =
+    p.Element.saturation_current *. (exp (drop /. p.Element.thermal_voltage) -. 1.0)
+  in
+  check_float ~eps:1e-6 "shockley" expected i
+
+let test_diode_reverse_blocks () =
+  let nl =
+    Netlist.of_elements "drev"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 5.0) "a" "gnd";
+        Element.make ~id:"D1" ~kind:(Element.Diode Element.default_diode) "b" "a";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 1000.0) "b" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  Alcotest.(check bool) "reverse current negligible" true
+    (Float.abs (Dc.element_current s "D1") < 1e-6)
+
+let test_wheatstone_bridge () =
+  (* Balanced bridge: zero volts across the detector. *)
+  let nl =
+    Netlist.of_elements "bridge"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 10.0) "top" "gnd";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 100.0) "top" "l";
+        Element.make ~id:"R2" ~kind:(Element.Resistor 200.0) "l" "gnd";
+        Element.make ~id:"R3" ~kind:(Element.Resistor 1000.0) "top" "r";
+        Element.make ~id:"R4" ~kind:(Element.Resistor 2000.0) "r" "gnd";
+        Element.make ~id:"VS" ~kind:Element.Voltage_sensor "l" "r";
+      ]
+  in
+  let s = solve_exn nl in
+  check_float ~eps:1e-4 "balanced" 0.0
+    (List.assoc "VS" (Dc.voltage_sensor_readings s))
+
+let test_kirchhoff_current_law () =
+  (* Currents into the mid node must sum to zero. *)
+  let nl =
+    Netlist.of_elements "kcl"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 12.0) "in" "gnd";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 100.0) "in" "mid";
+        Element.make ~id:"R2" ~kind:(Element.Resistor 330.0) "mid" "gnd";
+        Element.make ~id:"R3" ~kind:(Element.Resistor 470.0) "mid" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  let i_in = Dc.element_current s "R1" in
+  let i_out = Dc.element_current s "R2" +. Dc.element_current s "R3" in
+  (* KCL holds up to the gmin leakage path at the node. *)
+  check_float ~eps:1e-6 "KCL at mid" i_in i_out
+
+let test_open_switch_blocks () =
+  let nl =
+    Netlist.of_elements "sw"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 5.0) "a" "gnd";
+        Element.make ~id:"SW" ~kind:(Element.Switch false) "a" "b";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 100.0) "b" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  Alcotest.(check bool) "load dark" true (Float.abs (Dc.node_voltage s "b") < 1e-3)
+
+let test_current_sensor_reads_branch () =
+  let nl =
+    Netlist.of_elements "cs"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 5.0) "a" "gnd";
+        Element.make ~id:"CS" ~kind:Element.Current_sensor "a" "b";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 500.0) "b" "gnd";
+      ]
+  in
+  let s = solve_exn nl in
+  check_float "10mA" 0.01 (List.assoc "CS" (Dc.current_sensor_readings s));
+  Alcotest.(check int) "all readings" 1 (List.length (Dc.all_sensor_readings s))
+
+let test_no_convergence_reported () =
+  (* A high-current diode chain converges too; check that errors are
+     reported as values, not exceptions, for solver failures. *)
+  let nl =
+    Netlist.of_elements "hi"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 24.0) "a" "gnd";
+        Element.make ~id:"SW" ~kind:(Element.Switch true) "a" "b";
+        Element.make ~id:"D1" ~kind:(Element.Diode Element.default_diode) "b" "c";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 10.0) "c" "gnd";
+      ]
+  in
+  match Dc.analyse nl with
+  | Ok s ->
+      Alcotest.(check bool) "current plausible" true
+        (Dc.element_current s "R1" > 2.0 && Dc.element_current s "R1" < 2.4)
+  | Error e -> Alcotest.fail (Format.asprintf "unexpected: %a" Dc.pp_error e)
+
+(* Property: in random resistor ladders the node voltages are monotone
+   (each divider step can only lower the voltage towards ground). *)
+let prop_ladder_monotone =
+  QCheck.Test.make ~name:"resistor ladder voltages decrease monotonically"
+    ~count:60
+    QCheck.(pair (int_range 1 8) (list_of_size (QCheck.Gen.return 8) (QCheck.int_range 1 1000)))
+    (fun (stages, resistances) ->
+      let r i = float_of_int (List.nth resistances (i mod List.length resistances) + 1) in
+      let elements = ref [ Element.make ~id:"V" ~kind:(Element.Vsource 10.0) "n0" "gnd" ] in
+      for i = 0 to stages - 1 do
+        elements :=
+          Element.make ~id:(Printf.sprintf "Rs%d" i) ~kind:(Element.Resistor (r (2 * i)))
+            (Printf.sprintf "n%d" i) (Printf.sprintf "n%d" (i + 1))
+          :: Element.make ~id:(Printf.sprintf "Rg%d" i)
+               ~kind:(Element.Resistor (r ((2 * i) + 1)))
+               (Printf.sprintf "n%d" (i + 1)) "gnd"
+          :: !elements
+      done;
+      match Dc.analyse (Netlist.of_elements "ladder" !elements) with
+      | Error _ -> false
+      | Ok s ->
+          let rec monotone i =
+            i > stages
+            || (Dc.node_voltage s (Printf.sprintf "n%d" (i - 1))
+                >= Dc.node_voltage s (Printf.sprintf "n%d" i) -. 1e-9
+               && monotone (i + 1))
+          in
+          monotone 1)
+
+(* ---------- Fault injection ---------- *)
+
+let psu_netlist () =
+  Netlist.of_elements "psu"
+    [
+      Element.make ~id:"V1" ~kind:(Element.Vsource 5.0) "a" "gnd";
+      Element.make ~id:"R1" ~kind:(Element.Resistor 50.0) "a" "b";
+      Element.make ~id:"R2" ~kind:(Element.Resistor 50.0) "b" "gnd";
+    ]
+
+let test_fault_open () =
+  let nl = Fault.inject (psu_netlist ()) ~element_id:"R1" Fault.Open_circuit in
+  let s = solve_exn nl in
+  Alcotest.(check bool) "b dark" true (Float.abs (Dc.node_voltage s "b") < 1e-3)
+
+let test_fault_short () =
+  let nl = Fault.inject (psu_netlist ()) ~element_id:"R1" Fault.Short_circuit in
+  let s = solve_exn nl in
+  Alcotest.(check bool) "b pulled up" true (Dc.node_voltage s "b" > 4.9)
+
+let test_fault_stuck_and_shift () =
+  let nl = Fault.inject (psu_netlist ()) ~element_id:"V1" (Fault.Stuck_value 2.5) in
+  let s = solve_exn nl in
+  check_float "stuck source" 1.25 (Dc.node_voltage s "b");
+  let nl = Fault.inject (psu_netlist ()) ~element_id:"R2" (Fault.Parameter_shift 3.0) in
+  (match Netlist.find nl "R2" with
+  | Some { Element.kind = Element.Resistor r; _ } -> check_float "shifted" 150.0 r
+  | _ -> Alcotest.fail "missing R2")
+
+let test_fault_not_applicable () =
+  (match Fault.inject (psu_netlist ()) ~element_id:"R1" (Fault.Stuck_value 1.0) with
+  | exception Fault.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "expected Not_applicable");
+  match Fault.inject (psu_netlist ()) ~element_id:"zzz" Fault.Open_circuit with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_fault_name_mapping () =
+  Alcotest.(check bool) "open" true
+    (Fault.of_failure_mode_name "Open" = Some Fault.Open_circuit);
+  Alcotest.(check bool) "short" true
+    (Fault.of_failure_mode_name "short circuit" = Some Fault.Short_circuit);
+  Alcotest.(check bool) "ram failure" true
+    (Fault.of_failure_mode_name "RAM Failure" = Some Fault.Open_circuit);
+  Alcotest.(check bool) "drift" true
+    (match Fault.of_failure_mode_name "output drift" with
+    | Some (Fault.Parameter_shift _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "unknown" true (Fault.of_failure_mode_name "jitter" = None)
+
+(* ---------- Library ---------- *)
+
+let test_library_lookup () =
+  Alcotest.(check bool) "resistor" true (Option.is_some (Library.find "resistor"));
+  Alcotest.(check bool) "alias MC" true
+    (match Library.find "MC" with
+    | Some { Library.block_type = "microcontroller"; _ } -> true
+    | _ -> false);
+  Alcotest.(check bool) "unknown" true (Library.find "warp-drive" = None)
+
+let test_library_coverage () =
+  let r = Library.coverage [ "resistor"; "diode"; "mcu"; "opamp"; "resistor" ] in
+  Alcotest.(check int) "native" 2 (List.length r.Library.native);
+  Alcotest.(check int) "workaround" 1 (List.length r.Library.via_workaround);
+  Alcotest.(check int) "unsupported" 1 (List.length r.Library.unsupported);
+  Alcotest.(check (float 0.01)) "pct" 75.0 r.Library.coverage_pct;
+  let empty = Library.coverage [] in
+  Alcotest.(check (float 0.01)) "empty is 100%" 100.0 empty.Library.coverage_pct
+
+let test_library_distributions_sum () =
+  List.iter
+    (fun (b : Library.block_info) ->
+      if b.Library.failure_modes <> [] then begin
+        let sum =
+          List.fold_left
+            (fun acc fm -> acc +. fm.Library.cfm_distribution_pct)
+            0.0 b.Library.failure_modes
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s distributions sum to 100" b.Library.block_type)
+          true
+          (Float.abs (sum -. 100.0) < 0.5)
+      end)
+    Library.catalogue
+
+let suite =
+  [
+    Alcotest.test_case "element validation" `Quick test_element_validation;
+    Alcotest.test_case "netlist basics" `Quick test_netlist_basics;
+    Alcotest.test_case "netlist replace/remove" `Quick test_netlist_replace_remove;
+    Alcotest.test_case "netlist validate" `Quick test_netlist_validate;
+    Alcotest.test_case "voltage divider" `Quick test_voltage_divider;
+    Alcotest.test_case "current source" `Quick test_current_source;
+    Alcotest.test_case "inductor DC short" `Quick test_inductor_is_dc_short;
+    Alcotest.test_case "capacitor DC open" `Quick test_capacitor_is_dc_open;
+    Alcotest.test_case "diode forward drop" `Quick test_diode_forward_drop;
+    Alcotest.test_case "diode reverse blocks" `Quick test_diode_reverse_blocks;
+    Alcotest.test_case "wheatstone bridge" `Quick test_wheatstone_bridge;
+    Alcotest.test_case "KCL" `Quick test_kirchhoff_current_law;
+    Alcotest.test_case "open switch blocks" `Quick test_open_switch_blocks;
+    Alcotest.test_case "current sensor" `Quick test_current_sensor_reads_branch;
+    Alcotest.test_case "high-current diode converges" `Quick test_no_convergence_reported;
+    QCheck_alcotest.to_alcotest prop_ladder_monotone;
+    Alcotest.test_case "fault open" `Quick test_fault_open;
+    Alcotest.test_case "fault short" `Quick test_fault_short;
+    Alcotest.test_case "fault stuck/shift" `Quick test_fault_stuck_and_shift;
+    Alcotest.test_case "fault not applicable" `Quick test_fault_not_applicable;
+    Alcotest.test_case "fault name mapping" `Quick test_fault_name_mapping;
+    Alcotest.test_case "library lookup" `Quick test_library_lookup;
+    Alcotest.test_case "library coverage" `Quick test_library_coverage;
+    Alcotest.test_case "library distributions" `Quick test_library_distributions_sum;
+  ]
+
+(* ---------- Transient analysis ---------- *)
+
+let test_transient_rc_charging () =
+  (* v(t) = 5 (1 - e^{-t/RC}) with RC = 1 ms. *)
+  let nl =
+    Netlist.of_elements "rc"
+      [
+        Element.make ~id:"V" ~kind:(Element.Vsource 5.0) "a" "gnd";
+        Element.make ~id:"R" ~kind:(Element.Resistor 1000.0) "a" "b";
+        Element.make ~id:"C" ~kind:(Element.Capacitor 1e-6) "b" "gnd";
+      ]
+  in
+  match Transient.simulate ~initial:Transient.Zero_state nl ~dt:1e-5 ~duration:5e-3 with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  | Ok r ->
+      let vb = Transient.node_voltage r "b" in
+      (* One time constant: 63.2% of the rail, within backward-Euler error. *)
+      check_float ~eps:0.05 "v(1ms)" (5.0 *. (1.0 -. exp (-1.0))) vb.(100);
+      check_float ~eps:0.05 "fully charged" 5.0 (Transient.final_value vb);
+      (match Transient.settling_time ~times:(Transient.times r) vb ~tolerance:0.05 with
+      | Some ts -> Alcotest.(check bool) "settles ~4-5 tau" true (ts > 3e-3 && ts < 5e-3)
+      | None -> Alcotest.fail "never settles")
+
+let test_transient_rl_rise () =
+  (* i(t) = (V/R)(1 - e^{-tR/L}), L/R = 1 ms. *)
+  let nl =
+    Netlist.of_elements "rl"
+      [
+        Element.make ~id:"V" ~kind:(Element.Vsource 10.0) "a" "gnd";
+        Element.make ~id:"R" ~kind:(Element.Resistor 10.0) "a" "b";
+        Element.make ~id:"L" ~kind:(Element.Inductor 1e-2) "b" "gnd";
+      ]
+  in
+  match Transient.simulate ~initial:Transient.Zero_state nl ~dt:1e-5 ~duration:6e-3 with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  | Ok r ->
+      let il = Transient.element_current r "L" in
+      check_float ~eps:0.02 "i(1ms)" (1.0 *. (1.0 -. exp (-1.0))) il.(100);
+      check_float ~eps:0.02 "i(final)" 1.0 (Transient.final_value il)
+
+let test_transient_steady_state_stays () =
+  (* Starting from the DC operating point with constant sources, nothing
+     moves. *)
+  let nl = Decisive.Case_study.power_supply_netlist in
+  match Transient.simulate nl ~dt:1e-5 ~duration:1e-3 with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  | Ok r ->
+      let cs1 = Transient.sensor_trace r "CS1" in
+      Alcotest.(check bool) "no drift from steady state" true
+        (Transient.ripple cs1 < 1e-4)
+
+let test_transient_waveform_and_ripple () =
+  (* The LC filter suppresses injected supply ripple; removing C2 lets it
+     through — the time-domain role of the capacitors the DC FMEA
+     excludes. *)
+  let build with_c2 =
+    Netlist.of_elements "psu"
+      ([
+         Element.make ~id:"DC1" ~kind:(Element.Vsource 5.0) "n1" "gnd";
+         Element.make ~id:"D1" ~kind:(Element.Diode Element.default_diode) "n1" "n2";
+         Element.make ~id:"L1" ~kind:(Element.Inductor 1e-3) "n2" "n3";
+         Element.make ~id:"CS1" ~kind:Element.Current_sensor "n3" "n4";
+         Element.make ~id:"MC1" ~kind:(Element.Load 100.0) "n4" "gnd";
+       ]
+      @
+      if with_c2 then
+        [ Element.make ~id:"C2" ~kind:(Element.Capacitor 1e-4) "n3" "gnd" ]
+      else [])
+  in
+  let wave t = 5.0 +. (0.5 *. sin (2.0 *. Float.pi *. 1000.0 *. t)) in
+  let ripple_of nl =
+    match Transient.simulate ~waveforms:[ ("DC1", wave) ] nl ~dt:2e-6 ~duration:1e-2 with
+    | Ok r -> Transient.ripple (Transient.sensor_trace r "CS1")
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  in
+  let filtered = ripple_of (build true) in
+  let unfiltered = ripple_of (build false) in
+  Alcotest.(check bool)
+    (Printf.sprintf "C2 suppresses ripple (%.4g vs %.4g A)" filtered unfiltered)
+    true
+    (unfiltered > 3.0 *. filtered)
+
+let test_transient_voltage_sensor_trace () =
+  let nl =
+    Netlist.of_elements "vs"
+      [
+        Element.make ~id:"V" ~kind:(Element.Vsource 2.0) "a" "gnd";
+        Element.make ~id:"R" ~kind:(Element.Resistor 10.0) "a" "gnd";
+        Element.make ~id:"VS" ~kind:Element.Voltage_sensor "a" "gnd";
+      ]
+  in
+  match Transient.simulate nl ~dt:1e-4 ~duration:1e-3 with
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  | Ok r ->
+      check_float ~eps:1e-3 "voltage sensor" 2.0
+        (Transient.final_value (Transient.sensor_trace r "VS"))
+
+let test_transient_validation () =
+  let nl = psu_netlist () in
+  (match Transient.simulate nl ~dt:0.0 ~duration:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on dt");
+  match Transient.simulate nl ~dt:1e-3 ~duration:(-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on duration"
+
+let transient_suite =
+  [
+    Alcotest.test_case "transient RC charging" `Quick test_transient_rc_charging;
+    Alcotest.test_case "transient RL rise" `Quick test_transient_rl_rise;
+    Alcotest.test_case "transient steady state" `Quick test_transient_steady_state_stays;
+    Alcotest.test_case "transient ripple filtering" `Quick
+      test_transient_waveform_and_ripple;
+    Alcotest.test_case "transient voltage sensor" `Quick
+      test_transient_voltage_sensor_trace;
+    Alcotest.test_case "transient validation" `Quick test_transient_validation;
+  ]
+
+(* ---------- AC small-signal analysis ---------- *)
+
+let ac_suite =
+  let rc () =
+    Netlist.of_elements "rc"
+      [
+        Element.make ~id:"V" ~kind:(Element.Vsource 1.0) "a" "gnd";
+        Element.make ~id:"R" ~kind:(Element.Resistor 1000.0) "a" "b";
+        Element.make ~id:"C" ~kind:(Element.Capacitor 1e-6) "b" "gnd";
+      ]
+  in
+  let sweep_exn ~source nl freqs =
+    match Ac.analyse ~source nl ~frequencies_hz:freqs with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  in
+  let test_rc_low_pass () =
+    let freqs = Ac.log_space ~from_hz:1.0 ~to_hz:100_000.0 ~points:101 in
+    let sweep = sweep_exn ~source:"V" (rc ()) freqs in
+    let pts = Ac.node_response sweep "b" in
+    (* Passband gain 1, stopband rolls off as 1/(wRC). *)
+    let first = List.hd pts in
+    check_float ~eps:1e-3 "unity at 1 Hz" 1.0 first.Ac.magnitude;
+    let last = List.nth pts 100 in
+    check_float ~eps:1e-4 "1/(wRC) at 100 kHz"
+      (1.0 /. (2.0 *. Float.pi *. 1e5 *. 1000.0 *. 1e-6))
+      last.Ac.magnitude;
+    (* Cutoff near the analytic 159.2 Hz (log-grid quantised). *)
+    (match Ac.cutoff_hz pts with
+    | Some fc ->
+        Alcotest.(check bool) (Printf.sprintf "cutoff %.1f ~ 159" fc) true
+          (fc > 120.0 && fc < 220.0)
+    | None -> Alcotest.fail "no cutoff found");
+    (* Phase approaches -90 degrees deep in the stopband. *)
+    Alcotest.(check bool) "stopband phase" true (last.Ac.phase_deg < -85.0)
+  in
+  let test_lc_rolloff () =
+    (* Second-order filter: -40 dB/decade well above cutoff. *)
+    let nl =
+      Netlist.of_elements "lc"
+        [
+          Element.make ~id:"V" ~kind:(Element.Vsource 1.0) "a" "gnd";
+          Element.make ~id:"L" ~kind:(Element.Inductor 1e-3) "a" "b";
+          Element.make ~id:"C" ~kind:(Element.Capacitor 1e-5) "b" "gnd";
+          Element.make ~id:"RL" ~kind:(Element.Resistor 100.0) "b" "gnd";
+        ]
+    in
+    let sweep = sweep_exn ~source:"V" nl [ 100_000.0; 1_000_000.0 ] in
+    match Ac.node_response sweep "b" with
+    | [ p1; p2 ] ->
+        let slope_db = p2.Ac.magnitude_db -. p1.Ac.magnitude_db in
+        Alcotest.(check bool)
+          (Printf.sprintf "second-order rolloff (%.1f dB/decade)" slope_db)
+          true
+          (slope_db < -38.0 && slope_db > -42.0)
+    | _ -> Alcotest.fail "unexpected points"
+  in
+  let test_psu_filter_cutoff () =
+    let sweep =
+      sweep_exn ~source:"DC1" Decisive.Case_study.power_supply_netlist
+        (Ac.log_space ~from_hz:10.0 ~to_hz:100_000.0 ~points:61)
+    in
+    match Ac.cutoff_hz (Ac.sensor_response sweep "CS1") with
+    | Some fc ->
+        (* The LC corner sits near 1/(2pi sqrt(LC)) = 1.6 kHz. *)
+        Alcotest.(check bool) (Printf.sprintf "cutoff %.0f in band" fc) true
+          (fc > 800.0 && fc < 5000.0)
+    | None -> Alcotest.fail "no cutoff"
+  in
+  let test_validation () =
+    (match Ac.analyse ~source:"NOPE" (rc ()) ~frequencies_hz:[ 1.0 ] with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "unknown source accepted");
+    (match Ac.analyse ~source:"R" (rc ()) ~frequencies_hz:[ 1.0 ] with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "non-source accepted");
+    (match Ac.analyse ~source:"V" (rc ()) ~frequencies_hz:[ 0.0 ] with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "zero frequency accepted");
+    match Ac.log_space ~from_hz:10.0 ~to_hz:1.0 ~points:5 with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "bad log_space accepted"
+  in
+  let test_log_space () =
+    let freqs = Ac.log_space ~from_hz:1.0 ~to_hz:1000.0 ~points:4 in
+    Alcotest.(check int) "points" 4 (List.length freqs);
+    check_float ~eps:1e-9 "first" 1.0 (List.hd freqs);
+    check_float ~eps:1e-6 "last" 1000.0 (List.nth freqs 3);
+    check_float ~eps:1e-6 "log spacing" 10.0 (List.nth freqs 1)
+  in
+  [
+    Alcotest.test_case "RC low-pass" `Quick test_rc_low_pass;
+    Alcotest.test_case "LC -40dB/decade" `Quick test_lc_rolloff;
+    Alcotest.test_case "PSU filter cutoff" `Quick test_psu_filter_cutoff;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "log_space" `Quick test_log_space;
+  ]
+
+(* Cross-validation: the transient engine and the AC engine must agree —
+   driving a sine at frequency f, the steady-state output ripple equals
+   (peak-to-peak input) x |H(f)|. *)
+let test_transient_ac_agree () =
+  let nl = Decisive.Case_study.power_supply_netlist in
+  let hz = 1000.0 in
+  let amplitude = 0.25 in
+  let ac =
+    match Ac.analyse ~source:"DC1" nl ~frequencies_hz:[ hz ] with
+    | Ok sweep -> (List.hd (Ac.sensor_response sweep "CS1")).Ac.magnitude
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  in
+  let wave t = 5.0 +. (amplitude *. sin (2.0 *. Float.pi *. hz *. t)) in
+  let transient_ripple =
+    match
+      Transient.simulate ~waveforms:[ ("DC1", wave) ] nl ~dt:1e-6 ~duration:8e-3
+    with
+    | Ok r -> Transient.ripple (Transient.sensor_trace r "CS1")
+    | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+  in
+  let predicted = 2.0 *. amplitude *. ac in
+  let error = Float.abs (transient_ripple -. predicted) /. predicted in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "transient ripple %.4g vs AC prediction %.4g (%.1f%% error)"
+       transient_ripple predicted (100.0 *. error))
+    true (error < 0.1)
+
+let cross_validation_suite =
+  [ Alcotest.test_case "transient vs AC" `Quick test_transient_ac_agree ]

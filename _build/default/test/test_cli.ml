@@ -1,0 +1,123 @@
+(* End-to-end tests of the `same` command-line tool, driving the built
+   binary the way a user would. *)
+
+let binary =
+  (* Tests run in _build/default/test/; the CLI sits next door. *)
+  let candidates = [ "../bin/same.exe"; "bin/same.exe" ] in
+  List.find_opt Sys.file_exists candidates
+
+let psu_bd =
+  {|diagram psu {
+  block DC1 : vsource { volts = 5; }
+  block D1 : diode;
+  block C1 : capacitor { farads = 1e-5; }
+  block L1 : inductor { henries = 0.001; }
+  block C2 : capacitor { farads = 1e-5; }
+  block CS1 : current_sensor;
+  block MC1 : microcontroller { ohms = 100; }
+  block GND1 : ground ports (conserving a);
+  connect DC1.a -> D1.a;
+  connect D1.b -> C1.a;
+  connect D1.b -> L1.a;
+  connect L1.b -> C2.a;
+  connect L1.b -> CS1.a;
+  connect CS1.b -> MC1.a;
+  connect MC1.b -> GND1.a;
+  connect DC1.b -> GND1.a;
+  connect C1.b -> GND1.a;
+  connect C2.b -> GND1.a;
+}
+|}
+
+let with_fixture f =
+  match binary with
+  | None -> Alcotest.skip ()
+  | Some bin ->
+      let dir = Filename.temp_file "samecli" "" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o755;
+      let bd = Filename.concat dir "psu.bd" in
+      let oc = open_out bd in
+      output_string oc psu_bd;
+      close_out oc;
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat dir f))
+            (Sys.readdir dir);
+          Sys.rmdir dir)
+        (fun () -> f ~bin ~dir ~bd)
+
+let run cmd = Sys.command (cmd ^ " >/dev/null 2>&1")
+
+let test_fmea_and_assure () =
+  with_fixture (fun ~bin ~dir ~bd ->
+      let csv = Filename.concat dir "fmeda.csv" in
+      Alcotest.(check int) "fmeda exits 0" 0
+        (run
+           (Printf.sprintf "%s fmeda %s -e DC1 -t ASIL-B -o %s" bin bd
+              (Filename.quote csv)));
+      Alcotest.(check bool) "csv written" true (Sys.file_exists csv);
+      Alcotest.(check int) "assure holds" 0
+        (run (Printf.sprintf "%s assure %s -n PSU -t ASIL-B" bin (Filename.quote csv)));
+      (* Without the SM the design misses ASIL-B: assure must fail. *)
+      Alcotest.(check int) "fmea (no SM) exported" 0
+        (run
+           (Printf.sprintf "%s fmea %s -e DC1 -o %s" bin bd (Filename.quote csv)));
+      Alcotest.(check int) "assure fails on unrefined design" 1
+        (run (Printf.sprintf "%s assure %s -n PSU -t ASIL-B" bin (Filename.quote csv))))
+
+let test_routes_and_tools () =
+  with_fixture (fun ~bin ~dir:_ ~bd ->
+      List.iter
+        (fun route ->
+          Alcotest.(check int)
+            (Printf.sprintf "fmea --route %s" route)
+            0
+            (run (Printf.sprintf "%s fmea %s -e DC1 --route %s" bin bd route)))
+        [ "injection"; "ssam"; "fta" ];
+      Alcotest.(check int) "transform lossless" 0
+        (run (Printf.sprintf "%s transform %s" bin bd));
+      Alcotest.(check int) "coverage" 0 (run (Printf.sprintf "%s coverage %s" bin bd));
+      Alcotest.(check int) "run completes" 0
+        (run (Printf.sprintf "%s run %s -e DC1 -t ASIL-B -n PSU" bin bd));
+      Alcotest.(check int) "bode" 0
+        (run (Printf.sprintf "%s bode %s --source DC1 --points 5" bin bd)))
+
+let test_artifacts_written () =
+  with_fixture (fun ~bin ~dir ~bd ->
+      let dot = Filename.concat dir "ft.dot" in
+      let psa = Filename.concat dir "ft.xml" in
+      let md = Filename.concat dir "concept.md" in
+      Alcotest.(check int) "fta with exports" 0
+        (run
+           (Printf.sprintf "%s fta %s --dot %s --open-psa %s" bin bd
+              (Filename.quote dot) (Filename.quote psa)));
+      Alcotest.(check bool) "dot exists" true (Sys.file_exists dot);
+      Alcotest.(check bool) "psa parses as xml" true
+        (match Modelio.Xml.parse_file psa with
+        | _ -> true
+        | exception _ -> false);
+      Alcotest.(check int) "report" 0
+        (run
+           (Printf.sprintf "%s report %s -e DC1 -t ASIL-B -n PSU -o %s" bin bd
+              (Filename.quote md)));
+      Alcotest.(check bool) "report exists" true (Sys.file_exists md))
+
+let test_error_handling () =
+  with_fixture (fun ~bin ~dir ~bd:_ ->
+      (* Malformed diagram: non-zero exit, no crash. *)
+      let bad = Filename.concat dir "bad.bd" in
+      let oc = open_out bad in
+      output_string oc "diagram oops {";
+      close_out oc;
+      Alcotest.(check bool) "parse error reported" true
+        (run (Printf.sprintf "%s fmea %s" bin (Filename.quote bad)) <> 0))
+
+let suite =
+  [
+    Alcotest.test_case "fmeda + assure" `Slow test_fmea_and_assure;
+    Alcotest.test_case "routes and tools" `Slow test_routes_and_tools;
+    Alcotest.test_case "artifacts written" `Slow test_artifacts_written;
+    Alcotest.test_case "error handling" `Slow test_error_handling;
+  ]

@@ -1,0 +1,364 @@
+(* Tests for fault trees: construction, minimal cut sets, quantification,
+   generation from SSAM and the FMEA cross-check. *)
+
+open Fta
+
+let b ?rate id = Fault_tree.basic ?rate_fit:rate id
+
+(* ---------- construction ---------- *)
+
+let test_builders () =
+  let t = Fault_tree.or_ "top" [ b "a"; Fault_tree.and_ "g" [ b "b"; b "c" ] ] in
+  Alcotest.(check int) "gates" 2 (Fault_tree.gate_count t);
+  Alcotest.(check int) "depth" 3 (Fault_tree.depth t);
+  Alcotest.(check int) "events" 3 (List.length (Fault_tree.basic_events t));
+  Alcotest.(check bool) "find" true (Option.is_some (Fault_tree.find_event t "b"));
+  Alcotest.check_raises "empty gate"
+    (Invalid_argument "Fault_tree.and_ g: no children") (fun () ->
+      ignore (Fault_tree.and_ "g" []))
+
+let test_koon_validation () =
+  Alcotest.check_raises "k out of range"
+    (Invalid_argument "Fault_tree.koon v: k=3 out of range for 2 children")
+    (fun () -> ignore (Fault_tree.koon "v" ~k:3 [ b "a"; b "b" ]))
+
+let test_duplicate_events_deduped () =
+  let t = Fault_tree.or_ "top" [ b "a"; b "a" ] in
+  Alcotest.(check int) "distinct events" 1 (List.length (Fault_tree.basic_events t))
+
+(* ---------- cut sets ---------- *)
+
+let test_cut_sets_or () =
+  let t = Fault_tree.or_ "top" [ b "a"; b "b" ] in
+  Alcotest.(check (list (list string))) "two singletons" [ [ "a" ]; [ "b" ] ]
+    (Cut_sets.minimal t)
+
+let test_cut_sets_and () =
+  let t = Fault_tree.and_ "top" [ b "a"; b "b" ] in
+  Alcotest.(check (list (list string))) "one pair" [ [ "a"; "b" ] ]
+    (Cut_sets.minimal t)
+
+let test_cut_sets_absorption () =
+  (* a OR (a AND b) = a: the pair is absorbed. *)
+  let t = Fault_tree.or_ "top" [ b "a"; Fault_tree.and_ "g" [ b "a"; b "b" ] ] in
+  Alcotest.(check (list (list string))) "absorbed" [ [ "a" ] ] (Cut_sets.minimal t)
+
+let test_cut_sets_series_parallel () =
+  (* (a OR b) AND (a OR c) = a OR (b AND c). *)
+  let t =
+    Fault_tree.and_ "top"
+      [ Fault_tree.or_ "g1" [ b "a"; b "b" ]; Fault_tree.or_ "g2" [ b "a"; b "c" ] ]
+  in
+  Alcotest.(check (list (list string))) "factorised" [ [ "a" ]; [ "b"; "c" ] ]
+    (Cut_sets.minimal t)
+
+let test_cut_sets_koon () =
+  (* 2oo3 voting: any pair of channel failures. *)
+  let t = Fault_tree.koon "v" ~k:2 [ b "a"; b "b"; b "c" ] in
+  Alcotest.(check (list (list string))) "all pairs"
+    [ [ "a"; "b" ]; [ "a"; "c" ]; [ "b"; "c" ] ]
+    (Cut_sets.minimal t)
+
+let test_singletons_and_histogram () =
+  let sets = [ [ "a" ]; [ "b"; "c" ]; [ "d" ]; [ "e"; "f"; "g" ] ] in
+  Alcotest.(check (list string)) "singletons" [ "a"; "d" ] (Cut_sets.singletons sets);
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 2); (2, 1); (3, 1) ]
+    (Cut_sets.order_histogram sets)
+
+(* Property: every minimal cut set, when "failed", satisfies the tree;
+   removing any event from it un-satisfies it (true minimality). *)
+let prop_cut_sets_minimal =
+  let rec tree_gen depth next_id =
+    QCheck.Gen.(
+      if depth = 0 then
+        map (fun i -> b (Printf.sprintf "e%d" (i mod next_id))) (int_range 0 (next_id - 1))
+      else
+        frequency
+          [
+            (2, map (fun i -> b (Printf.sprintf "e%d" (i mod next_id))) (int_range 0 (next_id - 1)));
+            ( 1,
+              map
+                (fun cs -> Fault_tree.and_ "g" cs)
+                (list_size (int_range 1 3) (tree_gen (depth - 1) next_id)) );
+            ( 1,
+              map
+                (fun cs -> Fault_tree.or_ "g" cs)
+                (list_size (int_range 1 3) (tree_gen (depth - 1) next_id)) );
+          ])
+  in
+  let rec holds failed = function
+    | Fault_tree.Basic e -> List.mem e.Fault_tree.event_id failed
+    | Fault_tree.And (_, cs) -> List.for_all (holds failed) cs
+    | Fault_tree.Or (_, cs) -> List.exists (holds failed) cs
+    | Fault_tree.Koon (_, k, cs) ->
+        List.length (List.filter (holds failed) cs) >= k
+  in
+  QCheck.Test.make ~name:"minimal cut sets are cut sets and minimal" ~count:80
+    (QCheck.make (tree_gen 3 6))
+    (fun t ->
+      let sets = Cut_sets.minimal t in
+      List.for_all
+        (fun set ->
+          holds set t
+          && List.for_all
+               (fun e -> not (holds (List.filter (fun x -> x <> e) set) t))
+               set)
+        sets)
+
+(* ---------- quantification ---------- *)
+
+let test_event_probabilities () =
+  let t = Fault_tree.or_ "top" [ b ~rate:100.0 "a"; b "norate" ] in
+  let ps = Quant.event_probabilities ~mission_hours:10_000.0 t in
+  let pa = List.assoc "a" ps in
+  (* 100 FIT over 1e4 h: p = 1 - exp(-1e-7 * 1e4) = ~1e-3. *)
+  Alcotest.(check bool) "magnitude" true (pa > 9.9e-4 && pa < 1.01e-3);
+  Alcotest.(check (float 1e-12)) "missing rate -> 0" 0.0 (List.assoc "norate" ps)
+
+let test_top_probability_gates () =
+  let ps = [ ("a", 0.1); ("b", 0.2) ] in
+  Alcotest.(check (float 1e-12)) "and" 0.02
+    (Quant.top_probability_exact (Fault_tree.and_ "g" [ b "a"; b "b" ]) ps);
+  Alcotest.(check (float 1e-12)) "or" 0.28
+    (Quant.top_probability_exact (Fault_tree.or_ "g" [ b "a"; b "b" ]) ps);
+  (* 2oo3 with p=0.1 each: 3*0.01*0.9 + 0.001 = 0.028 *)
+  let ps3 = [ ("a", 0.1); ("b", 0.1); ("c", 0.1) ] in
+  Alcotest.(check (float 1e-12)) "2oo3" 0.028
+    (Quant.top_probability_exact
+       (Fault_tree.koon "v" ~k:2 [ b "a"; b "b"; b "c" ])
+       ps3)
+
+let test_bounds_order () =
+  (* rare-event >= esary-proschan >= exact for an OR of independents. *)
+  let t = Fault_tree.or_ "g" [ b "a"; b "b"; b "c" ] in
+  let ps = [ ("a", 0.2); ("b", 0.3); ("c", 0.1) ] in
+  let sets = Cut_sets.minimal t in
+  let rare = Quant.rare_event_bound sets ps in
+  let ep = Quant.esary_proschan sets ps in
+  let exact = Quant.top_probability_exact t ps in
+  Alcotest.(check (float 1e-12)) "rare = sum" 0.6 rare;
+  Alcotest.(check bool) "ordering" true (rare >= ep && ep >= exact -. 1e-12);
+  Alcotest.(check (float 1e-12)) "ep equals exact for OR" exact ep
+
+let test_importance () =
+  let sets = [ [ "a" ]; [ "b" ] ] in
+  let ps = [ ("a", 0.3); ("b", 0.1) ] in
+  match Quant.importance sets ps with
+  | (top, share) :: _ ->
+      Alcotest.(check string) "a dominates" "a" top;
+      Alcotest.(check (float 1e-9)) "share" 0.75 share
+  | [] -> Alcotest.fail "expected importance entries"
+
+(* ---------- from SSAM + cross-check ---------- *)
+
+let test_generate_from_case_study () =
+  let tree = From_ssam.generate Decisive.Case_study.power_supply_root in
+  let singles = Cut_sets.singletons (Cut_sets.minimal tree) in
+  Alcotest.(check bool) "D1 single" true (List.mem "loss:D1" singles);
+  Alcotest.(check bool) "MC1 single" true (List.mem "loss:MC1" singles);
+  Alcotest.(check bool) "C1 not a single" false (List.mem "loss:C1" singles)
+
+let test_loss_rate () =
+  let d1 =
+    Option.get
+      (Ssam.Architecture.find_in_package Decisive.Case_study.power_supply_ssam "D1")
+  in
+  (* 10 FIT * 30% open = 3 FIT of loss-like rate. *)
+  Alcotest.(check (float 1e-9)) "D1 loss rate" 3.0 (From_ssam.loss_rate_fit d1)
+
+let test_redundant_becomes_koon () =
+  let child =
+    Ssam.Architecture.component ~fit:10.0
+      ~failure_modes:
+        [
+          Ssam.Architecture.failure_mode
+            ~meta:(Ssam.Base.meta ~name:"loss" "c:loss")
+            ~nature:Ssam.Architecture.Loss_of_function ~distribution_pct:100.0 ();
+        ]
+      ~functions:
+        [ Ssam.Architecture.func ~meta:(Ssam.Base.meta "fn") Ssam.Architecture.TwoOoThree ]
+      ~meta:(Ssam.Base.meta ~name:"C" "C")
+      ()
+  in
+  let root =
+    Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+      ~children:[ child ]
+      ~connections:
+        [
+          Ssam.Architecture.relationship ~meta:(Ssam.Base.meta "c0")
+            ~from_component:"root" ~to_component:"C" ();
+          Ssam.Architecture.relationship ~meta:(Ssam.Base.meta "c1")
+            ~from_component:"C" ~to_component:"root" ();
+        ]
+      ~meta:(Ssam.Base.meta ~name:"root" "root")
+      ()
+  in
+  let tree = From_ssam.generate root in
+  let sets = Cut_sets.minimal tree in
+  (* 2oo3: no singleton cut sets, three pairs. *)
+  Alcotest.(check int) "no singletons" 0 (List.length (Cut_sets.singletons sets));
+  Alcotest.(check int) "three pairs" 3 (List.length sets)
+
+let test_no_paths () =
+  let lonely =
+    Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+      ~children:[]
+      ~meta:(Ssam.Base.meta ~name:"empty" "empty")
+      ()
+  in
+  match From_ssam.generate lonely with
+  | exception From_ssam.No_paths "empty" -> ()
+  | _ -> Alcotest.fail "expected No_paths"
+
+let test_cross_check_case_study () =
+  Alcotest.(check bool) "FTA route agrees with Algorithm 1" true
+    (Fmea_from_fta.agrees_with_path_fmea Decisive.Case_study.power_supply_root)
+
+(* Property: the consistency theorem on random series-parallel systems —
+   singleton minimal cut sets = Algorithm 1's safety-related components. *)
+let prop_fta_path_agreement =
+  QCheck.Test.make ~name:"FTA singletons = path-FMEA single points" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 5) (QCheck.int_range 1 3))
+    (fun widths ->
+      (* QCheck shrinking can step outside int_range; clamp defensively. *)
+      let widths = List.map (fun w -> Int.max 1 (Int.min 3 w)) widths in
+      let children = ref [] in
+      let connections = ref [] in
+      let k = ref 0 in
+      let conn a b =
+        incr k;
+        connections :=
+          Ssam.Architecture.relationship
+            ~meta:(Ssam.Base.meta (Printf.sprintf "k%d" !k))
+            ~from_component:a ~to_component:b ()
+          :: !connections
+      in
+      let stage_ids =
+        List.mapi
+          (fun i width ->
+            List.init width (fun j ->
+                let id = Printf.sprintf "s%d_%d" i j in
+                children :=
+                  Ssam.Architecture.component ~fit:10.0
+                    ~failure_modes:
+                      [
+                        Ssam.Architecture.failure_mode
+                          ~meta:(Ssam.Base.meta ~name:"loss" (id ^ ":loss"))
+                          ~nature:Ssam.Architecture.Loss_of_function
+                          ~distribution_pct:100.0 ();
+                      ]
+                    ~meta:(Ssam.Base.meta ~name:id id)
+                    ()
+                  :: !children;
+                id))
+          widths
+      in
+      (match stage_ids with
+      | first :: _ -> List.iter (fun id -> conn "root" id) first
+      | [] -> ());
+      let rec wire = function
+        | a :: (bs :: _ as rest) ->
+            List.iter (fun x -> List.iter (fun y -> conn x y) bs) a;
+            wire rest
+        | [ last ] -> List.iter (fun id -> conn id "root") last
+        | [] -> ()
+      in
+      wire stage_ids;
+      let root =
+        Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+          ~children:(List.rev !children)
+          ~connections:(List.rev !connections)
+          ~meta:(Ssam.Base.meta ~name:"root" "root")
+          ()
+      in
+      Fmea_from_fta.agrees_with_path_fmea root)
+
+let suite =
+  [
+    Alcotest.test_case "builders" `Quick test_builders;
+    Alcotest.test_case "koon validation" `Quick test_koon_validation;
+    Alcotest.test_case "duplicate events deduped" `Quick test_duplicate_events_deduped;
+    Alcotest.test_case "cut sets: or" `Quick test_cut_sets_or;
+    Alcotest.test_case "cut sets: and" `Quick test_cut_sets_and;
+    Alcotest.test_case "cut sets: absorption" `Quick test_cut_sets_absorption;
+    Alcotest.test_case "cut sets: series-parallel" `Quick test_cut_sets_series_parallel;
+    Alcotest.test_case "cut sets: koon" `Quick test_cut_sets_koon;
+    Alcotest.test_case "singletons/histogram" `Quick test_singletons_and_histogram;
+    QCheck_alcotest.to_alcotest prop_cut_sets_minimal;
+    Alcotest.test_case "event probabilities" `Quick test_event_probabilities;
+    Alcotest.test_case "gate probabilities" `Quick test_top_probability_gates;
+    Alcotest.test_case "bound ordering" `Quick test_bounds_order;
+    Alcotest.test_case "importance" `Quick test_importance;
+    Alcotest.test_case "generate from case study" `Quick test_generate_from_case_study;
+    Alcotest.test_case "loss rate" `Quick test_loss_rate;
+    Alcotest.test_case "redundancy becomes koon" `Quick test_redundant_becomes_koon;
+    Alcotest.test_case "no paths" `Quick test_no_paths;
+    Alcotest.test_case "cross-check case study" `Quick test_cross_check_case_study;
+    QCheck_alcotest.to_alcotest prop_fta_path_agreement;
+  ]
+
+(* ---------- export ---------- *)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  m = 0 || go 0
+
+let export_suite =
+  let tree = From_ssam.generate Decisive.Case_study.power_supply_root in
+  let test_dot () =
+    let dot = Export.to_dot ~name:"psu" tree in
+    Alcotest.(check bool) "digraph header" true (contains dot "digraph psu");
+    Alcotest.(check bool) "OR gate shape" true (contains dot "invhouse");
+    Alcotest.(check bool) "event labelled with rate" true (contains dot "3 FIT");
+    (* Repeated basic events are emitted once. *)
+    let occurrences needle =
+      let rec go i acc =
+        if i + String.length needle > String.length dot then acc
+        else if String.sub dot i (String.length needle) = needle then
+          go (i + 1) (acc + 1)
+        else go (i + 1) acc
+      in
+      go 0 0
+    in
+    Alcotest.(check int) "D1 node emitted once" 1
+      (occurrences "ev_loss_D1 [shape=circle")
+  in
+  let test_dot_koon () =
+    let vote = Fault_tree.koon "v" ~k:2 [ Fault_tree.basic "a"; Fault_tree.basic "b"; Fault_tree.basic "c" ] in
+    Alcotest.(check bool) "k/N label" true (contains (Export.to_dot vote) "2/3")
+  in
+  let test_open_psa () =
+    let xml = Export.to_open_psa ~model_name:"psu" tree in
+    Alcotest.(check string) "root tag" "opsa-mef" xml.Modelio.Xml.tag;
+    (* Parses back as XML and contains the expected structures. *)
+    let s = Export.to_open_psa_string tree in
+    let reparsed = Modelio.Xml.parse s in
+    Alcotest.(check bool) "fault tree defined" true
+      (Modelio.Xml.descendants reparsed "define-fault-tree" <> []);
+    Alcotest.(check bool) "basic events defined" true
+      (List.length (Modelio.Xml.descendants reparsed "define-basic-event") >= 5);
+    (* MC1's 300 FIT becomes 3e-7 per hour. *)
+    Alcotest.(check bool) "rates converted" true (contains s "3.000000e-07")
+  in
+  let test_save_files () =
+    let dot_path = Filename.temp_file "ft" ".dot" in
+    let psa_path = Filename.temp_file "ft" ".xml" in
+    Export.save_dot ~path:dot_path tree;
+    Export.save_open_psa ~path:psa_path tree;
+    let size p =
+      let ic = open_in p in
+      let n = in_channel_length ic in
+      close_in ic;
+      n
+    in
+    Alcotest.(check bool) "files non-empty" true (size dot_path > 0 && size psa_path > 0);
+    Sys.remove dot_path;
+    Sys.remove psa_path
+  in
+  [
+    Alcotest.test_case "dot export" `Quick test_dot;
+    Alcotest.test_case "dot koon" `Quick test_dot_koon;
+    Alcotest.test_case "open-psa export" `Quick test_open_psa;
+    Alcotest.test_case "save files" `Quick test_save_files;
+  ]

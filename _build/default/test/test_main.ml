@@ -1,0 +1,32 @@
+(* Aggregated test runner: one suite per library. *)
+
+let () =
+  Alcotest.run "decisive"
+    [
+      ("numeric", Test_numeric.suite);
+      ("modelio", Test_modelio.suite);
+      ("ssam", Test_ssam.suite);
+      ("persist", Test_persist.suite);
+      ("allocation", Test_allocation.suite);
+      ("diff", Test_diff.suite);
+      ("query", Test_query.suite);
+      ("circuit", Test_circuit.suite);
+      ("transient", Test_circuit.transient_suite);
+      ("ac", Test_circuit.ac_suite);
+      ("cross-validation", Test_circuit.cross_validation_suite);
+      ("blockdiag", Test_blockdiag.suite);
+      ("reliability", Test_reliability.suite);
+      ("fmea", Test_fmea.suite);
+      ("degradation", Test_fmea.degradation_suite);
+      ("optimize", Test_optimize.suite);
+      ("fta", Test_fta.suite);
+      ("fta-export", Test_fta.export_suite);
+      ("hara", Test_hara.suite);
+      ("assurance", Test_assurance.suite);
+      ("gsn-render", Test_assurance.render_suite);
+      ("analyst", Test_analyst.suite);
+      ("store", Test_store.suite);
+      ("decisive", Test_decisive.suite);
+      ("software-fmea", Test_decisive.software_suite);
+      ("cli", Test_cli.suite);
+    ]

@@ -1,0 +1,154 @@
+(* Tests for the linear-algebra substrate. *)
+
+let approx ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) what expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g, got %g" what expected actual)
+    true (approx ~eps expected actual)
+
+(* ---------- Vector ---------- *)
+
+let test_vector_basics () =
+  let v = Numeric.Vector.of_list [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check int) "dim" 3 (Numeric.Vector.dim v);
+  check_float "dot" 14.0 (Numeric.Vector.dot v v);
+  check_float "norm_inf" 3.0 (Numeric.Vector.norm_inf v);
+  check_float "norm2" (sqrt 14.0) (Numeric.Vector.norm2 v);
+  let w = Numeric.Vector.add v (Numeric.Vector.scale (-1.0) v) in
+  check_float "add/scale" 0.0 (Numeric.Vector.norm_inf w)
+
+let test_vector_mismatch () =
+  let v = Numeric.Vector.of_list [ 1.0 ] in
+  let w = Numeric.Vector.of_list [ 1.0; 2.0 ] in
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Vector.add: dimension mismatch (1 vs 2)") (fun () ->
+      ignore (Numeric.Vector.add v w))
+
+let test_max_abs_diff () =
+  let v = Numeric.Vector.of_list [ 1.0; 5.0 ] in
+  let w = Numeric.Vector.of_list [ 2.0; 3.0 ] in
+  check_float "max_abs_diff" 2.0 (Numeric.Vector.max_abs_diff v w)
+
+(* ---------- Matrix ---------- *)
+
+let test_matrix_basics () =
+  let m = Numeric.Matrix.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  Alcotest.(check int) "rows" 2 (Numeric.Matrix.rows m);
+  Alcotest.(check int) "cols" 2 (Numeric.Matrix.cols m);
+  check_float "get" 3.0 (Numeric.Matrix.get m 1 0);
+  Numeric.Matrix.add_to m 1 0 1.0;
+  check_float "add_to" 4.0 (Numeric.Matrix.get m 1 0)
+
+let test_matrix_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_rows: ragged rows")
+    (fun () -> ignore (Numeric.Matrix.of_rows [ [ 1.0 ]; [ 1.0; 2.0 ] ]))
+
+let test_matrix_mul () =
+  let a = Numeric.Matrix.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let i = Numeric.Matrix.identity 2 in
+  Alcotest.(check bool) "a * I = a" true (Numeric.Matrix.equal (Numeric.Matrix.mul a i) a);
+  let b = Numeric.Matrix.of_rows [ [ 5.0; 6.0 ]; [ 7.0; 8.0 ] ] in
+  let ab = Numeric.Matrix.mul a b in
+  check_float "(ab)00" 19.0 (Numeric.Matrix.get ab 0 0);
+  check_float "(ab)11" 50.0 (Numeric.Matrix.get ab 1 1)
+
+let test_transpose_involution () =
+  let a = Numeric.Matrix.of_rows [ [ 1.0; 2.0; 3.0 ]; [ 4.0; 5.0; 6.0 ] ] in
+  let att = Numeric.Matrix.transpose (Numeric.Matrix.transpose a) in
+  Alcotest.(check bool) "transpose twice" true (Numeric.Matrix.equal a att)
+
+let test_mul_vec () =
+  let a = Numeric.Matrix.of_rows [ [ 2.0; 0.0 ]; [ 0.0; 3.0 ] ] in
+  let y = Numeric.Matrix.mul_vec a [| 1.0; 1.0 |] in
+  check_float "y0" 2.0 y.(0);
+  check_float "y1" 3.0 y.(1)
+
+(* ---------- LU ---------- *)
+
+let test_lu_solve_known () =
+  (* 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3 *)
+  let a = Numeric.Matrix.of_rows [ [ 2.0; 1.0 ]; [ 1.0; 3.0 ] ] in
+  let x = Numeric.Lu.solve a [| 5.0; 10.0 |] in
+  check_float "x" 1.0 x.(0);
+  check_float "y" 3.0 x.(1)
+
+let test_lu_needs_pivoting () =
+  (* Zero on the initial diagonal forces a row swap. *)
+  let a = Numeric.Matrix.of_rows [ [ 0.0; 1.0 ]; [ 1.0; 0.0 ] ] in
+  let x = Numeric.Lu.solve a [| 2.0; 3.0 |] in
+  check_float "x" 3.0 x.(0);
+  check_float "y" 2.0 x.(1)
+
+let test_lu_singular () =
+  let a = Numeric.Matrix.of_rows [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ] in
+  (match Numeric.Lu.decompose a with
+  | exception Numeric.Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular");
+  check_float "det singular" 0.0 (Numeric.Lu.det a)
+
+let test_det () =
+  let a = Numeric.Matrix.of_rows [ [ 3.0; 1.0 ]; [ 4.0; 2.0 ] ] in
+  check_float "det" 2.0 (Numeric.Lu.det a);
+  (* Permutation parity: swapping rows negates the determinant. *)
+  let b = Numeric.Matrix.of_rows [ [ 4.0; 2.0 ]; [ 3.0; 1.0 ] ] in
+  check_float "det swapped" (-2.0) (Numeric.Lu.det b)
+
+let test_inverse () =
+  let a = Numeric.Matrix.of_rows [ [ 4.0; 7.0 ]; [ 2.0; 6.0 ] ] in
+  let inv = Numeric.Lu.inverse a in
+  let prod = Numeric.Matrix.mul a inv in
+  Alcotest.(check bool) "a * a^-1 = I" true
+    (Numeric.Matrix.equal ~eps:1e-9 prod (Numeric.Matrix.identity 2))
+
+let test_not_square () =
+  let a = Numeric.Matrix.create 2 3 in
+  Alcotest.check_raises "not square" (Invalid_argument "Lu.decompose: not square")
+    (fun () -> ignore (Numeric.Lu.decompose a))
+
+(* Property: LU solves diagonally dominant random systems to high accuracy. *)
+let prop_lu_random =
+  QCheck.Test.make ~name:"lu solves diagonally dominant systems" ~count:100
+    QCheck.(pair (int_range 1 12) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rand =
+        let state = ref (seed + 1) in
+        fun () ->
+          state := (!state * 1103515245) + 12345;
+          float_of_int (abs !state mod 2000 - 1000) /. 100.0
+      in
+      let a = Numeric.Matrix.create n n in
+      for i = 0 to n - 1 do
+        let mutable_sum = ref 0.0 in
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            let v = rand () in
+            Numeric.Matrix.set a i j v;
+            mutable_sum := !mutable_sum +. Float.abs v
+          end
+        done;
+        Numeric.Matrix.set a i i (!mutable_sum +. 1.0 +. Float.abs (rand ()))
+      done;
+      let x_true = Array.init n (fun _ -> rand ()) in
+      let b = Numeric.Matrix.mul_vec a x_true in
+      let x = Numeric.Lu.solve a b in
+      Numeric.Vector.max_abs_diff x x_true < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "vector basics" `Quick test_vector_basics;
+    Alcotest.test_case "vector mismatch" `Quick test_vector_mismatch;
+    Alcotest.test_case "max_abs_diff" `Quick test_max_abs_diff;
+    Alcotest.test_case "matrix basics" `Quick test_matrix_basics;
+    Alcotest.test_case "matrix ragged" `Quick test_matrix_ragged;
+    Alcotest.test_case "matrix mul" `Quick test_matrix_mul;
+    Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+    Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+    Alcotest.test_case "lu solve known" `Quick test_lu_solve_known;
+    Alcotest.test_case "lu pivoting" `Quick test_lu_needs_pivoting;
+    Alcotest.test_case "lu singular" `Quick test_lu_singular;
+    Alcotest.test_case "determinant" `Quick test_det;
+    Alcotest.test_case "inverse" `Quick test_inverse;
+    Alcotest.test_case "not square" `Quick test_not_square;
+    QCheck_alcotest.to_alcotest prop_lu_random;
+  ]

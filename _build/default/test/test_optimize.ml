@@ -1,0 +1,211 @@
+(* Tests for the safety-mechanism deployment search. *)
+
+let mech ?(cost = 1.0) name ctype fmode cov =
+  {
+    Reliability.Sm_model.sm_name = name;
+    component_type = ctype;
+    failure_mode = fmode;
+    coverage_pct = cov;
+    cost;
+  }
+
+let table rows = { Fmea.Table.system_name = "s"; rows }
+
+let sr_row ?(fit = 100.0) ?(dist = 100.0) component fmode =
+  Fmea.Table.make_row ~component ~component_fit:fit ~failure_mode:fmode
+    ~distribution_pct:dist ~safety_related:true ()
+
+let two_slot_table =
+  table [ sr_row "X" "f"; sr_row ~fit:50.0 "Y" "g" ]
+
+let catalogue =
+  Reliability.Sm_model.of_mechanisms
+    [
+      mech ~cost:1.0 "cheap" "X" "f" 60.0;
+      mech ~cost:4.0 "good" "X" "f" 95.0;
+      mech ~cost:2.0 "only" "Y" "g" 90.0;
+    ]
+
+let test_slots () =
+  let slots = Optimize.Search.slots two_slot_table catalogue in
+  Alcotest.(check int) "two slots" 2 (List.length slots);
+  let x_slot =
+    List.find (fun s -> s.Optimize.Search.slot_component = "X") slots
+  in
+  Alcotest.(check int) "two options for X" 2
+    (List.length x_slot.Optimize.Search.slot_options);
+  (* Non-safety-related rows contribute no slot. *)
+  let with_extra =
+    table
+      (two_slot_table.Fmea.Table.rows
+      @ [
+          Fmea.Table.make_row ~component:"Z" ~component_fit:1.0 ~failure_mode:"h"
+            ~distribution_pct:100.0 ~safety_related:false ();
+        ])
+  in
+  Alcotest.(check int) "still two" 2
+    (List.length (Optimize.Search.slots with_extra catalogue))
+
+let test_evaluate () =
+  let c = Optimize.Search.evaluate two_slot_table [] in
+  Alcotest.(check (float 1e-9)) "no deployment cost" 0.0 c.Optimize.Search.cost;
+  Alcotest.(check (float 1e-9)) "spfm 0" 0.0 c.Optimize.Search.spfm_pct;
+  let all =
+    [
+      Fmea.Fmeda.deploy ~component:"X" ~failure_mode:"f" (mech ~cost:4.0 "good" "X" "f" 95.0);
+      Fmea.Fmeda.deploy ~component:"Y" ~failure_mode:"g" (mech ~cost:2.0 "only" "Y" "g" 90.0);
+    ]
+  in
+  let c = Optimize.Search.evaluate two_slot_table all in
+  Alcotest.(check (float 1e-9)) "cost" 6.0 c.Optimize.Search.cost;
+  (* residual = 100*0.05 + 50*0.10 = 10; total = 150 -> spfm = 93.33 *)
+  Alcotest.(check (float 0.01)) "spfm" 93.33 c.Optimize.Search.spfm_pct
+
+let test_exhaustive_enumerates_all () =
+  let candidates = Optimize.Search.exhaustive two_slot_table catalogue in
+  (* (2 options + skip) * (1 option + skip) = 6 *)
+  Alcotest.(check int) "6 combinations" 6 (List.length candidates)
+
+let test_exhaustive_limit () =
+  match
+    Optimize.Search.exhaustive ~max_combinations:3 two_slot_table catalogue
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected limit error"
+
+let test_pareto_front () =
+  let candidates = Optimize.Search.exhaustive two_slot_table catalogue in
+  let front = Optimize.Search.pareto_front candidates in
+  (* Front must be strictly increasing in both cost and SPFM. *)
+  let rec strictly_improving = function
+    | a :: (b :: _ as rest) ->
+        a.Optimize.Search.cost < b.Optimize.Search.cost
+        && a.Optimize.Search.spfm_pct < b.Optimize.Search.spfm_pct
+        && strictly_improving rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly improving" true (strictly_improving front);
+  (* No candidate dominates any front member. *)
+  let dominated_by c other =
+    other.Optimize.Search.spfm_pct >= c.Optimize.Search.spfm_pct
+    && other.Optimize.Search.cost <= c.Optimize.Search.cost
+    && (other.Optimize.Search.spfm_pct > c.Optimize.Search.spfm_pct
+       || other.Optimize.Search.cost < c.Optimize.Search.cost)
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "front member undominated" false
+        (List.exists (dominated_by f) candidates))
+    front
+
+let prop_pareto_covers =
+  (* Every candidate is dominated-or-equalled by some front member. *)
+  QCheck.Test.make ~name:"pareto front covers all candidates" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30)
+              (pair (QCheck.float_bound_inclusive 100.0) (QCheck.float_bound_inclusive 20.0)))
+    (fun points ->
+      let candidates =
+        List.map
+          (fun (spfm, cost) ->
+            { Optimize.Search.deployments = []; spfm_pct = spfm; cost })
+          points
+      in
+      let front = Optimize.Search.pareto_front candidates in
+      front <> []
+      && List.for_all
+           (fun c ->
+             List.exists
+               (fun f ->
+                 f.Optimize.Search.spfm_pct >= c.Optimize.Search.spfm_pct
+                 && f.Optimize.Search.cost <= c.Optimize.Search.cost)
+               front)
+           candidates)
+
+let test_cheapest_meeting () =
+  let candidates = Optimize.Search.exhaustive two_slot_table catalogue in
+  match
+    Optimize.Search.cheapest_meeting ~target:Ssam.Requirement.ASIL_B candidates
+  with
+  | Some c ->
+      (* ASIL-B needs >= 90%: "good"+"only" (93.33% at cost 6) is the only
+         combination above 90. *)
+      Alcotest.(check (float 1e-9)) "cost" 6.0 c.Optimize.Search.cost;
+      Alcotest.(check bool) "meets" true (c.Optimize.Search.spfm_pct >= 90.0)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_cheapest_meeting_none () =
+  let candidates = Optimize.Search.exhaustive two_slot_table catalogue in
+  Alcotest.(check bool) "ASIL-D unreachable" true
+    (Optimize.Search.cheapest_meeting ~target:Ssam.Requirement.ASIL_D candidates
+    = None)
+
+let test_greedy_reaches_target () =
+  let g =
+    Optimize.Search.greedy ~target:Ssam.Requirement.ASIL_B two_slot_table
+      catalogue
+  in
+  Alcotest.(check bool) "greedy meets ASIL-B" true (g.Optimize.Search.spfm_pct >= 90.0)
+
+let test_greedy_stops_when_stuck () =
+  (* No mechanisms at all: greedy returns the empty deployment. *)
+  let g =
+    Optimize.Search.greedy ~target:Ssam.Requirement.ASIL_B two_slot_table
+      Reliability.Sm_model.empty
+  in
+  Alcotest.(check int) "no deployments" 0 (List.length g.Optimize.Search.deployments)
+
+let test_optimise_end_to_end () =
+  let chosen, front =
+    Optimize.Search.optimise ~target:Ssam.Requirement.ASIL_B two_slot_table
+      catalogue
+  in
+  Alcotest.(check bool) "found" true (Option.is_some chosen);
+  Alcotest.(check bool) "front nonempty" true (front <> []);
+  (* The chosen one is on (or dominated by nothing in) the front. *)
+  let c = Option.get chosen in
+  Alcotest.(check bool) "chosen is optimal for its cost" true
+    (List.for_all
+       (fun f ->
+         not
+           (f.Optimize.Search.cost <= c.Optimize.Search.cost
+           && f.Optimize.Search.spfm_pct > c.Optimize.Search.spfm_pct
+           && f.Optimize.Search.spfm_pct >= 90.0))
+       front)
+
+let test_optimise_greedy_fallback () =
+  (* Many slots with many options exceed the exhaustive limit: optimise
+     falls back to greedy and still returns a candidate. *)
+  let rows = List.init 24 (fun i -> sr_row (Printf.sprintf "C%d" i) "f") in
+  let mechanisms =
+    List.concat_map
+      (fun i ->
+        [
+          mech ~cost:1.0 "a" (Printf.sprintf "C%d" i) "f" 60.0;
+          mech ~cost:2.0 "b" (Printf.sprintf "C%d" i) "f" 90.0;
+          mech ~cost:4.0 "c" (Printf.sprintf "C%d" i) "f" 99.0;
+        ])
+      (List.init 24 Fun.id)
+  in
+  let chosen, _ =
+    Optimize.Search.optimise ~target:Ssam.Requirement.ASIL_B (table rows)
+      (Reliability.Sm_model.of_mechanisms mechanisms)
+  in
+  match chosen with
+  | Some c -> Alcotest.(check bool) "fallback meets" true (c.Optimize.Search.spfm_pct >= 90.0)
+  | None -> Alcotest.fail "expected greedy fallback solution"
+
+let suite =
+  [
+    Alcotest.test_case "slots" `Quick test_slots;
+    Alcotest.test_case "evaluate" `Quick test_evaluate;
+    Alcotest.test_case "exhaustive enumerates" `Quick test_exhaustive_enumerates_all;
+    Alcotest.test_case "exhaustive limit" `Quick test_exhaustive_limit;
+    Alcotest.test_case "pareto front" `Quick test_pareto_front;
+    QCheck_alcotest.to_alcotest prop_pareto_covers;
+    Alcotest.test_case "cheapest meeting" `Quick test_cheapest_meeting;
+    Alcotest.test_case "cheapest meeting none" `Quick test_cheapest_meeting_none;
+    Alcotest.test_case "greedy reaches target" `Quick test_greedy_reaches_target;
+    Alcotest.test_case "greedy stops when stuck" `Quick test_greedy_stops_when_stuck;
+    Alcotest.test_case "optimise end-to-end" `Quick test_optimise_end_to_end;
+    Alcotest.test_case "optimise greedy fallback" `Quick test_optimise_greedy_fallback;
+  ]

@@ -1,0 +1,292 @@
+(* Tests for SSAM XML persistence: lossless round-trips over hand-built,
+   transformed and randomly generated models, plus corrupt-input
+   handling. *)
+
+open Ssam
+
+let model_equal (a : Model.t) (b : Model.t) =
+  Base.equal_meta a.Model.model_meta b.Model.model_meta
+  && List.equal Requirement.equal_package a.Model.requirement_packages
+       b.Model.requirement_packages
+  && List.equal Hazard.equal_package a.Model.hazard_packages b.Model.hazard_packages
+  && List.equal Architecture.equal_package a.Model.component_packages
+       b.Model.component_packages
+  && List.equal Mbsa.equal_package a.Model.mbsa_packages b.Model.mbsa_packages
+
+let roundtrip m = Persist.of_string (Persist.to_string m)
+
+let check_roundtrip what m =
+  Alcotest.(check bool) (what ^ " round-trips") true (model_equal m (roundtrip m))
+
+(* A model touching every metamodel feature. *)
+let kitchen_sink =
+  let meta = Base.meta in
+  let requirement_pkg =
+    Requirement.package
+      ~interfaces:
+        [ { Requirement.interface_meta = meta "rif"; exports = [ "r1" ] } ]
+      ~meta:(meta ~name:"reqs" "rp")
+      [
+        Requirement.Requirement
+          (Requirement.requirement ~integrity:Requirement.ASIL_C
+             ~meta:
+               (meta ~name:"SR-1"
+                  ~names:[ Lang_string.v ~lang:"de" "Anforderung" ]
+                  ~description:"safety requirement"
+                  ~constraints:
+                    [ Base.constraint_ ~description:"check" ~id:"c1" "1 + 1 = 2" ]
+                  ~cites:[ "h1" ] "r1")
+             "the PSU shall not brown out");
+        Requirement.Relationship
+          (Requirement.relationship ~meta:(meta "rrel")
+             ~kind:Requirement.Refines ~source:"r1" ~target:"r1");
+      ]
+  in
+  let hazard_pkg =
+    Hazard.package ~meta:(meta ~name:"hazards" "hp")
+      [
+        Hazard.Situation
+          (Hazard.situation ~exposure:Hazard.E3 ~controllability:Hazard.C2
+             ~probability:1e-6
+             ~causes:[ Hazard.cause ~meta:(meta "cz") "wear-out" ]
+             ~meta:(meta ~name:"H1" "h1") ~severity:Hazard.S2 ());
+        Hazard.Measure
+          (Hazard.measure ~safety_decision:"deploy watchdog"
+             ~validation_plan:"HIL test"
+             ~effectiveness:{ Hazard.verified = true; effectiveness_pct = 85.0 }
+             ~mitigates:[ "h1" ] ~meta:(meta ~name:"CM" "cm") ());
+      ]
+  in
+  let child =
+    Architecture.component ~component_type:Architecture.Software ~fit:12.5
+      ~integrity:Requirement.ASIL_B ~safety_related:true ~dynamic:true
+      ~io_nodes:
+        [
+          Architecture.io_node ~value:5.0 ~lower_limit:4.5 ~upper_limit:5.5
+            ~meta:(meta ~name:"vdd" "io1") Architecture.Input;
+          Architecture.io_node ~meta:(meta "io2") Architecture.Bidirectional;
+        ]
+      ~failure_modes:
+        [
+          Architecture.failure_mode ~cause:"alpha particles" ~exposure:"rare"
+            ~hazards:[ "h1" ]
+            ~effects:
+              [
+                Architecture.failure_effect ~affected:[ "leaf2" ]
+                  ~description:"output stuck" ~meta:(meta "fe1") Architecture.DVF;
+              ]
+            ~meta:(meta ~name:"bitflip" "fm1")
+            ~nature:(Architecture.Other "transient") ~distribution_pct:40.0 ();
+          Architecture.failure_mode ~meta:(meta "fm2")
+            ~nature:Architecture.Loss_of_function ~distribution_pct:60.0 ();
+        ]
+      ~safety_mechanisms:
+        [
+          Architecture.safety_mechanism ~covers:[ "fm1" ] ~meta:(meta ~name:"ECC" "sm1")
+            ~coverage_pct:99.0 ~cost:2.0 ();
+        ]
+      ~functions:
+        [ Architecture.func ~meta:(meta "fn1") Architecture.TwoOoThree ]
+      ~meta:
+        (meta ~name:"leaf"
+           ~external_references:
+             [
+               Base.external_reference
+                 ~metadata:[ ("sheet", "a"); ("row", "3") ]
+                 ~validation:(Base.constraint_ ~id:"v1" "Model.rows.size()")
+                 ~location:"data.csv" ~model_type:"csv" ();
+             ]
+           "leaf1")
+      ()
+  in
+  let leaf2 = Architecture.component ~meta:(meta "leaf2") () in
+  let composite =
+    Architecture.component ~component_type:Architecture.System
+      ~children:[ child; leaf2 ]
+      ~connections:
+        [
+          Architecture.relationship ~from_node:"io1" ~meta:(meta "cn1")
+            ~from_component:"leaf1" ~to_component:"leaf2" ();
+        ]
+      ~meta:(meta ~name:"sys" "sys1")
+      ()
+  in
+  let arch_pkg =
+    Architecture.package
+      ~interfaces:
+        [ { Architecture.interface_meta = meta "aif"; exports = [ "sys1" ] } ]
+      ~meta:(meta ~name:"arch" "ap")
+      [ Architecture.Component composite ]
+  in
+  let mbsa_pkg =
+    Mbsa.package ~requirement_packages:[ "rp" ] ~hazard_packages:[ "hp" ]
+      ~component_packages:[ "ap" ]
+      ~artifacts:
+        [
+          Mbsa.artifact_reference ~iteration:2 ~meta:(meta "art1")
+            ~kind:Mbsa.FMEDA ~location:"fmeda.csv" ();
+          Mbsa.artifact_reference ~meta:(meta "art2")
+            ~kind:(Mbsa.Other_analysis "hazop") ~location:"x" ();
+        ]
+      ~traces:
+        [
+          Mbsa.trace_link ~meta:(meta "tr1") ~kind:Mbsa.Supports ~source:"art1"
+            ~target:"r1";
+        ]
+      ~meta:(meta ~name:"mbsa" "mp") ()
+  in
+  Model.create ~requirement_packages:[ requirement_pkg ]
+    ~hazard_packages:[ hazard_pkg ] ~component_packages:[ arch_pkg ]
+    ~mbsa_packages:[ mbsa_pkg ]
+    ~meta:(meta ~name:"kitchen sink" "m1")
+    ()
+
+let test_kitchen_sink_roundtrip () = check_roundtrip "kitchen sink" kitchen_sink
+
+let test_case_study_roundtrip () =
+  let m =
+    Model.create ~component_packages:[ Decisive.Case_study.power_supply_ssam ]
+      ~meta:(Base.meta ~name:"psu" "psu-model") ()
+  in
+  check_roundtrip "case-study SSAM twin" m
+
+let test_transformed_system_roundtrip () =
+  check_roundtrip "System B model" (Decisive.Systems.ssam_model Decisive.Systems.system_b)
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "ssam" ".xml" in
+  Persist.save path kitchen_sink;
+  let reloaded = Persist.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file round-trip" true (model_equal kitchen_sink reloaded)
+
+let test_escaping () =
+  (* Names, descriptions and query expressions with XML-hostile
+     characters survive. *)
+  let nasty = "a < b && \"c\" > 'd' & <tag/>" in
+  let m =
+    Model.create
+      ~component_packages:
+        [
+          Architecture.package
+            ~meta:(Base.meta ~name:nasty ~description:nasty "pkg")
+            [
+              Architecture.Component
+                (Architecture.component
+                   ~meta:
+                     (Base.meta ~name:nasty
+                        ~constraints:[ Base.constraint_ ~id:"q" nasty ]
+                        "c1")
+                   ());
+            ];
+        ]
+      ~meta:(Base.meta "m") ()
+  in
+  check_roundtrip "hostile characters" m
+
+let test_corrupt_inputs () =
+  List.iter
+    (fun src ->
+      match Persist.of_string src with
+      | exception Persist.Corrupt _ -> ()
+      | exception Modelio.Xml.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "expected rejection of %S" src))
+    [
+      "<notSsam/>";
+      "<ssamModel/>";
+      (* missing id *)
+      "<ssamModel id=\"m\"><componentPackage id=\"p\"><component id=\"c\" \
+       type=\"alien\" fit=\"1\" safetyRelated=\"false\" \
+       dynamic=\"false\"/></componentPackage></ssamModel>";
+      "<ssamModel id=\"m\"><componentPackage id=\"p\"><component id=\"c\" \
+       type=\"hardware\" fit=\"NaN-ish\" safetyRelated=\"false\" \
+       dynamic=\"false\"/></componentPackage></ssamModel>";
+      "<ssamModel id=\"m\"><hazardPackage id=\"p\"><hazardousSituation \
+       id=\"h\" severity=\"S9\"/></hazardPackage></ssamModel>";
+    ]
+
+let test_driver_installed () =
+  Alcotest.(check bool) "ssam driver" true
+    (Option.is_some (Modelio.Driver.find "ssam"));
+  (* A saved model is queryable through the generic XML shape. *)
+  let path = Filename.temp_file "ssam" ".xml" in
+  Persist.save path kitchen_sink;
+  let v = Modelio.Driver.resolve ~model_type:"ssam" ~location:path ~metadata:[] in
+  Sys.remove path;
+  let env = Query.Interp.env_of_models [ ("Model", v) ] in
+  match
+    Query.Interp.run_string env
+      "Model.children.select(c | c.tag = 'componentPackage').size()"
+  with
+  | Modelio.Mvalue.Num n -> Alcotest.(check (float 1e-9)) "one arch package" 1.0 n
+  | v -> Alcotest.fail (Modelio.Mvalue.type_name v)
+
+(* Random model generator for the round-trip property. *)
+let gen_model =
+  let open QCheck.Gen in
+  let ident prefix = map (Printf.sprintf "%s%d" prefix) (int_range 0 10_000) in
+  let gen_meta prefix =
+    let* id = ident prefix in
+    let* name = string_size ~gen:(char_range 'a' 'z') (int_range 0 8) in
+    let* cites = list_size (int_range 0 2) (ident "cite") in
+    return (Base.meta ~name ~cites id)
+  in
+  let gen_fm i =
+    let* meta = gen_meta (Printf.sprintf "fm%d-" i) in
+    let* nature =
+      oneofl
+        [
+          Architecture.Loss_of_function;
+          Architecture.Degraded;
+          Architecture.Erroneous;
+          Architecture.Other "odd";
+        ]
+    in
+    let* dist = map float_of_int (int_range 0 100) in
+    return (Architecture.failure_mode ~meta ~nature ~distribution_pct:dist ())
+  in
+  let gen_component i =
+    let* meta = gen_meta (Printf.sprintf "c%d-" i) in
+    let* fit = map float_of_int (int_range 0 500) in
+    let* fms = list_size (int_range 0 3) (gen_fm i) in
+    let* ctype =
+      oneofl [ Architecture.System; Architecture.Hardware; Architecture.Software ]
+    in
+    let* dynamic = bool in
+    return
+      (Architecture.component ~component_type:ctype ~fit ~dynamic
+         ~failure_modes:fms ~meta ())
+  in
+  let* n = int_range 0 5 in
+  let* components =
+    List.fold_left
+      (fun acc i -> map2 (fun l c -> c :: l) acc (gen_component i))
+      (return []) (List.init n Fun.id)
+  in
+  let* pkg_meta = gen_meta "pkg-" in
+  let* model_meta = gen_meta "model-" in
+  return
+    (Model.create
+       ~component_packages:
+         [
+           Architecture.package ~meta:pkg_meta
+             (List.map (fun c -> Architecture.Component c) components);
+         ]
+       ~meta:model_meta ())
+
+let prop_random_roundtrip =
+  QCheck.Test.make ~name:"random models round-trip through XML" ~count:100
+    (QCheck.make gen_model)
+    (fun m -> model_equal m (roundtrip m))
+
+let suite =
+  [
+    Alcotest.test_case "kitchen sink roundtrip" `Quick test_kitchen_sink_roundtrip;
+    Alcotest.test_case "case study roundtrip" `Quick test_case_study_roundtrip;
+    Alcotest.test_case "System B roundtrip" `Quick test_transformed_system_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "hostile characters" `Quick test_escaping;
+    Alcotest.test_case "corrupt inputs rejected" `Quick test_corrupt_inputs;
+    Alcotest.test_case "ssam driver + query" `Quick test_driver_installed;
+    QCheck_alcotest.to_alcotest prop_random_roundtrip;
+  ]

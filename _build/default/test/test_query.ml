@@ -1,0 +1,232 @@
+(* Tests for the query language: lexer, parser and evaluator. *)
+
+open Modelio
+
+let eval ?(env = Query.Interp.env_empty) src = Query.Interp.run_string env src
+
+let check_num ?env what expected src =
+  match eval ?env src with
+  | Mvalue.Num f ->
+      Alcotest.(check (float 1e-9)) what expected f
+  | v -> Alcotest.fail (Printf.sprintf "%s: expected number, got %s" what (Mvalue.type_name v))
+
+let check_bool ?env what expected src =
+  match eval ?env src with
+  | Mvalue.Bool b -> Alcotest.(check bool) what expected b
+  | v -> Alcotest.fail (Printf.sprintf "%s: expected bool, got %s" what (Mvalue.type_name v))
+
+let check_str ?env what expected src =
+  match eval ?env src with
+  | Mvalue.Str s -> Alcotest.(check string) what expected s
+  | v -> Alcotest.fail (Printf.sprintf "%s: expected string, got %s" what (Mvalue.type_name v))
+
+(* ---------- lexer ---------- *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Query.Lexer.tokenize "x := 1.5 <> 'a' // c\n and") in
+  Alcotest.(check int) "token count" 7 (List.length toks);
+  Alcotest.(check bool) "assign" true (List.mem Query.Token.ASSIGN toks);
+  Alcotest.(check bool) "neq" true (List.mem Query.Token.NEQ toks);
+  Alcotest.(check bool) "and kw" true (List.mem Query.Token.AND toks)
+
+let test_lexer_comments () =
+  let toks = List.map fst (Query.Lexer.tokenize "1 /* multi\nline */ + 2") in
+  Alcotest.(check int) "comments skipped" 4 (List.length toks)
+
+let test_lexer_errors () =
+  (match Query.Lexer.tokenize "'unterminated" with
+  | exception Query.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "expected Lex_error");
+  match Query.Lexer.tokenize "@" with
+  | exception Query.Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "expected Lex_error on '@'"
+
+(* ---------- arithmetic and operators ---------- *)
+
+let test_arithmetic () =
+  check_num "add" 7.0 "3 + 4";
+  check_num "precedence" 14.0 "2 + 3 * 4";
+  check_num "parens" 20.0 "(2 + 3) * 4";
+  check_num "div" 2.5 "5 / 2";
+  check_num "mod" 1.0 "7 mod 3";
+  check_num "neg" (-3.0) "-3";
+  check_num "sci" 450.0 "4.5e2"
+
+let test_division_by_zero () =
+  match eval "1 / 0" with
+  | exception Query.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Runtime_error"
+
+let test_comparisons () =
+  check_bool "lt" true "1 < 2";
+  check_bool "le" true "2 <= 2";
+  check_bool "eq strings" true "'a' = 'a'";
+  check_bool "neq" true "1 <> 2";
+  check_bool "string order" true "'abc' < 'abd'"
+
+let test_boolean_logic () =
+  check_bool "and" false "true and false";
+  check_bool "or" true "false or true";
+  check_bool "not" true "not false";
+  check_bool "implies true" true "false implies false";
+  check_bool "implies false" false "true implies false";
+  (* Short-circuit: the RHS would be a runtime error. *)
+  check_bool "short-circuit and" false "false and (1 / 0 > 0)";
+  check_bool "short-circuit or" true "true or (1 / 0 > 0)"
+
+let test_string_ops () =
+  check_str "concat" "ab" "'a' + 'b'";
+  check_str "num concat" "x1" "'x' + 1";
+  check_str "upper" "ABC" "'abc'.toUpperCase()";
+  check_str "trim" "x" "'  x '.trim()";
+  check_bool "contains" true "'hello'.contains('ell')";
+  check_bool "startsWith" true "'hello'.startsWith('he')";
+  check_bool "endsWith" true "'hello'.endsWith('lo')";
+  check_num "length" 5.0 "'hello'.length()";
+  check_str "replace" "h-llo" "'hello'.replace('e', '-')";
+  check_num "toNumber pct" 30.0 "'30%'.toNumber()";
+  check_num "split" 3.0 "'a,b,c'.split(',').size()"
+
+let test_if_expression () =
+  check_num "then" 1.0 "if (2 > 1) 1 else 2";
+  check_num "else" 2.0 "if (2 < 1) 1 else 2"
+
+(* ---------- collections ---------- *)
+
+let test_sequence_ops () =
+  check_num "size" 3.0 "Sequence(1, 2, 3).size()";
+  check_num "sum" 6.0 "Sequence(1, 2, 3).sum()";
+  check_num "avg" 2.0 "Sequence(1, 2, 3).avg()";
+  check_num "min" 1.0 "Sequence(3, 1, 2).min()";
+  check_num "max" 3.0 "Sequence(3, 1, 2).max()";
+  check_num "first" 3.0 "Sequence(3, 1, 2).first()";
+  check_num "last" 2.0 "Sequence(3, 1, 2).last()";
+  check_num "at" 1.0 "Sequence(3, 1, 2).at(1)";
+  check_num "index" 1.0 "Sequence(3, 1, 2)[1]";
+  check_bool "isEmpty" true "Sequence().isEmpty()";
+  check_bool "notEmpty" true "Sequence(1).notEmpty()";
+  check_bool "includes" true "Sequence(1, 2).includes(2)";
+  check_num "indexOf" 1.0 "Sequence('a', 'b').indexOf('b')";
+  check_num "distinct" 2.0 "Sequence(1, 1, 2).distinct().size()";
+  check_num "flatten" 4.0 "Sequence(Sequence(1, 2), Sequence(3, 4)).flatten().size()"
+
+let test_lambda_ops () =
+  check_num "select" 2.0 "Sequence(1, 2, 3, 4).select(x | x > 2).size()";
+  check_num "reject" 2.0 "Sequence(1, 2, 3, 4).reject(x | x > 2).size()";
+  check_num "collect" 12.0 "Sequence(1, 2, 3).collect(x | x * 2).sum()";
+  check_bool "exists" true "Sequence(1, 2).exists(x | x = 2)";
+  check_bool "forAll" false "Sequence(1, 2).forAll(x | x = 2)";
+  check_num "count" 1.0 "Sequence(1, 2, 3).count(x | x = 2)";
+  check_num "selectOne" 2.0 "Sequence(1, 2, 3).selectOne(x | x > 1)";
+  check_num "sortBy" 1.0 "Sequence(3, 1, 2).sortBy(x | x).first()"
+
+let test_collection_navigation () =
+  (* EOL-style: .field on a sequence maps over elements. *)
+  let model =
+    Mvalue.Seq
+      [
+        Mvalue.Record [ ("fit", Mvalue.Num 10.0) ];
+        Mvalue.Record [ ("fit", Mvalue.Num 15.0) ];
+      ]
+  in
+  let env = Query.Interp.env_of_models [ ("Comps", model) ] in
+  check_num ~env "mapped navigation" 25.0 "Comps.fit.sum()"
+
+(* ---------- statements ---------- *)
+
+let test_statements () =
+  check_num "var and return" 30.0 "var x := 10; var y := 20; return x + y;";
+  check_num "reassignment" 2.0 "var x := 1; x := x + 1; return x;";
+  check_num "if statement" 5.0
+    "var x := 0; if (true) x := 5; else x := 9; return x;";
+  check_num "last expression is result" 42.0 "var x := 40; x + 2;"
+
+let test_unknown_identifier () =
+  match eval "nope + 1" with
+  | exception Query.Interp.Runtime_error m ->
+      Alcotest.(check bool) "message mentions name" true
+        (String.length m > 0 && String.sub m 0 7 = "unknown")
+  | _ -> Alcotest.fail "expected Runtime_error"
+
+let test_unknown_method () =
+  match eval "Sequence(1).frobnicate()" with
+  | exception Query.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Runtime_error"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Query.Parser.parse_program src with
+      | exception Query.Parser.Parse_error _ -> ()
+      | exception Query.Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "expected parse error on %S" src))
+    [ "1 +"; "var := 3;"; "(1"; "a.b("; "if (1) 2" ]
+
+(* ---------- records and realistic federation queries ---------- *)
+
+let reliability_env () =
+  let csv =
+    Csv.parse
+      "Component,FIT,Failure_Mode,Distribution\n\
+       Diode,10,Open,30%\nDiode,10,Short,70%\nInductor,15,Open,30%\n"
+  in
+  Query.Interp.env_of_models
+    [ ("Reliability", Mvalue.of_csv_table (Csv.to_table csv)) ]
+
+let test_federation_query () =
+  let env = reliability_env () in
+  check_num ~env "diode distribution sum" 100.0
+    "Reliability.rows.select(r | r.component = 'Diode').collect(r | r.distribution.toNumber()).sum()";
+  check_num ~env "distinct fits" 25.0
+    "Reliability.rows.collect(r | r.fit.toNumber()).distinct().sum()";
+  check_bool ~env "header check" true "Reliability.header.includes('FIT')"
+
+let test_record_methods () =
+  let env =
+    Query.Interp.env_of_models
+      [ ("R", Mvalue.Record [ ("a", Mvalue.Num 1.0); ("b", Mvalue.Str "x") ]) ]
+  in
+  check_bool ~env "has" true "R.has('a')";
+  check_bool ~env "has not" false "R.has('z')";
+  check_num ~env "fields" 2.0 "R.fields().size()";
+  check_str ~env "get" "x" "R.get('b')"
+
+let test_spfm_query_shape () =
+  (* The exact query the assurance case embeds, against a miniature FMEDA
+     CSV: SPFM = 1 - 10.5/325 = 96.77% >= 90. *)
+  let csv =
+    Csv.parse
+      "Component,FIT,Safety_Related,Failure_Mode,Distribution,Safety_Mechanism,SM_Coverage,Single_Point_Failure_Rate\n\
+       D1,10,Yes,Open,30%,No SM,,3 FIT\n\
+       D1,10,No,Short,70%,No SM,,\n\
+       L1,15,Yes,Open,30%,No SM,,4.5 FIT\n\
+       MC1,300,Yes,RAM Failure,100%,ECC,99%,3 FIT\n"
+  in
+  let env =
+    Query.Interp.env_of_models [ ("Artifact", Mvalue.of_csv_table (Csv.to_table csv)) ]
+  in
+  check_bool ~env "spfm acceptance" true
+    (Decisive.Api.spfm_query ~target:Ssam.Requirement.ASIL_B)
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "boolean logic" `Quick test_boolean_logic;
+    Alcotest.test_case "string ops" `Quick test_string_ops;
+    Alcotest.test_case "if expression" `Quick test_if_expression;
+    Alcotest.test_case "sequence ops" `Quick test_sequence_ops;
+    Alcotest.test_case "lambda ops" `Quick test_lambda_ops;
+    Alcotest.test_case "collection navigation" `Quick test_collection_navigation;
+    Alcotest.test_case "statements" `Quick test_statements;
+    Alcotest.test_case "unknown identifier" `Quick test_unknown_identifier;
+    Alcotest.test_case "unknown method" `Quick test_unknown_method;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "federation query" `Quick test_federation_query;
+    Alcotest.test_case "record methods" `Quick test_record_methods;
+    Alcotest.test_case "spfm acceptance query" `Quick test_spfm_query_shape;
+  ]

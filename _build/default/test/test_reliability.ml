@@ -1,0 +1,232 @@
+(* Tests for FIT arithmetic and the reliability / safety-mechanism models. *)
+
+open Reliability
+
+(* ---------- Fit ---------- *)
+
+let test_fit_arithmetic () =
+  Alcotest.(check (float 1e-12)) "share" 3.0
+    (Fit.share (Fit.of_float 10.0) ~distribution_pct:30.0);
+  Alcotest.(check (float 1e-12)) "residual" 3.0
+    (Fit.residual (Fit.of_float 300.0) ~coverage_pct:99.0);
+  Alcotest.(check (float 1e-12)) "sum" 325.0
+    (Fit.sum [ 10.0; 15.0; 300.0 ]);
+  Alcotest.(check (float 1e-24)) "failures/hour" 1e-8
+    (Fit.to_failures_per_hour (Fit.of_float 10.0));
+  Alcotest.(check (float 1e-9)) "of failures/hour" 10.0
+    (Fit.of_failures_per_hour 1e-8)
+
+let test_fit_validation () =
+  Alcotest.check_raises "negative" (Invalid_argument "Fit.of_float: negative FIT")
+    (fun () -> ignore (Fit.of_float (-1.0)));
+  Alcotest.check_raises "bad pct"
+    (Invalid_argument "Fit.share: percentage 120 outside [0,100]") (fun () ->
+      ignore (Fit.share 10.0 ~distribution_pct:120.0));
+  Alcotest.check_raises "bad coverage"
+    (Invalid_argument "Fit.residual: percentage -1 outside [0,100]") (fun () ->
+      ignore (Fit.residual 10.0 ~coverage_pct:(-1.0)))
+
+(* ---------- Reliability model ---------- *)
+
+let test_table_ii () =
+  let m = Reliability_model.table_ii in
+  let diode = Option.get (Reliability_model.find m "Diode") in
+  Alcotest.(check (float 1e-9)) "diode fit" 10.0 diode.Reliability_model.fit;
+  Alcotest.(check int) "diode fms" 2 (List.length diode.Reliability_model.failure_modes);
+  (* "MC" resolves to microcontroller through the catalogue alias. *)
+  let mc = Option.get (Reliability_model.find m "MC") in
+  Alcotest.(check (float 1e-9)) "mc fit" 300.0 mc.Reliability_model.fit;
+  Alcotest.(check bool) "no opamp" true (Reliability_model.find m "opamp" = None);
+  Alcotest.(check (list string)) "validates" [] (Reliability_model.validate m)
+
+let test_loss_of_function_inference () =
+  let m = Reliability_model.table_ii in
+  let diode = Option.get (Reliability_model.find m "diode") in
+  let by_name name =
+    List.find
+      (fun fm -> fm.Reliability_model.fm_name = name)
+      diode.Reliability_model.failure_modes
+  in
+  Alcotest.(check bool) "open is loss" true (by_name "Open").Reliability_model.loss_of_function;
+  Alcotest.(check bool) "short is not loss" false
+    (by_name "Short").Reliability_model.loss_of_function
+
+let table_ii_csv =
+  "Component,FIT,Failure_Mode,Distribution\n\
+   Diode,10,Open,30%\n,,Short,70%\n\
+   Capacitor,2,Open,30%\n,,Short,70%\n\
+   Inductor,15,Open,30%\n,,Short,70%\n\
+   MC,300,RAM Failure,100%\n"
+
+let test_spreadsheet_parse () =
+  let wb = Modelio.Spreadsheet.of_csv ~name:"rel" (Modelio.Csv.parse table_ii_csv) in
+  let m = Reliability_model.of_spreadsheet wb in
+  (* Continuation rows (blank Component/FIT) attach to the previous entry. *)
+  Alcotest.(check int) "entries" 4 (List.length (Reliability_model.entries m));
+  let diode = Option.get (Reliability_model.find m "diode") in
+  Alcotest.(check int) "diode modes" 2 (List.length diode.Reliability_model.failure_modes);
+  Alcotest.(check bool) "equivalent to table_ii" true
+    (List.for_all
+       (fun (e : Reliability_model.entry) ->
+         match Reliability_model.find Reliability_model.table_ii e.Reliability_model.component_type with
+         | Some e2 -> Fit.equal e.Reliability_model.fit e2.Reliability_model.fit
+         | None -> false)
+       (Reliability_model.entries m))
+
+let test_spreadsheet_errors () =
+  let bad_col = Modelio.Spreadsheet.of_csv ~name:"x" [ [ "Nope" ]; [ "y" ] ] in
+  (match Reliability_model.of_spreadsheet bad_col with
+  | exception Reliability_model.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected Format_error on missing columns");
+  let orphan =
+    Modelio.Spreadsheet.of_csv ~name:"x"
+      [
+        [ "Component"; "FIT"; "Failure_Mode"; "Distribution" ];
+        [ ""; ""; "Open"; "30%" ];
+      ]
+  in
+  match Reliability_model.of_spreadsheet orphan with
+  | exception Reliability_model.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected Format_error on orphan continuation"
+
+let test_spreadsheet_roundtrip () =
+  let m = Reliability_model.table_ii in
+  let m2 = Reliability_model.of_spreadsheet (Reliability_model.to_spreadsheet m) in
+  Alcotest.(check int) "entry count"
+    (List.length (Reliability_model.entries m))
+    (List.length (Reliability_model.entries m2));
+  List.iter
+    (fun (e : Reliability_model.entry) ->
+      match Reliability_model.find m2 e.Reliability_model.component_type with
+      | None -> Alcotest.fail ("missing " ^ e.Reliability_model.component_type)
+      | Some e2 ->
+          Alcotest.(check (float 1e-9)) "fit" e.Reliability_model.fit e2.Reliability_model.fit)
+    (Reliability_model.entries m)
+
+let test_json_parse () =
+  let json =
+    Modelio.Json.parse
+      {| {"components": [
+           {"type": "diode", "fit": 10,
+            "failure_modes": [
+              {"name": "Open", "distribution": 30},
+              {"name": "Short", "distribution": 70}]},
+           {"type": "relay", "fit": 5,
+            "failure_modes": [
+              {"name": "Weld", "distribution": 100, "loss_of_function": false}]}
+         ]} |}
+  in
+  let m = Reliability_model.of_json json in
+  Alcotest.(check int) "entries" 2 (List.length (Reliability_model.entries m));
+  let relay = Option.get (Reliability_model.find m "relay") in
+  let weld = List.hd relay.Reliability_model.failure_modes in
+  Alcotest.(check bool) "explicit loss flag respected" false
+    weld.Reliability_model.loss_of_function
+
+let test_json_errors () =
+  List.iter
+    (fun src ->
+      match Reliability_model.of_json (Modelio.Json.parse src) with
+      | exception Reliability_model.Format_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "expected Format_error on %s" src))
+    [
+      {| {} |};
+      {| {"components": [{"fit": 3}]} |};
+      {| {"components": [{"type": "r"}]} |};
+    ]
+
+let test_validate_problems () =
+  let bad =
+    Reliability_model.of_entries
+      [
+        {
+          Reliability_model.component_type = "thing";
+          fit = Fit.of_float 0.0;
+          failure_modes =
+            [
+              {
+                Reliability_model.fm_name = "A";
+                distribution_pct = 40.0;
+                fault = None;
+                loss_of_function = false;
+              };
+              {
+                Reliability_model.fm_name = "a";
+                distribution_pct = 40.0;
+                fault = None;
+                loss_of_function = false;
+              };
+            ];
+        };
+      ]
+  in
+  let problems = Reliability_model.validate bad in
+  Alcotest.(check bool) "sum problem" true
+    (List.exists (fun p -> String.length p > 0) problems);
+  Alcotest.(check bool) "three problems (sum, zero fit, dup names)" true
+    (List.length problems = 3)
+
+(* ---------- SM model ---------- *)
+
+let test_table_iii () =
+  let ms =
+    Sm_model.applicable Sm_model.table_iii ~component_type:"MCU"
+      ~failure_mode:"ram failure"
+  in
+  Alcotest.(check int) "ecc found" 1 (List.length ms);
+  let ecc = List.hd ms in
+  Alcotest.(check string) "name" "ECC" ecc.Sm_model.sm_name;
+  Alcotest.(check (float 1e-9)) "coverage" 99.0 ecc.Sm_model.coverage_pct;
+  Alcotest.(check (float 1e-9)) "cost" 2.0 ecc.Sm_model.cost
+
+let test_applicable_sorting () =
+  let ms =
+    Sm_model.applicable Sm_model.extended_catalogue ~component_type:"microcontroller"
+      ~failure_mode:"RAM Failure"
+  in
+  Alcotest.(check bool) "at least ECC, watchdog, lockstep" true (List.length ms >= 3);
+  let coverages = List.map (fun m -> m.Sm_model.coverage_pct) ms in
+  Alcotest.(check bool) "descending coverage" true
+    (List.sort (fun a b -> Float.compare b a) coverages = coverages)
+
+let test_sm_spreadsheet_roundtrip () =
+  let m = Sm_model.extended_catalogue in
+  let m2 = Sm_model.of_spreadsheet (Sm_model.to_spreadsheet m) in
+  Alcotest.(check int) "mechanism count"
+    (List.length (Sm_model.mechanisms m))
+    (List.length (Sm_model.mechanisms m2))
+
+let test_sm_validate () =
+  let bad =
+    Sm_model.of_mechanisms
+      [
+        {
+          Sm_model.sm_name = "x";
+          component_type = "y";
+          failure_mode = "z";
+          coverage_pct = 150.0;
+          cost = -1.0;
+        };
+      ]
+  in
+  Alcotest.(check int) "two problems" 2 (List.length (Sm_model.validate bad));
+  Alcotest.(check (list string)) "catalogue is clean" []
+    (Sm_model.validate Sm_model.extended_catalogue)
+
+let suite =
+  [
+    Alcotest.test_case "fit arithmetic" `Quick test_fit_arithmetic;
+    Alcotest.test_case "fit validation" `Quick test_fit_validation;
+    Alcotest.test_case "table II" `Quick test_table_ii;
+    Alcotest.test_case "loss inference" `Quick test_loss_of_function_inference;
+    Alcotest.test_case "spreadsheet parse" `Quick test_spreadsheet_parse;
+    Alcotest.test_case "spreadsheet errors" `Quick test_spreadsheet_errors;
+    Alcotest.test_case "spreadsheet roundtrip" `Quick test_spreadsheet_roundtrip;
+    Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "validate problems" `Quick test_validate_problems;
+    Alcotest.test_case "table III" `Quick test_table_iii;
+    Alcotest.test_case "applicable sorting" `Quick test_applicable_sorting;
+    Alcotest.test_case "sm spreadsheet roundtrip" `Quick test_sm_spreadsheet_roundtrip;
+    Alcotest.test_case "sm validate" `Quick test_sm_validate;
+  ]
