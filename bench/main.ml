@@ -17,6 +17,33 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Machine-readable results, accumulated by each section and written to
+   BENCH_results.json at the end (format documented in EXPERIMENTS.md). *)
+
+let json_kernels : (string * float) list ref = ref []
+let json_tables : (string * float) list ref = ref []
+let json_parallel : Modelio.Json.t list ref = ref []
+
+let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
+
+let write_results () =
+  let open Modelio.Json in
+  let numbers l = Object (List.rev_map (fun (n, v) -> (n, Number v)) l) in
+  let j =
+    Object
+      [
+        ("schema", String "same-bench/1");
+        ("jobs", Number (float_of_int (Exec.default_jobs ())));
+        ( "cores",
+          Number (float_of_int (Domain.recommended_domain_count ())) );
+        ("table_timings_s", numbers !json_tables);
+        ("parallel", List (List.rev !json_parallel));
+        ("kernels_ns_per_run", numbers !json_kernels);
+      ]
+  in
+  write_file ~indent:2 "BENCH_results.json" j;
+  Printf.printf "\nresults written to BENCH_results.json\n"
+
 (* ---------- Table I: FMEDA on a PLL ---------- *)
 
 let table1 () =
@@ -98,8 +125,10 @@ let table4 () =
     (fun ppf () ->
       Fmea.Asil.pp_verdict ppf ~target:Ssam.Requirement.ASIL_B ~spfm:spfm_after)
     ();
+  record_timing "table4/injection-fmea" t_before;
   (* Both analysis routes (Sec. V-A circuit, Sec. V-B SSAM) agree. *)
   let ssam_route, t_ssam = timed Decisive.Case_study.fmea_via_ssam in
+  record_timing "table4/ssam-route" t_ssam;
   Printf.printf
     "routes agree on safety-related components: %b (injection %.1f ms, \
      SSAM paths %.1f ms)\n"
@@ -110,6 +139,7 @@ let table4 () =
   let fta_table, t_fta =
     timed (fun () -> Fta.Fmea_from_fta.analyse Decisive.Case_study.power_supply_root)
   in
+  record_timing "table4/fta-route" t_fta;
   Printf.printf "FTA-route cross-check agrees: %b (%.1f ms)\n"
     (List.sort String.compare (Fmea.Table.safety_related_components fta_table)
     = List.sort String.compare (Fmea.Table.safety_related_components before))
@@ -213,6 +243,18 @@ let table6 () =
         | `Ok _ -> Printf.sprintf "%15.3f" t
         | `Overflow -> Printf.sprintf "%15s" "N/A (overflow)"
       in
+      (match full_result with
+      | `Ok _ ->
+          record_timing
+            (Printf.sprintf "table6/%s/full" spec.Store.Synthetic.set_name)
+            t_full
+      | `Overflow -> ());
+      (match lazy_result with
+      | `Ok _ ->
+          record_timing
+            (Printf.sprintf "table6/%s/lazy" spec.Store.Synthetic.set_name)
+            t_lazy
+      | `Overflow -> ());
       let paper = List.nth paper_times i in
       Printf.printf "%-6s %15d %s %s %s\n"
         spec.Store.Synthetic.set_name spec.Store.Synthetic.target_elements
@@ -243,6 +285,8 @@ let ablation_search () =
         Optimize.Search.greedy ~component_types:types
           ~target:Ssam.Requirement.ASIL_B table sms)
   in
+  record_timing "ablation/search-exhaustive" t_ex;
+  record_timing "ablation/search-greedy" t_gr;
   (match chosen with
   | Some c ->
       Printf.printf
@@ -364,6 +408,94 @@ let extended_metrics () =
      then "all met"
      else "NOT met")
 
+(* ---------- Parallel execution (SAME_JOBS) ---------- *)
+
+(* [copies] independent instances of the Fig. 11 power supply in one
+   netlist (only ground is shared): the MNA system and the injection
+   count both scale, which is what makes per-injection parallelism pay. *)
+let replicated_psu copies =
+  let base = Circuit.Netlist.elements Decisive.Case_study.power_supply_netlist in
+  let rename i (e : Circuit.Element.t) =
+    let node n =
+      if n = Circuit.Netlist.ground then n else Printf.sprintf "%s_%d" n i
+    in
+    Circuit.Element.make
+      ~id:(Printf.sprintf "%s_%d" e.Circuit.Element.id i)
+      ~kind:e.Circuit.Element.kind
+      (node e.Circuit.Element.node_a)
+      (node e.Circuit.Element.node_b)
+  in
+  Circuit.Netlist.of_elements "psu-array"
+    (List.concat (List.init copies (fun i -> List.map (rename i) base)))
+
+let parallel_speedups () =
+  section "Parallel execution — sequential vs SAME_JOBS=4";
+  Printf.printf
+    "each workload runs twice on the same inputs; 'identical' checks the \
+     parallel result is equal to the sequential one\n";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host cores: %d%s\n" cores
+    (if cores < 4 then
+       "  (fewer than 4: the jobs=4 column measures scheduling/GC \
+        overhead, not speedup)"
+     else "");
+  let saved = Exec.default_jobs () in
+  let compare_jobs name f equal =
+    Exec.set_default_jobs 1;
+    ignore (f ());
+    (* warm-up: fill caches before the timed sequential run *)
+    let r1, t1 = timed f in
+    Exec.set_default_jobs 4;
+    let r4, t4 = timed f in
+    Exec.set_default_jobs saved;
+    let identical = equal r1 r4 in
+    let speedup = t1 /. t4 in
+    Printf.printf
+      "%-26s seq %7.3f s   jobs=4 %7.3f s   speedup %5.2fx   identical %b\n"
+      name t1 t4 speedup identical;
+    json_parallel :=
+      Modelio.Json.Object
+        [
+          ("name", Modelio.Json.String name);
+          ("seq_s", Modelio.Json.Number t1);
+          ("par_s", Modelio.Json.Number t4);
+          ("speedup", Modelio.Json.Number speedup);
+          ("identical", Modelio.Json.Bool identical);
+        ]
+      :: !json_parallel
+  in
+  (* 1. Fault-injection FMEA at scale: one injection per (component,
+     failure mode), each a full Newton DC solve. *)
+  let copies = if Sys.getenv_opt "SAME_BENCH_FULL" = Some "1" then 24 else 12 in
+  let psu_array = replicated_psu copies in
+  let options =
+    {
+      Fmea.Injection_fmea.default_options with
+      exclude = List.init copies (Printf.sprintf "DC1_%d");
+    }
+  in
+  compare_jobs
+    (Printf.sprintf "injection-fmea (%d PSUs)" copies)
+    (fun () ->
+      Fmea.Injection_fmea.analyse ~options psu_array
+        Decisive.Case_study.reliability_model)
+    Fmea.Table.equal;
+  (* 2. Exhaustive safety-mechanism search on System A. *)
+  let subject = Decisive.Systems.system_a in
+  let table = Decisive.Systems.automated_fmea subject in
+  let types =
+    (Decisive.Systems.analysable subject).Blockdiag.To_netlist.block_types
+  in
+  let sms = subject.Decisive.Systems.safety_mechanisms in
+  compare_jobs "exhaustive sm-search"
+    (fun () -> Optimize.Search.exhaustive ~component_types:types table sms)
+    (List.equal Optimize.Search.equal_candidate);
+  (* 3. Table VI store evaluation (per-unit path FMEAs). *)
+  let spec = { Store.Synthetic.set_name = "par"; target_elements = 40_000 } in
+  compare_jobs "store evaluate (40k)"
+    (fun () -> Store.Lazy_store.evaluate spec)
+    ( = )
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro_benchmarks () =
@@ -416,6 +548,7 @@ let micro_benchmarks () =
       (fun name result ->
         match Analyze.OLS.estimates result with
         | Some [ est ] ->
+            json_kernels := (name, est) :: !json_kernels;
             Printf.printf "%-32s %12.1f ns/run\n" name est
         | _ -> Printf.printf "%-32s (no estimate)\n" name)
       results
@@ -436,5 +569,7 @@ let () =
   ablation_ripple ();
   ablation_threshold ();
   extended_metrics ();
+  parallel_speedups ();
   micro_benchmarks ();
+  write_results ();
   Printf.printf "\nDone.\n"

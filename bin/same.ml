@@ -90,6 +90,21 @@ let output_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"CSV" ~doc:"Write the FMEDA table as CSV.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel analysis kernels (overrides the \
+           $(b,SAME_JOBS) environment variable; default: the machine's \
+           recommended domain count).  $(b,1) forces sequential execution.")
+
+let set_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Exec.set_default_jobs n
+  | Some n -> Printf.eprintf "warning: ignoring non-positive --jobs %d\n" n
+
 let route_arg =
   let routes =
     [
@@ -132,7 +147,8 @@ let report_table output table =
 (* same fmea *)
 
 let fmea_cmd =
-  let run diagram_path reliability_path exclude monitored output route =
+  let run diagram_path reliability_path exclude monitored output route jobs =
+    set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         let monitored_sensors =
@@ -155,7 +171,7 @@ let fmea_cmd =
     (Cmd.info "fmea" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ exclude_arg $ monitored_arg
-      $ output_arg $ route_arg)
+      $ output_arg $ route_arg $ jobs_arg)
 
 (* same fmeda *)
 
@@ -168,7 +184,8 @@ let target_arg =
 
 let fmeda_cmd =
   let run diagram_path reliability_path sm_path exclude monitored output target
-      =
+      jobs =
+    set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         match load_sm_model sm_path with
@@ -216,12 +233,13 @@ let fmeda_cmd =
     (Cmd.info "fmeda" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
-      $ monitored_arg $ output_arg $ target_arg)
+      $ monitored_arg $ output_arg $ target_arg $ jobs_arg)
 
 (* same optimize *)
 
 let optimize_cmd =
-  let run diagram_path reliability_path sm_path exclude target =
+  let run diagram_path reliability_path sm_path exclude target jobs =
+    set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         match load_sm_model sm_path with
@@ -255,7 +273,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
-      $ target_arg)
+      $ target_arg $ jobs_arg)
 
 (* same transform *)
 
@@ -393,7 +411,9 @@ let run_cmd =
       value & opt string "system"
       & info [ "n"; "name" ] ~docv:"NAME" ~doc:"Process/system name.")
   in
-  let run diagram_path reliability_path sm_path exclude monitored target name =
+  let run diagram_path reliability_path sm_path exclude monitored target name
+      jobs =
+    set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         match load_sm_model sm_path with
@@ -417,7 +437,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
-      $ monitored_arg $ target_arg $ name_arg)
+      $ monitored_arg $ target_arg $ name_arg $ jobs_arg)
 
 (* same simulate *)
 

@@ -42,100 +42,159 @@ let diode_conductance (p : Element.diode_params) v =
   in
   p.Element.saturation_current /. vt *. exp (vl /. vt) *. limiter_slope
 
-let analyse ?(gmin = 1e-9) ?(max_iterations = 200) ?(max_step_param = 0.5) netlist =
-  let elements = Netlist.elements netlist in
+(* ---------- prepared netlists ----------
+
+   Everything that depends only on the topology — node/branch numbering,
+   element partitioning and the stamps of the *linear* devices — is
+   computed once per netlist and reused by every Newton iteration.
+   Iterations then memcpy the base system and restamp only the diode
+   companion entries, instead of re-walking the element list with
+   hashtable lookups per rebuild.  The failure-injection FMEA performs
+   one prepare per injected fault (the fault changes an element's kind,
+   which may change the branch partition), so the cost of preparation is
+   paid once per solve rather than once per iteration. *)
+
+type prepared = {
+  elements : Element.t array;
+  node_names : string list;
+  n_nodes : int;
+  size : int;
+  (* Per-element resolved unknown indices: None = ground. *)
+  el_a : int option array;
+  el_b : int option array;
+  (* MNA branch row per element, -1 when the element has none. *)
+  el_branch : int array;
+  (* Diodes as (element index, params); restamped each iteration. *)
+  diodes : (int * Element.diode_params) array;
+  base_a : Numeric.Matrix.t;
+  base_b : float array;
+}
+
+let prepare ?(gmin = 1e-9) netlist =
+  let elements = Array.of_list (Netlist.elements netlist) in
   let node_names = Netlist.nodes netlist in
   let node_index = Hashtbl.create 16 in
   List.iteri (fun i n -> Hashtbl.add node_index n i) node_names;
   let n_nodes = List.length node_names in
-  let branch_elements =
-    List.filter (fun (e : Element.t) -> Element.is_branch_element e.Element.kind)
-      elements
+  let n_elements = Array.length elements in
+  let el_branch = Array.make n_elements (-1) in
+  let next_branch = ref n_nodes in
+  Array.iteri
+    (fun i (e : Element.t) ->
+      if Element.is_branch_element e.Element.kind then begin
+        el_branch.(i) <- !next_branch;
+        incr next_branch
+      end)
+    elements;
+  let size = !next_branch in
+  let node n =
+    if String.equal n Netlist.ground then None else Hashtbl.find_opt node_index n
   in
-  let branch_index = Hashtbl.create 8 in
-  List.iteri
-    (fun i (e : Element.t) -> Hashtbl.add branch_index e.Element.id (n_nodes + i))
-    branch_elements;
-  let size = n_nodes + List.length branch_elements in
-  let node n = if String.equal n Netlist.ground then None else Hashtbl.find_opt node_index n in
+  let el_a =
+    Array.map (fun (e : Element.t) -> node e.Element.node_a) elements
+  in
+  let el_b =
+    Array.map (fun (e : Element.t) -> node e.Element.node_b) elements
+  in
+  let diodes = ref [] in
+  let a = Numeric.Matrix.create size size in
+  let b = Numeric.Vector.create size in
+  let stamp_conductance ia ib g =
+    (match ia with Some i -> Numeric.Matrix.add_to a i i g | None -> ());
+    (match ib with Some j -> Numeric.Matrix.add_to a j j g | None -> ());
+    match (ia, ib) with
+    | Some i, Some j ->
+        Numeric.Matrix.add_to a i j (-.g);
+        Numeric.Matrix.add_to a j i (-.g)
+    | _ -> ()
+  in
+  let stamp_current_source ia ib amps =
+    (* amps flows a -> b inside the source, i.e. out of node b. *)
+    (match ia with Some i -> b.(i) <- b.(i) -. amps | None -> ());
+    match ib with Some j -> b.(j) <- b.(j) +. amps | None -> ()
+  in
+  let stamp_voltage_branch k ia ib volts =
+    (match ia with
+    | Some i ->
+        Numeric.Matrix.add_to a i k 1.0;
+        Numeric.Matrix.add_to a k i 1.0
+    | None -> ());
+    (match ib with
+    | Some j ->
+        Numeric.Matrix.add_to a j k (-1.0);
+        Numeric.Matrix.add_to a k j (-1.0)
+    | None -> ());
+    b.(k) <- b.(k) +. volts
+  in
+  Array.iteri
+    (fun idx (e : Element.t) ->
+      let ia = el_a.(idx) and ib = el_b.(idx) in
+      match e.Element.kind with
+      | Element.Resistor r | Element.Load r -> stamp_conductance ia ib (1.0 /. r)
+      | Element.Switch true ->
+          stamp_conductance ia ib (1.0 /. closed_switch_resistance)
+      | Element.Switch false | Element.Capacitor _ | Element.Voltage_sensor -> ()
+      | Element.Isource amps -> stamp_current_source ia ib amps
+      | Element.Vsource volts -> stamp_voltage_branch el_branch.(idx) ia ib volts
+      | Element.Inductor _ -> stamp_voltage_branch el_branch.(idx) ia ib 0.0
+      | Element.Current_sensor -> stamp_voltage_branch el_branch.(idx) ia ib 0.0
+      | Element.Diode p -> diodes := (idx, p) :: !diodes)
+    elements;
+  (* gmin to ground for solvability under fault injection. *)
+  for i = 0 to n_nodes - 1 do
+    Numeric.Matrix.add_to a i i gmin
+  done;
+  {
+    elements;
+    node_names;
+    n_nodes;
+    size;
+    el_a;
+    el_b;
+    el_branch;
+    diodes = Array.of_list (List.rev !diodes);
+    base_a = a;
+    base_b = b;
+  }
+
+let solve ?(max_iterations = 200) ?(max_step_param = 0.5) p =
+  let n_nodes = p.n_nodes in
+  let has_diodes = Array.length p.diodes > 0 in
   (* Voltage guess per node, refined by Newton when diodes are present. *)
-  let guess = Array.make size 0.0 in
-  let has_diodes =
-    List.exists
-      (fun (e : Element.t) ->
-        match e.Element.kind with Element.Diode _ -> true | _ -> false)
-      elements
-  in
+  let guess = Array.make p.size 0.0 in
+  let node_v v_guess = function Some i -> v_guess.(i) | None -> 0.0 in
   let build v_guess =
-    let a = Numeric.Matrix.create size size in
-    let b = Numeric.Vector.create size in
-    let stamp_conductance na nb g =
-      (match node na with
-      | Some i -> Numeric.Matrix.add_to a i i g
-      | None -> ());
-      (match node nb with
-      | Some j -> Numeric.Matrix.add_to a j j g
-      | None -> ());
-      match (node na, node nb) with
-      | Some i, Some j ->
-          Numeric.Matrix.add_to a i j (-.g);
-          Numeric.Matrix.add_to a j i (-.g)
-      | _ -> ()
-    in
-    let stamp_current_source na nb amps =
-      (* amps flows a -> b inside the source, i.e. out of node b. *)
-      (match node na with
-      | Some i -> b.(i) <- b.(i) -. amps
-      | None -> ());
-      match node nb with
-      | Some j -> b.(j) <- b.(j) +. amps
-      | None -> ()
-    in
-    let stamp_voltage_branch e_id na nb volts =
-      let k = Hashtbl.find branch_index e_id in
-      (match node na with
-      | Some i ->
-          Numeric.Matrix.add_to a i k 1.0;
-          Numeric.Matrix.add_to a k i 1.0
-      | None -> ());
-      (match node nb with
-      | Some j ->
-          Numeric.Matrix.add_to a j k (-1.0);
-          Numeric.Matrix.add_to a k j (-1.0)
-      | None -> ());
-      b.(k) <- b.(k) +. volts
-    in
-    let node_v n =
-      match node n with Some i -> v_guess.(i) | None -> 0.0
-    in
-    List.iter
-      (fun (e : Element.t) ->
-        let na = e.Element.node_a and nb = e.Element.node_b in
-        match e.Element.kind with
-        | Element.Resistor r | Element.Load r -> stamp_conductance na nb (1.0 /. r)
-        | Element.Switch true -> stamp_conductance na nb (1.0 /. closed_switch_resistance)
-        | Element.Switch false | Element.Capacitor _ | Element.Voltage_sensor -> ()
-        | Element.Isource amps -> stamp_current_source na nb amps
-        | Element.Vsource volts -> stamp_voltage_branch e.Element.id na nb volts
-        | Element.Inductor _ -> stamp_voltage_branch e.Element.id na nb 0.0
-        | Element.Current_sensor -> stamp_voltage_branch e.Element.id na nb 0.0
-        | Element.Diode p ->
-            (* Newton companion model: conductance g and current source
-               i_eq = i(v) - g v, in parallel a -> b. *)
-            let v = node_v na -. node_v nb in
-            let g = Float.max (diode_conductance p v) 1e-12 in
-            let i_eq = diode_current p v -. (g *. v) in
-            stamp_conductance na nb g;
-            stamp_current_source na nb i_eq)
-      elements;
-    (* gmin to ground for solvability under fault injection. *)
-    for i = 0 to n_nodes - 1 do
-      Numeric.Matrix.add_to a i i gmin
-    done;
-    (a, b)
+    if not has_diodes then (p.base_a, p.base_b)
+    else begin
+      let a = Numeric.Matrix.copy p.base_a in
+      let b = Array.copy p.base_b in
+      let stamp_conductance ia ib g =
+        (match ia with Some i -> Numeric.Matrix.add_to a i i g | None -> ());
+        (match ib with Some j -> Numeric.Matrix.add_to a j j g | None -> ());
+        match (ia, ib) with
+        | Some i, Some j ->
+            Numeric.Matrix.add_to a i j (-.g);
+            Numeric.Matrix.add_to a j i (-.g)
+        | _ -> ()
+      in
+      Array.iter
+        (fun (idx, (prm : Element.diode_params)) ->
+          (* Newton companion model: conductance g and current source
+             i_eq = i(v) - g v, in parallel a -> b. *)
+          let ia = p.el_a.(idx) and ib = p.el_b.(idx) in
+          let v = node_v v_guess ia -. node_v v_guess ib in
+          let g = Float.max (diode_conductance prm v) 1e-12 in
+          let i_eq = diode_current prm v -. (g *. v) in
+          stamp_conductance ia ib g;
+          (match ia with Some i -> b.(i) <- b.(i) -. i_eq | None -> ());
+          match ib with Some j -> b.(j) <- b.(j) +. i_eq | None -> ())
+        p.diodes;
+      (a, b)
+    end
   in
   let solve_once v_guess =
     let a, b = build v_guess in
+    (* [Lu.solve] copies its inputs, so the base system survives. *)
     match Numeric.Lu.solve a b with
     | x -> Ok x
     | exception Numeric.Lu.Singular k ->
@@ -175,35 +234,34 @@ let analyse ?(gmin = 1e-9) ?(max_iterations = 200) ?(max_step_param = 0.5) netli
   | Ok x ->
       let voltages = Hashtbl.create 16 in
       Hashtbl.add voltages Netlist.ground 0.0;
-      List.iteri (fun i n -> Hashtbl.add voltages n x.(i)) node_names;
-      let v n = Hashtbl.find voltages n in
+      List.iteri (fun i n -> Hashtbl.add voltages n x.(i)) p.node_names;
+      let uv = function Some i -> x.(i) | None -> 0.0 in
       let currents = Hashtbl.create 16 in
       let current_sensors = ref [] in
       let voltage_sensors = ref [] in
-      List.iter
-        (fun (e : Element.t) ->
-          let na = e.Element.node_a and nb = e.Element.node_b in
-          let i_branch () = x.(Hashtbl.find branch_index e.Element.id) in
+      Array.iteri
+        (fun idx (e : Element.t) ->
+          let va = uv p.el_a.(idx) and vb = uv p.el_b.(idx) in
           let current =
             match e.Element.kind with
-            | Element.Resistor r | Element.Load r -> (v na -. v nb) /. r
-            | Element.Switch true -> (v na -. v nb) /. closed_switch_resistance
+            | Element.Resistor r | Element.Load r -> (va -. vb) /. r
+            | Element.Switch true -> (va -. vb) /. closed_switch_resistance
             | Element.Switch false | Element.Capacitor _ | Element.Voltage_sensor
               ->
                 0.0
             | Element.Isource amps -> amps
-            | Element.Diode p -> diode_current p (v na -. v nb)
+            | Element.Diode prm -> diode_current prm (va -. vb)
             | Element.Vsource _ | Element.Inductor _ | Element.Current_sensor ->
-                i_branch ()
+                x.(p.el_branch.(idx))
           in
           Hashtbl.replace currents e.Element.id current;
           (match e.Element.kind with
           | Element.Current_sensor ->
               current_sensors := (e.Element.id, current) :: !current_sensors
           | Element.Voltage_sensor ->
-              voltage_sensors := (e.Element.id, v na -. v nb) :: !voltage_sensors
+              voltage_sensors := (e.Element.id, va -. vb) :: !voltage_sensors
           | _ -> ()))
-        elements;
+        p.elements;
       Ok
         {
           voltages;
@@ -211,6 +269,9 @@ let analyse ?(gmin = 1e-9) ?(max_iterations = 200) ?(max_step_param = 0.5) netli
           current_sensors = List.rev !current_sensors;
           voltage_sensors = List.rev !voltage_sensors;
         }
+
+let analyse ?gmin ?max_iterations ?max_step_param netlist =
+  solve ?max_iterations ?max_step_param (prepare ?gmin netlist)
 
 let node_voltage s n =
   match Hashtbl.find_opt s.voltages n with

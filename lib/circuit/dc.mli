@@ -17,7 +17,29 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 
 val analyse : ?gmin:float -> ?max_iterations:int -> ?max_step_param:float -> Netlist.t -> (solution, error) result
-(** Default [gmin] 1e-9 S, [max_iterations] 200. *)
+(** Default [gmin] 1e-9 S, [max_iterations] 200.  Equivalent to
+    {!prepare} followed by {!solve}. *)
+
+(** {1 Prepared solves}
+
+    The hot loop of the failure-injection FMEA is thousands of DC solves
+    over near-identical netlists.  {!prepare} hoists everything that
+    depends only on the topology — node/branch numbering, element
+    partitioning, and the stamps of all {e linear} devices (plus [gmin])
+    — into a reusable base system.  {!solve} then runs Newton on top:
+    each iteration copies the base matrix/RHS and restamps only the diode
+    companion entries, instead of rebuilding the full MNA system from the
+    element list.  Linear circuits skip the copy entirely and factor the
+    base system directly. *)
+
+type prepared
+
+val prepare : ?gmin:float -> Netlist.t -> prepared
+(** O(elements + size²) — one element walk and one base-system fill. *)
+
+val solve : ?max_iterations:int -> ?max_step_param:float -> prepared -> (solution, error) result
+(** A prepared netlist may be solved any number of times; [prepared] is
+    immutable after construction and safe to share across domains. *)
 
 val node_voltage : solution -> string -> float
 (** 0.0 for ground; raises [Not_found] for unknown nodes. *)

@@ -1,0 +1,258 @@
+(* Fixed-size domain pool with deterministic in-order collection.
+
+   One batch runs at a time; workers and the submitting domain race on an
+   atomic index cursor, so distribution is dynamic (good load balance for
+   uneven tasks like Newton solves) while the result slot of each task is
+   fixed by its index (determinism). *)
+
+(* ---------- job-count policy ---------- *)
+
+let jobs_override = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "SAME_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_jobs () =
+  match !jobs_override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Stdlib.max 1 (Domain.recommended_domain_count ()))
+
+let set_default_jobs n = jobs_override := Some (Stdlib.max 1 n)
+
+(* ---------- the pool ---------- *)
+
+module Pool = struct
+  type batch = {
+    total : int;
+    task : int -> unit;
+    next : int Atomic.t;
+    completed : int Atomic.t;
+  }
+
+  type t = {
+    pool_jobs : int;
+    lock : Mutex.t;
+    work_available : Condition.t;
+    batch_finished : Condition.t;
+    mutable current : batch option;
+    mutable stop : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let jobs t = t.pool_jobs
+
+  (* True while the calling domain is executing a pool task: nested
+     batches then run inline instead of waiting on themselves. *)
+  let in_task = Domain.DLS.new_key (fun () -> ref false)
+
+  let drain batch =
+    let flag = Domain.DLS.get in_task in
+    let rec loop () =
+      let i = Atomic.fetch_and_add batch.next 1 in
+      if i < batch.total then begin
+        flag := true;
+        (try batch.task i
+         with e ->
+           flag := false;
+           ignore (Atomic.fetch_and_add batch.completed 1);
+           raise e);
+        flag := false;
+        ignore (Atomic.fetch_and_add batch.completed 1);
+        loop ()
+      end
+    in
+    loop ()
+
+  let worker_loop t =
+    let rec loop () =
+      Mutex.lock t.lock;
+      let rec await () =
+        if t.stop then begin
+          Mutex.unlock t.lock;
+          `Stop
+        end
+        else
+          match t.current with
+          | Some b when Atomic.get b.next < b.total ->
+              Mutex.unlock t.lock;
+              `Work b
+          | Some _ | None ->
+              Condition.wait t.work_available t.lock;
+              await ()
+      in
+      match await () with
+      | `Stop -> ()
+      | `Work b ->
+          (* [task] is documented not to raise; a violation must not kill
+             the worker domain or wedge the submitter. *)
+          (try drain b with _ -> ());
+          (* The last finisher wakes the submitter. *)
+          Mutex.lock t.lock;
+          if Atomic.get b.completed >= b.total then
+            Condition.broadcast t.batch_finished;
+          Mutex.unlock t.lock;
+          loop ()
+    in
+    loop ()
+
+  let create ~jobs =
+    let jobs = Stdlib.max 1 jobs in
+    let t =
+      {
+        pool_jobs = jobs;
+        lock = Mutex.create ();
+        work_available = Condition.create ();
+        batch_finished = Condition.create ();
+        current = None;
+        stop = false;
+        workers = [];
+      }
+    in
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  let run_inline n task =
+    for i = 0 to n - 1 do
+      task i
+    done
+
+  let run t n task =
+    if n <= 0 then ()
+    else if t.pool_jobs <= 1 || n = 1 || !(Domain.DLS.get in_task) then
+      run_inline n task
+    else begin
+      let batch =
+        { total = n; task; next = Atomic.make 0; completed = Atomic.make 0 }
+      in
+      Mutex.lock t.lock;
+      if t.current <> None || t.stop then begin
+        (* Another domain owns the pool right now; don't queue behind it. *)
+        Mutex.unlock t.lock;
+        run_inline n task
+      end
+      else begin
+        t.current <- Some batch;
+        Condition.broadcast t.work_available;
+        Mutex.unlock t.lock;
+        (* The submitter is a full member of the crew.  Always reclaim
+           the pool, even if a task breaks its no-raise contract. *)
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock t.lock;
+            while Atomic.get batch.completed < batch.total do
+              Condition.wait t.batch_finished t.lock
+            done;
+            t.current <- None;
+            Mutex.unlock t.lock)
+          (fun () -> drain batch)
+      end
+    end
+
+  let shutdown t =
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end
+
+(* ---------- the shared global pool ---------- *)
+
+(* Lazily created at the first parallel call; recreated when the job
+   count changes (set_default_jobs / SAME_JOBS differ from its size).
+   Guarded by a mutex: concurrent resize would leak domains. *)
+
+let global_pool : Pool.t option ref = ref None
+
+let global_lock = Mutex.create ()
+
+let obtain_pool jobs =
+  Mutex.lock global_lock;
+  let pool =
+    match !global_pool with
+    | Some p when Pool.jobs p = jobs -> p
+    | existing ->
+        (* Resize: detach the old pool first so a concurrent caller can't
+           also try to retire it, then shut it down unlocked. *)
+        global_pool := None;
+        Option.iter
+          (fun p ->
+            Mutex.unlock global_lock;
+            Pool.shutdown p;
+            Mutex.lock global_lock)
+          existing;
+        let p = Pool.create ~jobs in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock global_lock;
+  pool
+
+let run_batch ?jobs n task =
+  let jobs = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
+  if jobs <= 1 || n <= 1 then Pool.run_inline n task
+  else Pool.run (obtain_pool jobs) n task
+
+(* ---------- wrappers ---------- *)
+
+(* Each slot records either the value or the exception; the lowest-index
+   exception is re-raised so failures are as deterministic as results. *)
+let collect ?jobs f input =
+  let n = Array.length input in
+  let out = Array.make n None in
+  run_batch ?jobs n (fun i ->
+      out.(i) <- Some (try Ok (f input.(i)) with e -> Error e));
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false (* every index ran exactly once *))
+    out
+
+let parallel_map ?jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs -> Array.to_list (collect ?jobs f (Array.of_list xs))
+
+let parallel_iter ?jobs f xs = ignore (parallel_map ?jobs (fun x -> f x; ()) xs)
+
+let chunk_list ~chunk_size xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+        let chunk, rest = take chunk_size [] xs in
+        go (chunk :: acc) rest
+  in
+  go [] xs
+
+let parallel_chunks ?jobs ?chunk_size f xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let j = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
+    let chunk_size =
+      match chunk_size with
+      | Some c -> Stdlib.max 1 c
+      | None -> Stdlib.max 1 (n / (j * 4))
+    in
+    if j <= 1 || chunk_size >= n then List.map f xs
+    else
+      chunk_list ~chunk_size xs
+      |> parallel_map ~jobs:j (List.map f)
+      |> List.concat
+  end

@@ -1,0 +1,79 @@
+(** Shared-memory parallel execution for the analysis kernels.
+
+    OCaml 5 gives the engine real parallelism: a fixed-size pool of
+    {!Stdlib.Domain}s executes batches of independent tasks (one DC solve
+    per injected fault, one FMEDA evaluation per deployment candidate,
+    one verdict per store unit).  The design constraints, in order:
+
+    + {b Determinism.}  Results are collected {e in input order} into a
+      pre-sized array, so a parallel run is bit-identical to the
+      sequential one for pure task functions — scheduling only changes
+      {e when} a task runs, never what the caller observes.  With
+      [jobs = 1] no domain is ever involved: the tasks run inline in the
+      caller, which is exactly the pre-parallel code path.
+    + {b Reuse.}  Domains are expensive to spawn (~ms); the global pool is
+      created once and reused by every kernel.  Workers sleep on a
+      condition variable between batches ([Mutex]/[Condition], no busy
+      wait, no extra dependencies).
+    + {b Safety under nesting.}  A task that itself calls into the pool
+      (e.g. a parallel search evaluating a candidate whose scoring is
+      itself parallelisable) runs its sub-batch inline instead of
+      deadlocking on the shared queue.
+
+    Concurrency control: the pool size comes from the [SAME_JOBS]
+    environment variable, the [--jobs] CLI option ({!set_default_jobs})
+    or, failing both, [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** Effective parallelism: the {!set_default_jobs} override if set, else
+    [SAME_JOBS] (a positive integer; anything else is ignored), else
+    [Domain.recommended_domain_count ()].  Always >= 1. *)
+
+val set_default_jobs : int -> unit
+(** Override the job count (clamped to >= 1).  Takes effect on the next
+    parallel call: the global pool is resized lazily. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map f xs] is [List.map f xs] evaluated on the pool, results
+    in input order.  One pool task per element — right when each task is
+    substantial (a DC solve, a unit FMEA).  If any [f x] raises, the
+    batch still completes and the exception of the {e lowest-index}
+    failing element is re-raised (deterministic across schedules).
+    [?jobs] overrides {!default_jobs} for this call only. *)
+
+val parallel_chunks :
+  ?jobs:int -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!parallel_map} but amortised for cheap tasks: the input is cut
+    into contiguous chunks (default: enough for ~4 chunks per worker,
+    minimum 1 element) and each pool task maps a whole chunk with
+    [List.map], preserving order.  Use for large candidate lists where
+    per-element dispatch would dominate. *)
+
+val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** {!parallel_map} for effects only (the effects must be thread-safe —
+    e.g. charging an atomic {!Store.Budget}). *)
+
+(** The reusable fixed-size pool underneath the [parallel_*] wrappers.
+    Kernels normally use the wrappers (which share one global pool);
+    [Pool] is exposed for embedders that want an isolated pool with its
+    own lifecycle. *)
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawns [jobs - 1] worker domains ([jobs] is clamped to >= 1: the
+      submitting domain always participates, so [jobs = 1] spawns
+      nothing). *)
+
+  val jobs : t -> int
+
+  val run : t -> int -> (int -> unit) -> unit
+  (** [run pool n task] executes [task 0 .. task (n-1)], each exactly
+      once, distributed over the pool's domains plus the caller; returns
+      when all have finished.  [task] must not raise (the [parallel_*]
+      wrappers capture exceptions per index).  Re-entrant calls (from
+      inside a task, or while another batch is active) run inline. *)
+
+  val shutdown : t -> unit
+  (** Joins the workers.  The pool must not be used afterwards. *)
+end

@@ -31,20 +31,49 @@ let max_element_current netlist solution =
     0.0
     (Circuit.Netlist.elements netlist)
 
-(* Compare faulty sensor readings against golden; return the worst
-   offending sensor when the deviation exceeds the thresholds. *)
-let compare_readings options golden faulty =
+(* The golden run and everything derived from it, computed once and
+   shared — across the repeated single classifications of the "delve into
+   a component" workflow, and (read-only) across the domains of the
+   parallel analysis. *)
+type prepared = {
+  p_options : options;
+  p_netlist : Circuit.Netlist.t;
+  p_golden : Circuit.Dc.solution;
+  p_golden_max_current : float;
+  p_golden_readings : (string * float) list;  (* monitored, in sensor order *)
+}
+
+let prepare ?(options = default_options) netlist =
+  let golden = golden_solution netlist in
   let monitored readings =
     match options.monitored_sensors with
     | None -> readings
     | Some ids ->
         List.filter (fun (id, _) -> List.exists (String.equal id) ids) readings
   in
-  let golden_readings = monitored (Circuit.Dc.all_sensor_readings golden) in
-  let faulty_readings = Circuit.Dc.all_sensor_readings faulty in
+  {
+    p_options = options;
+    p_netlist = netlist;
+    p_golden = golden;
+    p_golden_max_current = max_element_current netlist golden;
+    p_golden_readings = monitored (Circuit.Dc.all_sensor_readings golden);
+  }
+
+(* Compare faulty sensor readings against golden; return the worst
+   offending sensor when the deviation exceeds the thresholds.  The
+   faulty readings are indexed once — the previous per-golden-reading
+   [List.assoc_opt] made this O(sensors²). *)
+let compare_readings options golden_readings faulty =
+  let faulty_readings = Hashtbl.create 16 in
+  List.iter
+    (fun (sensor, f) ->
+      (* First reading wins, matching [List.assoc_opt] on duplicates. *)
+      if not (Hashtbl.mem faulty_readings sensor) then
+        Hashtbl.add faulty_readings sensor f)
+    (Circuit.Dc.all_sensor_readings faulty);
   List.fold_left
     (fun acc (sensor, g) ->
-      match List.assoc_opt sensor faulty_readings with
+      match Hashtbl.find_opt faulty_readings sensor with
       | None ->
           (* The fault removed the sensor itself: the observation channel
              is lost, which violates the monitoring goal outright. *)
@@ -60,8 +89,9 @@ let compare_readings options golden faulty =
           else acc)
     None golden_readings
 
-let classify ~options ~golden ~golden_max_current netlist element_id fault =
-  match Circuit.Fault.inject netlist ~element_id fault with
+let classify_prepared p ~element_id fault =
+  let options = p.p_options in
+  match Circuit.Fault.inject p.p_netlist ~element_id fault with
   | exception Circuit.Fault.Not_applicable { reason; _ } ->
       `Simulation_failed (Printf.sprintf "fault not applicable: %s" reason)
   | faulted -> (
@@ -73,34 +103,34 @@ let classify ~options ~golden ~golden_max_current netlist element_id fault =
             | None -> true
             | Some factor ->
                 max_element_current faulted solution
-                <= factor *. Float.max golden_max_current 1e-12
+                <= factor *. Float.max p.p_golden_max_current 1e-12
           in
           if not plausible then
             `Excluded
               "non-physical operating point (supply overcurrent) — violates \
                the stable-supply assumption; excluded from classification"
           else
-            match compare_readings options golden solution with
+            match compare_readings options p.p_golden_readings solution with
             | Some (sensor, rel) ->
                 `Safety_related
                   (Printf.sprintf "%s deviates by %.0f%%" sensor (100.0 *. rel))
             | None -> `No_effect))
 
 let classify_single ?(options = default_options) netlist ~element_id fault =
-  let golden = golden_solution netlist in
-  let golden_max_current = max_element_current netlist golden in
-  classify ~options ~golden ~golden_max_current netlist element_id fault
+  classify_prepared (prepare ~options netlist) ~element_id fault
 
 let analyse ?(options = default_options) ?(element_types = []) netlist
     reliability =
-  let golden = golden_solution netlist in
-  let golden_max_current = max_element_current netlist golden in
+  let p = prepare ~options netlist in
   let type_of (e : Circuit.Element.t) =
     match List.assoc_opt e.Circuit.Element.id element_types with
     | Some t -> t
     | None -> Circuit.Element.kind_name e.Circuit.Element.kind
   in
-  let rows =
+  (* Enumerate the (element, failure-mode) injections first — cheap, and
+     it fixes the row order — then classify them on the domain pool, one
+     DC solve per injection, the golden solution shared read-only. *)
+  let injections =
     List.concat_map
       (fun (e : Circuit.Element.t) ->
         let id = e.Circuit.Element.id in
@@ -112,37 +142,35 @@ let analyse ?(options = default_options) ?(element_types = []) netlist
               let fit = entry.Reliability.Reliability_model.fit in
               List.map
                 (fun (fm : Reliability.Reliability_model.failure_mode) ->
-                  let name = fm.Reliability.Reliability_model.fm_name in
-                  let dist = fm.Reliability.Reliability_model.distribution_pct in
-                  let mk =
-                    Table.make_row ~component:id ~component_fit:fit
-                      ~failure_mode:name ~distribution_pct:dist
-                  in
-                  match fm.Reliability.Reliability_model.fault with
-                  | None ->
-                      mk
-                        ~warning:
-                          (Printf.sprintf
-                             "no fault model for failure mode '%s' — review \
-                              manually"
-                             name)
-                        ~safety_related:false ()
-                  | Some fault -> (
-                      match
-                        classify ~options ~golden ~golden_max_current netlist id
-                          fault
-                      with
-                      | `Safety_related impact ->
-                          mk ~impact ~safety_related:true ()
-                      | `No_effect ->
-                          mk ~impact:"sensor readings within threshold"
-                            ~safety_related:false ()
-                      | `Excluded why -> mk ~warning:why ~safety_related:false ()
-                      | `Simulation_failed why ->
-                          mk
-                            ~warning:(Printf.sprintf "simulation failed: %s" why)
-                            ~safety_related:false ()))
+                  (id, fit, fm))
                 entry.Reliability.Reliability_model.failure_modes)
       (Circuit.Netlist.elements netlist)
   in
+  let row_of (id, fit, (fm : Reliability.Reliability_model.failure_mode)) =
+    let name = fm.Reliability.Reliability_model.fm_name in
+    let dist = fm.Reliability.Reliability_model.distribution_pct in
+    let mk =
+      Table.make_row ~component:id ~component_fit:fit ~failure_mode:name
+        ~distribution_pct:dist
+    in
+    match fm.Reliability.Reliability_model.fault with
+    | None ->
+        mk
+          ~warning:
+            (Printf.sprintf
+               "no fault model for failure mode '%s' — review manually" name)
+          ~safety_related:false ()
+    | Some fault -> (
+        match classify_prepared p ~element_id:id fault with
+        | `Safety_related impact -> mk ~impact ~safety_related:true ()
+        | `No_effect ->
+            mk ~impact:"sensor readings within threshold" ~safety_related:false
+              ()
+        | `Excluded why -> mk ~warning:why ~safety_related:false ()
+        | `Simulation_failed why ->
+            mk
+              ~warning:(Printf.sprintf "simulation failed: %s" why)
+              ~safety_related:false ())
+  in
+  let rows = Exec.parallel_map row_of injections in
   { Table.system_name = Circuit.Netlist.name netlist; rows }

@@ -51,15 +51,42 @@ val analyse :
   Circuit.Netlist.t ->
   Reliability.Reliability_model.t ->
   Table.t
+(** The injections are independent, so they are classified in parallel on
+    the {!Exec} domain pool ([SAME_JOBS] workers): the golden solution is
+    computed once and shared read-only; each (element, failure-mode)
+    injection is solved on its own task.  Row order — and every value in
+    every row — is identical to the sequential ([SAME_JOBS=1]) run. *)
 
-val classify_single :
-  ?options:options ->
-  Circuit.Netlist.t ->
+type prepared
+(** The golden run and its derived observables (max element current,
+    monitored sensor readings), computed once by {!prepare} and shared by
+    any number of {!classify_prepared} calls. *)
+
+val prepare : ?options:options -> Circuit.Netlist.t -> prepared
+(** Solves the golden netlist; raises {!Golden_run_failed} if it does not
+    converge.  The result is immutable and safe to share across
+    domains. *)
+
+val classify_prepared :
+  prepared ->
   element_id:string ->
   Circuit.Fault.t ->
   [ `Safety_related of string  (** worst offending sensor *)
   | `No_effect
   | `Excluded of string  (** plausibility/assumption violation *)
   | `Simulation_failed of string ]
-(** One injection, exposed for tests and for the paper's "delve into a
-    component" workflow. *)
+(** One injection against a shared golden run — the paper's "delve into a
+    component" workflow without re-solving the golden netlist each
+    time. *)
+
+val classify_single :
+  ?options:options ->
+  Circuit.Netlist.t ->
+  element_id:string ->
+  Circuit.Fault.t ->
+  [ `Safety_related of string
+  | `No_effect
+  | `Excluded of string
+  | `Simulation_failed of string ]
+(** [classify_prepared (prepare netlist)] — convenience for one-off
+    classifications; repeated calls should {!prepare} once instead. *)

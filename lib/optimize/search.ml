@@ -3,7 +3,7 @@ type candidate = {
   spfm_pct : float;
   cost : float;
 }
-[@@deriving show]
+[@@deriving eq, show]
 
 type slot = {
   slot_component : string;
@@ -43,6 +43,125 @@ let evaluate table deployments =
     cost = Fmea.Fmeda.total_cost deployments;
   }
 
+(* ---------- incremental SPFM evaluation ----------
+
+   [evaluate] re-runs [Fmeda.apply] over the whole table and re-derives
+   the metric component by component — O(rows × deployments + rows ×
+   components) per candidate, which dominates the search loops.  The
+   evaluator below precomputes the per-row failure-rate shares and the
+   per-component single-point sums once, then rescores only the
+   components a deployment set actually touches.  Floating-point folds
+   are replayed in exactly [Metrics.compute]'s order (row order within a
+   component, first-SR-appearance order across components), so the result
+   is bit-identical to [evaluate]. *)
+
+type eval_row = {
+  er_component : string;  (* lowercased, for deployment matching *)
+  er_failure_mode : string;  (* lowercased *)
+  er_safety_related : bool;
+  er_base_spf : float;  (* the row's single_point_fit in the input table *)
+  er_share : float;  (* λ share of this failure mode (SR rows only) *)
+}
+
+type eval_component = {
+  ec_fit : float;  (* component FIT (first row, as in Metrics.compute) *)
+  ec_rows : eval_row array;  (* every row of the component, in table order *)
+  ec_base_spf : float;  (* fold of er_base_spf, row order *)
+}
+
+type evaluator = {
+  ev_components : eval_component array;  (* SR components, first-appearance order *)
+}
+
+let make_evaluator (table : Fmea.Table.t) =
+  let eval_row (r : Fmea.Table.row) =
+    {
+      er_component = String.lowercase_ascii r.Fmea.Table.component;
+      er_failure_mode = String.lowercase_ascii r.Fmea.Table.failure_mode;
+      er_safety_related = r.Fmea.Table.safety_related;
+      er_base_spf = r.Fmea.Table.single_point_fit;
+      er_share =
+        (if r.Fmea.Table.safety_related then
+           Reliability.Fit.share r.Fmea.Table.component_fit
+             ~distribution_pct:r.Fmea.Table.distribution_pct
+         else 0.0);
+    }
+  in
+  let components =
+    List.map
+      (fun c ->
+        let rows = Fmea.Table.rows_for table c in
+        let fit =
+          match rows with
+          | (r : Fmea.Table.row) :: _ -> r.Fmea.Table.component_fit
+          | [] -> 0.0
+        in
+        let ec_rows = Array.of_list (List.map eval_row rows) in
+        let ec_base_spf =
+          Array.fold_left (fun acc er -> acc +. er.er_base_spf) 0.0 ec_rows
+        in
+        { ec_fit = fit; ec_rows; ec_base_spf })
+      (Fmea.Table.safety_related_components table)
+  in
+  { ev_components = Array.of_list components }
+
+let evaluate_with ev deployments =
+  (* Best matching deployment per row — [Fmeda.apply]'s fold verbatim
+     (highest coverage wins, first deployment wins coverage ties). *)
+  let best_for er =
+    List.fold_left
+      (fun acc (d : Fmea.Fmeda.deployment) ->
+        if
+          String.equal
+            (String.lowercase_ascii d.Fmea.Fmeda.target_component)
+            er.er_component
+          && String.equal
+               (String.lowercase_ascii d.Fmea.Fmeda.target_failure_mode)
+               er.er_failure_mode
+        then
+          match acc with
+          | Some (b : Fmea.Fmeda.deployment)
+            when b.Fmea.Fmeda.mechanism.Reliability.Sm_model.coverage_pct
+                 >= d.Fmea.Fmeda.mechanism.Reliability.Sm_model.coverage_pct ->
+              acc
+          | Some _ | None -> Some d
+        else acc)
+      None deployments
+  in
+  let component_spf ec =
+    let touched =
+      deployments <> []
+      && Array.exists (fun er -> best_for er <> None) ec.ec_rows
+    in
+    if not touched then ec.ec_base_spf
+    else
+      Array.fold_left
+        (fun acc er ->
+          let spf =
+            match best_for er with
+            | None -> er.er_base_spf
+            | Some d ->
+                if er.er_safety_related then
+                  Reliability.Fit.residual er.er_share
+                    ~coverage_pct:
+                      d.Fmea.Fmeda.mechanism.Reliability.Sm_model.coverage_pct
+                else 0.0
+          in
+          acc +. spf)
+        0.0 ec.ec_rows
+  in
+  let safety_related_fit =
+    Array.fold_left (fun acc ec -> acc +. ec.ec_fit) 0.0 ev.ev_components
+  in
+  let single_point_fit =
+    Array.fold_left (fun acc ec -> acc +. component_spf ec) 0.0 ev.ev_components
+  in
+  let spfm_pct =
+    if safety_related_fit <= 0.0 then 100.0
+    else 100.0 *. (1.0 -. (single_point_fit /. safety_related_fit))
+  in
+  { deployments; spfm_pct; cost = Fmea.Fmeda.total_cost deployments }
+
 let exhaustive ?(component_types = []) ?(max_combinations = 200_000) table
     sm_model =
   let slots = slots ~component_types table sm_model in
@@ -72,63 +191,82 @@ let exhaustive ?(component_types = []) ?(max_combinations = 200_000) table
         in
         without @ with_each
   in
-  List.map (evaluate table) (expand [] slots)
+  (* Candidates are scored independently: chunk them over the domain
+     pool.  Each chunk shares the (immutable) evaluator; in-order
+     concatenation keeps the candidate list identical to a sequential
+     run. *)
+  let ev = make_evaluator table in
+  Exec.parallel_chunks (evaluate_with ev) (expand [] slots)
 
 let greedy ?(component_types = []) ~target table sm_model =
   let all_slots = slots ~component_types table sm_model in
+  let ev = make_evaluator table in
   let target_spfm = Fmea.Asil.spfm_target target in
   let met spfm =
     match target_spfm with None -> true | Some t -> spfm >= t
   in
   let rec step current =
-    let current_candidate = evaluate table current in
+    let current_candidate = evaluate_with ev current in
     if met current_candidate.spfm_pct then current_candidate
     else begin
       (* Candidate moves: deploy a mechanism on an empty slot, or upgrade
          the mechanism on an occupied one.  Score is SPFM gain per added
          cost (upgrades count only the cost delta, floored so free or
-         cheaper upgrades are strongly preferred). *)
+         cheaper upgrades are strongly preferred).  Moves are enumerated
+         sequentially (fixing the tie-break order), scored on the domain
+         pool, then folded in enumeration order — the same move wins as
+         in a sequential run. *)
       let slot_matches s (d : Fmea.Fmeda.deployment) =
         String.equal d.Fmea.Fmeda.target_component s.slot_component
         && String.equal d.Fmea.Fmeda.target_failure_mode s.slot_failure_mode
       in
-      let best =
-        List.fold_left
-          (fun acc s ->
+      let moves =
+        List.concat_map
+          (fun s ->
             let existing = List.find_opt (slot_matches s) current in
             let others = List.filter (fun d -> not (slot_matches s d)) current in
-            List.fold_left
-              (fun acc (m : Reliability.Sm_model.mechanism) ->
+            List.filter_map
+              (fun (m : Reliability.Sm_model.mechanism) ->
                 let already =
                   match existing with
                   | Some d -> d.Fmea.Fmeda.mechanism = m
                   | None -> false
                 in
-                if already then acc
-                else begin
+                if already then None
+                else
                   let d =
                     Fmea.Fmeda.deploy ~component:s.slot_component
                       ~failure_mode:s.slot_failure_mode m
                   in
-                  let next = d :: others in
-                  let c = evaluate table next in
-                  let gain = c.spfm_pct -. current_candidate.spfm_pct in
-                  let cost_delta =
-                    m.Reliability.Sm_model.cost
-                    -.
-                    match existing with
-                    | Some e -> e.Fmea.Fmeda.mechanism.Reliability.Sm_model.cost
-                    | None -> 0.0
-                  in
-                  let score = gain /. Float.max cost_delta 0.01 in
-                  if gain <= 0.0 then acc
-                  else
-                    match acc with
-                    | Some (_, best_score) when best_score >= score -> acc
-                    | Some _ | None -> Some (next, score)
-                end)
-              acc s.slot_options)
-          None all_slots
+                  Some (d :: others, m, existing))
+              s.slot_options)
+          all_slots
+      in
+      let scored =
+        Exec.parallel_chunks
+          (fun (next, (m : Reliability.Sm_model.mechanism), existing) ->
+            let c = evaluate_with ev next in
+            let gain = c.spfm_pct -. current_candidate.spfm_pct in
+            let cost_delta =
+              m.Reliability.Sm_model.cost
+              -.
+              match existing with
+              | Some (e : Fmea.Fmeda.deployment) ->
+                  e.Fmea.Fmeda.mechanism.Reliability.Sm_model.cost
+              | None -> 0.0
+            in
+            (next, gain, gain /. Float.max cost_delta 0.01))
+          moves
+      in
+      let best =
+        List.fold_left
+          (fun acc (next, gain, score) ->
+            if gain <= 0.0 then acc
+            else
+              match acc with
+              | Some (_, best_score) when best_score >= score -> acc
+              | Some _ | None -> Some (next, score))
+          None scored
       in
       match best with
       | None -> current_candidate (* no mechanism helps further *)

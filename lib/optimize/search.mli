@@ -15,7 +15,7 @@ type candidate = {
   spfm_pct : float;
   cost : float;
 }
-[@@deriving show]
+[@@deriving eq, show]
 
 type slot = {
   slot_component : string;
@@ -34,6 +34,23 @@ val slots :
     mechanism. *)
 
 val evaluate : Fmea.Table.t -> Fmea.Fmeda.deployment list -> candidate
+(** The reference scorer: [Fmeda.apply] over the full table, then
+    {!Fmea.Metrics.spfm}.  O(rows) per call — fine for one-off scoring;
+    the search loops use {!evaluate_with} instead. *)
+
+type evaluator
+(** Precomputed scoring state for one FMEA table: per-row failure-rate
+    shares and per-component single-point sums.  Immutable — safe to
+    share across the pool's domains. *)
+
+val make_evaluator : Fmea.Table.t -> evaluator
+
+val evaluate_with : evaluator -> Fmea.Fmeda.deployment list -> candidate
+(** Incremental scoring: only the components the deployment set touches
+    are re-summed; untouched components reuse their precomputed
+    single-point total.  Floating-point folds replay
+    {!Fmea.Metrics.compute}'s exact order, so the candidate is
+    bit-identical to {!evaluate} on the same table and deployments. *)
 
 val exhaustive :
   ?component_types:(string * string) list ->
@@ -43,7 +60,10 @@ val exhaustive :
   candidate list
 (** Every combination of per-slot choices (including "deploy nothing"),
     evaluated.  Raises [Invalid_argument] if the combination count exceeds
-    [max_combinations] (default 200_000) — use {!greedy} then. *)
+    [max_combinations] (default 200_000) — use {!greedy} then.
+    Candidates are scored in parallel chunks on the {!Exec} pool with the
+    incremental evaluator; the returned list (order and every value) is
+    identical to a sequential run. *)
 
 val greedy :
   ?component_types:(string * string) list ->

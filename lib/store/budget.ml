@@ -1,25 +1,35 @@
-type t = { max : int; mutable used : int }
+(* Lock-free accounting: the parallel store evaluators charge and release
+   from several domains at once, so the counter is an [Atomic] updated by
+   compare-and-set — a failed charge must leave the budget untouched, and
+   concurrent charges must never over-commit past [max]. *)
+
+type t = { max : int; used : int Atomic.t }
 
 exception Overflow of { requested : int; available : int }
 
 let create ~max_bytes =
   if max_bytes <= 0 then invalid_arg "Budget.create: non-positive budget";
-  { max = max_bytes; used = 0 }
+  { max = max_bytes; used = Atomic.make 0 }
 
 let jvm_default () = create ~max_bytes:(4 * 1024 * 1024 * 1024)
 
 let bytes_per_element = 96
 
-let charge_elements t n =
+let rec charge_elements t n =
   let requested = n * bytes_per_element in
-  let available = t.max - t.used in
+  let current = Atomic.get t.used in
+  let available = t.max - current in
   if requested > available then raise (Overflow { requested; available });
-  t.used <- t.used + requested
+  if not (Atomic.compare_and_set t.used current (current + requested)) then
+    charge_elements t n
 
-let release_elements t n = t.used <- Int.max 0 (t.used - (n * bytes_per_element))
+let rec release_elements t n =
+  let current = Atomic.get t.used in
+  let next = Int.max 0 (current - (n * bytes_per_element)) in
+  if not (Atomic.compare_and_set t.used current next) then release_elements t n
 
-let used_bytes t = t.used
+let used_bytes t = Atomic.get t.used
 
 let max_bytes t = t.max
 
-let reset t = t.used <- 0
+let reset t = Atomic.set t.used 0

@@ -18,16 +18,19 @@ let element_count l = l.elements
 
 let unit_count l = List.length l.units
 
+let unit_verdicts unit =
+  let table = Fmea.Path_fmea.analyse unit in
+  List.length
+    (List.filter
+       (fun (r : Fmea.Table.row) -> r.Fmea.Table.safety_related)
+       table.Fmea.Table.rows)
+
 let evaluate l =
-  List.fold_left
-    (fun acc unit ->
-      let table = Fmea.Path_fmea.analyse unit in
-      acc
-      + List.length
-          (List.filter
-             (fun (r : Fmea.Table.row) -> r.Fmea.Table.safety_related)
-             table.Fmea.Table.rows))
-    0 l.units
+  (* Every unit is already resident, so the per-unit path FMEAs are
+     independent pure computations: run them across the domain pool and
+     add the verdict counts in unit order (integer sums — identical to
+     the sequential result for any schedule). *)
+  List.fold_left ( + ) 0 (Exec.parallel_map unit_verdicts l.units)
 
 let release ~budget l =
   List.iter

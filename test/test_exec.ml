@@ -1,0 +1,247 @@
+(* The parallel execution substrate and its central promise: a parallel
+   run is bit-identical to the sequential one.  Pool mechanics first,
+   then end-to-end determinism of every parallelised kernel at
+   SAME_JOBS in {1, 2, 4}, then the incremental SPFM evaluator against
+   the reference scorer. *)
+
+let with_jobs n f =
+  let saved = Exec.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Exec.set_default_jobs saved)
+    (fun () ->
+      Exec.set_default_jobs n;
+      f ())
+
+(* ---------- pool mechanics ---------- *)
+
+let test_parallel_map () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let xs = List.init n Fun.id in
+          Alcotest.(check (list int))
+            (Printf.sprintf "map jobs=%d n=%d" jobs n)
+            (List.map (fun x -> (x * x) + 1) xs)
+            (Exec.parallel_map ~jobs (fun x -> (x * x) + 1) xs))
+        [ 0; 1; 7; 1000 ])
+    [ 1; 2; 4 ]
+
+let test_parallel_chunks () =
+  let xs = List.init 503 Fun.id in
+  List.iter
+    (fun chunk_size ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "chunks size=%d" chunk_size)
+        (List.map succ xs)
+        (Exec.parallel_chunks ~jobs:4 ~chunk_size succ xs))
+    [ 1; 3; 64; 1000 ]
+
+let test_parallel_iter () =
+  let counter = Atomic.make 0 in
+  Exec.parallel_iter ~jobs:4
+    (fun x -> ignore (Atomic.fetch_and_add counter x))
+    (List.init 100 Fun.id);
+  Alcotest.(check int) "all effects ran" 4950 (Atomic.get counter)
+
+let test_nested () =
+  (* A task that itself fans out must run its sub-batch inline rather
+     than deadlock on the shared pool. *)
+  let rows =
+    Exec.parallel_map ~jobs:4
+      (fun i -> Exec.parallel_map ~jobs:4 (fun j -> i * j) (List.init 10 Fun.id))
+      (List.init 10 Fun.id)
+  in
+  Alcotest.(check (list (list int)))
+    "nested map"
+    (List.init 10 (fun i -> List.init 10 (fun j -> i * j)))
+    rows
+
+let test_exception_determinism () =
+  (* Whatever the schedule, the caller sees the lowest-index failure. *)
+  for _ = 1 to 20 do
+    match
+      Exec.parallel_map ~jobs:4
+        (fun i -> if i >= 5 then failwith (string_of_int i) else i)
+        (List.init 64 Fun.id)
+    with
+    | _ -> Alcotest.fail "expected an exception"
+    | exception Failure m -> Alcotest.(check string) "lowest index wins" "5" m
+  done
+
+let test_pool_reuse () =
+  (* Many batches through one pool: workers wake, drain and sleep again. *)
+  let pool = Exec.Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "jobs" 4 (Exec.Pool.jobs pool);
+      for round = 1 to 50 do
+        let out = Array.make 20 0 in
+        Exec.Pool.run pool 20 (fun i -> out.(i) <- i * round);
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init 20 (fun i -> i * round))
+          out
+      done)
+
+let test_budget_concurrent () =
+  (* Charges and releases from many domains never corrupt the counter
+     and never over-commit. *)
+  let b = Store.Budget.create ~max_bytes:(50 * Store.Budget.bytes_per_element) in
+  Exec.parallel_iter ~jobs:4
+    (fun _ ->
+      match Store.Budget.charge_elements b 5 with
+      | () -> Store.Budget.release_elements b 5
+      | exception Store.Budget.Overflow _ -> ())
+    (List.init 400 Fun.id);
+  Alcotest.(check int) "balanced" 0 (Store.Budget.used_bytes b)
+
+(* ---------- kernel determinism across SAME_JOBS ---------- *)
+
+let case_study_types =
+  (Blockdiag.To_netlist.convert Decisive.Case_study.power_supply_diagram)
+    .Blockdiag.To_netlist.block_types
+
+let test_injection_fmea_determinism () =
+  let analyse () =
+    Fmea.Injection_fmea.analyse ~options:Decisive.Case_study.injection_options
+      ~element_types:case_study_types Decisive.Case_study.power_supply_netlist
+      Decisive.Case_study.reliability_model
+  in
+  let baseline = with_jobs 1 analyse in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d identical" jobs)
+        true
+        (Fmea.Table.equal baseline (with_jobs jobs analyse)))
+    [ 2; 4 ]
+
+let test_search_determinism () =
+  let table = Decisive.Case_study.fmea_via_injection () in
+  let sms = Decisive.Case_study.sm_model in
+  let exhaustive () =
+    Optimize.Search.exhaustive ~component_types:case_study_types table sms
+  in
+  let greedy () =
+    Optimize.Search.greedy ~component_types:case_study_types
+      ~target:Ssam.Requirement.ASIL_B table sms
+  in
+  let base_ex = with_jobs 1 exhaustive in
+  let base_gr = with_jobs 1 greedy in
+  Alcotest.(check bool) "exhaustive non-trivial" true (List.length base_ex > 1);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exhaustive jobs=%d identical" jobs)
+        true
+        (List.equal Optimize.Search.equal_candidate base_ex
+           (with_jobs jobs exhaustive));
+      Alcotest.(check bool)
+        (Printf.sprintf "greedy jobs=%d identical" jobs)
+        true
+        (Optimize.Search.equal_candidate base_gr (with_jobs jobs greedy)))
+    [ 2; 4 ]
+
+let test_store_determinism () =
+  let spec = { Store.Synthetic.set_name = "det"; target_elements = 5689 } in
+  let lazy_eval () = Store.Lazy_store.evaluate spec in
+  let full_eval () =
+    let budget = Store.Budget.create ~max_bytes:(10 * 1024 * 1024) in
+    match Store.Full_store.load ~budget spec with
+    | Ok l ->
+        let v = Store.Full_store.evaluate l in
+        Store.Full_store.release ~budget l;
+        v
+    | Error _ -> Alcotest.fail "load failed"
+  in
+  let base_lazy = with_jobs 1 lazy_eval in
+  let base_full = with_jobs 1 full_eval in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lazy jobs=%d identical" jobs)
+        true
+        (base_lazy = with_jobs jobs lazy_eval);
+      Alcotest.(check int)
+        (Printf.sprintf "full jobs=%d identical" jobs)
+        base_full (with_jobs jobs full_eval))
+    [ 2; 4 ]
+
+let test_prepared_classification () =
+  (* classify_prepared over a shared golden run agrees with the one-off
+     classify_single. *)
+  let netlist = Decisive.Case_study.power_supply_netlist in
+  let options = Decisive.Case_study.injection_options in
+  let prepared = Fmea.Injection_fmea.prepare ~options netlist in
+  List.iter
+    (fun (id, fault) ->
+      let via_prepared =
+        Fmea.Injection_fmea.classify_prepared prepared ~element_id:id fault
+      in
+      let via_single =
+        Fmea.Injection_fmea.classify_single ~options netlist ~element_id:id
+          fault
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s agrees" id)
+        true
+        (via_prepared = via_single))
+    [ ("D1", Circuit.Fault.Short_circuit); ("L1", Circuit.Fault.Open_circuit) ]
+
+(* ---------- incremental evaluator vs the reference scorer ---------- *)
+
+let prop_incremental_evaluator =
+  let table = Decisive.Case_study.fmea_via_injection () in
+  let slots =
+    Optimize.Search.slots ~component_types:case_study_types table
+      Decisive.Case_study.sm_model
+  in
+  let ev = Optimize.Search.make_evaluator table in
+  let n_slots = List.length slots in
+  QCheck.Test.make ~count:100
+    ~name:"incremental evaluator matches Fmeda.apply + Metrics.spfm"
+    QCheck.(list_of_size (QCheck.Gen.return n_slots) (int_range 0 1000))
+    (fun picks ->
+      (* One pick per slot: modulo chooses a mechanism or "deploy
+         nothing", like the exhaustive expansion does. *)
+      let deployments =
+        List.concat
+          (List.map2
+             (fun (s : Optimize.Search.slot) pick ->
+               let n = List.length s.Optimize.Search.slot_options in
+               match pick mod (n + 1) with
+               | 0 -> []
+               | k ->
+                   [
+                     Fmea.Fmeda.deploy
+                       ~component:s.Optimize.Search.slot_component
+                       ~failure_mode:s.Optimize.Search.slot_failure_mode
+                       (List.nth s.Optimize.Search.slot_options (k - 1));
+                   ])
+             slots picks)
+      in
+      Optimize.Search.equal_candidate
+        (Optimize.Search.evaluate table deployments)
+        (Optimize.Search.evaluate_with ev deployments))
+
+let suite =
+  [
+    Alcotest.test_case "parallel map" `Quick test_parallel_map;
+    Alcotest.test_case "parallel chunks" `Quick test_parallel_chunks;
+    Alcotest.test_case "parallel iter" `Quick test_parallel_iter;
+    Alcotest.test_case "nested parallelism" `Quick test_nested;
+    Alcotest.test_case "exception determinism" `Quick
+      test_exception_determinism;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "budget under concurrency" `Quick
+      test_budget_concurrent;
+    Alcotest.test_case "injection FMEA determinism" `Quick
+      test_injection_fmea_determinism;
+    Alcotest.test_case "search determinism" `Quick test_search_determinism;
+    Alcotest.test_case "store determinism" `Quick test_store_determinism;
+    Alcotest.test_case "prepared classification" `Quick
+      test_prepared_classification;
+    QCheck_alcotest.to_alcotest prop_incremental_evaluator;
+  ]

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "decisive"
     [
       ("numeric", Test_numeric.suite);
+      ("exec", Test_exec.suite);
       ("modelio", Test_modelio.suite);
       ("ssam", Test_ssam.suite);
       ("persist", Test_persist.suite);

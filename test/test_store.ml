@@ -119,9 +119,20 @@ let test_stores_agree () =
   Alcotest.(check int) "same verdicts" full lazy_result
 
 let test_lazy_peak_memory () =
-  Alcotest.(check int) "peak is one unit" Synthetic.unit_elements
-    (Lazy_store.peak_resident_elements
-       { Synthetic.set_name = "x"; target_elements = 1_000_000 })
+  (* Peak residency is one unit per worker; with one worker that is the
+     seed's "peak is one unit" guarantee. *)
+  let spec = { Synthetic.set_name = "x"; target_elements = 1_000_000 } in
+  let saved = Exec.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Exec.set_default_jobs saved)
+    (fun () ->
+      Exec.set_default_jobs 1;
+      Alcotest.(check int) "peak is one unit" Synthetic.unit_elements
+        (Lazy_store.peak_resident_elements spec);
+      Exec.set_default_jobs 4;
+      Alcotest.(check int) "peak is one unit per worker"
+        (4 * Synthetic.unit_elements)
+        (Lazy_store.peak_resident_elements spec))
 
 let prop_synthetic_any_size =
   QCheck.Test.make ~name:"synthetic generator hits any target exactly" ~count:60
