@@ -105,6 +105,38 @@ let set_jobs = function
   | Some n when n >= 1 -> Exec.set_default_jobs n
   | Some n -> Printf.eprintf "warning: ignoring non-positive --jobs %d\n" n
 
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Lint the inputs first ($(b,same lint)) and abort with exit 1 on \
+           any lint error.")
+
+(* The `--strict` gate shared by fmea/fmeda/optimize: lint exactly the
+   artefacts the analysis is about to consume. *)
+let strict_ok ~strict ?diagram ?reliability ?sm ?(exclude = [])
+    ?(monitored = []) () =
+  (not strict)
+  ||
+  let input =
+    {
+      Lint.Input.empty with
+      Lint.Input.diagram;
+      reliability;
+      sm;
+      exclude;
+      monitored;
+    }
+  in
+  let diagnostics = Lint.Driver.run input in
+  if Lint.Driver.has_errors diagnostics then begin
+    prerr_string (Lint.Driver.to_text diagnostics);
+    prerr_endline "error: lint errors in the inputs (--strict)";
+    false
+  end
+  else true
+
 let route_arg =
   let routes =
     [
@@ -144,34 +176,209 @@ let report_table output table =
   | None -> ());
   0
 
+(* same lint *)
+
+let severity_conv =
+  let parse s =
+    match Lint.Rule.severity_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown severity %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Lint.Rule.severity_to_string s))
+
+let lint_cmd =
+  let diagram_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"DIAGRAM" ~doc:"Block diagram model (.bd) to lint.")
+  in
+  let query_arg =
+    Arg.(
+      value & opt_all file []
+      & info [ "q"; "query" ] ~docv:"FILE"
+          ~doc:
+            "Query (extraction constraint) source to typecheck (repeatable).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: $(b,text) or $(b,json) (SARIF-style).")
+  in
+  let rules_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "rules" ] ~docv:"IDS"
+          ~doc:
+            "Only run these rule ids (comma-separated, repeatable), e.g. \
+             $(b,--rules SSAM001,REL009).")
+  in
+  let severity_arg =
+    Arg.(
+      value
+      & opt (some severity_conv) None
+      & info [ "severity" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum severity to report: $(b,error), $(b,warning) or \
+             $(b,info).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let run list_rules format rules severity diagram_path reliability_path
+      sm_path query_paths exclude monitored jobs =
+    set_jobs jobs;
+    if list_rules then begin
+      List.iter
+        (fun (r : Lint.Rule.t) ->
+          Printf.printf "%-8s %-8s %-12s %s\n" r.Lint.Rule.id
+            (Lint.Rule.severity_to_string r.Lint.Rule.severity)
+            (Lint.Rule.category_to_string r.Lint.Rule.category)
+            r.Lint.Rule.title)
+        Lint.Driver.catalogue;
+      0
+    end
+    else begin
+      let rules =
+        List.concat_map (String.split_on_char ',') rules
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      let unknown =
+        List.filter (fun id -> Lint.Driver.find_rule id = None) rules
+      in
+      match unknown with
+      | id :: _ ->
+          Printf.eprintf "error: unknown rule id '%s' (see same lint --list)\n"
+            id;
+          2
+      | [] -> (
+          let ( let* ) r f =
+            match r with
+            | Error m ->
+                Printf.eprintf "error: %s\n" m;
+                Error 1
+            | Ok v -> f v
+          in
+          let outcome =
+            let* diagram =
+              match diagram_path with
+              | None -> Ok None
+              | Some path ->
+                  Result.map (fun d -> Some (path, d)) (load_diagram path)
+            in
+            let* reliability =
+              match (reliability_path, diagram) with
+              | None, None -> Ok None
+              | _ ->
+                  Result.map
+                    (fun r -> Some (reliability_path, r))
+                    (load_reliability reliability_path)
+            in
+            let* sm =
+              match (sm_path, diagram) with
+              | None, None -> Ok None
+              | _ -> Result.map (fun s -> Some (sm_path, s)) (load_sm_model sm_path)
+            in
+            let* queries =
+              List.fold_left
+                (fun acc path ->
+                  match acc with
+                  | Error _ as e -> e
+                  | Ok qs -> (
+                      try
+                        let ic = open_in_bin path in
+                        let n = in_channel_length ic in
+                        let s = really_input_string ic n in
+                        close_in ic;
+                        Ok ((path, s) :: qs)
+                      with Sys_error m -> Error m))
+                (Ok []) query_paths
+              |> Result.map List.rev
+            in
+            if diagram = None && reliability = None && sm = None && queries = []
+            then begin
+              Printf.eprintf
+                "error: nothing to lint (give a DIAGRAM, -r, -s or -q)\n";
+              Error 2
+            end
+            else
+              Ok
+                {
+                  Lint.Input.empty with
+                  Lint.Input.diagram;
+                  reliability;
+                  sm;
+                  queries;
+                  exclude;
+                  monitored;
+                }
+          in
+          match outcome with
+          | Error code -> code
+          | Ok input ->
+              let diagnostics =
+                Lint.Driver.run ~rules ?min_severity:severity input
+              in
+              (match format with
+              | `Text -> print_string (Lint.Driver.to_text diagnostics)
+              | `Json ->
+                  print_endline
+                    (Modelio.Json.to_string ~indent:2
+                       (Lint.Driver.to_json diagnostics)));
+              if Lint.Driver.has_errors diagnostics then 1 else 0)
+    end
+  in
+  let doc =
+    "Statically check designs, reliability/SM models and queries against the \
+     rule catalogue (exit 1 on errors)."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ list_arg $ format_arg $ rules_arg $ severity_arg
+      $ diagram_arg $ reliability_arg $ sm_arg $ query_arg $ exclude_arg
+      $ monitored_arg $ jobs_arg)
+
 (* same fmea *)
 
 let fmea_cmd =
-  let run diagram_path reliability_path exclude monitored output route jobs =
+  let run diagram_path reliability_path exclude monitored output route strict
+      jobs =
     set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
-        let monitored_sensors =
-          match monitored with [] -> None | ids -> Some ids
-        in
-        match
-          Decisive.Api.analyse ~route ~exclude ?monitored_sensors diagram
-            reliability
-        with
-        | table -> report_table output table
-        | exception Fmea.Injection_fmea.Golden_run_failed m ->
-            Printf.eprintf "error: golden simulation failed: %s\n" m;
-            1
-        | exception Fta.From_ssam.No_paths c ->
-            Printf.eprintf "error: no input-output paths through %s\n" c;
-            1)
+        if
+          not
+            (strict_ok ~strict ~diagram:(diagram_path, diagram)
+               ~reliability:(reliability_path, reliability) ~exclude ~monitored
+               ())
+        then 1
+        else
+          let monitored_sensors =
+            match monitored with [] -> None | ids -> Some ids
+          in
+          match
+            Decisive.Api.analyse ~route ~exclude ?monitored_sensors diagram
+              reliability
+          with
+          | table -> report_table output table
+          | exception Fmea.Injection_fmea.Golden_run_failed m ->
+              Printf.eprintf "error: golden simulation failed: %s\n" m;
+              1
+          | exception Fta.From_ssam.No_paths c ->
+              Printf.eprintf "error: no input-output paths through %s\n" c;
+              1)
   in
   let doc = "Automated FMEA (DECISIVE Step 4a)." in
   Cmd.v
     (Cmd.info "fmea" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ exclude_arg $ monitored_arg
-      $ output_arg $ route_arg $ jobs_arg)
+      $ output_arg $ route_arg $ strict_arg $ jobs_arg)
 
 (* same fmeda *)
 
@@ -184,13 +391,19 @@ let target_arg =
 
 let fmeda_cmd =
   let run diagram_path reliability_path sm_path exclude monitored output target
-      jobs =
+      strict jobs =
     set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         match load_sm_model sm_path with
         | Error m ->
             Printf.eprintf "error: %s\n" m;
+            1
+        | Ok sm_model when
+            not
+              (strict_ok ~strict ~diagram:(diagram_path, diagram)
+                 ~reliability:(reliability_path, reliability)
+                 ~sm:(sm_path, sm_model) ~exclude ~monitored ()) ->
             1
         | Ok sm_model -> (
             let monitored_sensors =
@@ -233,18 +446,24 @@ let fmeda_cmd =
     (Cmd.info "fmeda" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
-      $ monitored_arg $ output_arg $ target_arg $ jobs_arg)
+      $ monitored_arg $ output_arg $ target_arg $ strict_arg $ jobs_arg)
 
 (* same optimize *)
 
 let optimize_cmd =
-  let run diagram_path reliability_path sm_path exclude target jobs =
+  let run diagram_path reliability_path sm_path exclude target strict jobs =
     set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         match load_sm_model sm_path with
         | Error m ->
             Printf.eprintf "error: %s\n" m;
+            1
+        | Ok sm_model when
+            not
+              (strict_ok ~strict ~diagram:(diagram_path, diagram)
+                 ~reliability:(reliability_path, reliability)
+                 ~sm:(sm_path, sm_model) ~exclude ()) ->
             1
         | Ok sm_model ->
             let table = Decisive.Api.analyse ~exclude diagram reliability in
@@ -273,7 +492,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
-      $ target_arg $ jobs_arg)
+      $ target_arg $ strict_arg $ jobs_arg)
 
 (* same transform *)
 
@@ -803,6 +1022,7 @@ let main =
   let info = Cmd.info "same" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
+      lint_cmd;
       fmea_cmd;
       fmeda_cmd;
       optimize_cmd;

@@ -1,0 +1,38 @@
+(** The lint driver: runs the four rule packs over an {!Input.t} and
+    renders the diagnostics.
+
+    Packs execute in parallel on the shared analysis pool ({!Exec}) —
+    each pack is one task, so a run is at most four-wide; determinism
+    comes from {!Exec.parallel_map}'s in-order collection.  When the
+    input has a diagram but no SSAM model, the diagram is transformed
+    ({!Blockdiag.Transform.to_ssam_model}, with the reliability model
+    aggregated on when present) so the SSAM pack always sees the design
+    the analysis commands would. *)
+
+val catalogue : Rule.t list
+(** Every registered rule, grouped by pack (SSAM, BLK, REL, QRY ids). *)
+
+val find_rule : string -> Rule.t option
+(** Case-insensitive lookup by id. *)
+
+val run :
+  ?jobs:int ->
+  ?rules:string list ->
+  ?min_severity:Rule.severity ->
+  Input.t ->
+  Rule.diagnostic list
+(** All diagnostics, errors first (stable within a severity).  [rules]
+    restricts to the given ids (case-insensitive; empty means all);
+    [min_severity] drops anything below the threshold. *)
+
+val has_errors : Rule.diagnostic list -> bool
+
+val to_text : Rule.diagnostic list -> string
+(** One line per diagnostic plus a trailing summary line
+    (["3 errors, 1 warning"] / ["no findings"]). *)
+
+val to_json : Rule.diagnostic list -> Modelio.Json.t
+(** SARIF-style: [{"version": "2.1.0", "runs": [{"tool": {"driver":
+    {"name": "same lint", "rules": [...]}}, "results": [...]}]}] with
+    one result per diagnostic, carrying level, message, rule id and the
+    physical/logical location when known. *)

@@ -1,0 +1,32 @@
+(* What a lint run looks at.  Everything is optional: each rule pack
+   inspects the artefacts it understands and stays silent about the
+   rest, so `same lint model.bd`, `same lint -r rel.csv` and the full
+   combination all work. *)
+
+type t = {
+  diagram : (string * Blockdiag.Diagram.t) option;
+      (** source path (for report locations) and the parsed diagram *)
+  model : Ssam.Model.t option;
+      (** SSAM model; {!Driver.run} derives one from [diagram] when
+          absent so the SSAM pack always has something to check *)
+  reliability : (string option * Reliability.Reliability_model.t) option;
+  sm : (string option * Reliability.Sm_model.t) option;
+  queries : (string * string) list;  (** (name-or-path, source) *)
+  query_env : string list;
+      (** identifiers bound by the evaluator; the assurance engine binds
+          ["Artifact"] *)
+  exclude : string list;  (** component ids excluded from injection *)
+  monitored : string list;  (** sensors forming the safety observation *)
+}
+
+let empty =
+  {
+    diagram = None;
+    model = None;
+    reliability = None;
+    sm = None;
+    queries = [];
+    query_env = [ "Artifact" ];
+    exclude = [];
+    monitored = [];
+  }

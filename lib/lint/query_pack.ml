@@ -1,0 +1,47 @@
+(* Query (extraction-constraint) pack: runs the static type-and-arity
+   checker over every query source and maps its findings to rules.  The
+   checker reports everything through one error type; the rule id is
+   recovered from the diagnostic text, which this pack owns together
+   with {!Query.Typecheck} (see the classification tests). *)
+
+let rule id title = { Rule.id; severity = Rule.Error; category = Rule.Query; title }
+
+let qry001 = rule "QRY001" "query does not parse"
+let qry002 = rule "QRY002" "unknown identifier"
+let qry003 = rule "QRY003" "unknown built-in method for the receiver"
+let qry004 = rule "QRY004" "built-in called with the wrong arity"
+let qry005 = rule "QRY005" "operand type mismatch"
+
+let rules = [ qry001; qry002; qry003; qry004; qry005 ]
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let classify message =
+  if contains message "parse error:" || contains message "lex error:" then
+    qry001
+  else if contains message "unknown identifier" then qry002
+  else if contains message "no built-in method" || contains message "has no method"
+  then qry003
+  else if contains message "argument" || contains message "lambda" then qry004
+  else qry005
+
+let of_error ~file (e : Query.Typecheck.error) =
+  let span =
+    Option.map
+      (fun (p : Query.Pos.t) ->
+        { Rule.line = p.Query.Pos.line; col = p.Query.Pos.col })
+      e.Query.Typecheck.pos
+  in
+  Rule.diagnostic ~file ?span
+    ~rule:(classify e.Query.Typecheck.message)
+    e.Query.Typecheck.message
+
+let run (input : Input.t) =
+  List.concat_map
+    (fun (name, source) ->
+      List.map (of_error ~file:name)
+        (Query.Typecheck.check_source ~env:input.Input.query_env source))
+    input.Input.queries

@@ -1,0 +1,76 @@
+type severity = Error | Warning | Info [@@deriving eq, show]
+
+let severity_rank = function Error -> 3 | Warning -> 2 | Info -> 1
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+type category = Ssam_model | Block_diagram | Reliability | Query
+[@@deriving eq, show]
+
+let category_to_string = function
+  | Ssam_model -> "ssam"
+  | Block_diagram -> "blockdiag"
+  | Reliability -> "reliability"
+  | Query -> "query"
+
+type t = { id : string; severity : severity; category : category; title : string }
+[@@deriving eq, show]
+
+type span = { line : int; col : int } [@@deriving eq, show]
+
+type diagnostic = {
+  rule_id : string;
+  d_severity : severity;
+  d_category : category;
+  element : string option;
+  file : string option;
+  span : span option;
+  message : string;
+  hint : string option;
+}
+[@@deriving eq, show]
+
+let diagnostic ?element ?file ?span ?hint ~rule message =
+  {
+    rule_id = rule.id;
+    d_severity = rule.severity;
+    d_category = rule.category;
+    element;
+    file;
+    span;
+    message;
+    hint;
+  }
+
+let pp_text ppf d =
+  (match (d.file, d.span) with
+  | Some f, Some { line; col } -> Format.fprintf ppf "%s:%d:%d: " f line col
+  | Some f, None -> Format.fprintf ppf "%s: " f
+  | None, Some { line; col } -> Format.fprintf ppf "%d:%d: " line col
+  | None, None -> ());
+  Format.fprintf ppf "%s %s" (severity_to_string d.d_severity) d.rule_id;
+  (match d.element with
+  | Some e -> Format.fprintf ppf " [%s]" e
+  | None -> ());
+  Format.fprintf ppf ": %s" d.message;
+  match d.hint with
+  | Some h -> Format.fprintf ppf " (%s)" h
+  | None -> ()
+
+let compare_severity a b =
+  compare (severity_rank b.d_severity) (severity_rank a.d_severity)

@@ -1,0 +1,66 @@
+(** The lint rule registry: rule descriptors and the diagnostics they
+    produce.
+
+    Every check in the [same lint] driver belongs to a named rule
+    ([SSAM003], [BLK005], [REL009], [QRY004]...) with a fixed severity
+    and category, so reports can be filtered by id or severity and the
+    catalogue can be printed ([same lint --list]). *)
+
+type severity = Error | Warning | Info [@@deriving eq, show]
+
+val severity_rank : severity -> int
+(** [Error] 3, [Warning] 2, [Info] 1 — for minimum-severity filters. *)
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val severity_of_string : string -> severity option
+
+val sarif_level : severity -> string
+(** SARIF result level: ["error"], ["warning"], ["note"]. *)
+
+type category = Ssam_model | Block_diagram | Reliability | Query
+[@@deriving eq, show]
+
+val category_to_string : category -> string
+
+type t = {
+  id : string;  (** e.g. ["BLK005"] *)
+  severity : severity;
+  category : category;
+  title : string;  (** one line, for the catalogue listing *)
+}
+[@@deriving eq, show]
+
+type span = { line : int; col : int } [@@deriving eq, show]
+
+type diagnostic = {
+  rule_id : string;
+  d_severity : severity;
+  d_category : category;
+  element : string option;  (** offending element / block / entry id *)
+  file : string option;  (** source artefact, when known *)
+  span : span option;  (** line:column inside [file] *)
+  message : string;
+  hint : string option;  (** how to fix, when a generic fix exists *)
+}
+[@@deriving eq, show]
+
+val diagnostic :
+  ?element:string ->
+  ?file:string ->
+  ?span:span ->
+  ?hint:string ->
+  rule:t ->
+  string ->
+  diagnostic
+(** Build a diagnostic for [rule]; severity and category come from the
+    rule descriptor. *)
+
+val pp_text : Format.formatter -> diagnostic -> unit
+(** One line: [file:line:col: severity RULE [element]: message (hint)] —
+    omitting the parts that are unknown. *)
+
+val compare_severity : diagnostic -> diagnostic -> int
+(** Sorts errors first; equal severities keep their relative order when
+    used with a stable sort. *)

@@ -1,0 +1,36 @@
+(* SSAM model well-formedness pack.
+
+   The rule logic lives in {!Ssam.Validate} (the single source of truth
+   — it predates the lint driver and other subsystems call it
+   directly); this pack adapts its rule-tagged findings to lint
+   diagnostics and contributes the catalogue entries. *)
+
+let severity_of = function
+  | Ssam.Validate.Error -> Rule.Error
+  | Ssam.Validate.Warning -> Rule.Warning
+
+let rules : Rule.t list =
+  List.map
+    (fun (id, sev, title) ->
+      {
+        Rule.id;
+        severity = severity_of sev;
+        category = Rule.Ssam_model;
+        title;
+      })
+    Ssam.Validate.rules
+
+let rule_by_id id = List.find (fun (r : Rule.t) -> r.Rule.id = id) rules
+
+let of_finding ?file (f : Ssam.Validate.finding) =
+  Rule.diagnostic ?file ?hint:f.Ssam.Validate.f_hint
+    ~element:f.Ssam.Validate.f_element
+    ~rule:(rule_by_id f.Ssam.Validate.f_rule)
+    f.Ssam.Validate.f_message
+
+let run (input : Input.t) =
+  match input.Input.model with
+  | None -> []
+  | Some model ->
+      let file = Option.map fst input.Input.diagram in
+      List.map (of_finding ?file) (Ssam.Validate.findings model)

@@ -38,6 +38,10 @@ type expr =
   | Unop of unop * expr
   | If_expr of expr * expr * expr  (** [if (c) e1 else e2] as an expression *)
   | Seq_lit of expr list  (** [Sequence(e1, e2, ...)] — built by the parser *)
+  | At of int * expr
+      (** source-position annotation (byte offset of the node's first
+          token); inserted by the parser, transparent to evaluation.
+          {!Typecheck} turns the offsets into line:column diagnostics. *)
 
 and arg =
   | Positional of expr
@@ -53,3 +57,9 @@ type stmt =
 [@@deriving eq, show]
 
 type program = stmt list [@@deriving eq, show]
+
+let rec strip = function At (_, e) -> strip e | e -> e
+(** Drop position annotations off the head of an expression. *)
+
+let pos_of = function At (p, _) -> Some p | _ -> None
+(** Byte offset of an annotated node, if the parser recorded one. *)

@@ -90,6 +90,7 @@ let num_method recv name =
 
 let rec eval_expr env expr =
   match expr with
+  | Ast.At (_, e) -> eval_expr env e
   | Ast.Number f -> Mvalue.Num f
   | Ast.String s -> Mvalue.Str s
   | Ast.Bool b -> Mvalue.Bool b

@@ -27,6 +27,11 @@ let is_digit c = c >= '0' && c <= '9'
 
 let tokenize src =
   let n = String.length src in
+  (* Failures report the byte offset in the payload and line:column in the
+     message (the lexer is the only place that still has the source). *)
+  let fail pos message =
+    fail pos (Printf.sprintf "%s at %s" message (Pos.describe_offset src pos))
+  in
   let tokens = ref [] in
   let emit pos t = tokens := (t, pos) :: !tokens in
   let rec go i =

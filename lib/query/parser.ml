@@ -27,23 +27,28 @@ let expect_ident st =
       name
   | t, p -> fail p (Printf.sprintf "expected identifier, found %s" (Token.describe t))
 
+(* Nodes whose position a diagnostic may want (operands of operators,
+   navigation, calls) are wrapped in [Ast.At] with the byte offset of the
+   token that introduced them. *)
+let at p e = Ast.At (p, e)
+
 let rec parse_expr st = parse_implies st
 
 and parse_implies st =
   let lhs = parse_or st in
   match peek st with
-  | Token.IMPLIES, _ ->
+  | Token.IMPLIES, p ->
       advance st;
       let rhs = parse_implies st in
-      Ast.Binop (Ast.Implies, lhs, rhs)
+      at p (Ast.Binop (Ast.Implies, lhs, rhs))
   | _ -> lhs
 
 and parse_or st =
   let rec go lhs =
     match peek st with
-    | Token.OR, _ ->
+    | Token.OR, p ->
         advance st;
-        go (Ast.Binop (Ast.Or, lhs, parse_and st))
+        go (at p (Ast.Binop (Ast.Or, lhs, parse_and st)))
     | _ -> lhs
   in
   go (parse_and st)
@@ -51,9 +56,9 @@ and parse_or st =
 and parse_and st =
   let rec go lhs =
     match peek st with
-    | Token.AND, _ ->
+    | Token.AND, p ->
         advance st;
-        go (Ast.Binop (Ast.And, lhs, parse_cmp st))
+        go (at p (Ast.Binop (Ast.And, lhs, parse_cmp st)))
     | _ -> lhs
   in
   go (parse_cmp st)
@@ -62,29 +67,29 @@ and parse_cmp st =
   let lhs = parse_add st in
   let op =
     match peek st with
-    | Token.EQ, _ -> Some Ast.Eq
-    | Token.NEQ, _ -> Some Ast.Neq
-    | Token.LT, _ -> Some Ast.Lt
-    | Token.LE, _ -> Some Ast.Le
-    | Token.GT, _ -> Some Ast.Gt
-    | Token.GE, _ -> Some Ast.Ge
+    | Token.EQ, p -> Some (Ast.Eq, p)
+    | Token.NEQ, p -> Some (Ast.Neq, p)
+    | Token.LT, p -> Some (Ast.Lt, p)
+    | Token.LE, p -> Some (Ast.Le, p)
+    | Token.GT, p -> Some (Ast.Gt, p)
+    | Token.GE, p -> Some (Ast.Ge, p)
     | _ -> None
   in
   match op with
   | None -> lhs
-  | Some op ->
+  | Some (op, p) ->
       advance st;
-      Ast.Binop (op, lhs, parse_add st)
+      at p (Ast.Binop (op, lhs, parse_add st))
 
 and parse_add st =
   let rec go lhs =
     match peek st with
-    | Token.PLUS, _ ->
+    | Token.PLUS, p ->
         advance st;
-        go (Ast.Binop (Ast.Add, lhs, parse_mul st))
-    | Token.MINUS, _ ->
+        go (at p (Ast.Binop (Ast.Add, lhs, parse_mul st)))
+    | Token.MINUS, p ->
         advance st;
-        go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+        go (at p (Ast.Binop (Ast.Sub, lhs, parse_mul st)))
     | _ -> lhs
   in
   go (parse_mul st)
@@ -92,27 +97,27 @@ and parse_add st =
 and parse_mul st =
   let rec go lhs =
     match peek st with
-    | Token.STAR, _ ->
+    | Token.STAR, p ->
         advance st;
-        go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
-    | Token.SLASH, _ ->
+        go (at p (Ast.Binop (Ast.Mul, lhs, parse_unary st)))
+    | Token.SLASH, p ->
         advance st;
-        go (Ast.Binop (Ast.Div, lhs, parse_unary st))
-    | Token.MOD, _ ->
+        go (at p (Ast.Binop (Ast.Div, lhs, parse_unary st)))
+    | Token.MOD, p ->
         advance st;
-        go (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+        go (at p (Ast.Binop (Ast.Mod, lhs, parse_unary st)))
     | _ -> lhs
   in
   go (parse_unary st)
 
 and parse_unary st =
   match peek st with
-  | Token.MINUS, _ ->
+  | Token.MINUS, p ->
       advance st;
-      Ast.Unop (Ast.Neg, parse_unary st)
-  | Token.NOT, _ ->
+      at p (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.NOT, p ->
       advance st;
-      Ast.Unop (Ast.Not, parse_unary st)
+      at p (Ast.Unop (Ast.Not, parse_unary st))
   | _ -> parse_postfix st
 
 and parse_postfix st =
@@ -120,19 +125,20 @@ and parse_postfix st =
     match peek st with
     | Token.DOT, _ ->
         advance st;
+        let p = snd (peek st) in
         let name = expect_ident st in
         (match peek st with
         | Token.LPAREN, _ ->
             advance st;
             let args = parse_args st in
             expect st Token.RPAREN;
-            go (Ast.Call (e, name, args))
-        | _ -> go (Ast.Field (e, name)))
-    | Token.LBRACKET, _ ->
+            go (at p (Ast.Call (e, name, args)))
+        | _ -> go (at p (Ast.Field (e, name))))
+    | Token.LBRACKET, p ->
         advance st;
         let idx = parse_expr st in
         expect st Token.RBRACKET;
-        go (Ast.Index (e, idx))
+        go (at p (Ast.Index (e, idx)))
     | _ -> e
   in
   go (parse_primary st)
@@ -160,22 +166,22 @@ and parse_args st =
 
 and parse_primary st =
   match peek st with
-  | Token.NUMBER f, _ ->
+  | Token.NUMBER f, p ->
       advance st;
-      Ast.Number f
-  | Token.STRING s, _ ->
+      at p (Ast.Number f)
+  | Token.STRING s, p ->
       advance st;
-      Ast.String s
-  | Token.TRUE, _ ->
+      at p (Ast.String s)
+  | Token.TRUE, p ->
       advance st;
-      Ast.Bool true
-  | Token.FALSE, _ ->
+      at p (Ast.Bool true)
+  | Token.FALSE, p ->
       advance st;
-      Ast.Bool false
-  | Token.NULL, _ ->
+      at p (Ast.Bool false)
+  | Token.NULL, p ->
       advance st;
-      Ast.Null
-  | Token.IDENT "Sequence", _ ->
+      at p Ast.Null
+  | Token.IDENT "Sequence", p ->
       advance st;
       expect st Token.LPAREN;
       let items =
@@ -193,16 +199,16 @@ and parse_primary st =
             go []
       in
       expect st Token.RPAREN;
-      Ast.Seq_lit items
-  | Token.IDENT name, _ ->
+      at p (Ast.Seq_lit items)
+  | Token.IDENT name, p ->
       advance st;
-      Ast.Ident name
+      at p (Ast.Ident name)
   | Token.LPAREN, _ ->
       advance st;
       let e = parse_expr st in
       expect st Token.RPAREN;
       e
-  | Token.IF, _ ->
+  | Token.IF, p ->
       advance st;
       expect st Token.LPAREN;
       let cond = parse_expr st in
@@ -210,7 +216,7 @@ and parse_primary st =
       let then_ = parse_expr st in
       expect st Token.ELSE;
       let else_ = parse_expr st in
-      Ast.If_expr (cond, then_, else_)
+      at p (Ast.If_expr (cond, then_, else_))
   | t, p -> fail p (Printf.sprintf "unexpected %s" (Token.describe t))
 
 let rec parse_stmt st =
@@ -265,7 +271,19 @@ and parse_block st =
   (* No '{' '}' tokens in the lexer; blocks are single statements. *)
   [ parse_stmt st ]
 
+(* Re-raise with the position rendered as line:column — the payload keeps
+   the raw byte offset for programmatic consumers (the lint driver). *)
+let located src f =
+  try f ()
+  with Parse_error { pos; message } ->
+    raise (Parse_error
+             { pos;
+               message =
+                 Printf.sprintf "%s at %s" message (Pos.describe_offset src pos)
+             })
+
 let parse_program src =
+  located src @@ fun () ->
   let st = { toks = Lexer.tokenize src } in
   (* A bare expression (no trailing ';') is a one-expression program. *)
   let rec stmts acc =
@@ -288,6 +306,7 @@ let parse_program src =
   stmts []
 
 let parse_expression src =
+  located src @@ fun () ->
   let st = { toks = Lexer.tokenize src } in
   let e = parse_expr st in
   (match peek st with

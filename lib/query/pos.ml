@@ -1,0 +1,19 @@
+type t = { line : int; col : int }
+
+let of_offset src off =
+  let n = String.length src in
+  let stop = if off < 0 then 0 else min off n in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to stop - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { line = !line; col = stop - !bol + 1 }
+
+let to_string { line; col } = Printf.sprintf "%d:%d" line col
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let describe_offset src off = to_string (of_offset src off)

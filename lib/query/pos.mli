@@ -1,0 +1,25 @@
+(** Source positions for query-language diagnostics.
+
+    The lexer and parser track plain byte offsets (cheap to carry in
+    tokens); this module converts an offset back into a 1-based
+    line:column position against the original source text.  Both the
+    exception messages of {!Lexer}/{!Parser} and the lint diagnostics of
+    the query type checker render positions through here, so every
+    surface shows the same ["line:column"] notation. *)
+
+type t = { line : int; col : int }
+(** 1-based line and column. *)
+
+val of_offset : string -> int -> t
+(** [of_offset src off] locates byte [off] in [src].  Offsets past the
+    end of [src] locate just after the last character; newlines are
+    ['\n'] (a CRLF counts as ending the line at the ['\r']). *)
+
+val to_string : t -> string
+(** ["line:col"], e.g. ["3:14"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val describe_offset : string -> int -> string
+(** [to_string (of_offset src off)] — the one-liner every renderer
+    wants. *)

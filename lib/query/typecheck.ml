@@ -1,0 +1,383 @@
+type ty = Num | Str | Bool | Null | Seq of ty | Record | Any
+
+let rec ty_name = function
+  | Num -> "number"
+  | Str -> "string"
+  | Bool -> "boolean"
+  | Null -> "null"
+  | Seq Any -> "sequence"
+  | Seq t -> "sequence of " ^ ty_name t
+  | Record -> "record"
+  | Any -> "any"
+
+type error = { offset : int option; pos : Pos.t option; message : string }
+
+let pp_error ppf e =
+  match e.pos with
+  | Some p -> Format.fprintf ppf "%a: %s" Pos.pp p e.message
+  | None -> Format.pp_print_string ppf e.message
+
+type arity = Lambda | Fixed of int
+
+(* ---------- the built-in catalogue (mirrors Interp.eval_call) ---------- *)
+
+type cls = Cseq | Cstr | Cnum | Crec
+
+let cls_name = function
+  | Cseq -> "Seq"
+  | Cstr -> "Str"
+  | Cnum -> "Num"
+  | Crec -> "Record"
+
+(* Result of a call, as a function of the receiver's sequence element type
+   and the lambda body's type. *)
+type result =
+  | Const of ty
+  | Elem  (** an element of the receiver sequence *)
+  | Same_seq  (** the receiver sequence's own type *)
+  | Seq_of_body  (** [collect]: sequence of the lambda body's type *)
+
+type sig_ = {
+  s_cls : cls;
+  s_name : string;
+  s_arity : arity;
+  s_argty : ty list;  (** expected positional argument types *)
+  s_result : result;
+}
+
+let sig_ cls name arity argty result =
+  { s_cls = cls; s_name = name; s_arity = arity; s_argty = argty; s_result = result }
+
+let catalogue =
+  [
+    (* Collections. *)
+    sig_ Cseq "select" Lambda [] Same_seq;
+    sig_ Cseq "reject" Lambda [] Same_seq;
+    sig_ Cseq "collect" Lambda [] Seq_of_body;
+    sig_ Cseq "exists" Lambda [] (Const Bool);
+    sig_ Cseq "forAll" Lambda [] (Const Bool);
+    sig_ Cseq "selectOne" Lambda [] Elem;
+    sig_ Cseq "sortBy" Lambda [] Same_seq;
+    sig_ Cseq "count" Lambda [] (Const Num);
+    sig_ Cseq "size" (Fixed 0) [] (Const Num);
+    sig_ Cseq "isEmpty" (Fixed 0) [] (Const Bool);
+    sig_ Cseq "notEmpty" (Fixed 0) [] (Const Bool);
+    sig_ Cseq "first" (Fixed 0) [] Elem;
+    sig_ Cseq "last" (Fixed 0) [] Elem;
+    sig_ Cseq "at" (Fixed 1) [ Num ] Elem;
+    sig_ Cseq "includes" (Fixed 1) [ Any ] (Const Bool);
+    sig_ Cseq "indexOf" (Fixed 1) [ Any ] (Const Num);
+    sig_ Cseq "sum" (Fixed 0) [] (Const Num);
+    sig_ Cseq "avg" (Fixed 0) [] (Const Num);
+    sig_ Cseq "min" (Fixed 0) [] Elem;
+    sig_ Cseq "max" (Fixed 0) [] Elem;
+    sig_ Cseq "flatten" (Fixed 0) [] (Const (Seq Any));
+    sig_ Cseq "distinct" (Fixed 0) [] Same_seq;
+    (* Strings. *)
+    sig_ Cstr "toUpperCase" (Fixed 0) [] (Const Str);
+    sig_ Cstr "toLowerCase" (Fixed 0) [] (Const Str);
+    sig_ Cstr "trim" (Fixed 0) [] (Const Str);
+    sig_ Cstr "length" (Fixed 0) [] (Const Num);
+    sig_ Cstr "startsWith" (Fixed 1) [ Str ] (Const Bool);
+    sig_ Cstr "endsWith" (Fixed 1) [ Str ] (Const Bool);
+    sig_ Cstr "contains" (Fixed 1) [ Str ] (Const Bool);
+    sig_ Cstr "split" (Fixed 1) [ Str ] (Const (Seq Str));
+    sig_ Cstr "replace" (Fixed 2) [ Str; Str ] (Const Str);
+    sig_ Cstr "toNumber" (Fixed 0) [] (Const Num);
+    (* Numbers. *)
+    sig_ Cnum "abs" (Fixed 0) [] (Const Num);
+    sig_ Cnum "floor" (Fixed 0) [] (Const Num);
+    sig_ Cnum "ceil" (Fixed 0) [] (Const Num);
+    sig_ Cnum "round" (Fixed 0) [] (Const Num);
+    sig_ Cnum "toStr" (Fixed 0) [] (Const Str);
+    (* Records. *)
+    sig_ Crec "fields" (Fixed 0) [] (Const (Seq Str));
+    sig_ Crec "has" (Fixed 1) [ Str ] (Const Bool);
+    sig_ Crec "get" (Fixed 1) [ Str ] (Const Any);
+  ]
+
+let builtins =
+  List.map (fun s -> (cls_name s.s_cls, s.s_name, s.s_arity)) catalogue
+
+(* ---------- type algebra ---------- *)
+
+let rec join a b =
+  match (a, b) with
+  | a, b when a = b -> a
+  | Seq a, Seq b -> Seq (join a b)
+  | _ -> Any
+
+(* [compat expected actual]: could a value of [actual] be accepted where
+   [expected] is required?  [Any] on either side is always fine — the
+   checker never rejects on unknown shapes. *)
+let rec compat expected actual =
+  match (expected, actual) with
+  | Any, _ | _, Any -> true
+  | Seq a, Seq b -> compat a b
+  | a, b -> a = b
+
+let class_of = function
+  | Seq _ -> Some Cseq
+  | Str -> Some Cstr
+  | Num -> Some Cnum
+  | Record -> Some Crec
+  | Bool | Null | Any -> None
+
+let elem_of = function Seq t -> t | _ -> Any
+
+(* ---------- inference ---------- *)
+
+module Env = Map.Make (String)
+
+type state = { mutable errs : (int option * string) list }
+
+let check_program ?source ?(env = []) prog =
+  let st = { errs = [] } in
+  let err cur fmt =
+    Format.kasprintf (fun m -> st.errs <- (cur, m) :: st.errs) fmt
+  in
+  let initial =
+    List.fold_left (fun m name -> Env.add name Any m) Env.empty env
+  in
+  let rec infer env cur e =
+    match e with
+    | Ast.At (p, e) -> infer env (Some p) e
+    | Ast.Number _ -> Num
+    | Ast.String _ -> Str
+    | Ast.Bool _ -> Bool
+    | Ast.Null -> Null
+    | Ast.Seq_lit items ->
+        let ts = List.map (infer env cur) items in
+        Seq (match ts with [] -> Any | t :: tl -> List.fold_left join t tl)
+    | Ast.Ident name -> (
+        match Env.find_opt name env with
+        | Some t -> t
+        | None ->
+            err cur "unknown identifier '%s'" name;
+            Any)
+    | Ast.Field (e, name) -> (
+        match infer env cur e with
+        | Record | Any -> Any
+        | Seq (Record | Any | Seq _) | Seq Null -> Seq Any
+        | Seq ((Num | Str | Bool) as t) ->
+            err cur "cannot navigate '.%s' on a sequence of %s elements" name
+              (ty_name t);
+            Seq Any
+        | (Num | Str | Bool | Null) as t ->
+            err cur "cannot navigate '.%s' on %s" name (ty_name t);
+            Any)
+    | Ast.Index (e, i) ->
+        let t = infer env cur e in
+        let it = infer env cur i in
+        if not (compat Num it) then
+          err (node_pos cur i) "index: expected a number, got %s" (ty_name it);
+        (match t with
+        | Seq elt -> elt
+        | Any -> Any
+        | t ->
+            err cur "cannot index %s" (ty_name t);
+            Any)
+    | Ast.Unop (Ast.Neg, e) ->
+        let t = infer env cur e in
+        if not (compat Num t) then
+          err (node_pos cur e) "cannot negate %s" (ty_name t);
+        Num
+    | Ast.Unop (Ast.Not, e) ->
+        ignore (infer env cur e);
+        Bool
+    | Ast.Binop (op, a, b) -> infer_binop env cur op a b
+    | Ast.If_expr (c, t, e) ->
+        ignore (infer env cur c);
+        join (infer env cur t) (infer env cur e)
+    | Ast.Call (recv, name, args) -> infer_call env cur recv name args
+  and node_pos cur e = match Ast.pos_of e with Some p -> Some p | None -> cur
+  and infer_binop env cur op a b =
+    let ta = infer env cur a and tb = infer env cur b in
+    let mismatch what =
+      err cur "operator %s incompatible with %s and %s" what (ty_name ta)
+        (ty_name tb)
+    in
+    match op with
+    | Ast.Add -> (
+        match (ta, tb) with
+        | Num, Num -> Num
+        | Str, (Str | Num) | Num, Str -> Str
+        | Seq x, Seq y -> Seq (join x y)
+        | Any, (Num | Str | Seq _ | Any) | (Num | Str | Seq _), Any -> Any
+        | _ ->
+            mismatch "'+'";
+            Any)
+    | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+        if not (compat Num ta && compat Num tb) then
+          mismatch
+            (match op with
+            | Ast.Sub -> "'-'"
+            | Ast.Mul -> "'*'"
+            | Ast.Div -> "'/'"
+            | _ -> "'mod'");
+        Num
+    | Ast.Eq | Ast.Neq -> Bool
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+        let rec comparable a b =
+          match (a, b) with
+          | Any, _ | _, Any -> true
+          | Seq a, Seq b -> comparable a b
+          | a, b -> a = b && a <> Record
+        in
+        if not (comparable ta tb) then
+          err cur "cannot compare %s with %s" (ty_name ta) (ty_name tb);
+        Bool
+    | Ast.And | Ast.Or | Ast.Implies -> Bool
+  and infer_call env cur recv name args =
+    (* [cur] is the method-name token's position: the parser wraps the
+       whole [Call] node in [At] at that offset. *)
+    let pos = cur in
+    let recv_t = infer env cur recv in
+    let by_name = List.filter (fun s -> String.equal s.s_name name) catalogue in
+    let candidates =
+      match class_of recv_t with
+      | Some c -> List.filter (fun s -> s.s_cls = c) by_name
+      | None when recv_t = Any -> by_name
+      | None -> []
+    in
+    let check_args s =
+      (* Shape already matched; verify positional argument types. *)
+      (match s.s_arity with
+      | Lambda -> ()
+      | Fixed _ ->
+          List.iteri
+            (fun i arg ->
+              match (arg, List.nth_opt s.s_argty i) with
+              | Ast.Positional e, Some expected ->
+                  let t = infer env cur e in
+                  if not (compat expected t) then
+                    err (node_pos cur e) "%s: expected a %s, got %s" name
+                      (ty_name expected) (ty_name t)
+              | _ -> ())
+            args);
+      (* Extra sanity the evaluator enforces element-wise. *)
+      if (name = "sum" || name = "avg") then begin
+        match recv_t with
+        | Seq ((Str | Bool | Record | Seq _) as t) ->
+            err pos "%s: expected numeric elements, got a sequence of %s" name
+              (ty_name t)
+        | _ -> ()
+      end;
+      match s.s_result with
+      | Const t -> t
+      | Elem -> elem_of recv_t
+      | Same_seq -> ( match recv_t with Seq _ -> recv_t | _ -> Seq Any)
+      | Seq_of_body -> (
+          match args with
+          | [ Ast.Lambda (x, body) ] ->
+              Seq (infer (Env.add x (elem_of recv_t) env) cur body)
+          | _ -> Seq Any)
+    in
+    let shape_matches s =
+      match s.s_arity with
+      | Lambda -> ( match args with [ Ast.Lambda _ ] -> true | _ -> false)
+      | Fixed n ->
+          List.length args = n
+          && List.for_all
+               (function Ast.Positional _ -> true | Ast.Lambda _ -> false)
+               args
+    in
+    (* Check lambda bodies even when the call is otherwise wrong, so their
+       own errors still surface. *)
+    let visit_lambdas () =
+      List.iter
+        (function
+          | Ast.Lambda (x, body) ->
+              ignore (infer (Env.add x (elem_of recv_t) env) cur body)
+          | Ast.Positional e -> ignore (infer env cur e))
+        args
+    in
+    if by_name = [] then begin
+      err pos "no built-in method '%s'" name;
+      visit_lambdas ();
+      Any
+    end
+    else if candidates = [] then begin
+      err pos "%s has no method '%s'" (ty_name recv_t) name;
+      visit_lambdas ();
+      Any
+    end
+    else
+      match List.find_opt shape_matches candidates with
+      | Some s -> check_args s
+      | None ->
+          (match candidates with
+          | { s_arity = Lambda; _ } :: _ ->
+              err pos "%s expects a single lambda argument (x | expr)" name
+          | { s_arity = Fixed n; _ } :: _ ->
+              if List.exists (function Ast.Lambda _ -> true | _ -> false) args
+              then err pos "%s does not take a lambda" name
+              else
+                err pos "%s expects %d argument(s), got %d" name n
+                  (List.length args)
+          | [] -> ());
+          visit_lambdas ();
+          Any
+  in
+  let merge a b =
+    (* Bindings introduced in either branch survive the join (the
+       evaluator threads the taken branch's environment onwards). *)
+    Env.union (fun _ x y -> Some (join x y)) a b
+  in
+  let rec exec env = function
+    | [] -> env
+    | (Ast.Var_decl (n, e) | Ast.Assign (n, e)) :: rest ->
+        let t = infer env None e in
+        exec (Env.add n t env) rest
+    | Ast.Expr_stmt e :: rest | Ast.Return e :: rest ->
+        ignore (infer env None e);
+        exec env rest
+    | Ast.If_stmt (c, then_, else_) :: rest ->
+        ignore (infer env None c);
+        let et = exec env then_ and ef = exec env else_ in
+        exec (merge (merge env et) ef) rest
+  in
+  ignore (exec initial prog);
+  List.rev_map
+    (fun (off, message) ->
+      {
+        offset = off;
+        pos =
+          (match (source, off) with
+          | Some src, Some o -> Some (Pos.of_offset src o)
+          | _ -> None);
+        message;
+      })
+    st.errs
+
+let check_source ?env src =
+  let strip_suffix message pos =
+    (* The parser/lexer already embed "at line:col"; the structured error
+       carries the position separately, so drop the duplicate. *)
+    let suffix = " at " ^ Pos.describe_offset src pos in
+    if String.length message >= String.length suffix
+       && String.sub message
+            (String.length message - String.length suffix)
+            (String.length suffix)
+          = suffix
+    then String.sub message 0 (String.length message - String.length suffix)
+    else message
+  in
+  match Parser.parse_program src with
+  | prog -> check_program ~source:src ?env prog
+  | exception Parser.Parse_error { pos; message } ->
+      [
+        {
+          offset = Some pos;
+          pos = Some (Pos.of_offset src pos);
+          message = "parse error: " ^ strip_suffix message pos;
+        };
+      ]
+  | exception Lexer.Lex_error { pos; message } ->
+      [
+        {
+          offset = Some pos;
+          pos = Some (Pos.of_offset src pos);
+          message = "lex error: " ^ strip_suffix message pos;
+        };
+      ]

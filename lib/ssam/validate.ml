@@ -3,10 +3,40 @@ type severity = Error | Warning [@@deriving eq, show]
 type issue = { severity : severity; element : Base.id; message : string }
 [@@deriving eq, show]
 
+type finding = {
+  f_rule : string;
+  f_severity : severity;
+  f_element : Base.id;
+  f_message : string;
+  f_hint : string option;
+}
+[@@deriving eq, show]
+
+let rules =
+  [
+    ("SSAM001", Error, "duplicate element id");
+    ("SSAM002", Error, "dangling reference");
+    ("SSAM003", Error, "malformed relationship");
+    ("SSAM004", Error, "safety mechanism covers a non-failure-mode");
+    ("SSAM005", Error, "bad failure-mode hazard link");
+    ("SSAM006", Error, "numeric range violation");
+    ("SSAM007", Warning, "failure-mode distributions do not sum to 100%");
+    ("SSAM008", Warning, "unreachable architecture component");
+    ("SSAM009", Warning, "failure modes declared without a FIT row");
+    ("SSAM010", Warning, "integrity target without allocated requirement");
+  ]
+
 let pp_issue ppf i =
   Format.fprintf ppf "%s: [%s] %s"
     (match i.severity with Error -> "error" | Warning -> "warning")
     i.element i.message
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s %s: [%s] %s" f.f_rule
+    (match f.f_severity with Error -> "error" | Warning -> "warning")
+    f.f_element f.f_message
+
+type adder = string -> ?hint:string -> severity -> Base.id -> string -> unit
 
 let errors issues = List.filter (fun i -> i.severity = Error) issues
 
@@ -85,24 +115,25 @@ let collect_ids model =
     model.Model.mbsa_packages;
   List.rev !acc
 
-let check_duplicates ids add =
+let check_duplicates ids (add : adder) =
   let seen = Hashtbl.create 97 in
   List.iter
     (fun id ->
       if Hashtbl.mem seen id then
-        add Error id "duplicate element id"
+        add "SSAM001" ~hint:"rename one of the elements" Error id
+          "duplicate element id"
       else Hashtbl.add seen id ())
     ids
 
-let check_numeric_component add (c : Architecture.component) =
+let check_numeric_component (add : adder) (c : Architecture.component) =
   let cid = Architecture.component_id c in
-  if c.Architecture.fit < 0.0 then add Error cid "negative FIT";
+  if c.Architecture.fit < 0.0 then add "SSAM006" Error cid "negative FIT";
   List.iter
     (fun (fm : Architecture.failure_mode) ->
       let fid = fm.Architecture.fm_meta.Base.id in
       let d = fm.Architecture.distribution_pct in
       if d < 0.0 || d > 100.0 then
-        add Error fid
+        add "SSAM006" Error fid
           (Printf.sprintf "failure-mode distribution %.2f%% outside [0,100]" d))
     c.Architecture.failure_modes;
   if c.Architecture.failure_modes <> [] then begin
@@ -113,7 +144,10 @@ let check_numeric_component add (c : Architecture.component) =
         0.0 c.Architecture.failure_modes
     in
     if Float.abs (sum -. 100.0) > 0.5 then
-      add Warning cid
+      add "SSAM007"
+        ~hint:"make the distribution percentages of the component's failure \
+               modes sum to 100"
+        Warning cid
         (Printf.sprintf "failure-mode distributions sum to %.2f%%, not 100%%"
            sum)
   end;
@@ -122,24 +156,28 @@ let check_numeric_component add (c : Architecture.component) =
       let sid = sm.Architecture.sm_meta.Base.id in
       let cov = sm.Architecture.coverage_pct in
       if cov < 0.0 || cov > 100.0 then
-        add Error sid
+        add "SSAM006" Error sid
           (Printf.sprintf "diagnostic coverage %.2f%% outside [0,100]" cov);
-      if sm.Architecture.sm_cost < 0.0 then add Error sid "negative SM cost")
+      if sm.Architecture.sm_cost < 0.0 then
+        add "SSAM006" Error sid "negative SM cost")
     c.Architecture.safety_mechanisms;
   List.iter
     (fun (io : Architecture.io_node) ->
       match (io.Architecture.lower_limit, io.Architecture.upper_limit) with
       | Some lo, Some hi when lo > hi ->
-          add Error io.Architecture.io_meta.Base.id
+          add "SSAM006" Error io.Architecture.io_meta.Base.id
             (Printf.sprintf "IO limits inverted (%.3g > %.3g)" lo hi)
       | _ -> ())
     c.Architecture.io_nodes
 
-let check_references model idx add =
+let check_references model idx (add : adder) =
   let resolves id = Option.is_some (Model.lookup idx id) in
   let check_ref owner kind id =
     if not (resolves id) then
-      add Error owner (Printf.sprintf "dangling %s reference to '%s'" kind id)
+      add "SSAM002"
+        ~hint:"fix the id or add the referenced element"
+        Error owner
+        (Printf.sprintf "dangling %s reference to '%s'" kind id)
   in
   let check_meta_cites (m : Base.meta) =
     List.iter (fun id -> check_ref m.Base.id "cite" id) m.Base.cites
@@ -157,7 +195,7 @@ let check_references model idx add =
               (match scope with
               | Some allowed
                 when not (List.exists (String.equal cid) allowed) ->
-                  add Warning rid
+                  add "SSAM003" Warning rid
                     (Printf.sprintf
                        "relationship endpoint '%s' is not a direct child of \
                         the enclosing component"
@@ -172,16 +210,16 @@ let check_references model idx add =
                       c.Architecture.io_nodes
                   in
                   if not (List.exists (String.equal nid) io_ids) then
-                    add Error rid
+                    add "SSAM003" Error rid
                       (Printf.sprintf "IO node '%s' not on component '%s'" nid
                          cid)
               | None -> ())
           | Some _ ->
-              add Error rid
+              add "SSAM003" Error rid
                 (Printf.sprintf "relationship endpoint '%s' is not a component"
                    cid)
           | None ->
-              add Error rid
+              add "SSAM003" Error rid
                 (Printf.sprintf "dangling relationship endpoint '%s'" cid))
         in
         endpoint r.Architecture.from_component r.Architecture.from_node;
@@ -213,7 +251,10 @@ let check_references model idx add =
                       List.iter
                         (fun fmid ->
                           if not (List.exists (String.equal fmid) fm_ids) then
-                            add Error sm.Architecture.sm_meta.Base.id
+                            add "SSAM004"
+                              ~hint:"point the mechanism's covers list at a \
+                                     failure mode declared on its component"
+                              Error sm.Architecture.sm_meta.Base.id
                               (Printf.sprintf
                                  "safety mechanism covers '%s', not a failure \
                                   mode of component '%s'"
@@ -229,11 +270,13 @@ let check_references model idx add =
                           match Model.lookup idx hid with
                           | Some (Model.E_hazard (Hazard.Situation _)) -> ()
                           | Some _ ->
-                              add Error fm.Architecture.fm_meta.Base.id
+                              add "SSAM005" Error
+                                fm.Architecture.fm_meta.Base.id
                                 (Printf.sprintf
                                    "'%s' is not a hazardous situation" hid)
                           | None ->
-                              add Error fm.Architecture.fm_meta.Base.id
+                              add "SSAM005" Error
+                                fm.Architecture.fm_meta.Base.id
                                 (Printf.sprintf
                                    "dangling hazard reference '%s'" hid))
                         fm.Architecture.hazards)
@@ -291,23 +334,110 @@ let check_references model idx add =
         p.Mbsa.traces)
     model.Model.mbsa_packages
 
-let check_hazard_numeric model add =
+let check_hazard_numeric model (add : adder) =
   List.iter
     (fun (p : Hazard.package) ->
       List.iter
         (fun (s : Hazard.hazardous_situation) ->
           match s.Hazard.probability with
           | Some p when p < 0.0 || p > 1.0 ->
-              add Error s.Hazard.hs_meta.Base.id
+              add "SSAM006" Error s.Hazard.hs_meta.Base.id
                 (Printf.sprintf "probability %g outside [0,1]" p)
           | Some _ | None -> ())
         (Hazard.situations p))
     model.Model.hazard_packages
 
-let check model =
-  let issues = ref [] in
-  let add severity element message =
-    issues := { severity; element; message } :: !issues
+(* SSAM008: a leaf component of a wired package that no relationship
+   touches is unreachable by any analysis path. *)
+let check_reachability model (add : adder) =
+  List.iter
+    (fun (p : Architecture.package) ->
+      let endpoints = Hashtbl.create 31 in
+      let note (r : Architecture.relationship) =
+        Hashtbl.replace endpoints r.Architecture.from_component ();
+        Hashtbl.replace endpoints r.Architecture.to_component ()
+      in
+      List.iter note (Architecture.relationships p);
+      List.iter
+        (fun root ->
+          Architecture.iter_components
+            (fun c -> List.iter note c.Architecture.connections)
+            root)
+        (Architecture.top_components p);
+      if Hashtbl.length endpoints > 0 then
+        List.iter
+          (fun root ->
+            List.iter
+              (fun (leaf : Architecture.component) ->
+                let id = Architecture.component_id leaf in
+                if not (Hashtbl.mem endpoints id) then
+                  add "SSAM008"
+                    ~hint:"connect the component with a relationship or \
+                           remove it"
+                    Warning id
+                    "component is not an endpoint of any relationship \
+                     (unreachable in the architecture)")
+              (Architecture.leaf_components root))
+          (Architecture.top_components p))
+    model.Model.component_packages
+
+(* SSAM009: failure modes with no FIT row to distribute. *)
+let check_fit_rows model (add : adder) =
+  List.iter
+    (fun (c : Architecture.component) ->
+      if c.Architecture.failure_modes <> [] && c.Architecture.fit = 0.0 then
+        add "SSAM009"
+          ~hint:"add a FIT row for the component's type to the reliability \
+                 model (DECISIVE Step 3)"
+          Warning
+          (Architecture.component_id c)
+          (Printf.sprintf
+             "declares %d failure mode(s) but has zero FIT — no FIT row \
+              was aggregated"
+             (List.length c.Architecture.failure_modes)))
+    (Model.components model)
+
+(* SSAM010: an integrity target on a component is vacuous until a safety
+   requirement is allocated to it (Allocates trace in an MBSA package). *)
+let check_allocations model (add : adder) =
+  let allocated = Hashtbl.create 31 in
+  List.iter
+    (fun (p : Mbsa.package) ->
+      List.iter
+        (fun (t : Mbsa.trace_link) ->
+          if t.Mbsa.trace_kind = Mbsa.Allocates then
+            Hashtbl.replace allocated t.Mbsa.trace_target ())
+        p.Mbsa.traces)
+    model.Model.mbsa_packages;
+  List.iter
+    (fun (c : Architecture.component) ->
+      match c.Architecture.integrity with
+      | Some lvl when lvl <> Requirement.QM ->
+          let id = Architecture.component_id c in
+          if not (Hashtbl.mem allocated id) then
+            add "SSAM010"
+              ~hint:"allocate a safety requirement to the component with an \
+                     Allocates trace link"
+              Warning id
+              (Printf.sprintf
+                 "integrity target %s but no safety requirement is allocated"
+                 (Requirement.integrity_level_to_string lvl))
+      | Some _ | None -> ())
+    (Model.components model)
+
+let findings model =
+  let acc = ref [] in
+  let add : adder =
+   fun rule ?hint severity element message ->
+    acc :=
+      {
+        f_rule = rule;
+        f_severity = severity;
+        f_element = element;
+        f_message = message;
+        f_hint = hint;
+      }
+      :: !acc
   in
   check_duplicates (collect_ids model) add;
   let idx = Model.index model in
@@ -319,7 +449,17 @@ let check model =
     model.Model.component_packages;
   check_hazard_numeric model add;
   check_references model idx add;
-  let all = List.rev !issues in
-  errors all @ warnings all
+  check_reachability model add;
+  check_fit_rows model add;
+  check_allocations model add;
+  let all = List.rev !acc in
+  List.filter (fun f -> f.f_severity = Error) all
+  @ List.filter (fun f -> f.f_severity = Warning) all
+
+let check model =
+  List.map
+    (fun f ->
+      { severity = f.f_severity; element = f.f_element; message = f.f_message })
+    (findings model)
 
 let is_valid model = errors (check model) = []

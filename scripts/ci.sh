@@ -1,0 +1,34 @@
+#!/bin/sh
+# CI entry point: build, test, and lint the example models.
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== lint: example models =="
+# The alias runs `same lint` over examples/models: clean models must
+# exit 0, seeded-bad ones must be caught (non-zero).
+dune build @lint
+
+echo "== lint: clean model gate =="
+SAME=_build/default/bin/same.exe
+"$SAME" lint examples/models/psu.bd -q examples/models/spfm.eol
+
+echo "== lint: seeded defects are caught =="
+for args in \
+  "examples/models/bad_psu.bd" \
+  "examples/models/psu.bd -s examples/models/bad_sm.csv" \
+  "-q examples/models/bad_query.eol"; do
+  if "$SAME" lint $args >/dev/null 2>&1; then
+    echo "FAIL: 'same lint $args' should have reported errors" >&2
+    exit 1
+  fi
+done
+
+echo "CI OK"

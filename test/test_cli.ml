@@ -104,6 +104,69 @@ let test_artifacts_written () =
               (Filename.quote md)));
       Alcotest.(check bool) "report exists" true (Sys.file_exists md))
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let test_lint () =
+  with_fixture (fun ~bin ~dir ~bd ->
+      Alcotest.(check int) "clean diagram lints clean" 0
+        (run (Printf.sprintf "%s lint %s" bin bd));
+      (* Seed a dangling connection: lint must exit non-zero. *)
+      let bad = Filename.concat dir "bad.bd" in
+      write_file bad
+        {|diagram bad {
+  block DC1 : vsource;
+  block D1 : diode;
+  connect DC1.a -> D1.a;
+  connect D1.b -> C9.a;
+}
+|};
+      Alcotest.(check int) "dangling endpoint is an error" 1
+        (run (Printf.sprintf "%s lint %s" bin (Filename.quote bad)));
+      Alcotest.(check int) "rule filter narrows to a warning" 0
+        (run
+           (Printf.sprintf "%s lint %s --rules BLK008" bin (Filename.quote bad)));
+      Alcotest.(check int) "unknown rule id is a usage error" 2
+        (run (Printf.sprintf "%s lint %s --rules NOPE99" bin bd));
+      Alcotest.(check int) "no input is a usage error" 2
+        (run (Printf.sprintf "%s lint" bin));
+      (* The SM cross-check from the issue: a row naming a failure mode
+         its component type never declares. *)
+      let sm = Filename.concat dir "bad_sm.csv" in
+      write_file sm
+        "Component,Failure_Mode,Safety_Mechanism,Cov.,Cost(hrs)\n\
+         diode,Burnout,redundant diode,90%,1\n";
+      Alcotest.(check int) "undeclared SM failure mode is an error" 1
+        (run (Printf.sprintf "%s lint %s -s %s" bin bd (Filename.quote sm)));
+      Alcotest.(check int) "--strict blocks the analysis" 1
+        (run
+           (Printf.sprintf "%s fmeda %s -e DC1 -t ASIL-B -s %s --strict" bin bd
+              (Filename.quote sm)));
+      (* JSON output is parseable SARIF. *)
+      let out = Filename.concat dir "lint.json" in
+      Alcotest.(check int) "json format" 0
+        (Sys.command
+           (Printf.sprintf "%s lint %s --format json > %s 2>/dev/null" bin bd
+              (Filename.quote out)));
+      match Modelio.Json.parse_file out with
+      | json ->
+          Alcotest.(check (option string)) "sarif version" (Some "2.1.0")
+            (Option.bind (Modelio.Json.member "version" json) Modelio.Json.to_str)
+      | exception _ -> Alcotest.fail "lint --format json is not valid JSON")
+
+let test_lint_queries () =
+  with_fixture (fun ~bin ~dir ~bd:_ ->
+      let good = Filename.concat dir "good.eol" in
+      write_file good "var xs := Sequence(1, 2, 3);\nreturn xs.sum() > 1;\n";
+      Alcotest.(check int) "well-typed query accepted" 0
+        (run (Printf.sprintf "%s lint -q %s" bin (Filename.quote good)));
+      let bad = Filename.concat dir "bad.eol" in
+      write_file bad "var xs := Sequence(1);\nreturn xs.select();\n";
+      Alcotest.(check int) "arity error rejected" 1
+        (run (Printf.sprintf "%s lint -q %s" bin (Filename.quote bad))))
+
 let test_error_handling () =
   with_fixture (fun ~bin ~dir ~bd:_ ->
       (* Malformed diagram: non-zero exit, no crash. *)
@@ -119,5 +182,7 @@ let suite =
     Alcotest.test_case "fmeda + assure" `Slow test_fmea_and_assure;
     Alcotest.test_case "routes and tools" `Slow test_routes_and_tools;
     Alcotest.test_case "artifacts written" `Slow test_artifacts_written;
+    Alcotest.test_case "lint" `Slow test_lint;
+    Alcotest.test_case "lint queries" `Slow test_lint_queries;
     Alcotest.test_case "error handling" `Slow test_error_handling;
   ]

@@ -11,12 +11,14 @@ let () =
       ("allocation", Test_allocation.suite);
       ("diff", Test_diff.suite);
       ("query", Test_query.suite);
+      ("typecheck", Test_typecheck.suite);
       ("circuit", Test_circuit.suite);
       ("transient", Test_circuit.transient_suite);
       ("ac", Test_circuit.ac_suite);
       ("cross-validation", Test_circuit.cross_validation_suite);
       ("blockdiag", Test_blockdiag.suite);
       ("reliability", Test_reliability.suite);
+      ("lint", Test_lint.suite);
       ("fmea", Test_fmea.suite);
       ("degradation", Test_fmea.degradation_suite);
       ("optimize", Test_optimize.suite);

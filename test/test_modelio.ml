@@ -34,6 +34,44 @@ let test_csv_unterminated_quote () =
   | exception Csv.Parse_error _ -> ()
   | _ -> Alcotest.fail "expected Parse_error"
 
+let test_csv_quote_at_eof () =
+  (* An escaped quote as the very last character — the quoted-field
+     scanner must not read past the end looking for the closer. *)
+  let t = Csv.parse "a,\"he said \"\"hi\"\"\"" in
+  Alcotest.(check (list (list string))) "escaped quote at EOF"
+    [ [ "a"; "he said \"hi\"" ] ]
+    t;
+  let t = Csv.parse "\"\"\"\"" in
+  Alcotest.(check (list (list string))) "lone escaped quote" [ [ "\"" ] ] t;
+  match Csv.parse "a,\"b\"\"" with
+  | exception Csv.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error for unterminated escaped quote"
+
+let test_csv_crlf_in_quotes () =
+  (* CRLF inside a quoted field is data, CRLF outside is a row break;
+     a file mixing both parses to the same rows as its LF twin. *)
+  let t = Csv.parse "a,\"line1\r\nline2\"\r\nc,d" in
+  Alcotest.(check (list (list string))) "crlf kept inside quotes"
+    [ [ "a"; "line1\r\nline2" ]; [ "c"; "d" ] ]
+    t;
+  Alcotest.(check (list (list string))) "mixed endings agree"
+    (Csv.parse "a,b\n1,2\n")
+    (Csv.parse "a,b\r\n1,2")
+
+let test_csv_trailing_newlines () =
+  (* One final newline terminates the last row; it does not open an
+     empty one.  A blank line in the middle is a real (empty) row. *)
+  Alcotest.(check (list (list string))) "single trailing" [ [ "a"; "b" ] ]
+    (Csv.parse "a,b\n");
+  Alcotest.(check (list (list string))) "crlf trailing" [ [ "a"; "b" ] ]
+    (Csv.parse "a,b\r\n");
+  Alcotest.(check (list (list string))) "blank interior row"
+    [ [ "a" ]; [ "" ]; [ "b" ] ]
+    (Csv.parse "a\n\nb\n");
+  Alcotest.(check (list (list string))) "quoted field ends the file"
+    [ [ "a"; "b" ] ]
+    (Csv.parse "a,\"b\"")
+
 let test_csv_roundtrip () =
   let rows = [ [ "a,b"; "plain" ]; [ "\"q\""; "line\nbreak" ]; [ ""; "x" ] ] in
   Alcotest.(check (list (list string))) "roundtrip" rows
@@ -261,6 +299,9 @@ let suite =
     Alcotest.test_case "csv no trailing newline" `Quick test_csv_no_trailing_newline;
     Alcotest.test_case "csv empty fields" `Quick test_csv_empty_fields;
     Alcotest.test_case "csv unterminated quote" `Quick test_csv_unterminated_quote;
+    Alcotest.test_case "csv quote at eof" `Quick test_csv_quote_at_eof;
+    Alcotest.test_case "csv crlf in quotes" `Quick test_csv_crlf_in_quotes;
+    Alcotest.test_case "csv trailing newlines" `Quick test_csv_trailing_newlines;
     Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
     QCheck_alcotest.to_alcotest prop_csv_roundtrip;
     Alcotest.test_case "csv table" `Quick test_csv_table;

@@ -1,0 +1,205 @@
+(* Tests for the static query checker: position bookkeeping (Pos), the
+   full built-in table (accept the right call shape, reject the wrong
+   arity) and the property that a statically accepted program never dies
+   at runtime for a statically decidable reason. *)
+
+let errors ?env src = Query.Typecheck.check_source ?env src
+
+let accepts ?env what src =
+  match errors ?env src with
+  | [] -> ()
+  | e :: _ ->
+      Alcotest.fail
+        (Format.asprintf "%s: expected no errors for %S, got %a" what src
+           Query.Typecheck.pp_error e)
+
+let rejects ?env what src =
+  match errors ?env src with
+  | [] -> Alcotest.fail (what ^ ": expected a static error for " ^ src)
+  | e :: _ ->
+      Alcotest.(check bool)
+        (what ^ ": diagnostic has a position")
+        true
+        (e.Query.Typecheck.pos <> None)
+
+(* ---------- Pos ---------- *)
+
+let test_pos_offsets () =
+  let src = "ab\ncde\n\nf" in
+  let check off line col =
+    let p = Query.Pos.of_offset src off in
+    Alcotest.(check string)
+      (Printf.sprintf "offset %d" off)
+      (Printf.sprintf "%d:%d" line col)
+      (Query.Pos.to_string p)
+  in
+  check 0 1 1;
+  check 1 1 2;
+  check 3 2 1;
+  check 5 2 3;
+  check 7 3 1;
+  check 8 4 1;
+  (* Past the end clamps to the last position. *)
+  check 99 4 2
+
+let test_parse_errors_located () =
+  (match Query.Parser.parse_expression "1 +\n  *" with
+  | exception Query.Parser.Parse_error { message; _ } ->
+      Alcotest.(check bool)
+        "parse message carries line:col" true
+        (let needle = " at 2:" in
+         let rec has i =
+           i + String.length needle <= String.length message
+           && (String.sub message i (String.length needle) = needle || has (i + 1))
+         in
+         has 0)
+  | _ -> Alcotest.fail "expected Parse_error");
+  match errors "1 +" with
+  | [ e ] ->
+      Alcotest.(check bool) "parse error reported, not raised" true
+        (String.length e.Query.Typecheck.message >= 12
+        && String.sub e.Query.Typecheck.message 0 12 = "parse error:")
+  | _ -> Alcotest.fail "expected exactly one parse diagnostic"
+
+(* ---------- the built-in table ---------- *)
+
+let receiver = function
+  | "Seq" -> "Sequence(1, 2, 3)"
+  | "Str" -> "'abc'"
+  | "Num" -> "(1.5)"
+  | "Record" -> "R" (* bound to Any below — records have no literal *)
+  | c -> Alcotest.fail ("unexpected receiver class " ^ c)
+
+let args_for = function
+  | "at" -> [ "1" ]
+  | "includes" | "indexOf" -> [ "2" ]
+  | "startsWith" | "endsWith" | "contains" | "split" | "has" | "get" ->
+      [ "'a'" ]
+  | "replace" -> [ "'a'"; "'b'" ]
+  | _ -> []
+
+let test_builtin_table () =
+  let env = [ "R" ] in
+  List.iter
+    (fun (cls, name, arity) ->
+      let recv = receiver cls in
+      let good, bad =
+        match arity with
+        | Query.Typecheck.Lambda ->
+            ( Printf.sprintf "%s.%s(x | x)" recv name,
+              Printf.sprintf "%s.%s()" recv name )
+        | Query.Typecheck.Fixed n ->
+            let args = args_for name in
+            Alcotest.(check int) (name ^ ": table arity") n (List.length args);
+            ( Printf.sprintf "%s.%s(%s)" recv name (String.concat ", " args),
+              Printf.sprintf "%s.%s(%s)" recv name
+                (String.concat ", " (args @ [ "1" ])) )
+      in
+      accepts ~env (cls ^ "." ^ name ^ " accepted") good;
+      rejects ~env (cls ^ "." ^ name ^ " wrong arity rejected") bad)
+    Query.Typecheck.builtins
+
+let test_wrong_arity_position () =
+  match errors "var xs := Sequence(1);\nreturn xs.select();" with
+  | [ e ] ->
+      let p = Option.get e.Query.Typecheck.pos in
+      Alcotest.(check string) "line:col of the method name" "2:11"
+        (Query.Pos.to_string p);
+      Alcotest.(check string) "arity message"
+        "select expects a single lambda argument (x | expr)"
+        e.Query.Typecheck.message
+  | es ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one error, got %d" (List.length es))
+
+let test_rejections () =
+  rejects "unknown method" "'abc'.frobnicate()";
+  rejects "method on wrong receiver" "(1.5).trim()";
+  rejects "unknown identifier" "return nowhere;";
+  rejects "operator mismatch" "return true - 1;";
+  rejects "comparison mismatch" "return 'a' < 1;";
+  rejects "indexing a number" "return (5)[0];";
+  rejects "sum of strings" "Sequence('a', 'b').sum()";
+  rejects "lambda to a plain method" "Sequence(1).size(x | x)";
+  rejects "bad argument type" "'abc'.startsWith(1)"
+
+let test_acceptances () =
+  accepts "chained collections"
+    "Sequence(1, 2, 3).select(x | x > 1).collect(x | x * 2).sum()";
+  accepts "string pipeline" "'a,b'.split(',').first().toUpperCase()";
+  accepts ~env:[ "Artifact" ] "model data is Any"
+    "return Artifact.rows.select(r | r.fit > 10).size() > 0;";
+  accepts "if expression" "return if (1 < 2) 'yes' else 'no';";
+  accepts "statements"
+    "var x := 10; var y := x * 2; if (y > 15) x := y; else x := 0; return x;"
+
+(* ---------- accepted programs never fail statically at runtime ---------- *)
+
+let static_failure m =
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length m
+      && (String.sub m i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  has "no method" || has "no built-in" || has "unknown identifier"
+  || has "argument" || has "lambda"
+
+let method_names =
+  List.sort_uniq String.compare
+    (List.map (fun (_, name, _) -> name) Query.Typecheck.builtins)
+
+let gen_src =
+  let open QCheck.Gen in
+  let base =
+    oneofl
+      [
+        "1"; "2.5"; "0"; "'a'"; "'bc'"; "true"; "false"; "Sequence(1, 2)";
+        "Sequence('a', 'b')"; "Sequence(1, 2, 3)";
+      ]
+  in
+  let argset =
+    oneofl [ ""; "1"; "'a'"; "'a', 'b'"; "1, 2"; "x | x"; "x | x > 0" ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then base
+         else
+           let sub = self (n / 2) in
+           frequency
+             [
+               (2, base);
+               ( 2,
+                 map2 (fun a b -> Printf.sprintf "(%s + %s)" a b) sub sub );
+               ( 1,
+                 map2 (fun a b -> Printf.sprintf "(%s < %s)" a b) sub sub );
+               ( 4,
+                 map3
+                   (fun r name args -> Printf.sprintf "%s.%s(%s)" r name args)
+                   sub (oneofl method_names) argset );
+             ]))
+
+let prop_accepted_runs =
+  QCheck.Test.make ~count:500
+    ~name:"statically accepted programs never raise static Runtime_errors"
+    (QCheck.make gen_src)
+    (fun src ->
+      match Query.Typecheck.check_source src with
+      | _ :: _ -> true (* rejected: nothing to show *)
+      | [] -> (
+          match Query.Interp.run_string Query.Interp.env_empty src with
+          | _ -> true
+          | exception Query.Interp.Runtime_error m -> not (static_failure m)
+          | exception _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "pos offsets" `Quick test_pos_offsets;
+    Alcotest.test_case "parse errors located" `Quick test_parse_errors_located;
+    Alcotest.test_case "builtin table" `Quick test_builtin_table;
+    Alcotest.test_case "wrong arity position" `Quick test_wrong_arity_position;
+    Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "acceptances" `Quick test_acceptances;
+    QCheck_alcotest.to_alcotest prop_accepted_runs;
+  ]
