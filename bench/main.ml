@@ -23,6 +23,7 @@ let timed f =
 let json_kernels : (string * float) list ref = ref []
 let json_tables : (string * float) list ref = ref []
 let json_parallel : Modelio.Json.t list ref = ref []
+let json_incremental : Modelio.Json.t list ref = ref []
 
 let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
 
@@ -38,6 +39,7 @@ let write_results () =
           Number (float_of_int (Domain.recommended_domain_count ())) );
         ("table_timings_s", numbers !json_tables);
         ("parallel", List (List.rev !json_parallel));
+        ("incremental", List (List.rev !json_incremental));
         ("kernels_ns_per_run", numbers !json_kernels);
       ]
   in
@@ -496,6 +498,99 @@ let parallel_speedups () =
     (fun () -> Store.Lazy_store.evaluate spec)
     ( = )
 
+(* ---------- Iteration loop: incremental re-analysis ---------- *)
+
+(* The DECISIVE loop's common case: one design iteration touches one
+   component.  Here System B's microcontroller supplier revises its FIT;
+   the incremental engine re-classifies only the rows the edit can reach
+   (the edited entry's components plus the diff closure) and reuses the
+   cached golden run, so the warm re-analysis performs strictly fewer
+   solves than the cold one — bit-identically. *)
+let iteration_loop () =
+  section "Iteration loop — warm vs cold re-analysis (System B, one edit)";
+  let subject = Decisive.Systems.system_b in
+  let diagram = subject.Decisive.Systems.diagram in
+  let reliability = subject.Decisive.Systems.reliability in
+  let options =
+    {
+      Fmea.Injection_fmea.default_options with
+      exclude = [ "DC1"; "BAT1" ];
+      monitored_sensors = Some [ "CS1"; "CS2"; "VS1" ];
+    }
+  in
+  (* The edit: the MCU's FIT worsens by 25. *)
+  let edited =
+    match
+      Reliability.Reliability_model.find reliability "microcontroller"
+    with
+    | Some e ->
+        Reliability.Reliability_model.add reliability
+          {
+            e with
+            Reliability.Reliability_model.fit =
+              e.Reliability.Reliability_model.fit +. 25.0;
+          }
+    | None -> reliability
+  in
+  (* Iteration 1 fills the warm engine's caches. *)
+  let warm_engine = Engine.Pipeline.create () in
+  let table_v1, t_v1 =
+    timed (fun () ->
+        Engine.Pipeline.injection_fmea warm_engine ~options diagram reliability)
+  in
+  (* Cold: a fresh engine re-analyses the edited model from scratch. *)
+  let cold_engine = Engine.Pipeline.create () in
+  let table_cold, t_cold =
+    timed (fun () ->
+        Engine.Pipeline.injection_fmea cold_engine ~options diagram edited)
+  in
+  let cold = Engine.Pipeline.snapshot cold_engine in
+  (* Warm: same engine, previous iteration supplied. *)
+  Engine.Stats.reset (Engine.Pipeline.stats warm_engine);
+  let table_warm, t_warm =
+    timed (fun () ->
+        Engine.Pipeline.injection_fmea warm_engine
+          ~previous:
+            {
+              Engine.Pipeline.prev_diagram = diagram;
+              prev_reliability = reliability;
+              prev_table = table_v1;
+            }
+          ~options diagram edited)
+  in
+  let warm = Engine.Pipeline.snapshot warm_engine in
+  let identical = Fmea.Table.equal table_cold table_warm in
+  Printf.printf "iteration 1 (fills caches):  %7.3f s\n" t_v1;
+  Printf.printf "cold re-analysis:            %7.3f s   %d solves\n" t_cold
+    (Engine.Stats.solves_performed cold);
+  Printf.printf
+    "warm re-analysis:            %7.3f s   %d solves   %d rows reused\n"
+    t_warm
+    (Engine.Stats.solves_performed warm)
+    warm.Engine.Stats.rows_reused;
+  Printf.printf "warm result identical to cold: %b; solves saved: %d\n"
+    identical
+    (Engine.Stats.solves_performed cold - Engine.Stats.solves_performed warm);
+  record_timing "incremental/cold" t_cold;
+  record_timing "incremental/warm" t_warm;
+  json_incremental :=
+    Modelio.Json.Object
+      [
+        ("name", Modelio.Json.String "system-b/mcu-fit-edit");
+        ("cold_s", Modelio.Json.Number t_cold);
+        ("warm_s", Modelio.Json.Number t_warm);
+        ( "cold_solves",
+          Modelio.Json.Number (float_of_int (Engine.Stats.solves_performed cold))
+        );
+        ( "warm_solves",
+          Modelio.Json.Number (float_of_int (Engine.Stats.solves_performed warm))
+        );
+        ( "rows_reused",
+          Modelio.Json.Number (float_of_int warm.Engine.Stats.rows_reused) );
+        ("identical", Modelio.Json.Bool identical);
+      ]
+    :: !json_incremental
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro_benchmarks () =
@@ -556,7 +651,11 @@ let micro_benchmarks () =
   List.iter benchmark tests
 
 let () =
-  Printf.printf "DECISIVE / SAME benchmark harness — reproduces the paper's tables\n";
+  (* --smoke (CI): only the fast deterministic sections — enough to catch
+     a broken harness and still emit BENCH_results.json. *)
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  Printf.printf "DECISIVE / SAME benchmark harness — reproduces the paper's tables%s\n"
+    (if smoke then " (smoke run)" else "");
   table1 ();
   table2 ();
   table3 ();
@@ -564,12 +663,15 @@ let () =
   table5 ();
   rq1 ();
   rq2 ();
-  table6 ();
-  ablation_search ();
-  ablation_ripple ();
-  ablation_threshold ();
+  if not smoke then begin
+    table6 ();
+    ablation_search ();
+    ablation_ripple ();
+    ablation_threshold ()
+  end;
   extended_metrics ();
-  parallel_speedups ();
-  micro_benchmarks ();
+  if not smoke then parallel_speedups ();
+  iteration_loop ();
+  if not smoke then micro_benchmarks ();
   write_results ();
   Printf.printf "\nDone.\n"

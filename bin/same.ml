@@ -113,6 +113,40 @@ let strict_arg =
           "Lint the inputs first ($(b,same lint)) and abort with exit 1 on \
            any lint error.")
 
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "On-disk artefact cache for the incremental engine: analysis \
+           results are fingerprinted and reused across runs whose inputs \
+           are unchanged (corrupt or truncated entries are recomputed).  \
+           The directory is created on demand.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the incremental-engine statistics — cache hits and misses, \
+           solves performed, rows reused — after the analysis.")
+
+(* [--cache] and/or [--explain] opt the run into the incremental engine;
+   without either flag the historical direct computation runs. *)
+let make_engine cache explain =
+  match (cache, explain) with
+  | None, false -> None
+  | _ ->
+      Some
+        (Engine.Pipeline.create ~cache:(Engine.Cache.create ?dir:cache ()) ())
+
+let report_stats explain engine =
+  match engine with
+  | Some e when explain ->
+      Format.printf "%a@." Engine.Stats.pp (Engine.Pipeline.snapshot e)
+  | _ -> ()
+
 (* The `--strict` gate shared by fmea/fmeda/optimize: lint exactly the
    artefacts the analysis is about to consume. *)
 let strict_ok ~strict ?diagram ?reliability ?sm ?(exclude = [])
@@ -347,7 +381,7 @@ let lint_cmd =
 
 let fmea_cmd =
   let run diagram_path reliability_path exclude monitored output route strict
-      jobs =
+      jobs cache explain =
     set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
@@ -361,11 +395,15 @@ let fmea_cmd =
           let monitored_sensors =
             match monitored with [] -> None | ids -> Some ids
           in
+          let engine = make_engine cache explain in
           match
-            Decisive.Api.analyse ~route ~exclude ?monitored_sensors diagram
-              reliability
+            Decisive.Api.analyse ?engine ~route ~exclude ?monitored_sensors
+              diagram reliability
           with
-          | table -> report_table output table
+          | table ->
+              let code = report_table output table in
+              report_stats explain engine;
+              code
           | exception Fmea.Injection_fmea.Golden_run_failed m ->
               Printf.eprintf "error: golden simulation failed: %s\n" m;
               1
@@ -378,7 +416,8 @@ let fmea_cmd =
     (Cmd.info "fmea" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ exclude_arg $ monitored_arg
-      $ output_arg $ route_arg $ strict_arg $ jobs_arg)
+      $ output_arg $ route_arg $ strict_arg $ jobs_arg $ cache_arg
+      $ explain_arg)
 
 (* same fmeda *)
 
@@ -391,7 +430,7 @@ let target_arg =
 
 let fmeda_cmd =
   let run diagram_path reliability_path sm_path exclude monitored output target
-      strict jobs =
+      strict jobs cache explain =
     set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
@@ -409,8 +448,9 @@ let fmeda_cmd =
             let monitored_sensors =
               match monitored with [] -> None | ids -> Some ids
             in
+            let engine = make_engine cache explain in
             match
-              Decisive.Api.analyse ~exclude ?monitored_sensors diagram
+              Decisive.Api.analyse ?engine ~exclude ?monitored_sensors diagram
                 reliability
             with
             | exception Fmea.Injection_fmea.Golden_run_failed m ->
@@ -419,7 +459,7 @@ let fmeda_cmd =
             | table ->
                 let conversion = Blockdiag.To_netlist.convert diagram in
                 let refinement =
-                  Decisive.Api.refine ~target
+                  Decisive.Api.refine ?engine ~target
                     ~component_types:conversion.Blockdiag.To_netlist.block_types
                     table sm_model
                 in
@@ -439,6 +479,7 @@ let fmeda_cmd =
                           d.Fmea.Fmeda.target_failure_mode)
                       c.Optimize.Search.deployments
                 | None -> Format.printf "no deployment meets the target@.");
+                report_stats explain engine;
                 code))
   in
   let doc = "Automated FMEDA with safety-mechanism search (Steps 4a + 4b)." in
@@ -446,12 +487,14 @@ let fmeda_cmd =
     (Cmd.info "fmeda" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
-      $ monitored_arg $ output_arg $ target_arg $ strict_arg $ jobs_arg)
+      $ monitored_arg $ output_arg $ target_arg $ strict_arg $ jobs_arg
+      $ cache_arg $ explain_arg)
 
 (* same optimize *)
 
 let optimize_cmd =
-  let run diagram_path reliability_path sm_path exclude target strict jobs =
+  let run diagram_path reliability_path sm_path exclude target strict jobs
+      cache explain =
     set_jobs jobs;
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
@@ -466,10 +509,13 @@ let optimize_cmd =
                  ~sm:(sm_path, sm_model) ~exclude ()) ->
             1
         | Ok sm_model ->
-            let table = Decisive.Api.analyse ~exclude diagram reliability in
+            let engine = make_engine cache explain in
+            let table =
+              Decisive.Api.analyse ?engine ~exclude diagram reliability
+            in
             let conversion = Blockdiag.To_netlist.convert diagram in
             let refinement =
-              Decisive.Api.refine ~target
+              Decisive.Api.refine ?engine ~target
                 ~component_types:conversion.Blockdiag.To_netlist.block_types
                 table sm_model
             in
@@ -485,6 +531,7 @@ let optimize_cmd =
                 Format.printf "chosen: cost %.1f h, SPFM %.2f%%@."
                   c.Optimize.Search.cost c.Optimize.Search.spfm_pct
             | None -> Format.printf "no candidate meets the target@.");
+            report_stats explain engine;
             0)
   in
   let doc = "Search the cost/SPFM Pareto front of SM deployments." in
@@ -492,7 +539,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
-      $ target_arg $ strict_arg $ jobs_arg)
+      $ target_arg $ strict_arg $ jobs_arg $ cache_arg $ explain_arg)
 
 (* same transform *)
 

@@ -5,7 +5,8 @@
    impact of all changes."  This example plays one such iteration: the
    inductor supplier changes (worse FIT), a new hazard is identified, and
    the diff tells us exactly which artefacts are stale before we re-run
-   only the affected analysis.
+   only the affected analysis — through the incremental engine, which
+   reuses every FMEA row the change cannot touch.
 
    Run with: dune exec examples/change_impact.exe *)
 
@@ -16,9 +17,16 @@ let wrap package hazards =
     ~meta:(Base.meta ~name:"psu" "psu-model") ()
 
 let () =
-  (* Iteration 1: the Section V design as analysed. *)
+  (* Iteration 1: the Section V design, analysed through the engine so
+     iteration 2 can reuse its rows. *)
+  let engine = Engine.Pipeline.create () in
   let v1 = wrap Decisive.Case_study.power_supply_ssam [ Decisive.Case_study.hazard_h1 ] in
-  let fmea_v1 = Decisive.Case_study.fmea_via_injection () in
+  let fmea_v1 =
+    Engine.Pipeline.injection_fmea engine
+      ~options:Decisive.Case_study.injection_options
+      Decisive.Case_study.power_supply_diagram
+      Decisive.Case_study.reliability_model
+  in
   Format.printf "iteration 1: SPFM %.2f%% (after ECC: %.2f%%)@.@."
     (Fmea.Metrics.spfm fmea_v1)
     (Fmea.Metrics.spfm (Decisive.Case_study.fmeda fmea_v1));
@@ -80,14 +88,24 @@ let () =
             .Reliability.Reliability_model.failure_modes;
       }
   in
-  let conversion =
-    Blockdiag.To_netlist.convert Decisive.Case_study.power_supply_diagram
-  in
   let fmea_v2 =
-    Fmea.Injection_fmea.analyse ~options:Decisive.Case_study.injection_options
-      ~element_types:conversion.Blockdiag.To_netlist.block_types
-      conversion.Blockdiag.To_netlist.netlist reliability_v2
+    Engine.Pipeline.injection_fmea engine
+      ~previous:
+        {
+          Engine.Pipeline.prev_diagram =
+            Decisive.Case_study.power_supply_diagram;
+          prev_reliability = Decisive.Case_study.reliability_model;
+          prev_table = fmea_v1;
+        }
+      ~options:Decisive.Case_study.injection_options
+      Decisive.Case_study.power_supply_diagram reliability_v2
   in
+  let stats = Engine.Pipeline.snapshot engine in
+  Format.printf
+    "incremental re-analysis: %d cache hit(s), %d row(s) reused, %d solve(s) \
+     performed instead of a full re-run@.@."
+    (Engine.Stats.hits stats) stats.Engine.Stats.rows_reused
+    (Engine.Stats.solves_performed stats);
   let fmeda_v2 = Decisive.Case_study.fmeda fmea_v2 in
   Format.printf
     "iteration 2: SPFM %.2f%% -> %.2f%% with the existing ECC deployment@."

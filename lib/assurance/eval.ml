@@ -37,7 +37,7 @@ let combine statuses =
   else if List.exists (fun s -> s = Undetermined) statuses then Undetermined
   else Holds
 
-let evaluate (case : Sacm.case) =
+let evaluate_with artifact_eval (case : Sacm.case) =
   let results = ref [] in
   let record node status detail =
     results :=
@@ -52,7 +52,7 @@ let evaluate (case : Sacm.case) =
         match n.Sacm.artifact with
         | None -> record n Undetermined "no evidence attached"
         | Some a ->
-            let status, detail = evaluate_artifact a in
+            let status, detail = artifact_eval a in
             record n status detail)
     | Sacm.Goal | Sacm.Strategy ->
         if n.Sacm.supported_by = [] then
@@ -66,6 +66,8 @@ let evaluate (case : Sacm.case) =
   in
   let overall = eval case.Sacm.root in
   { case = case.Sacm.case_name; overall; nodes = List.rev !results }
+
+let evaluate case = evaluate_with evaluate_artifact case
 
 let status_of report id =
   List.find_map

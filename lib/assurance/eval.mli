@@ -26,6 +26,16 @@ val evaluate : Sacm.case -> report
 (** Never raises: driver and query failures become [Undetermined] with the
     error message in [detail]. *)
 
+val evaluate_artifact : Sacm.artifact -> status * string
+(** One solution's verdict: load the evidence through its driver and run
+    the acceptance query.  Never raises. *)
+
+val evaluate_with : (Sacm.artifact -> status * string) -> Sacm.case -> report
+(** {!evaluate} with the per-artifact judgement supplied by the caller —
+    the seam the incremental engine uses to memoise claim verdicts by
+    artifact fingerprint.  The function must behave like
+    {!evaluate_artifact} (in particular, it must not raise). *)
+
 val status_of : report -> string -> status option
 
 val pp_report : Format.formatter -> report -> unit

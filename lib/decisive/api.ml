@@ -68,11 +68,10 @@ let functional_root ~reliability (diagram : Blockdiag.Diagram.t) =
          root_id)
     ()
 
-let analyse ?(route = Via_injection) ?(exclude = []) ?monitored_sensors diagram
-    reliability =
+let analyse ?engine ?previous ?(route = Via_injection) ?(exclude = [])
+    ?monitored_sensors diagram reliability =
   match route with
-  | Via_injection ->
-      let conversion = Blockdiag.To_netlist.convert diagram in
+  | Via_injection -> (
       let options =
         {
           Fmea.Injection_fmea.default_options with
@@ -80,25 +79,47 @@ let analyse ?(route = Via_injection) ?(exclude = []) ?monitored_sensors diagram
           monitored_sensors;
         }
       in
-      Fmea.Injection_fmea.analyse ~options
-        ~element_types:conversion.Blockdiag.To_netlist.block_types
-        conversion.Blockdiag.To_netlist.netlist reliability
-  | Via_ssam_paths ->
+      match engine with
+      | Some e ->
+          Engine.Pipeline.injection_fmea e ?previous ~options diagram
+            reliability
+      | None ->
+          let conversion = Blockdiag.To_netlist.convert diagram in
+          Fmea.Injection_fmea.analyse ~options
+            ~element_types:conversion.Blockdiag.To_netlist.block_types
+            conversion.Blockdiag.To_netlist.netlist reliability)
+  | Via_ssam_paths -> (
       let options = { Fmea.Path_fmea.default_options with exclude } in
-      Fmea.Path_fmea.analyse ~options (functional_root ~reliability diagram)
-  | Via_fta ->
-      let table =
-        Fta.Fmea_from_fta.analyse (functional_root ~reliability diagram)
+      let root = functional_root ~reliability diagram in
+      match engine with
+      | Some e -> Engine.Pipeline.path_fmea e ~options root
+      | None -> Fmea.Path_fmea.analyse ~options root)
+  | Via_fta -> (
+      let root = functional_root ~reliability diagram in
+      let compute () =
+        let table = Fta.Fmea_from_fta.analyse root in
+        (* The FTA route has no exclusion machinery; filter rows here. *)
+        {
+          table with
+          Fmea.Table.rows =
+            List.filter
+              (fun (r : Fmea.Table.row) ->
+                not (List.exists (String.equal r.Fmea.Table.component) exclude))
+              table.Fmea.Table.rows;
+        }
       in
-      (* The FTA route has no exclusion machinery; filter rows here. *)
-      {
-        table with
-        Fmea.Table.rows =
-          List.filter
-            (fun (r : Fmea.Table.row) ->
-              not (List.exists (String.equal r.Fmea.Table.component) exclude))
-            table.Fmea.Table.rows;
-      }
+      match engine with
+      | Some e ->
+          Engine.Pipeline.memo e ~stage:"fmea.fta"
+            ~key:
+              (Engine.Fingerprint.node
+                 [
+                   Engine.Fingerprint.ssam_component root;
+                   Engine.Fingerprint.leaf
+                     ("exclude:[" ^ String.concat ";" exclude ^ "]");
+                 ])
+            compute
+      | None -> compute ())
 
 type refinement = {
   refined_table : Fmea.Table.t;
@@ -108,9 +129,12 @@ type refinement = {
   meets_target : bool;
 }
 
-let refine ~target ?(component_types = []) table sm_model =
+let refine ?engine ~target ?(component_types = []) table sm_model =
   let chosen, pareto_front =
-    Optimize.Search.optimise ~component_types ~target table sm_model
+    match engine with
+    | Some e ->
+        Engine.Pipeline.optimise e ~component_types ~target table sm_model
+    | None -> Optimize.Search.optimise ~component_types ~target table sm_model
   in
   let refined_table =
     match chosen with
@@ -126,7 +150,7 @@ let refine ~target ?(component_types = []) table sm_model =
     meets_target = Fmea.Asil.meets ~target ~spfm:achieved_spfm;
   }
 
-let run_decisive ~name ~target ?(exclude = []) ?monitored_sensors
+let run_decisive ?engine ~name ~target ?(exclude = []) ?monitored_sensors
     ?(max_iterations = 5) diagram reliability sm_model =
   let conversion = Blockdiag.To_netlist.convert diagram in
   let component_types = conversion.Blockdiag.To_netlist.block_types in
@@ -157,7 +181,7 @@ let run_decisive ~name ~target ?(exclude = []) ?monitored_sensors
       perform_exn process Process.Step3_reliability
         [ (Process.Component_reliability_model, "reliability model") ]
     in
-    let table = analyse ~exclude ?monitored_sensors diagram reliability in
+    let table = analyse ?engine ~exclude ?monitored_sensors diagram reliability in
     let process =
       perform_exn process Process.Step4a_evaluate
         [
@@ -173,7 +197,7 @@ let run_decisive ~name ~target ?(exclude = []) ?monitored_sensors
       in
       (process, table)
     else begin
-      let refinement = refine ~target ~component_types table sm_model in
+      let refinement = refine ?engine ~target ~component_types table sm_model in
       let process =
         perform_exn process Process.Step4b_refine
           [ (Process.Safety_mechanism_model, "SM deployment proposal") ]

@@ -21,6 +21,8 @@ val functional_root :
     flow the paper's Fig. 12 SSAM twin depicts. *)
 
 val analyse :
+  ?engine:Engine.Pipeline.t ->
+  ?previous:Engine.Pipeline.previous ->
   ?route:analysis_route ->
   ?exclude:string list ->
   ?monitored_sensors:string list ->
@@ -31,7 +33,13 @@ val analyse :
     SSAM routes transform the diagram first (Step 3 aggregation included).
     Raises {!Fmea.Injection_fmea.Golden_run_failed} when the design does
     not simulate, {!Fta.From_ssam.No_paths} on the FTA route for designs
-    without input→output paths. *)
+    without input→output paths.
+
+    [engine] routes the analysis through the incremental engine: results
+    are memoised by input fingerprint (and, on the injection route,
+    [previous] enables row-level reuse after a component-local edit — see
+    {!Engine.Pipeline.injection_fmea}).  Without it the behaviour — and
+    every value of every row — is the historical direct computation. *)
 
 type refinement = {
   refined_table : Fmea.Table.t;
@@ -42,14 +50,19 @@ type refinement = {
 }
 
 val refine :
+  ?engine:Engine.Pipeline.t ->
   target:Ssam.Requirement.integrity_level ->
   ?component_types:(string * string) list ->
   Fmea.Table.t ->
   Reliability.Sm_model.t ->
   refinement
-(** DECISIVE Step 4b: search SM deployments for the target. *)
+(** DECISIVE Step 4b: search SM deployments for the target.  With
+    [engine] the search result is memoised by (table, SM-model, target)
+    fingerprint and the per-row λ-share evaluator is reused across
+    searches over the same table. *)
 
 val run_decisive :
+  ?engine:Engine.Pipeline.t ->
   name:string ->
   target:Ssam.Requirement.integrity_level ->
   ?exclude:string list ->

@@ -1,0 +1,123 @@
+type t = string (* raw 16-byte MD5 digest *)
+
+let equal = String.equal
+let compare = String.compare
+let to_hex = Digest.to_hex
+let pp ppf t = Format.pp_print_string ppf (to_hex t)
+
+(* Leaves and nodes are domain-separated by a one-byte tag so that
+   [node [leaf s]] and [leaf s] can never collide. *)
+let leaf s = Digest.string ("L" ^ s)
+let node ts = Digest.string ("N" ^ String.concat "" ts)
+
+let file path =
+  match Digest.file path with
+  | d -> node [ leaf "file"; d ]
+  | exception Sys_error _ -> leaf ("file-absent:" ^ path)
+
+(* ---------- domain fingerprints ----------
+
+   Leaf content is the ppx_deriving [show] rendering of the value: it
+   covers every field, is stable across runs, and costs nothing to keep
+   in sync with the types. *)
+
+let rec diagram (d : Blockdiag.Diagram.t) =
+  node
+    (leaf ("diagram:" ^ d.Blockdiag.Diagram.diagram_name)
+     :: List.map
+          (fun b -> leaf (Blockdiag.Diagram.show_block b))
+          d.Blockdiag.Diagram.blocks
+    @ List.map
+        (fun c -> leaf (Blockdiag.Diagram.show_connection c))
+        d.Blockdiag.Diagram.connections
+    @ List.map diagram d.Blockdiag.Diagram.subsystems)
+
+let rec ssam_component (c : Ssam.Architecture.component) =
+  (* Shallow part: every field except the children, which hash as their
+     own subtrees (the Merkle property the change-impact reuse needs). *)
+  let shallow = { c with Ssam.Architecture.children = [] } in
+  node
+    (leaf (Ssam.Architecture.show_component shallow)
+    :: List.map ssam_component c.Ssam.Architecture.children)
+
+let ssam_package (p : Ssam.Architecture.package) =
+  node
+    (leaf (Ssam.Base.show_meta p.Ssam.Architecture.package_meta)
+     :: List.map
+          (function
+            | Ssam.Architecture.Component c -> ssam_component c
+            | Ssam.Architecture.Relationship r ->
+                leaf (Ssam.Architecture.show_relationship r))
+          p.Ssam.Architecture.elements
+    @ List.map
+        (fun i -> leaf (Ssam.Architecture.show_package_interface i))
+        p.Ssam.Architecture.interfaces)
+
+let netlist nl =
+  node
+    (leaf ("netlist:" ^ Circuit.Netlist.name nl)
+    :: List.map
+         (fun e -> leaf (Circuit.Element.show e))
+         (Circuit.Netlist.elements nl))
+
+let reliability_entry (e : Reliability.Reliability_model.entry) =
+  leaf (Reliability.Reliability_model.show_entry e)
+
+let reliability_model rm =
+  let entries =
+    List.sort
+      (fun (a : Reliability.Reliability_model.entry) b ->
+        String.compare a.Reliability.Reliability_model.component_type
+          b.Reliability.Reliability_model.component_type)
+      (Reliability.Reliability_model.entries rm)
+  in
+  node (leaf "reliability-model" :: List.map reliability_entry entries)
+
+let sm_model sm =
+  let mechanisms =
+    List.sort
+      (fun a b ->
+        String.compare
+          (Reliability.Sm_model.show_mechanism a)
+          (Reliability.Sm_model.show_mechanism b))
+      (Reliability.Sm_model.mechanisms sm)
+  in
+  node
+    (leaf "sm-model"
+    :: List.map (fun m -> leaf (Reliability.Sm_model.show_mechanism m)) mechanisms)
+
+let fmea_table (t : Fmea.Table.t) =
+  node
+    (leaf ("fmea-table:" ^ t.Fmea.Table.system_name)
+    :: List.map (fun r -> leaf (Fmea.Table.show_row r)) t.Fmea.Table.rows)
+
+let injection_options (o : Fmea.Injection_fmea.options) =
+  leaf
+    (Printf.sprintf "injection-options:%h:%h:[%s]:%s:%s"
+       o.Fmea.Injection_fmea.threshold_rel o.Fmea.Injection_fmea.threshold_abs
+       (String.concat "," o.Fmea.Injection_fmea.exclude)
+       (match o.Fmea.Injection_fmea.overcurrent_factor with
+       | None -> "-"
+       | Some f -> Printf.sprintf "%h" f)
+       (match o.Fmea.Injection_fmea.monitored_sensors with
+       | None -> "*"
+       | Some ids -> "[" ^ String.concat "," ids ^ "]"))
+
+let path_options (o : Fmea.Path_fmea.options) =
+  leaf
+    (Printf.sprintf "path-options:[%s]:%b"
+       (String.concat "," o.Fmea.Path_fmea.exclude)
+       o.Fmea.Path_fmea.recurse)
+
+let artifact (a : Assurance.Sacm.artifact) =
+  node
+    [
+      leaf ("artifact:" ^ a.Assurance.Sacm.artifact_location);
+      leaf a.Assurance.Sacm.artifact_driver;
+      leaf
+        (match a.Assurance.Sacm.acceptance_query with
+        | None -> "-"
+        | Some q -> q);
+      leaf a.Assurance.Sacm.artifact_description;
+      file a.Assurance.Sacm.artifact_location;
+    ]

@@ -1,0 +1,76 @@
+(** Stable content fingerprints over every analysis input.
+
+    A fingerprint is a digest of a value's {e content} (never its physical
+    identity), so two structurally equal inputs — across processes, across
+    sessions — fingerprint identically, and any semantic edit moves the
+    fingerprint.  Composite inputs are hashed Merkle-style: the diagram
+    fingerprint is a {!node} over per-block and per-connection {!leaf}
+    hashes, a SSAM component over its shallow fields plus its children's
+    subtree hashes — so a component-level edit changes only the hashes on
+    the path from that component to the root, and subtree hashes of
+    untouched siblings can be compared (and their cached artefacts
+    reused) without re-walking them.
+
+    Fingerprints key the {!Cache}; equality of fingerprints is the
+    {e only} evidence the engine accepts for reusing a cached artefact. *)
+
+type t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_hex : t -> string
+(** 32 hex characters — filename- and log-safe. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Merkle combinators} *)
+
+val leaf : string -> t
+(** Hash of one atomic input (a rendered value, an option string...). *)
+
+val node : t list -> t
+(** Hash of an ordered sequence of subtree hashes.  [node] and {!leaf}
+    are domain-separated: [node [leaf s]] never collides with [leaf s]. *)
+
+val file : string -> t
+(** Content digest of a file on disk; missing/unreadable files hash to a
+    distinguished "absent" leaf (stable until the file appears). *)
+
+(** {1 Domain fingerprints} *)
+
+val diagram : Blockdiag.Diagram.t -> t
+(** Per-block and per-connection leaves, subsystems as subtrees. *)
+
+val ssam_component : Ssam.Architecture.component -> t
+(** Shallow fields (type, FIT, integrity, failure modes, mechanisms,
+    functions, IO nodes, connections, meta) as one leaf; children as
+    recursive subtrees. *)
+
+val ssam_package : Ssam.Architecture.package -> t
+
+val netlist : Circuit.Netlist.t -> t
+(** One leaf per element, in netlist order — equal exactly when the
+    extracted electrical circuit is equal. *)
+
+val reliability_entry : Reliability.Reliability_model.entry -> t
+
+val reliability_model : Reliability.Reliability_model.t -> t
+(** Entry subtrees sorted by component type: insertion order does not
+    matter, only content. *)
+
+val sm_model : Reliability.Sm_model.t -> t
+
+val fmea_table : Fmea.Table.t -> t
+
+val injection_options : Fmea.Injection_fmea.options -> t
+(** Thresholds, exclusions, overcurrent factor and monitored sensors —
+    every knob that changes a classification. *)
+
+val path_options : Fmea.Path_fmea.options -> t
+
+val artifact : Assurance.Sacm.artifact -> t
+(** Location, driver, acceptance-query source {e and the current content
+    of the cited file} ({!file}) — the fingerprint moves when the
+    evidence moves, which is what triggers re-evaluating a claim. *)

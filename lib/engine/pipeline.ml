@@ -1,0 +1,259 @@
+type t = {
+  p_cache : Cache.t;
+  p_stats : Stats.t;
+  (* Live memos for values Marshal cannot carry (solutions hold solver
+     state; evaluators are documented-immutable but stage-local).  Keyed
+     by fingerprint hex; guarded by [lock]. *)
+  golden_runs : (string, Fmea.Injection_fmea.prepared) Hashtbl.t;
+  evaluators : (string, Optimize.Search.evaluator) Hashtbl.t;
+  lock : Mutex.t;
+}
+
+let create ?cache () =
+  {
+    p_cache = (match cache with Some c -> c | None -> Cache.create ());
+    p_stats = Stats.create ();
+    golden_runs = Hashtbl.create 8;
+    evaluators = Hashtbl.create 8;
+    lock = Mutex.create ();
+  }
+
+let cache t = t.p_cache
+let stats t = t.p_stats
+let snapshot t = Stats.snapshot t.p_stats
+
+(* ---------- generic memoisation ---------- *)
+
+let memo t ~stage ?(version = 1) ~key f =
+  let k = Cache.key ~stage ~version key in
+  let unmarshal payload =
+    (* The payload digest was already verified by [Cache.find]; this
+       guards against a stage/type confusion bug rather than disk rot. *)
+    try Some (Marshal.from_string payload 0) with _ -> None
+  in
+  let compute_and_store () =
+    Stats.incr_miss t.p_stats;
+    let v = f () in
+    (try
+       Cache.store t.p_cache k (Marshal.to_string v []);
+       Stats.incr_store t.p_stats
+     with _ -> ());
+    v
+  in
+  match Cache.find t.p_cache k with
+  | Some (`Memory payload) -> (
+      match unmarshal payload with
+      | Some v ->
+          Stats.incr_mem_hit t.p_stats;
+          v
+      | None -> compute_and_store ())
+  | Some (`Disk payload) -> (
+      match unmarshal payload with
+      | Some v ->
+          Stats.incr_disk_hit t.p_stats;
+          v
+      | None -> compute_and_store ())
+  | None -> compute_and_store ()
+
+let live_memo t table key compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt table key with
+  | Some v ->
+      Mutex.unlock t.lock;
+      v
+  | None ->
+      Mutex.unlock t.lock;
+      let v = compute () in
+      Mutex.lock t.lock;
+      (* A racing computation may have beaten us; last write wins — the
+         values are content-equal by construction. *)
+      Hashtbl.replace table key v;
+      Mutex.unlock t.lock;
+      v
+
+(* ---------- incremental injection FMEA ---------- *)
+
+type previous = {
+  prev_diagram : Blockdiag.Diagram.t;
+  prev_reliability : Reliability.Reliability_model.t;
+  prev_table : Fmea.Table.t;
+}
+
+(* The SSAM view [Ssam.Diff] compares: the transformed diagram with the
+   reliability model aggregated in, so FIT/failure-mode edits made
+   through the reliability model surface as Modified components. *)
+let ssam_model_of diagram reliability =
+  let pkg =
+    Blockdiag.Transform.aggregate_reliability reliability
+      (Blockdiag.Transform.to_ssam diagram)
+  in
+  Ssam.Model.create ~component_packages:[ pkg ]
+    ~meta:
+      (Ssam.Base.meta ("engine:" ^ diagram.Blockdiag.Diagram.diagram_name))
+    ()
+
+let golden_run t ~options ~fp_netlist ~fp_options netlist =
+  let key = Fingerprint.to_hex (Fingerprint.node [ fp_netlist; fp_options ]) in
+  live_memo t t.golden_runs key (fun () ->
+      let p = Fmea.Injection_fmea.prepare ~options netlist in
+      Stats.incr_golden_solve t.p_stats;
+      p)
+
+(* Row-reuse hook: reuse a previous row verbatim only when the reuse is
+   provably bit-identical to recomputation —
+
+   1. the netlist fingerprint is unchanged (so the golden run and every
+      faulted solve are unchanged),
+   2. the reliability entry for the row's component type is unchanged
+      (so FIT, distribution and fault models are unchanged),
+   3. the component is NOT in the [Ssam.Diff.impacted_components]
+      closure (the changed components and everything downstream are
+      re-classified, per the methodology's change-impact contract).
+
+   Returns None (no reuse at all) when the netlist moved: an electrical
+   edit shifts the golden operating point, which can change any row's
+   deviation text. *)
+let reuse_hook t ~previous:prev ~diagram ~reliability ~element_types
+    ~fp_netlist =
+  let prev_conversion = Blockdiag.To_netlist.convert prev.prev_diagram in
+  let prev_netlist = prev_conversion.Blockdiag.To_netlist.netlist in
+  if not (Fingerprint.equal (Fingerprint.netlist prev_netlist) fp_netlist) then
+    None
+  else begin
+    let impact =
+      Ssam.Diff.analyse
+        ~old_model:(ssam_model_of prev.prev_diagram prev.prev_reliability)
+        ~new_model:(ssam_model_of diagram reliability)
+    in
+    let impacted = Hashtbl.create 32 in
+    List.iter
+      (fun id -> Hashtbl.replace impacted id ())
+      impact.Ssam.Diff.impacted_components;
+    (* Netlist element ids of subsystem blocks are "sub/block"-qualified;
+       SSAM component ids are not.  Check both spellings. *)
+    let is_impacted id =
+      Hashtbl.mem impacted id
+      ||
+      match String.rindex_opt id '/' with
+      | None -> false
+      | Some i ->
+          Hashtbl.mem impacted
+            (String.sub id (i + 1) (String.length id - i - 1))
+    in
+    (* Resolved component type per element id — the same fallback rule as
+       [Injection_fmea.analyse]. *)
+    let types = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Circuit.Element.t) ->
+        let id = e.Circuit.Element.id in
+        let ty =
+          match List.assoc_opt id element_types with
+          | Some ty -> ty
+          | None -> Circuit.Element.kind_name e.Circuit.Element.kind
+        in
+        Hashtbl.replace types id ty)
+      (Circuit.Netlist.elements prev_netlist);
+    let entry_fp rm ty =
+      match Reliability.Reliability_model.find rm ty with
+      | None -> Fingerprint.leaf "no-entry"
+      | Some e -> Fingerprint.reliability_entry e
+    in
+    let entry_unchanged ty =
+      Fingerprint.equal (entry_fp prev.prev_reliability ty)
+        (entry_fp reliability ty)
+    in
+    let prev_rows = Hashtbl.create 64 in
+    List.iter
+      (fun (r : Fmea.Table.row) ->
+        let k = r.Fmea.Table.component ^ "\x00" ^ r.Fmea.Table.failure_mode in
+        if not (Hashtbl.mem prev_rows k) then Hashtbl.add prev_rows k r)
+      prev.prev_table.Fmea.Table.rows;
+    Some
+      (fun ~component ~failure_mode ->
+        match Hashtbl.find_opt types component with
+        | None -> None
+        | Some ty ->
+            if is_impacted component || not (entry_unchanged ty) then None
+            else
+              match
+                Hashtbl.find_opt prev_rows (component ^ "\x00" ^ failure_mode)
+              with
+              | None -> None
+              | Some row ->
+                  Stats.incr_row_reused t.p_stats;
+                  Some row)
+  end
+
+let injection_fmea t ?previous ~options diagram reliability =
+  let conversion = Blockdiag.To_netlist.convert diagram in
+  let netlist = conversion.Blockdiag.To_netlist.netlist in
+  let element_types = conversion.Blockdiag.To_netlist.block_types in
+  let fp_netlist = Fingerprint.netlist netlist in
+  let fp_options = Fingerprint.injection_options options in
+  let key =
+    Fingerprint.node
+      [
+        Fingerprint.diagram diagram;
+        Fingerprint.reliability_model reliability;
+        fp_options;
+      ]
+  in
+  memo t ~stage:"fmea.injection" ~key (fun () ->
+      let prepared = golden_run t ~options ~fp_netlist ~fp_options netlist in
+      let reuse =
+        match previous with
+        | None -> None
+        | Some prev ->
+            reuse_hook t ~previous:prev ~diagram ~reliability ~element_types
+              ~fp_netlist
+      in
+      let on_classified () = Stats.incr_row_classified t.p_stats in
+      Fmea.Injection_fmea.analyse ~options ~element_types ~prepared ?reuse
+        ~on_classified netlist reliability)
+
+(* ---------- path FMEA ---------- *)
+
+let path_fmea t ~options root =
+  let key =
+    Fingerprint.node
+      [ Fingerprint.ssam_component root; Fingerprint.path_options options ]
+  in
+  memo t ~stage:"fmea.path" ~key (fun () ->
+      Fmea.Path_fmea.analyse ~options root)
+
+let path_fmea_package t ~options pkg =
+  Fmea.Path_fmea.analyse_package_with
+    ~analyse_component:(fun c -> path_fmea t ~options c)
+    pkg
+
+(* ---------- Step 4b search ---------- *)
+
+let evaluator_for t table =
+  let key = Fingerprint.to_hex (Fingerprint.fmea_table table) in
+  live_memo t t.evaluators key (fun () -> Optimize.Search.make_evaluator table)
+
+let optimise t ?(component_types = []) ~target table sm_model =
+  let key =
+    Fingerprint.node
+      [
+        Fingerprint.fmea_table table;
+        Fingerprint.sm_model sm_model;
+        Fingerprint.leaf (Ssam.Requirement.integrity_level_to_string target);
+        Fingerprint.leaf
+          (String.concat ";"
+             (List.map (fun (id, ty) -> id ^ "=" ^ ty) component_types));
+      ]
+  in
+  memo t ~stage:"optimize.search" ~key (fun () ->
+      let evaluator = evaluator_for t table in
+      Optimize.Search.optimise ~evaluator ~component_types ~target table
+        sm_model)
+
+(* ---------- assurance ---------- *)
+
+let evaluate_case t case =
+  Assurance.Eval.evaluate_with
+    (fun a ->
+      memo t ~stage:"assurance.claim" ~key:(Fingerprint.artifact a) (fun () ->
+          Assurance.Eval.evaluate_artifact a))
+    case

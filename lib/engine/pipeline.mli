@@ -1,0 +1,108 @@
+(** The staged incremental analysis pipeline.
+
+    One pipeline value owns a {!Cache}, a {!Stats} block and the live
+    (in-memory-only) memos the marshalled cache cannot hold (golden
+    circuit runs, SPFM evaluators).  Every analysis entry point routed
+    through it behaves exactly like its cold counterpart — cached results
+    are bit-identical, a property the test suite checks with the same
+    discipline as the [SAME_JOBS] determinism tests — but re-running an
+    analysis whose input fingerprints are unchanged costs a lookup, and
+    re-running after a {e component-level} edit costs only the impacted
+    subset:
+
+    - {!injection_fmea} caches whole tables by input fingerprint, caches
+      the golden run by (netlist, options) fingerprint, and — given the
+      {!previous} iteration's artefacts — re-classifies only rows whose
+      component falls in the [Ssam.Diff.impacted_components] closure
+      (or whose reliability entry moved); every other row is taken
+      verbatim from the previous table.
+    - {!path_fmea} / {!path_fmea_package} reuse the path sets of
+      untouched components/packages via their subtree fingerprints.
+    - {!optimise} reuses the per-row λ-share evaluator
+      ({!Optimize.Search.evaluate_with}) across searches over the same
+      table, and caches search results by (table, catalogue, target).
+    - {!evaluate_case} re-evaluates only claims whose cited artefact
+      fingerprints moved ({!Fingerprint.artifact} covers the evidence
+      file's content).
+
+    Thread-safety: a pipeline may be shared; its memos are mutex-guarded
+    and its stats atomic. *)
+
+type t
+
+val create : ?cache:Cache.t -> unit -> t
+(** A fresh pipeline; [cache] defaults to a memory-only {!Cache}. *)
+
+val cache : t -> Cache.t
+
+val stats : t -> Stats.t
+
+val snapshot : t -> Stats.snapshot
+
+(** {1 Generic memoisation} *)
+
+val memo :
+  t -> stage:string -> ?version:int -> key:Fingerprint.t -> (unit -> 'a) -> 'a
+(** [memo t ~stage ~key f] returns the cached artefact for
+    [(stage, version, key)] or computes, stores and returns [f ()].
+
+    Artefacts cross the cache as [Marshal] bytes, so ['a] must be
+    marshallable (no closures, no abstract handles) and — the {e typed
+    cache} discipline — a given [stage] string must always be used at a
+    single type, with [version] (default 1) bumped on any change to that
+    type or to [f]'s semantics.  Corrupt or unreadable entries fall back
+    to recomputation. *)
+
+(** {1 Incremental FMEA} *)
+
+type previous = {
+  prev_diagram : Blockdiag.Diagram.t;
+  prev_reliability : Reliability.Reliability_model.t;
+  prev_table : Fmea.Table.t;
+      (** must be the analysis result of [prev_diagram]/[prev_reliability]
+          under the {e same} options as the new run *)
+}
+(** The artefacts of the previous DECISIVE iteration, enabling
+    diff-driven row reuse. *)
+
+val injection_fmea :
+  t ->
+  ?previous:previous ->
+  options:Fmea.Injection_fmea.options ->
+  Blockdiag.Diagram.t ->
+  Reliability.Reliability_model.t ->
+  Fmea.Table.t
+(** Step 4a by fault injection, incrementally.  Row reuse from
+    [previous] requires all of: the extracted netlist fingerprint is
+    unchanged (any electrical edit invalidates every classification —
+    the golden run itself moved), the row's component is {e not} in the
+    [Ssam.Diff.impacted_components] closure of the model diff, and the
+    reliability entry for its component type is unchanged.  Raises
+    {!Fmea.Injection_fmea.Golden_run_failed} like the cold path. *)
+
+val path_fmea :
+  t -> options:Fmea.Path_fmea.options -> Ssam.Architecture.component ->
+  Fmea.Table.t
+(** Algorithm 1 on one composite, cached by its subtree fingerprint. *)
+
+val path_fmea_package :
+  t -> options:Fmea.Path_fmea.options -> Ssam.Architecture.package ->
+  Fmea.Table.t
+(** {!Fmea.Path_fmea.analyse_package} with each top-level composite
+    cached independently — editing one package component re-runs only
+    that package's path enumeration. *)
+
+val optimise :
+  t ->
+  ?component_types:(string * string) list ->
+  target:Ssam.Requirement.integrity_level ->
+  Fmea.Table.t ->
+  Reliability.Sm_model.t ->
+  Optimize.Search.candidate option * Optimize.Search.candidate list
+(** Step 4b search, cached; the λ-share evaluator is built once per
+    table fingerprint and shared across searches. *)
+
+val evaluate_case : t -> Assurance.Sacm.case -> Assurance.Eval.report
+(** Assurance-case evaluation with per-claim memoisation: a solution's
+    artifact is re-evaluated only when its fingerprint (query, driver,
+    location, file content) moved. *)

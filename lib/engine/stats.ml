@@ -1,0 +1,75 @@
+type t = {
+  mem_hits : int Atomic.t;
+  disk_hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+  golden_solves : int Atomic.t;
+  rows_classified : int Atomic.t;
+  rows_reused : int Atomic.t;
+}
+
+let create () =
+  {
+    mem_hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stores = Atomic.make 0;
+    golden_solves = Atomic.make 0;
+    rows_classified = Atomic.make 0;
+    rows_reused = Atomic.make 0;
+  }
+
+let reset t =
+  Atomic.set t.mem_hits 0;
+  Atomic.set t.disk_hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.stores 0;
+  Atomic.set t.golden_solves 0;
+  Atomic.set t.rows_classified 0;
+  Atomic.set t.rows_reused 0
+
+let incr_mem_hit t = Atomic.incr t.mem_hits
+let incr_disk_hit t = Atomic.incr t.disk_hits
+let incr_miss t = Atomic.incr t.misses
+let incr_store t = Atomic.incr t.stores
+let incr_golden_solve t = Atomic.incr t.golden_solves
+let incr_row_classified t = Atomic.incr t.rows_classified
+let incr_row_reused t = Atomic.incr t.rows_reused
+
+type snapshot = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  stores : int;
+  golden_solves : int;
+  rows_classified : int;
+  rows_reused : int;
+}
+
+let snapshot (t : t) =
+  {
+    mem_hits = Atomic.get t.mem_hits;
+    disk_hits = Atomic.get t.disk_hits;
+    misses = Atomic.get t.misses;
+    stores = Atomic.get t.stores;
+    golden_solves = Atomic.get t.golden_solves;
+    rows_classified = Atomic.get t.rows_classified;
+    rows_reused = Atomic.get t.rows_reused;
+  }
+
+let hits s = s.mem_hits + s.disk_hits
+
+let solves_performed s = s.golden_solves + s.rows_classified
+
+let pp ppf s =
+  Format.fprintf ppf
+    "engine: %d cache hit%s (%d memory, %d disk), %d miss%s; %d solve%s \
+     performed (%d golden + %d injections); %d row%s reused"
+    (hits s)
+    (if hits s = 1 then "" else "s")
+    s.mem_hits s.disk_hits s.misses
+    (if s.misses = 1 then "" else "es")
+    (solves_performed s)
+    (if solves_performed s = 1 then "" else "s")
+    s.golden_solves s.rows_classified s.rows_reused
+    (if s.rows_reused = 1 then "" else "s")

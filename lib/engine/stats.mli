@@ -1,0 +1,47 @@
+(** Pipeline instrumentation: hits, misses, solves performed, rows
+    reused.
+
+    Counters are atomic because the injection kernel classifies rows on
+    the {!Exec} domain pool — hooks fire from worker domains.  The
+    {e values} are nevertheless deterministic for a given input: what is
+    reused is decided by fingerprints, not by scheduling. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** Counter access for the pipeline (callers normally only read
+    {!snapshot}). *)
+
+val incr_mem_hit : t -> unit
+val incr_disk_hit : t -> unit
+val incr_miss : t -> unit
+val incr_store : t -> unit
+val incr_golden_solve : t -> unit
+val incr_row_classified : t -> unit
+val incr_row_reused : t -> unit
+
+type snapshot = {
+  mem_hits : int;  (** artefacts served from the memory tier *)
+  disk_hits : int;  (** artefacts served from the disk tier *)
+  misses : int;  (** artefacts that had to be computed *)
+  stores : int;  (** artefacts written to the cache *)
+  golden_solves : int;  (** golden (un-faulted) circuit solves *)
+  rows_classified : int;  (** FMEA rows classified by fault injection *)
+  rows_reused : int;  (** FMEA rows taken verbatim from a previous table *)
+}
+
+val snapshot : t -> snapshot
+
+val hits : snapshot -> int
+(** [mem_hits + disk_hits]. *)
+
+val solves_performed : snapshot -> int
+(** Circuit solves this pipeline actually ran:
+    [golden_solves + rows_classified] (one faulted solve per classified
+    row). *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** One-line summary, the [--explain] output. *)

@@ -9,13 +9,27 @@
 
 let jobs_override = ref None
 
+(* Warn once per distinct malformed value, not per call: [default_jobs]
+   runs on every parallel batch. *)
+let warned_jobs = ref None
+
 let env_jobs () =
   match Sys.getenv_opt "SAME_JOBS" with
   | None -> None
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> Some n
-      | Some _ | None -> None)
+      | Some _ | None ->
+          if !warned_jobs <> Some s then begin
+            warned_jobs := Some s;
+            Logs.warn (fun m ->
+                m
+                  "ignoring malformed SAME_JOBS=%S (expected a positive \
+                   integer); using %d domain(s)"
+                  s
+                  (Stdlib.max 1 (Domain.recommended_domain_count ())))
+          end;
+          None)
 
 let default_jobs () =
   match !jobs_override with

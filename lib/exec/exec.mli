@@ -29,6 +29,12 @@ val default_jobs : unit -> int
     [SAME_JOBS] (a positive integer; anything else is ignored), else
     [Domain.recommended_domain_count ()].  Always >= 1. *)
 
+val env_jobs : unit -> int option
+(** The [SAME_JOBS] environment variable, parsed.  A set-but-malformed
+    value (not a positive integer) logs one {!Logs.warn} per distinct
+    value and falls back to [None] — the documented behaviour, now no
+    longer silent. *)
+
 val set_default_jobs : int -> unit
 (** Override the job count (clamped to >= 1).  Takes effect on the next
     parallel call: the global pool is resized lazily. *)

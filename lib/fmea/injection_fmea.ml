@@ -119,9 +119,9 @@ let classify_prepared p ~element_id fault =
 let classify_single ?(options = default_options) netlist ~element_id fault =
   classify_prepared (prepare ~options netlist) ~element_id fault
 
-let analyse ?(options = default_options) ?(element_types = []) netlist
-    reliability =
-  let p = prepare ~options netlist in
+let analyse ?(options = default_options) ?(element_types = []) ?prepared
+    ?reuse ?on_classified netlist reliability =
+  let p = match prepared with Some p -> p | None -> prepare ~options netlist in
   let type_of (e : Circuit.Element.t) =
     match List.assoc_opt e.Circuit.Element.id element_types with
     | Some t -> t
@@ -146,7 +146,8 @@ let analyse ?(options = default_options) ?(element_types = []) netlist
                 entry.Reliability.Reliability_model.failure_modes)
       (Circuit.Netlist.elements netlist)
   in
-  let row_of (id, fit, (fm : Reliability.Reliability_model.failure_mode)) =
+  let compute_row (id, fit, (fm : Reliability.Reliability_model.failure_mode))
+      =
     let name = fm.Reliability.Reliability_model.fm_name in
     let dist = fm.Reliability.Reliability_model.distribution_pct in
     let mk =
@@ -161,6 +162,7 @@ let analyse ?(options = default_options) ?(element_types = []) netlist
                "no fault model for failure mode '%s' — review manually" name)
           ~safety_related:false ()
     | Some fault -> (
+        (match on_classified with Some hook -> hook () | None -> ());
         match classify_prepared p ~element_id:id fault with
         | `Safety_related impact -> mk ~impact ~safety_related:true ()
         | `No_effect ->
@@ -171,6 +173,20 @@ let analyse ?(options = default_options) ?(element_types = []) netlist
             mk
               ~warning:(Printf.sprintf "simulation failed: %s" why)
               ~safety_related:false ())
+  in
+  (* The reuse hook (when provided by the incremental engine) is asked
+     first; a reused row skips its faulted solve entirely.  The hook is
+     consulted from pool domains, so it must be thread-safe. *)
+  let row_of ((id, _, (fm : Reliability.Reliability_model.failure_mode)) as inj)
+      =
+    match reuse with
+    | None -> compute_row inj
+    | Some f -> (
+        match
+          f ~component:id ~failure_mode:fm.Reliability.Reliability_model.fm_name
+        with
+        | Some row -> row
+        | None -> compute_row inj)
   in
   let rows = Exec.parallel_map row_of injections in
   { Table.system_name = Circuit.Netlist.name netlist; rows }

@@ -45,18 +45,6 @@ type element_types = (string * string) list
 exception Golden_run_failed of string
 (** The un-faulted netlist itself does not solve. *)
 
-val analyse :
-  ?options:options ->
-  ?element_types:element_types ->
-  Circuit.Netlist.t ->
-  Reliability.Reliability_model.t ->
-  Table.t
-(** The injections are independent, so they are classified in parallel on
-    the {!Exec} domain pool ([SAME_JOBS] workers): the golden solution is
-    computed once and shared read-only; each (element, failure-mode)
-    injection is solved on its own task.  Row order — and every value in
-    every row — is identical to the sequential ([SAME_JOBS=1]) run. *)
-
 type prepared
 (** The golden run and its derived observables (max element current,
     monitored sensor readings), computed once by {!prepare} and shared by
@@ -90,3 +78,32 @@ val classify_single :
   | `Simulation_failed of string ]
 (** [classify_prepared (prepare netlist)] — convenience for one-off
     classifications; repeated calls should {!prepare} once instead. *)
+
+val analyse :
+  ?options:options ->
+  ?element_types:element_types ->
+  ?prepared:prepared ->
+  ?reuse:(component:string -> failure_mode:string -> Table.row option) ->
+  ?on_classified:(unit -> unit) ->
+  Circuit.Netlist.t ->
+  Reliability.Reliability_model.t ->
+  Table.t
+(** The injections are independent, so they are classified in parallel on
+    the {!Exec} domain pool ([SAME_JOBS] workers): the golden solution is
+    computed once and shared read-only; each (element, failure-mode)
+    injection is solved on its own task.  Row order — and every value in
+    every row — is identical to the sequential ([SAME_JOBS=1]) run.
+
+    The optional hooks serve the incremental engine
+    ([Engine.Pipeline]):
+
+    - [prepared] supplies a cached golden run instead of re-solving; it
+      {e must} come from {!prepare} on the same netlist and options.
+    - [reuse] is consulted before each injection; returning [Some row]
+      emits that row verbatim and skips the faulted solve.  The caller
+      is responsible for only reusing rows that are bit-identical to
+      what recomputation would produce.  Called from pool domains —
+      must be thread-safe.
+    - [on_classified] fires once per row actually classified by fault
+      injection (not for reused rows, nor for failure modes without a
+      fault model).  Called from pool domains — must be thread-safe. *)

@@ -162,8 +162,8 @@ let evaluate_with ev deployments =
   in
   { deployments; spfm_pct; cost = Fmea.Fmeda.total_cost deployments }
 
-let exhaustive ?(component_types = []) ?(max_combinations = 200_000) table
-    sm_model =
+let exhaustive ?(component_types = []) ?(max_combinations = 200_000) ?evaluator
+    table sm_model =
   let slots = slots ~component_types table sm_model in
   let combinations =
     List.fold_left
@@ -195,12 +195,16 @@ let exhaustive ?(component_types = []) ?(max_combinations = 200_000) table
      pool.  Each chunk shares the (immutable) evaluator; in-order
      concatenation keeps the candidate list identical to a sequential
      run. *)
-  let ev = make_evaluator table in
+  let ev =
+    match evaluator with Some ev -> ev | None -> make_evaluator table
+  in
   Exec.parallel_chunks (evaluate_with ev) (expand [] slots)
 
-let greedy ?(component_types = []) ~target table sm_model =
+let greedy ?(component_types = []) ?evaluator ~target table sm_model =
   let all_slots = slots ~component_types table sm_model in
-  let ev = make_evaluator table in
+  let ev =
+    match evaluator with Some ev -> ev | None -> make_evaluator table
+  in
   let target_spfm = Fmea.Asil.spfm_target target in
   let met spfm =
     match target_spfm with None -> true | Some t -> spfm >= t
@@ -317,10 +321,10 @@ let cheapest_meeting ~target candidates =
             else acc)
     None candidates
 
-let optimise ?(component_types = []) ~target table sm_model =
-  match exhaustive ~component_types table sm_model with
+let optimise ?(component_types = []) ?evaluator ~target table sm_model =
+  match exhaustive ~component_types ?evaluator table sm_model with
   | candidates ->
       (cheapest_meeting ~target candidates, pareto_front candidates)
   | exception Invalid_argument _ ->
-      let g = greedy ~component_types ~target table sm_model in
+      let g = greedy ~component_types ?evaluator ~target table sm_model in
       (Some g, [ g ])

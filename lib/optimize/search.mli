@@ -55,6 +55,7 @@ val evaluate_with : evaluator -> Fmea.Fmeda.deployment list -> candidate
 val exhaustive :
   ?component_types:(string * string) list ->
   ?max_combinations:int ->
+  ?evaluator:evaluator ->
   Fmea.Table.t ->
   Reliability.Sm_model.t ->
   candidate list
@@ -67,6 +68,7 @@ val exhaustive :
 
 val greedy :
   ?component_types:(string * string) list ->
+  ?evaluator:evaluator ->
   target:Ssam.Requirement.integrity_level ->
   Fmea.Table.t ->
   Reliability.Sm_model.t ->
@@ -88,9 +90,15 @@ val cheapest_meeting :
 
 val optimise :
   ?component_types:(string * string) list ->
+  ?evaluator:evaluator ->
   target:Ssam.Requirement.integrity_level ->
   Fmea.Table.t ->
   Reliability.Sm_model.t ->
   candidate option * candidate list
 (** SAME's end-to-end Step 4b: exhaustive search when feasible (falling
-    back to greedy), returning the chosen solution and the Pareto front. *)
+    back to greedy), returning the chosen solution and the Pareto front.
+
+    [evaluator] (here and in {!exhaustive}/{!greedy}) supplies a
+    prebuilt scorer for [table] — the incremental engine memoises it by
+    table fingerprint so warm re-runs skip {!make_evaluator}.  It {e
+    must} come from {!make_evaluator} on the same table. *)

@@ -178,9 +178,107 @@ let test_case_study_refinement_impact () =
     impact.Diff.impacted_components;
   Alcotest.(check bool) "reanalysis required" true impact.Diff.reanalysis_required
 
+(* ---------- properties ---------- *)
+
+(* Random flat models over a fixed id alphabet. *)
+let gen_model =
+  let open QCheck.Gen in
+  let ids = [ "A"; "B"; "C"; "D"; "E"; "F" ] in
+  let* n = int_range 1 6 in
+  let chosen = List.filteri (fun i _ -> i < n) ids in
+  let* fits = list_size (return n) (float_range 1.0 500.0) in
+  let components =
+    List.map2 (fun id fit -> component ~id ~fit ()) chosen fits
+  in
+  let* rels =
+    list_size (int_range 0 8)
+      (let* a = oneofl chosen in
+       let* b = oneofl chosen in
+       return (a, b))
+  in
+  let relationships =
+    List.mapi (fun i (a, b) -> conn i a b)
+      (List.filter (fun (a, b) -> a <> b) rels)
+  in
+  return (model_of components relationships)
+
+let prop_self_diff_empty =
+  QCheck.Test.make ~count:100 ~name:"diff of a model with itself is empty"
+    (QCheck.make gen_model) (fun m ->
+      let impact = Diff.analyse ~old_model:m ~new_model:m in
+      impact.Diff.changes = []
+      && impact.Diff.impacted_components = []
+      && (not impact.Diff.reanalysis_required)
+      && not impact.Diff.rehara_required)
+
+(* A deterministic permutation driven by the seed list. *)
+let permute seeds l =
+  List.fold_left
+    (fun acc seed ->
+      let n = List.length acc in
+      if n < 2 then acc
+      else
+        let k = abs seed mod n in
+        let item = List.nth acc k in
+        item :: List.filteri (fun i _ -> i <> k) acc)
+    l seeds
+
+let prop_add_remove_order_independent =
+  QCheck.Test.make ~count:100
+    ~name:"Added/Removed verdicts survive element reordering"
+    QCheck.(small_list int)
+    (fun seeds ->
+      (* old = A..D; new = (B..D + E) reordered: exactly one Added "A"
+         missing, one Added "E", whatever the storage order. *)
+      let news =
+        permute seeds
+          (component ~id:"E" ()
+          :: List.filter
+               (fun c -> Architecture.component_id c <> "A")
+               (base_components ()))
+      in
+      let new_model = model_of news (permute seeds base_relationships) in
+      let impact = Diff.analyse ~old_model:base_model ~new_model in
+      let added =
+        List.filter_map
+          (function Diff.Added id -> Some id | _ -> None)
+          impact.Diff.changes
+      in
+      let removed =
+        List.filter_map
+          (function Diff.Removed id -> Some id | _ -> None)
+          impact.Diff.changes
+      in
+      List.sort String.compare added = [ "E" ]
+      && List.sort String.compare removed = [ "A" ])
+
+let test_cycle_closure_terminates () =
+  (* A → B → C → A with D off-cycle: the downstream closure of a change
+     to A must traverse the cycle once and stop. *)
+  let cyclic rels = model_of (base_components ()) rels in
+  let rels = [ conn 0 "A" "B"; conn 1 "B" "C"; conn 2 "C" "A" ] in
+  let new_model =
+    model_of
+      (List.map
+         (fun c ->
+           if Architecture.component_id c = "A" then
+             { c with Architecture.fit = 77.0 }
+           else c)
+         (base_components ()))
+      rels
+  in
+  let impact = Diff.analyse ~old_model:(cyclic rels) ~new_model in
+  Alcotest.(check (list string))
+    "cycle closure is the whole cycle, D untouched" [ "A"; "B"; "C" ]
+    impact.Diff.impacted_components
+
 let suite =
   [
     Alcotest.test_case "no changes" `Quick test_no_changes;
+    QCheck_alcotest.to_alcotest prop_self_diff_empty;
+    QCheck_alcotest.to_alcotest prop_add_remove_order_independent;
+    Alcotest.test_case "connection cycle closure" `Quick
+      test_cycle_closure_terminates;
     Alcotest.test_case "added component" `Quick test_added_component;
     Alcotest.test_case "removed impacts downstream" `Quick
       test_removed_component_impacts_downstream;

@@ -1,0 +1,467 @@
+(* The incremental re-analysis engine: fingerprints, the artefact cache,
+   and the pipeline's central promise — warm results are bit-identical to
+   cold ones, they just cost fewer solves. *)
+
+let fp_hex = Engine.Fingerprint.to_hex
+
+(* ---------- fingerprints ---------- *)
+
+(* Fresh structurally-equal values each call, so equal fingerprints prove
+   content addressing rather than physical sharing. *)
+let mk_diagram ?(volts = 5.0) ?(henries = 1e-3) () =
+  let open Blockdiag.Diagram in
+  diagram ~name:"fp_psu"
+    [
+      block ~id:"DC1" ~block_type:"vsource"
+        ~parameters:[ ("volts", P_num volts) ]
+        ();
+      block ~id:"D1" ~block_type:"diode" ();
+      block ~id:"L1" ~block_type:"inductor"
+        ~parameters:[ ("henries", P_num henries) ]
+        ();
+      block ~id:"CS1" ~block_type:"current_sensor" ();
+      block ~id:"MC1" ~block_type:"microcontroller"
+        ~parameters:[ ("ohms", P_num 100.0) ]
+        ();
+      block ~id:"GND1" ~block_type:"ground"
+        ~ports:[ { port_name = "a"; port_kind = Conserving } ]
+        ();
+    ]
+    ~connections:
+      [
+        connect ("DC1", "a") ("D1", "a");
+        connect ("D1", "b") ("L1", "a");
+        connect ("L1", "b") ("CS1", "a");
+        connect ("CS1", "b") ("MC1", "a");
+        connect ("MC1", "b") ("GND1", "a");
+        connect ("DC1", "b") ("GND1", "a");
+      ]
+
+let test_fingerprint_diagram () =
+  Alcotest.(check string)
+    "structurally equal diagrams share a fingerprint"
+    (fp_hex (Engine.Fingerprint.diagram (mk_diagram ())))
+    (fp_hex (Engine.Fingerprint.diagram (mk_diagram ())));
+  Alcotest.(check bool)
+    "a parameter edit moves the fingerprint" false
+    (Engine.Fingerprint.equal
+       (Engine.Fingerprint.diagram (mk_diagram ()))
+       (Engine.Fingerprint.diagram (mk_diagram ~volts:5.1 ())))
+
+let test_fingerprint_reliability_order_insensitive () =
+  let entries = Reliability.Reliability_model.entries Reliability.Reliability_model.table_ii in
+  let forward = Reliability.Reliability_model.of_entries entries in
+  let backward = Reliability.Reliability_model.of_entries (List.rev entries) in
+  Alcotest.(check string)
+    "entry storage order does not matter"
+    (fp_hex (Engine.Fingerprint.reliability_model forward))
+    (fp_hex (Engine.Fingerprint.reliability_model backward));
+  let bumped =
+    match entries with
+    | e :: rest ->
+        Reliability.Reliability_model.of_entries
+          ({ e with Reliability.Reliability_model.fit = e.Reliability.Reliability_model.fit +. 1.0 } :: rest)
+    | [] -> assert false
+  in
+  Alcotest.(check bool)
+    "a FIT edit moves the fingerprint" false
+    (Engine.Fingerprint.equal
+       (Engine.Fingerprint.reliability_model forward)
+       (Engine.Fingerprint.reliability_model bumped))
+
+let test_fingerprint_subtree_locality () =
+  (* Editing one child changes the parent's Merkle root but not the
+     sibling's subtree hash. *)
+  let child ~id ~fit =
+    Ssam.Architecture.component ~fit ~meta:(Ssam.Base.meta ~name:id id) ()
+  in
+  let parent a_fit =
+    Ssam.Architecture.component
+      ~children:[ child ~id:"a" ~fit:a_fit; child ~id:"b" ~fit:2.0 ]
+      ~meta:(Ssam.Base.meta ~name:"p" "p") ()
+  in
+  let p1 = parent 1.0 and p2 = parent 9.0 in
+  Alcotest.(check bool)
+    "parent fingerprint moves" false
+    (Engine.Fingerprint.equal
+       (Engine.Fingerprint.ssam_component p1)
+       (Engine.Fingerprint.ssam_component p2));
+  let sibling p =
+    List.nth p.Ssam.Architecture.children 1
+  in
+  Alcotest.(check string)
+    "sibling subtree hash is untouched"
+    (fp_hex (Engine.Fingerprint.ssam_component (sibling p1)))
+    (fp_hex (Engine.Fingerprint.ssam_component (sibling p2)))
+
+(* ---------- cache ---------- *)
+
+let key_of s = Engine.Cache.key ~stage:"test" ~version:1 (Engine.Fingerprint.leaf s)
+
+let test_cache_lru () =
+  let c = Engine.Cache.create ~capacity:2 () in
+  let k1 = key_of "one" and k2 = key_of "two" and k3 = key_of "three" in
+  Engine.Cache.store c k1 "1";
+  Engine.Cache.store c k2 "2";
+  (* Touch k1 so k2 is the least recently used... *)
+  Alcotest.(check bool) "k1 found" true (Engine.Cache.find c k1 <> None);
+  Engine.Cache.store c k3 "3";
+  Alcotest.(check int) "capacity held" 2 (Engine.Cache.memory_count c);
+  Alcotest.(check bool) "k1 kept (recently used)" true (Engine.Cache.in_memory c k1);
+  Alcotest.(check bool) "k2 evicted (LRU)" false (Engine.Cache.in_memory c k2);
+  Alcotest.(check bool) "k3 kept (new)" true (Engine.Cache.in_memory c k3)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "same-engine-test-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let test_cache_disk_roundtrip () =
+  with_temp_dir (fun dir ->
+      let k = key_of "persist" in
+      let c1 = Engine.Cache.create ~dir () in
+      Engine.Cache.store c1 k "the artefact";
+      (* A fresh cache on the same directory sees the entry from disk. *)
+      let c2 = Engine.Cache.create ~dir () in
+      (match Engine.Cache.find c2 k with
+      | Some (`Disk payload) ->
+          Alcotest.(check string) "payload survives" "the artefact" payload
+      | Some (`Memory _) -> Alcotest.fail "expected a disk hit"
+      | None -> Alcotest.fail "expected a hit");
+      (* ...and the disk hit was promoted into memory. *)
+      Alcotest.(check bool) "promoted" true (Engine.Cache.in_memory c2 k))
+
+let test_cache_corruption_recovers () =
+  with_temp_dir (fun dir ->
+      let computes = ref 0 in
+      let run () =
+        let p = Engine.Pipeline.create ~cache:(Engine.Cache.create ~dir ()) () in
+        let v =
+          Engine.Pipeline.memo p ~stage:"answer"
+            ~key:(Engine.Fingerprint.leaf "life")
+            (fun () -> incr computes; 42)
+        in
+        (p, v)
+      in
+      let p1, v1 = run () in
+      Alcotest.(check int) "computed once" 1 !computes;
+      Alcotest.(check int) "value" 42 v1;
+      let file =
+        match
+          Engine.Cache.disk_file (Engine.Pipeline.cache p1)
+            (Engine.Cache.key ~stage:"answer" ~version:1
+               (Engine.Fingerprint.leaf "life"))
+        with
+        | Some f -> f
+        | None -> Alcotest.fail "disk-backed cache must name its file"
+      in
+      Alcotest.(check bool) "entry written" true (Sys.file_exists file);
+      (* Mangle the payload: a fresh pipeline must recompute, not crash or
+         return garbage. *)
+      let oc = open_out_gen [ Open_wronly; Open_trunc ] 0o644 file in
+      output_string oc "same-cache/1\ndeadbeef\ncorrupt";
+      close_out oc;
+      let _, v2 = run () in
+      Alcotest.(check int) "recomputed after corruption" 2 !computes;
+      Alcotest.(check int) "same value" 42 v2;
+      (* Truncate to nothing: again a recompute. *)
+      let oc = open_out_gen [ Open_wronly; Open_trunc ] 0o644 file in
+      close_out oc;
+      let _, v3 = run () in
+      Alcotest.(check int) "recomputed after truncation" 3 !computes;
+      Alcotest.(check int) "same value again" 42 v3;
+      (* Un-mangled entries do hit. *)
+      let _, v4 = run () in
+      Alcotest.(check int) "clean entry is reused" 3 !computes;
+      Alcotest.(check int) "hit value" 42 v4)
+
+(* ---------- pipeline: warm == cold ---------- *)
+
+let default_reliability = Reliability.Reliability_model.table_ii
+
+let analyse_cold ?(options = Fmea.Injection_fmea.default_options) diagram
+    reliability =
+  let conv = Blockdiag.To_netlist.convert diagram in
+  Fmea.Injection_fmea.analyse ~options
+    ~element_types:conv.Blockdiag.To_netlist.block_types
+    conv.Blockdiag.To_netlist.netlist reliability
+
+let table = Alcotest.testable Fmea.Table.pp Fmea.Table.equal
+
+let test_warm_equals_cold_basic () =
+  let diagram = mk_diagram () in
+  let cold = analyse_cold diagram default_reliability in
+  let e = Engine.Pipeline.create () in
+  let warm1 =
+    Engine.Pipeline.injection_fmea e
+      ~options:Fmea.Injection_fmea.default_options diagram default_reliability
+  in
+  Alcotest.check table "first engine run equals cold" cold warm1;
+  let warm2 =
+    Engine.Pipeline.injection_fmea e
+      ~options:Fmea.Injection_fmea.default_options diagram default_reliability
+  in
+  Alcotest.check table "cache hit equals cold" cold warm2;
+  let s = Engine.Pipeline.snapshot e in
+  Alcotest.(check bool) "second run was a hit" true (Engine.Stats.hits s >= 1)
+
+(* The property at the heart of the engine: after a random single edit,
+   re-analysing with [previous] supplied is bit-identical to a cold
+   analysis of the edited inputs — whatever the edit and the job count. *)
+let prop_warm_equals_cold =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* volts = float_range 3.0 12.0 in
+      let* henries = float_range 1e-4 1e-2 in
+      let* edit =
+        oneof
+          [
+            (* Reliability edit: a component type's FIT worsens — the
+               row-reuse path. *)
+            (let* delta = float_range 1.0 50.0 in
+             let* ty = oneofl [ "inductor"; "diode"; "microcontroller" ] in
+             return (`Fit (ty, delta)));
+            (* Electrical edit: the golden run moves — no reuse at all. *)
+            (let* v2 = float_range 3.0 12.0 in
+             return (`Volts v2));
+            (let* h2 = float_range 1e-4 1e-2 in
+             return (`Henries h2));
+          ]
+      in
+      let* jobs = oneofl [ 1; 4 ] in
+      return (volts, henries, edit, jobs))
+  in
+  Test.make ~count:25 ~name:"warm re-analysis is bit-identical to cold"
+    (make gen) (fun (volts, henries, edit, jobs) ->
+      let saved = Exec.default_jobs () in
+      Fun.protect
+        ~finally:(fun () -> Exec.set_default_jobs saved)
+        (fun () ->
+          Exec.set_default_jobs jobs;
+          let d1 = mk_diagram ~volts ~henries () in
+          let r1 = default_reliability in
+          let d2, r2 =
+            match edit with
+            | `Volts v -> (mk_diagram ~volts:v ~henries (), r1)
+            | `Henries h -> (mk_diagram ~volts ~henries:h (), r1)
+            | `Fit (ty, delta) -> (
+                ( d1,
+                  match Reliability.Reliability_model.find r1 ty with
+                  | Some e ->
+                      Reliability.Reliability_model.add r1
+                        {
+                          e with
+                          Reliability.Reliability_model.fit =
+                            e.Reliability.Reliability_model.fit +. delta;
+                        }
+                  | None -> r1 ))
+          in
+          let engine = Engine.Pipeline.create () in
+          let prev_table =
+            Engine.Pipeline.injection_fmea engine
+              ~options:Fmea.Injection_fmea.default_options d1 r1
+          in
+          let warm =
+            Engine.Pipeline.injection_fmea engine
+              ~previous:
+                {
+                  Engine.Pipeline.prev_diagram = d1;
+                  prev_reliability = r1;
+                  prev_table;
+                }
+              ~options:Fmea.Injection_fmea.default_options d2 r2
+          in
+          let cold = analyse_cold d2 r2 in
+          Fmea.Table.equal warm cold))
+
+(* After a one-component reliability edit to System B, the warm run must
+   do strictly fewer solves than the cold run — and reuse rows. *)
+let test_system_b_fewer_solves () =
+  let subject = Decisive.Systems.system_b in
+  let diagram = subject.Decisive.Systems.diagram in
+  let reliability = subject.Decisive.Systems.reliability in
+  let options =
+    {
+      Fmea.Injection_fmea.default_options with
+      exclude = [ "DC1"; "BAT1" ];
+      monitored_sensors = Some [ "CS1"; "CS2"; "VS1" ];
+    }
+  in
+  let edited =
+    match Reliability.Reliability_model.find reliability "microcontroller" with
+    | Some e ->
+        Reliability.Reliability_model.add reliability
+          {
+            e with
+            Reliability.Reliability_model.fit =
+              e.Reliability.Reliability_model.fit +. 25.0;
+          }
+    | None -> Alcotest.fail "System B has a microcontroller entry"
+  in
+  let cold_engine = Engine.Pipeline.create () in
+  let cold_table =
+    Engine.Pipeline.injection_fmea cold_engine ~options diagram edited
+  in
+  let cold = Engine.Pipeline.snapshot cold_engine in
+  let warm_engine = Engine.Pipeline.create () in
+  let prev_table =
+    Engine.Pipeline.injection_fmea warm_engine ~options diagram reliability
+  in
+  Engine.Stats.reset (Engine.Pipeline.stats warm_engine);
+  let warm_table =
+    Engine.Pipeline.injection_fmea warm_engine
+      ~previous:
+        {
+          Engine.Pipeline.prev_diagram = diagram;
+          prev_reliability = reliability;
+          prev_table;
+        }
+      ~options diagram edited
+  in
+  let warm = Engine.Pipeline.snapshot warm_engine in
+  Alcotest.check table "warm equals cold" cold_table warm_table;
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer solves (warm %d < cold %d)"
+       (Engine.Stats.solves_performed warm)
+       (Engine.Stats.solves_performed cold))
+    true
+    (Engine.Stats.solves_performed warm < Engine.Stats.solves_performed cold);
+  Alcotest.(check bool) "rows were reused" true
+    (warm.Engine.Stats.rows_reused > 0)
+
+(* ---------- pipeline: search and path stages ---------- *)
+
+let test_optimise_warm_equals_cold () =
+  let fmea = Decisive.Case_study.fmea_via_injection () in
+  let sm = Decisive.Case_study.sm_model in
+  let target = Ssam.Requirement.ASIL_B in
+  let cold_chosen, cold_front = Optimize.Search.optimise ~target fmea sm in
+  let e = Engine.Pipeline.create () in
+  let warm_chosen, warm_front = Engine.Pipeline.optimise e ~target fmea sm in
+  Alcotest.(check bool) "chosen agrees" true
+    (Option.equal Optimize.Search.equal_candidate cold_chosen warm_chosen);
+  Alcotest.(check bool) "front agrees" true
+    (List.equal Optimize.Search.equal_candidate cold_front warm_front);
+  let _ = Engine.Pipeline.optimise e ~target fmea sm in
+  let s = Engine.Pipeline.snapshot e in
+  Alcotest.(check bool) "re-search hits the cache" true
+    (Engine.Stats.hits s >= 1)
+
+let test_api_refine_warm_equals_cold () =
+  let fmea = Decisive.Case_study.fmea_via_injection () in
+  let sm = Decisive.Case_study.sm_model in
+  let target = Ssam.Requirement.ASIL_B in
+  let cold = Decisive.Api.refine ~target fmea sm in
+  let e = Engine.Pipeline.create () in
+  let warm = Decisive.Api.refine ~engine:e ~target fmea sm in
+  Alcotest.check table "refined tables agree" cold.Decisive.Api.refined_table
+    warm.Decisive.Api.refined_table;
+  Alcotest.(check (float 0.0)) "achieved SPFM agrees"
+    cold.Decisive.Api.achieved_spfm warm.Decisive.Api.achieved_spfm
+
+let test_api_routes_warm_equals_cold () =
+  let diagram = Decisive.Case_study.power_supply_diagram in
+  let reliability = Decisive.Case_study.reliability_model in
+  List.iter
+    (fun route ->
+      let cold =
+        Decisive.Api.analyse ~route ~exclude:[ "DC1" ] diagram reliability
+      in
+      let e = Engine.Pipeline.create () in
+      let warm =
+        Decisive.Api.analyse ~engine:e ~route ~exclude:[ "DC1" ] diagram
+          reliability
+      in
+      Alcotest.check table "route agrees with cold" cold warm;
+      let again =
+        Decisive.Api.analyse ~engine:e ~route ~exclude:[ "DC1" ] diagram
+          reliability
+      in
+      Alcotest.check table "route cache hit agrees" cold again;
+      Alcotest.(check bool) "second run hit" true
+        (Engine.Stats.hits (Engine.Pipeline.snapshot e) >= 1))
+    [ Decisive.Api.Via_injection; Decisive.Api.Via_ssam_paths; Decisive.Api.Via_fta ]
+
+(* ---------- pipeline: assurance claims ---------- *)
+
+let test_assurance_claim_reuse () =
+  with_temp_dir (fun dir ->
+      let csv = Filename.concat dir "evidence.csv" in
+      let write rows =
+        let oc = open_out csv in
+        output_string oc "name,value\n";
+        List.iter (fun r -> output_string oc (r ^ "\n")) rows;
+        close_out oc
+      in
+      write [ "a,1"; "b,2" ];
+      let case =
+        let open Assurance.Sacm in
+        {
+          case_name = "claim-reuse";
+          root =
+            goal ~id:"G1" "the evidence is plentiful"
+              ~supported_by:
+                [
+                  solution ~id:"Sn1" "row count"
+                    ~artifact:
+                      (artifact ~query:"return Artifact.rows.size() >= 2;"
+                         ~location:csv ~driver:"csv" ());
+                ];
+        }
+      in
+      let e = Engine.Pipeline.create () in
+      let r1 = Engine.Pipeline.evaluate_case e case in
+      Alcotest.(check bool) "holds with two rows" true
+        (r1.Assurance.Eval.overall = Assurance.Eval.Holds);
+      (* Same file: the claim verdict comes from the memo. *)
+      let _ = Engine.Pipeline.evaluate_case e case in
+      let s = Engine.Pipeline.snapshot e in
+      Alcotest.(check bool) "unchanged artefact is a hit" true
+        (Engine.Stats.hits s >= 1);
+      (* Rewriting the evidence moves the artifact fingerprint, so the
+         claim is re-evaluated — and the verdict flips. *)
+      write [ "a,1" ];
+      let r2 = Engine.Pipeline.evaluate_case e case in
+      Alcotest.(check bool) "fails after the evidence shrank" true
+        (r2.Assurance.Eval.overall = Assurance.Eval.Fails);
+      (* The cold evaluator agrees both times. *)
+      let cold = Assurance.Eval.evaluate case in
+      Alcotest.(check bool) "warm verdict equals cold" true
+        (cold.Assurance.Eval.overall = r2.Assurance.Eval.overall))
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint: diagram" `Quick test_fingerprint_diagram;
+    Alcotest.test_case "fingerprint: reliability order" `Quick
+      test_fingerprint_reliability_order_insensitive;
+    Alcotest.test_case "fingerprint: subtree locality" `Quick
+      test_fingerprint_subtree_locality;
+    Alcotest.test_case "cache: LRU eviction" `Quick test_cache_lru;
+    Alcotest.test_case "cache: disk round-trip" `Quick test_cache_disk_roundtrip;
+    Alcotest.test_case "cache: corruption recovery" `Quick
+      test_cache_corruption_recovers;
+    Alcotest.test_case "pipeline: warm equals cold" `Quick
+      test_warm_equals_cold_basic;
+    QCheck_alcotest.to_alcotest prop_warm_equals_cold;
+    Alcotest.test_case "pipeline: System B fewer solves" `Quick
+      test_system_b_fewer_solves;
+    Alcotest.test_case "pipeline: optimise warm equals cold" `Quick
+      test_optimise_warm_equals_cold;
+    Alcotest.test_case "api: refine through the engine" `Quick
+      test_api_refine_warm_equals_cold;
+    Alcotest.test_case "api: all routes through the engine" `Quick
+      test_api_routes_warm_equals_cold;
+    Alcotest.test_case "pipeline: assurance claim reuse" `Quick
+      test_assurance_claim_reuse;
+  ]

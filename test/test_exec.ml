@@ -226,9 +226,69 @@ let prop_incremental_evaluator =
         (Optimize.Search.evaluate table deployments)
         (Optimize.Search.evaluate_with ev deployments))
 
+(* ---------- SAME_JOBS parsing ---------- *)
+
+(* A malformed SAME_JOBS must keep the documented fallback (ignored) but
+   say so once on the Logs warning channel. *)
+let test_malformed_same_jobs_warns () =
+  let saved = Sys.getenv_opt "SAME_JOBS" in
+  (* putenv cannot unset: restore to the recommended-count default, which
+     leaves [default_jobs]'s result unchanged when the variable was
+     absent. *)
+  let restore () =
+    Unix.putenv "SAME_JOBS"
+      (match saved with
+      | Some v -> v
+      | None -> string_of_int (Stdlib.max 1 (Domain.recommended_domain_count ())))
+  in
+  let saved_reporter = Logs.reporter () in
+  let saved_level = Logs.level () in
+  let warnings = ref [] in
+  Logs.set_level (Some Logs.Warning);
+  Logs.set_reporter
+    {
+      Logs.report =
+        (fun _src level ~over k msgf ->
+          msgf (fun ?header:_ ?tags:_ fmt ->
+              Format.kasprintf
+                (fun s ->
+                  if level = Logs.Warning then warnings := s :: !warnings;
+                  over ();
+                  k ())
+                fmt));
+    };
+  Fun.protect
+    ~finally:(fun () ->
+      restore ();
+      Logs.set_reporter saved_reporter;
+      Logs.set_level saved_level)
+    (fun () ->
+      Unix.putenv "SAME_JOBS" "three-ish";
+      Alcotest.(check (option int))
+        "malformed value ignored" None (Exec.env_jobs ());
+      Alcotest.(check int) "one warning" 1 (List.length !warnings);
+      Alcotest.(check bool) "warning names the value" true
+        (let s = List.hd !warnings in
+         let nn = String.length "three-ish" in
+         let rec at i =
+           i + nn <= String.length s
+           && (String.sub s i nn = "three-ish" || at (i + 1))
+         in
+         at 0);
+      (* Same malformed value again: no second warning. *)
+      ignore (Exec.env_jobs ());
+      Alcotest.(check int) "warn once per value" 1 (List.length !warnings);
+      (* A well-formed value parses and does not warn. *)
+      Unix.putenv "SAME_JOBS" " 4 ";
+      Alcotest.(check (option int))
+        "well-formed value parsed" (Some 4) (Exec.env_jobs ());
+      Alcotest.(check int) "no extra warning" 1 (List.length !warnings))
+
 let suite =
   [
     Alcotest.test_case "parallel map" `Quick test_parallel_map;
+    Alcotest.test_case "malformed SAME_JOBS warns" `Quick
+      test_malformed_same_jobs_warns;
     Alcotest.test_case "parallel chunks" `Quick test_parallel_chunks;
     Alcotest.test_case "parallel iter" `Quick test_parallel_iter;
     Alcotest.test_case "nested parallelism" `Quick test_nested;

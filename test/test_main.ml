@@ -10,6 +10,7 @@ let () =
       ("persist", Test_persist.suite);
       ("allocation", Test_allocation.suite);
       ("diff", Test_diff.suite);
+      ("engine", Test_engine.suite);
       ("query", Test_query.suite);
       ("typecheck", Test_typecheck.suite);
       ("circuit", Test_circuit.suite);
