@@ -24,6 +24,7 @@ let json_kernels : (string * float) list ref = ref []
 let json_tables : (string * float) list ref = ref []
 let json_parallel : Modelio.Json.t list ref = ref []
 let json_incremental : Modelio.Json.t list ref = ref []
+let json_scaling : Modelio.Json.t list ref = ref []
 
 let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
 
@@ -40,6 +41,7 @@ let write_results () =
         ("table_timings_s", numbers !json_tables);
         ("parallel", List (List.rev !json_parallel));
         ("incremental", List (List.rev !json_incremental));
+        ("scaling", List (List.rev !json_scaling));
         ("kernels_ns_per_run", numbers !json_kernels);
       ]
   in
@@ -430,7 +432,7 @@ let replicated_psu copies =
   Circuit.Netlist.of_elements "psu-array"
     (List.concat (List.init copies (fun i -> List.map (rename i) base)))
 
-let parallel_speedups () =
+let parallel_speedups ~smoke () =
   section "Parallel execution — sequential vs SAME_JOBS=4";
   Printf.printf
     "each workload runs twice on the same inputs; 'identical' checks the \
@@ -468,7 +470,11 @@ let parallel_speedups () =
   in
   (* 1. Fault-injection FMEA at scale: one injection per (component,
      failure mode), each a full Newton DC solve. *)
-  let copies = if Sys.getenv_opt "SAME_BENCH_FULL" = Some "1" then 24 else 12 in
+  let copies =
+    if Sys.getenv_opt "SAME_BENCH_FULL" = Some "1" then 24
+    else if smoke then 4
+    else 12
+  in
   let psu_array = replicated_psu copies in
   let options =
     {
@@ -482,21 +488,149 @@ let parallel_speedups () =
       Fmea.Injection_fmea.analyse ~options psu_array
         Decisive.Case_study.reliability_model)
     Fmea.Table.equal;
-  (* 2. Exhaustive safety-mechanism search on System A. *)
-  let subject = Decisive.Systems.system_a in
-  let table = Decisive.Systems.automated_fmea subject in
-  let types =
-    (Decisive.Systems.analysable subject).Blockdiag.To_netlist.block_types
+  if not smoke then begin
+    (* 2. Exhaustive safety-mechanism search on System A. *)
+    let subject = Decisive.Systems.system_a in
+    let table = Decisive.Systems.automated_fmea subject in
+    let types =
+      (Decisive.Systems.analysable subject).Blockdiag.To_netlist.block_types
+    in
+    let sms = subject.Decisive.Systems.safety_mechanisms in
+    compare_jobs "exhaustive sm-search"
+      (fun () -> Optimize.Search.exhaustive ~component_types:types table sms)
+      (List.equal Optimize.Search.equal_candidate);
+    (* 3. Table VI store evaluation (per-unit path FMEAs). *)
+    let spec = { Store.Synthetic.set_name = "par"; target_elements = 40_000 } in
+    compare_jobs "store evaluate (40k)"
+      (fun () -> Store.Lazy_store.evaluate spec)
+      ( = )
+  end
+
+(* ---------- Scaling: golden-factor re-solve vs dense refactorise ---------- *)
+
+(* The fast-kernel acceptance experiment: on a synthetic ladder of
+   [--scale N] sections (default 512, ~578 MNA unknowns), every faulted
+   solve goes through {!Circuit.Dc.inject} — a low-rank SMW re-solve
+   against the golden sparse factors — and is compared, per injection,
+   with the from-scratch dense refactorise baseline.  The baseline is
+   sampled (a spread of ~24 injections) because a full dense FMEA at
+   this size is O(n^3) per row; the fast path also runs the complete
+   FMEA end-to-end. *)
+let scaling ~smoke () =
+  section "Scaling — sparse golden factors + low-rank re-solve (--scale)";
+  let sections =
+    let rec find i =
+      if i + 1 >= Array.length Sys.argv then None
+      else if Sys.argv.(i) = "--scale" then int_of_string_opt Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    Option.value (find 1) ~default:512
   in
-  let sms = subject.Decisive.Systems.safety_mechanisms in
-  compare_jobs "exhaustive sm-search"
-    (fun () -> Optimize.Search.exhaustive ~component_types:types table sms)
-    (List.equal Optimize.Search.equal_candidate);
-  (* 3. Table VI store evaluation (per-unit path FMEAs). *)
-  let spec = { Store.Synthetic.set_name = "par"; target_elements = 40_000 } in
-  compare_jobs "store evaluate (40k)"
-    (fun () -> Store.Lazy_store.evaluate spec)
-    ( = )
+  let nl = Circuit.Generator.ladder ~sections in
+  let p = Circuit.Dc.prepare nl in
+  let n = Circuit.Dc.size p in
+  Printf.printf "ladder: %d sections, %d unknowns, backend %s\n" sections n
+    (match Circuit.Dc.backend_used p with `Sparse -> "sparse" | `Dense -> "dense");
+  let g, t_factor =
+    timed (fun () ->
+        match Circuit.Dc.factorise p with
+        | Ok g -> g
+        | Error e ->
+            Format.kasprintf failwith "scaling: golden solve failed: %a"
+              Circuit.Dc.pp_error e)
+  in
+  Printf.printf "golden factorisation: %.1f ms\n" (1000.0 *. t_factor);
+  (* A spread of injectable (element, fault) cases across the ladder. *)
+  let all_cases =
+    List.concat_map
+      (fun (e : Circuit.Element.t) ->
+        let id = e.Circuit.Element.id in
+        match e.Circuit.Element.kind with
+        | Circuit.Element.Resistor _ ->
+            [
+              (id, Circuit.Fault.Open_circuit);
+              (id, Circuit.Fault.Short_circuit);
+              (id, Circuit.Fault.Parameter_shift 2.0);
+            ]
+        | Circuit.Element.Load _ ->
+            [ (id, Circuit.Fault.Open_circuit); (id, Circuit.Fault.Short_circuit) ]
+        | Circuit.Element.Current_sensor -> [ (id, Circuit.Fault.Open_circuit) ]
+        | Circuit.Element.Vsource _ -> [ (id, Circuit.Fault.Stuck_value 0.0) ]
+        | _ -> [])
+      (Circuit.Netlist.elements nl)
+  in
+  let sample_target = 24 in
+  let stride = max 1 (List.length all_cases / sample_target) in
+  let cases =
+    List.filteri (fun i _ -> i mod stride = 0) all_cases
+    |> List.filteri (fun i _ -> i < sample_target)
+  in
+  let max_dev = ref 0.0 in
+  let t_fast = ref 0.0 and t_dense = ref 0.0 in
+  List.iter
+    (fun (id, fault) ->
+      let fast, tf =
+        timed (fun () -> Circuit.Dc.inject g ~element_id:id fault)
+      in
+      let dense, td =
+        timed (fun () ->
+            Circuit.Dc.analyse ~backend:`Dense
+              (Circuit.Fault.inject nl ~element_id:id fault))
+      in
+      t_fast := !t_fast +. tf;
+      t_dense := !t_dense +. td;
+      match (fast, dense) with
+      | Ok sf, Ok sd ->
+          List.iter2
+            (fun (_, a) (_, b) ->
+              max_dev := Float.max !max_dev (Float.abs (a -. b)))
+            (Circuit.Dc.all_sensor_readings sf)
+            (Circuit.Dc.all_sensor_readings sd)
+      | _ ->
+          Printf.ksprintf failwith "scaling: %s/%s disagreed on solvability" id
+            (Circuit.Fault.to_string fault))
+    cases;
+  let n_cases = List.length cases in
+  let per_fast = !t_fast /. float_of_int n_cases in
+  let per_dense = !t_dense /. float_of_int n_cases in
+  let speedup = per_dense /. per_fast in
+  Printf.printf
+    "%d sampled injections: fast %.3f ms/inj, dense refactorise %.1f \
+     ms/inj — speedup %.1fx (acceptance >= 5x)\n"
+    n_cases (1000.0 *. per_fast) (1000.0 *. per_dense) speedup;
+  Printf.printf "max sensor-reading deviation vs dense: %.3g (acceptance <= 1e-9)\n"
+    !max_dev;
+  (* The complete FMEA through the reuse solver, as the pipeline runs it. *)
+  let catalogue = Reliability.Reliability_model.synthetic_catalogue in
+  let options =
+    { Fmea.Injection_fmea.default_options with exclude = [ "VIN" ] }
+  in
+  let table, t_fmea =
+    timed (fun () -> Fmea.Injection_fmea.analyse ~options nl catalogue)
+  in
+  Printf.printf "full injection FMEA (reuse solver): %d rows in %.2f s\n"
+    (List.length table.Fmea.Table.rows)
+    t_fmea;
+  record_timing "scaling/fmea-reuse" t_fmea;
+  json_scaling :=
+    Modelio.Json.Object
+      [
+        ("topology", Modelio.Json.String "ladder");
+        ("sections", Modelio.Json.Number (float_of_int sections));
+        ("unknowns", Modelio.Json.Number (float_of_int n));
+        ("golden_factor_s", Modelio.Json.Number t_factor);
+        ("injections_sampled", Modelio.Json.Number (float_of_int n_cases));
+        ("fast_per_injection_s", Modelio.Json.Number per_fast);
+        ("dense_per_injection_s", Modelio.Json.Number per_dense);
+        ("speedup", Modelio.Json.Number speedup);
+        ("max_reading_deviation", Modelio.Json.Number !max_dev);
+        ("fmea_rows", Modelio.Json.Number
+           (float_of_int (List.length table.Fmea.Table.rows)));
+        ("fmea_reuse_s", Modelio.Json.Number t_fmea);
+      ]
+    :: !json_scaling;
+  if smoke && (speedup < 5.0 || !max_dev > 1e-9) then
+    Printf.printf "WARNING: scaling acceptance not met on this host\n"
 
 (* ---------- Iteration loop: incremental re-analysis ---------- *)
 
@@ -593,6 +727,74 @@ let iteration_loop () =
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
+(* Shared runner: measures one test and records its ns/run estimate into
+   [kernels_ns_per_run].  [quota] shrinks for smoke runs. *)
+let bechamel_run ~quota tests =
+  let open Bechamel in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |]) instance raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            json_kernels := (name, est) :: !json_kernels;
+            Printf.printf "%-32s %12.1f ns/run\n" name est
+        | _ -> Printf.printf "%-32s (no estimate)\n" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* Numeric-layer kernels: dense LU, sparse LU (with and without a cached
+   ordering) and the SMW re-solve, at sizes straddling the
+   [Dc.sparse_threshold] crossover.  These run in smoke too — they are
+   the regression guard for the fast-injection kernels. *)
+let kernel_benchmarks ~smoke () =
+  section "Kernel micro-benchmarks (numeric layer)";
+  let open Bechamel in
+  let systems =
+    List.map
+      (fun sections ->
+        let nl = Circuit.Generator.ladder ~sections in
+        let p = Circuit.Dc.prepare nl in
+        (Circuit.Dc.size p, nl))
+      (if smoke then [ 56; 224 ] else [ 56; 224; 480 ])
+  in
+  let tests =
+    List.concat_map
+      (fun (n, nl) ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "kernel/dense-analyse/%d" n)
+            (Staged.stage (fun () ->
+                 ignore (Circuit.Dc.analyse ~backend:`Dense nl)));
+          Test.make
+            ~name:(Printf.sprintf "kernel/sparse-analyse/%d" n)
+            (Staged.stage (fun () ->
+                 ignore (Circuit.Dc.analyse ~backend:`Sparse nl)));
+          (let g =
+             match Circuit.Dc.factorise (Circuit.Dc.prepare nl) with
+             | Ok g -> g
+             | Error _ -> failwith "kernel bench: golden solve failed"
+           in
+           Test.make
+             ~name:(Printf.sprintf "kernel/smw-resolve/%d" n)
+             (Staged.stage (fun () ->
+                  ignore
+                    (Circuit.Dc.inject g ~element_id:"RL5"
+                       Circuit.Fault.Open_circuit))));
+        ])
+      systems
+  in
+  bechamel_run ~quota:(if smoke then 0.05 else 0.5) tests
+
 let micro_benchmarks () =
   section "Micro-benchmarks (Bechamel, one per analysis kernel)";
   let open Bechamel in
@@ -631,24 +833,7 @@ let micro_benchmarks () =
           ignore (Blockdiag.Transform.to_ssam diagram)));
     ]
   in
-  let benchmark test =
-    let instance = Toolkit.Instance.monotonic_clock in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
-    let results =
-      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
-                     ~predictors:[| Measure.run |]) instance raw
-    in
-    Hashtbl.iter
-      (fun name result ->
-        match Analyze.OLS.estimates result with
-        | Some [ est ] ->
-            json_kernels := (name, est) :: !json_kernels;
-            Printf.printf "%-32s %12.1f ns/run\n" name est
-        | _ -> Printf.printf "%-32s (no estimate)\n" name)
-      results
-  in
-  List.iter benchmark tests
+  bechamel_run ~quota:0.5 tests
 
 let () =
   (* --smoke (CI): only the fast deterministic sections — enough to catch
@@ -670,8 +855,10 @@ let () =
     ablation_threshold ()
   end;
   extended_metrics ();
-  if not smoke then parallel_speedups ();
+  parallel_speedups ~smoke ();
   iteration_loop ();
+  scaling ~smoke ();
+  kernel_benchmarks ~smoke ();
   if not smoke then micro_benchmarks ();
   write_results ();
   Printf.printf "\nDone.\n"

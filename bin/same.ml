@@ -1064,12 +1064,105 @@ let coverage_cmd =
   let doc = "Report block-library coverage for a design (evaluation RQ2)." in
   Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ diagram_arg)
 
+(* same scale *)
+
+let scale_cmd =
+  let run n topology =
+    let nl =
+      match topology with
+      | `Ladder -> Circuit.Generator.ladder ~sections:n
+      | `Grid ->
+          let side = max 1 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+          Circuit.Generator.grid ~rows:side ~cols:side
+    in
+    let p = Circuit.Dc.prepare nl in
+    Printf.printf "netlist %s: %d elements, %d unknowns, backend %s\n"
+      (Circuit.Netlist.name nl)
+      (Circuit.Netlist.element_count nl)
+      (Circuit.Dc.size p)
+      (match Circuit.Dc.backend_used p with
+      | `Sparse -> "sparse"
+      | `Dense -> "dense");
+    let timed f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    match timed (fun () -> Circuit.Dc.factorise p) with
+    | Error e, _ ->
+        Format.eprintf "error: golden solve failed: %a@." Circuit.Dc.pp_error e;
+        1
+    | Ok g, t_factor ->
+        Printf.printf "golden factorisation: %.1f ms\n" (1000.0 *. t_factor);
+        (* A handful of representative injections, fast vs dense. *)
+        let cases =
+          List.filter_map
+            (fun (e : Circuit.Element.t) ->
+              match e.Circuit.Element.kind with
+              | Circuit.Element.Resistor _ | Circuit.Element.Load _ ->
+                  Some (e.Circuit.Element.id, Circuit.Fault.Open_circuit)
+              | _ -> None)
+            (Circuit.Netlist.elements nl)
+        in
+        let stride = max 1 (List.length cases / 12) in
+        let cases = List.filteri (fun i _ -> i mod stride = 0) cases in
+        let max_dev = ref 0.0 and t_fast = ref 0.0 and t_dense = ref 0.0 in
+        List.iter
+          (fun (id, fault) ->
+            let fast, tf =
+              timed (fun () -> Circuit.Dc.inject g ~element_id:id fault)
+            in
+            let dense, td =
+              timed (fun () ->
+                  Circuit.Dc.analyse ~backend:`Dense
+                    (Circuit.Fault.inject nl ~element_id:id fault))
+            in
+            t_fast := !t_fast +. tf;
+            t_dense := !t_dense +. td;
+            match (fast, dense) with
+            | Ok sf, Ok sd ->
+                List.iter2
+                  (fun (_, a) (_, b) ->
+                    max_dev := Float.max !max_dev (Float.abs (a -. b)))
+                  (Circuit.Dc.all_sensor_readings sf)
+                  (Circuit.Dc.all_sensor_readings sd)
+            | _ -> ())
+          cases;
+        let n_cases = float_of_int (List.length cases) in
+        Printf.printf
+          "%d injections: low-rank re-solve %.3f ms/inj, dense refactorise \
+           %.1f ms/inj (speedup %.1fx)\n"
+          (List.length cases)
+          (1000.0 *. !t_fast /. n_cases)
+          (1000.0 *. !t_dense /. n_cases)
+          (!t_dense /. !t_fast);
+        Printf.printf "max sensor-reading deviation: %.3g\n" !max_dev;
+        0
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Scale parameter: ladder sections, or grid node count.")
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ladder", `Ladder); ("grid", `Grid) ]) `Ladder
+      & info [ "topology" ] ~docv:"TOPOLOGY" ~doc:"$(b,ladder) or $(b,grid).")
+  in
+  let doc =
+    "Benchmark the fault-injection kernels on a synthetic scalable netlist."
+  in
+  Cmd.v (Cmd.info "scale" ~doc) Term.(const run $ n_arg $ topology_arg)
+
 let main =
   let doc = "Safety Analysis Management Environment (DECISIVE tooling)" in
   let info = Cmd.info "same" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       lint_cmd;
+      scale_cmd;
       fmea_cmd;
       fmeda_cmd;
       optimize_cmd;

@@ -17,16 +17,34 @@ let closed_switch_resistance = 1e-3
 
 let cx re = { Complex.re; im = 0.0 }
 
-let analyse ?(gmin = 1e-9) ~source netlist ~frequencies_hz =
-  List.iter
-    (fun f ->
-      if f <= 0.0 then invalid_arg "Ac.analyse: non-positive frequency")
-    frequencies_hz;
+(* ---------- prepared sweeps ----------
+
+   The same prepare/solve hoisting as [Dc]: everything frequency-
+   independent — the DC operating point for diode linearisation, the
+   node/branch numbering, and the stamps of every non-reactive device
+   (plus gmin and the unit stimulus) — is computed once.  Each frequency
+   then copies the base complex matrix and restamps only the reactive
+   entries: [jωC] at a capacitor's four node positions, [−jωL] on an
+   inductor's branch diagonal. *)
+
+type reactive =
+  | React_cap of int option * int option * float  (* node a, node b, farads *)
+  | React_ind of int * float  (* branch row, henries *)
+
+type prepared = {
+  ap_node_names : string list;
+  ap_sensors : (string * [ `Current of int | `Voltage of int option * int option ]) list;
+  ap_base : Numeric.Cmatrix.t;
+  ap_base_b : Complex.t array;
+  ap_reactive : reactive list;
+}
+
+let prepare ?(gmin = 1e-9) ~source netlist =
   let elements = Netlist.elements netlist in
   (match Netlist.find netlist source with
   | Some { Element.kind = Element.Vsource _ | Element.Isource _; _ } -> ()
-  | Some _ -> invalid_arg "Ac.analyse: stimulus element is not a source"
-  | None -> invalid_arg "Ac.analyse: unknown stimulus element");
+  | Some _ -> invalid_arg "Ac.prepare: stimulus element is not a source"
+  | None -> invalid_arg "Ac.prepare: unknown stimulus element");
   (* Operating point for diode linearisation. *)
   match Dc.analyse ~gmin netlist with
   | Error e -> Error e
@@ -53,133 +71,175 @@ let analyse ?(gmin = 1e-9) ~source netlist ~frequencies_hz =
         if String.equal n Netlist.ground then None
         else Hashtbl.find_opt node_index n
       in
-      let frequencies = Array.of_list frequencies_hz in
-      let node_h : response = Hashtbl.create 16 in
+      let a = Numeric.Cmatrix.create size size in
+      let b = Array.make size Complex.zero in
+      let reactive = ref [] in
+      let stamp_admittance na nb y =
+        (match node na with
+        | Some i -> Numeric.Cmatrix.add_to a i i y
+        | None -> ());
+        (match node nb with
+        | Some j -> Numeric.Cmatrix.add_to a j j y
+        | None -> ());
+        match (node na, node nb) with
+        | Some i, Some j ->
+            Numeric.Cmatrix.add_to a i j (Complex.neg y);
+            Numeric.Cmatrix.add_to a j i (Complex.neg y)
+        | _ -> ()
+      in
+      let stamp_current na nb amps =
+        (match node na with
+        | Some i -> b.(i) <- Complex.sub b.(i) amps
+        | None -> ());
+        match node nb with
+        | Some j -> b.(j) <- Complex.add b.(j) amps
+        | None -> ()
+      in
+      let stamp_voltage_branch e_id na nb volts =
+        let k = Hashtbl.find branch_index e_id in
+        (match node na with
+        | Some i ->
+            Numeric.Cmatrix.add_to a i k Complex.one;
+            Numeric.Cmatrix.add_to a k i Complex.one
+        | None -> ());
+        (match node nb with
+        | Some j ->
+            Numeric.Cmatrix.add_to a j k (cx (-1.0));
+            Numeric.Cmatrix.add_to a k j (cx (-1.0))
+        | None -> ());
+        (* v(a) - v(b) - Z i = volts; the impedance part, when reactive,
+           is restamped per frequency. *)
+        b.(k) <- Complex.add b.(k) volts;
+        k
+      in
       List.iter
-        (fun n ->
-          Hashtbl.add node_h n (Array.make (Array.length frequencies) Complex.zero))
-        node_names;
-      let sensor_h : response = Hashtbl.create 8 in
+        (fun (e : Element.t) ->
+          let na = e.Element.node_a and nb = e.Element.node_b in
+          let is_stimulus = String.equal e.Element.id source in
+          match e.Element.kind with
+          | Element.Resistor r | Element.Load r ->
+              stamp_admittance na nb (cx (1.0 /. r))
+          | Element.Switch true ->
+              stamp_admittance na nb (cx (1.0 /. closed_switch_resistance))
+          | Element.Switch false | Element.Voltage_sensor -> ()
+          | Element.Capacitor c ->
+              reactive := React_cap (node na, node nb, c) :: !reactive
+          | Element.Inductor l ->
+              let k = stamp_voltage_branch e.Element.id na nb Complex.zero in
+              reactive := React_ind (k, l) :: !reactive
+          | Element.Diode p ->
+              let v = Dc.node_voltage dc na -. Dc.node_voltage dc nb in
+              stamp_admittance na nb
+                (cx (Float.max (Dc.diode_conductance p v) 1e-12))
+          | Element.Vsource _ ->
+              (* AC: unit stimulus on the chosen source, short otherwise. *)
+              ignore
+                (stamp_voltage_branch e.Element.id na nb
+                   (if is_stimulus then Complex.one else Complex.zero))
+          | Element.Current_sensor ->
+              ignore (stamp_voltage_branch e.Element.id na nb Complex.zero)
+          | Element.Isource _ ->
+              if is_stimulus then stamp_current na nb Complex.one)
+        elements;
+      (* gmin keeps faulted topologies solvable, as at DC. *)
+      let g = cx gmin in
+      for i = 0 to n_nodes - 1 do
+        Numeric.Cmatrix.add_to a i i g
+      done;
       let sensors =
         List.filter_map
           (fun (e : Element.t) ->
             match e.Element.kind with
-            | Element.Current_sensor -> Some (e.Element.id, `Current)
+            | Element.Current_sensor ->
+                Some (e.Element.id, `Current (Hashtbl.find branch_index e.Element.id))
             | Element.Voltage_sensor ->
-                Some (e.Element.id, `Voltage (e.Element.node_a, e.Element.node_b))
+                Some
+                  ( e.Element.id,
+                    `Voltage (node e.Element.node_a, node e.Element.node_b) )
             | _ -> None)
           elements
       in
-      List.iter
-        (fun (id, _) ->
-          Hashtbl.add sensor_h id (Array.make (Array.length frequencies) Complex.zero))
-        sensors;
-      let solve_at idx freq =
-        let omega = 2.0 *. Float.pi *. freq in
-        let a = Numeric.Cmatrix.create size size in
-        let b = Array.make size Complex.zero in
-        let stamp_admittance na nb y =
-          (match node na with
-          | Some i -> Numeric.Cmatrix.add_to a i i y
-          | None -> ());
-          (match node nb with
-          | Some j -> Numeric.Cmatrix.add_to a j j y
-          | None -> ());
-          match (node na, node nb) with
-          | Some i, Some j ->
-              Numeric.Cmatrix.add_to a i j (Complex.neg y);
-              Numeric.Cmatrix.add_to a j i (Complex.neg y)
-          | _ -> ()
-        in
-        let stamp_current na nb amps =
-          (match node na with
-          | Some i -> b.(i) <- Complex.sub b.(i) amps
-          | None -> ());
-          match node nb with
-          | Some j -> b.(j) <- Complex.add b.(j) amps
-          | None -> ()
-        in
-        let stamp_voltage_branch e_id na nb volts impedance =
-          let k = Hashtbl.find branch_index e_id in
-          (match node na with
-          | Some i ->
-              Numeric.Cmatrix.add_to a i k Complex.one;
-              Numeric.Cmatrix.add_to a k i Complex.one
-          | None -> ());
-          (match node nb with
-          | Some j ->
-              Numeric.Cmatrix.add_to a j k (cx (-1.0));
-              Numeric.Cmatrix.add_to a k j (cx (-1.0))
-          | None -> ());
-          (* v(a) - v(b) - Z i = volts *)
-          Numeric.Cmatrix.add_to a k k (Complex.neg impedance);
-          b.(k) <- Complex.add b.(k) volts
-        in
+      Ok
+        {
+          ap_node_names = node_names;
+          ap_sensors = sensors;
+          ap_base = a;
+          ap_base_b = b;
+          ap_reactive = !reactive;
+        }
+
+let solve p ~frequencies_hz =
+  List.iter
+    (fun f -> if f <= 0.0 then invalid_arg "Ac.solve: non-positive frequency")
+    frequencies_hz;
+  let frequencies = Array.of_list frequencies_hz in
+  let n_freq = Array.length frequencies in
+  let node_h : response = Hashtbl.create 16 in
+  List.iter
+    (fun n -> Hashtbl.add node_h n (Array.make n_freq Complex.zero))
+    p.ap_node_names;
+  let sensor_h : response = Hashtbl.create 8 in
+  List.iter
+    (fun (id, _) -> Hashtbl.add sensor_h id (Array.make n_freq Complex.zero))
+    p.ap_sensors;
+  let solve_at idx freq =
+    let omega = 2.0 *. Float.pi *. freq in
+    let a = Numeric.Cmatrix.copy p.ap_base in
+    List.iter
+      (function
+        | React_cap (ia, ib, c) ->
+            let y = { Complex.re = 0.0; im = omega *. c } in
+            (match ia with
+            | Some i -> Numeric.Cmatrix.add_to a i i y
+            | None -> ());
+            (match ib with
+            | Some j -> Numeric.Cmatrix.add_to a j j y
+            | None -> ());
+            (match (ia, ib) with
+            | Some i, Some j ->
+                Numeric.Cmatrix.add_to a i j (Complex.neg y);
+                Numeric.Cmatrix.add_to a j i (Complex.neg y)
+            | _ -> ())
+        | React_ind (k, l) ->
+            Numeric.Cmatrix.add_to a k k { Complex.re = 0.0; im = -.(omega *. l) })
+      p.ap_reactive;
+    match Numeric.Cmatrix.solve a p.ap_base_b with
+    | exception Numeric.Cmatrix.Singular k ->
+        Error (Dc.Singular_system (Printf.sprintf "AC pivot failure at %d" k))
+    | x ->
+        List.iteri
+          (fun i n -> (Hashtbl.find node_h n).(idx) <- x.(i))
+          p.ap_node_names;
         List.iter
-          (fun (e : Element.t) ->
-            let na = e.Element.node_a and nb = e.Element.node_b in
-            let is_stimulus = String.equal e.Element.id source in
-            match e.Element.kind with
-            | Element.Resistor r | Element.Load r ->
-                stamp_admittance na nb (cx (1.0 /. r))
-            | Element.Switch true ->
-                stamp_admittance na nb (cx (1.0 /. closed_switch_resistance))
-            | Element.Switch false | Element.Voltage_sensor -> ()
-            | Element.Capacitor c ->
-                stamp_admittance na nb { Complex.re = 0.0; im = omega *. c }
-            | Element.Inductor l ->
-                stamp_voltage_branch e.Element.id na nb Complex.zero
-                  { Complex.re = 0.0; im = omega *. l }
-            | Element.Diode p ->
-                let v = Dc.node_voltage dc na -. Dc.node_voltage dc nb in
-                stamp_admittance na nb
-                  (cx (Float.max (Dc.diode_conductance p v) 1e-12))
-            | Element.Vsource _ ->
-                (* AC: unit stimulus on the chosen source, short otherwise. *)
-                stamp_voltage_branch e.Element.id na nb
-                  (if is_stimulus then Complex.one else Complex.zero)
-                  Complex.zero
-            | Element.Current_sensor ->
-                stamp_voltage_branch e.Element.id na nb Complex.zero Complex.zero
-            | Element.Isource _ ->
-                if is_stimulus then stamp_current na nb Complex.one)
-          elements;
-        (* gmin keeps faulted topologies solvable, as at DC. *)
-        let g = cx gmin in
-        for i = 0 to n_nodes - 1 do
-          Numeric.Cmatrix.add_to a i i g
-        done;
-        match Numeric.Cmatrix.solve a b with
-        | exception Numeric.Cmatrix.Singular k ->
-            Error (Dc.Singular_system (Printf.sprintf "AC pivot failure at %d" k))
-        | x ->
-            List.iteri
-              (fun i n -> (Hashtbl.find node_h n).(idx) <- x.(i))
-              node_names;
-            List.iter
-              (fun (id, kind) ->
-                let h =
-                  match kind with
-                  | `Current -> x.(Hashtbl.find branch_index id)
-                  | `Voltage (na, nb) ->
-                      let v n =
-                        match node n with Some i -> x.(i) | None -> Complex.zero
-                      in
-                      Complex.sub (v na) (v nb)
-                in
-                (Hashtbl.find sensor_h id).(idx) <- h)
-              sensors;
-            Ok ()
-      in
-      let rec run idx =
-        if idx >= Array.length frequencies then
-          Ok { frequencies; node_h; sensor_h }
-        else
-          match solve_at idx frequencies.(idx) with
-          | Error e -> Error e
-          | Ok () -> run (idx + 1)
-      in
-      run 0
+          (fun (id, kind) ->
+            let h =
+              match kind with
+              | `Current k -> x.(k)
+              | `Voltage (ia, ib) ->
+                  let v = function Some i -> x.(i) | None -> Complex.zero in
+                  Complex.sub (v ia) (v ib)
+            in
+            (Hashtbl.find sensor_h id).(idx) <- h)
+          p.ap_sensors;
+        Ok ()
+  in
+  let rec run idx =
+    if idx >= n_freq then Ok { frequencies; node_h; sensor_h }
+    else
+      match solve_at idx frequencies.(idx) with
+      | Error e -> Error e
+      | Ok () -> run (idx + 1)
+  in
+  run 0
+
+let analyse ?gmin ~source netlist ~frequencies_hz =
+  List.iter
+    (fun f ->
+      if f <= 0.0 then invalid_arg "Ac.analyse: non-positive frequency")
+    frequencies_hz;
+  match prepare ?gmin ~source netlist with
+  | Error e -> Error e
+  | Ok p -> solve p ~frequencies_hz
 
 let points_of sweep trace =
   Array.to_list

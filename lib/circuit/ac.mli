@@ -17,16 +17,31 @@ type point = {
 
 type sweep
 
+type prepared
+(** A netlist readied for repeated sweeps: the DC operating point,
+    unknown numbering and every frequency-independent stamp (resistive
+    devices, diode small-signal conductances, source branches, gmin) are
+    computed once.  Each frequency then copies the base matrix and
+    restamps only the reactive entries. *)
+
+val prepare :
+  ?gmin:float -> source:string -> Netlist.t -> (prepared, Dc.error) result
+(** [source] names the [Vsource]/[Isource] carrying the unit AC stimulus
+    (its DC value still sets the operating point).  Raises
+    [Invalid_argument] when [source] is missing or not a source. *)
+
+val solve : prepared -> frequencies_hz:float list -> (sweep, Dc.error) result
+(** Sweep the prepared system.  Raises [Invalid_argument] when a
+    frequency is not positive. *)
+
 val analyse :
   ?gmin:float ->
   source:string ->
   Netlist.t ->
   frequencies_hz:float list ->
   (sweep, Dc.error) result
-(** [source] names the [Vsource]/[Isource] carrying the unit AC stimulus
-    (its DC value still sets the operating point).  Raises
-    [Invalid_argument] when [source] is missing or not a source, or when
-    a frequency is not positive. *)
+(** [prepare] followed by [solve]; kept for single-sweep callers.
+    Raises [Invalid_argument] as both halves do. *)
 
 val node_response : sweep -> string -> point list
 (** Transfer function to a node voltage.  Raises [Not_found]. *)

@@ -16,7 +16,14 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-val analyse : ?gmin:float -> ?max_iterations:int -> ?max_step_param:float -> Netlist.t -> (solution, error) result
+type backend = [ `Auto | `Dense | `Sparse ]
+(** Linear-algebra backend for the MNA system.  [`Auto] (the default)
+    picks dense below ~128 unknowns — where the dense kernel's low
+    constant wins — and sparse (CSR, minimum-degree ordering,
+    Gilbert–Peierls LU) above, where dense O(n³) factorisation is almost
+    entirely wasted work on structural zeros. *)
+
+val analyse : ?gmin:float -> ?backend:backend -> ?max_iterations:int -> ?max_step_param:float -> Netlist.t -> (solution, error) result
 (** Default [gmin] 1e-9 S, [max_iterations] 200.  Equivalent to
     {!prepare} followed by {!solve}. *)
 
@@ -30,16 +37,63 @@ val analyse : ?gmin:float -> ?max_iterations:int -> ?max_step_param:float -> Net
     each iteration copies the base matrix/RHS and restamps only the diode
     companion entries, instead of rebuilding the full MNA system from the
     element list.  Linear circuits skip the copy entirely and factor the
-    base system directly. *)
+    base system directly.  On the sparse backend the fill-reducing
+    ordering and the diode stamp positions are computed once here and
+    reused by every subsequent factorisation. *)
 
 type prepared
 
-val prepare : ?gmin:float -> Netlist.t -> prepared
-(** O(elements + size²) — one element walk and one base-system fill. *)
+val prepare : ?gmin:float -> ?backend:backend -> Netlist.t -> prepared
+(** O(elements + nnz) — one element walk and one base-system assembly. *)
+
+val size : prepared -> int
+(** Number of MNA unknowns (node voltages + branch currents). *)
+
+val backend_used : prepared -> [ `Dense | `Sparse ]
 
 val solve : ?max_iterations:int -> ?max_step_param:float -> prepared -> (solution, error) result
 (** A prepared netlist may be solved any number of times; [prepared] is
     immutable after construction and safe to share across domains. *)
+
+(** {1 Golden factors and low-rank fault re-solve}
+
+    Injecting a failure mode changes a handful of MNA stamps — an open,
+    short or drift on one element is a rank-0/1/2 perturbation
+    [A + U·Vᵀ] of the golden matrix.  {!factorise} captures the golden
+    factorisation once; {!inject} classifies a fault into its low-rank
+    delta and re-solves via Sherman–Morrison–Woodbury against the
+    existing factors in O(n²·k) (dense) / O(nnz·k) (sparse) instead of
+    refactorising a freshly assembled faulted system.  Circuits with
+    diodes warm-start Newton from the golden operating point, each
+    iteration adding per-diode [(g(v) − g_op)] rank-1 corrections. *)
+
+type golden
+
+val factorise : ?max_iterations:int -> ?max_step_param:float -> prepared -> (golden, error) result
+(** Solve the golden system and keep its factors, operating point and
+    solution for reuse by {!inject}.  [golden] is immutable and safe to
+    share across domains. *)
+
+val golden_solution : golden -> solution
+
+val inject :
+  ?max_iterations:int ->
+  ?max_step_param:float ->
+  ?on_path:([ `Reused | `Rank_update of int ] -> unit) ->
+  golden ->
+  element_id:string ->
+  Fault.t ->
+  (solution, error) result
+(** Solve the circuit with the given fault applied to one element,
+    reusing the golden factors.  [on_path] reports how the solve was
+    served: [`Reused] — the fault does not change the system (e.g. an
+    open capacitor) and the golden solution was re-extracted;
+    [`Rank_update k] — a rank-[k] SMW re-solve ([k = 0] is an RHS-only
+    change, one substitution against the golden factors).  Raises
+    [Not_found] for an unknown element and {!Fault.Not_applicable} as
+    {!Fault.inject}.  Results match a full re-analysis of the faulted
+    netlist to solver tolerance (roundoff for linear circuits, Newton
+    tolerance when diodes are present). *)
 
 val node_voltage : solution -> string -> float
 (** 0.0 for ground; raises [Not_found] for unknown nodes. *)

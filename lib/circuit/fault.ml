@@ -26,35 +26,36 @@ let applicable kind fault =
       true
   | Parameter_shift _, _ -> false
 
+let faulted_kind kind fault ~element =
+  let not_applicable reason =
+    raise (Not_applicable { element; fault; reason })
+  in
+  match fault with
+  | Open_circuit -> Element.Switch false
+  | Short_circuit -> Element.Resistor short_resistance
+  | Stuck_value v -> (
+      match kind with
+      | Element.Vsource _ -> Element.Vsource v
+      | Element.Isource _ -> Element.Isource v
+      | _ -> not_applicable "stuck values only apply to sources")
+  | Parameter_shift factor -> (
+      match kind with
+      | Element.Resistor r -> Element.Resistor (r *. factor)
+      | Element.Load r -> Element.Load (r *. factor)
+      | Element.Inductor l -> Element.Inductor (l *. factor)
+      | Element.Capacitor c -> Element.Capacitor (c *. factor)
+      | Element.Vsource v -> Element.Vsource (v *. factor)
+      | Element.Isource i -> Element.Isource (i *. factor)
+      | _ -> not_applicable "no primary parameter to shift")
+
 let inject netlist ~element_id fault =
   let e =
     match Netlist.find netlist element_id with
     | Some e -> e
     | None -> raise Not_found
   in
-  let not_applicable reason =
-    raise (Not_applicable { element = element_id; fault; reason })
-  in
-  let new_kind =
-    match fault with
-    | Open_circuit -> Element.Switch false
-    | Short_circuit -> Element.Resistor short_resistance
-    | Stuck_value v -> (
-        match e.Element.kind with
-        | Element.Vsource _ -> Element.Vsource v
-        | Element.Isource _ -> Element.Isource v
-        | _ -> not_applicable "stuck values only apply to sources")
-    | Parameter_shift factor -> (
-        match e.Element.kind with
-        | Element.Resistor r -> Element.Resistor (r *. factor)
-        | Element.Load r -> Element.Load (r *. factor)
-        | Element.Inductor l -> Element.Inductor (l *. factor)
-        | Element.Capacitor c -> Element.Capacitor (c *. factor)
-        | Element.Vsource v -> Element.Vsource (v *. factor)
-        | Element.Isource i -> Element.Isource (i *. factor)
-        | _ -> not_applicable "no primary parameter to shift")
-  in
-  Netlist.replace netlist element_id new_kind
+  Netlist.replace netlist element_id
+    (faulted_kind e.Element.kind fault ~element:element_id)
 
 let contains_sub s sub =
   let n = String.length s and m = String.length sub in

@@ -15,6 +15,12 @@ val to_string : t -> string
 
 exception Not_applicable of { element : string; fault : t; reason : string }
 
+val faulted_kind : Element.kind -> t -> element:string -> Element.kind
+(** The element kind a fault transforms the given kind into — the single
+    source of truth shared by {!inject} (netlist rewriting) and the
+    low-rank re-solve path in {!Dc.inject}.  Raises {!Not_applicable} as
+    {!inject}. *)
+
 val inject : Netlist.t -> element_id:string -> t -> Netlist.t
 (** Raises [Not_found] for an unknown element and {!Not_applicable} for a
     meaningless combination (e.g. [Stuck_value] on a resistor,

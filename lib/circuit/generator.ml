@@ -1,0 +1,67 @@
+let supply_volts = 12.0
+let series_ohms = 0.05
+let load_ohms = 100.0
+let sensor_stride = 16
+
+let r id a b ohms = Element.make ~id ~kind:(Element.Resistor ohms) a b
+let load id a ohms = Element.make ~id ~kind:(Element.Load ohms) a Netlist.ground
+
+let ladder ~sections =
+  if sections < 1 then invalid_arg "Generator.ladder: need at least 1 section";
+  let elements = ref [] in
+  let push e = elements := e :: !elements in
+  push (Element.make ~id:"VIN" ~kind:(Element.Vsource supply_volts) "vin"
+          Netlist.ground);
+  let prev = ref "vin" in
+  for i = 1 to sections do
+    let here = Printf.sprintf "n%d" i in
+    if i mod sensor_stride = 0 then begin
+      (* Tap point: a current sensor in series with the segment
+         resistor, adding one internal node and one branch unknown. *)
+      let mid = Printf.sprintf "m%d" i in
+      push
+        (Element.make
+           ~id:(Printf.sprintf "CS%d" i)
+           ~kind:Element.Current_sensor !prev mid);
+      push (r (Printf.sprintf "RS%d" i) mid here series_ohms)
+    end
+    else push (r (Printf.sprintf "RS%d" i) !prev here series_ohms);
+    push (load (Printf.sprintf "RL%d" i) here load_ohms);
+    prev := here
+  done;
+  push
+    (Element.make ~id:"VOUT" ~kind:Element.Voltage_sensor !prev Netlist.ground);
+  Netlist.of_elements
+    (Printf.sprintf "ladder-%d" sections)
+    (List.rev !elements)
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then
+    invalid_arg "Generator.grid: need at least a 1x1 grid";
+  let node rr cc = Printf.sprintf "g%d_%d" rr cc in
+  let elements = ref [] in
+  let push e = elements := e :: !elements in
+  (* Feed at the (0,0) corner through a sensed supply branch. *)
+  push (Element.make ~id:"VIN" ~kind:(Element.Vsource supply_volts) "vin"
+          Netlist.ground);
+  push (Element.make ~id:"CS0" ~kind:Element.Current_sensor "vin" (node 0 0));
+  for rr = 0 to rows - 1 do
+    for cc = 0 to cols - 1 do
+      if cc < cols - 1 then
+        push
+          (r (Printf.sprintf "RH%d_%d" rr cc) (node rr cc)
+             (node rr (cc + 1))
+             series_ohms);
+      if rr < rows - 1 then
+        push
+          (r (Printf.sprintf "RV%d_%d" rr cc) (node rr cc)
+             (node (rr + 1) cc)
+             series_ohms);
+      push (load (Printf.sprintf "RL%d_%d" rr cc) (node rr cc) load_ohms)
+    done
+  done;
+  push
+    (Element.make ~id:"VOUT" ~kind:Element.Voltage_sensor
+       (node (rows - 1) (cols - 1))
+       Netlist.ground);
+  Netlist.of_elements (Printf.sprintf "grid-%dx%d" rows cols) (List.rev !elements)

@@ -1,0 +1,21 @@
+(** Synthetic scalable netlists for benchmarking and scaling studies.
+
+    Both topologies model a DC power-distribution network: a 12 V supply
+    feeding resistive segments ([0.05 Ω]) with a [100 Ω] load hanging
+    off every junction.  They are purely linear (no diodes), so faulted
+    re-solves admit an exact accuracy comparison against dense
+    re-analysis.  Generation is deterministic: the same parameters
+    always produce the identical netlist. *)
+
+val ladder : sections:int -> Netlist.t
+(** A series ladder of [sections] segments.  Every 16th segment routes
+    through a current sensor (adding an internal node and a branch
+    unknown); a voltage sensor watches the far end.  MNA unknowns grow
+    as roughly [sections * 17/16 + 2] — [~578] at 512 sections.  Raises
+    [Invalid_argument] when [sections < 1]. *)
+
+val grid : rows:int -> cols:int -> Netlist.t
+(** A [rows x cols] resistive mesh fed at one corner through a sensed
+    supply branch, load at every junction, voltage sensor at the
+    opposite corner.  MNA unknowns are [rows * cols + 3].  Raises
+    [Invalid_argument] when either dimension is [< 1]. *)

@@ -208,8 +208,12 @@ let injection_fmea t ?previous ~options diagram reliability =
               ~fp_netlist
       in
       let on_classified () = Stats.incr_row_classified t.p_stats in
+      let on_solved = function
+        | `Reused | `Rank_update _ -> Stats.incr_rank_update t.p_stats
+        | `Refactor -> Stats.incr_refactorisation t.p_stats
+      in
       Fmea.Injection_fmea.analyse ~options ~element_types ~prepared ?reuse
-        ~on_classified netlist reliability)
+        ~on_classified ~on_solved netlist reliability)
 
 (* ---------- path FMEA ---------- *)
 

@@ -6,6 +6,8 @@ type t = {
   golden_solves : int Atomic.t;
   rows_classified : int Atomic.t;
   rows_reused : int Atomic.t;
+  rank_updates : int Atomic.t;
+  refactorisations : int Atomic.t;
 }
 
 let create () =
@@ -17,6 +19,8 @@ let create () =
     golden_solves = Atomic.make 0;
     rows_classified = Atomic.make 0;
     rows_reused = Atomic.make 0;
+    rank_updates = Atomic.make 0;
+    refactorisations = Atomic.make 0;
   }
 
 let reset t =
@@ -26,7 +30,9 @@ let reset t =
   Atomic.set t.stores 0;
   Atomic.set t.golden_solves 0;
   Atomic.set t.rows_classified 0;
-  Atomic.set t.rows_reused 0
+  Atomic.set t.rows_reused 0;
+  Atomic.set t.rank_updates 0;
+  Atomic.set t.refactorisations 0
 
 let incr_mem_hit t = Atomic.incr t.mem_hits
 let incr_disk_hit t = Atomic.incr t.disk_hits
@@ -35,6 +41,8 @@ let incr_store t = Atomic.incr t.stores
 let incr_golden_solve t = Atomic.incr t.golden_solves
 let incr_row_classified t = Atomic.incr t.rows_classified
 let incr_row_reused t = Atomic.incr t.rows_reused
+let incr_rank_update t = Atomic.incr t.rank_updates
+let incr_refactorisation t = Atomic.incr t.refactorisations
 
 type snapshot = {
   mem_hits : int;
@@ -44,6 +52,8 @@ type snapshot = {
   golden_solves : int;
   rows_classified : int;
   rows_reused : int;
+  rank_updates : int;
+  refactorisations : int;
 }
 
 let snapshot (t : t) =
@@ -55,6 +65,8 @@ let snapshot (t : t) =
     golden_solves = Atomic.get t.golden_solves;
     rows_classified = Atomic.get t.rows_classified;
     rows_reused = Atomic.get t.rows_reused;
+    rank_updates = Atomic.get t.rank_updates;
+    refactorisations = Atomic.get t.refactorisations;
   }
 
 let hits s = s.mem_hits + s.disk_hits
@@ -64,12 +76,14 @@ let solves_performed s = s.golden_solves + s.rows_classified
 let pp ppf s =
   Format.fprintf ppf
     "engine: %d cache hit%s (%d memory, %d disk), %d miss%s; %d solve%s \
-     performed (%d golden + %d injections); %d row%s reused"
+     performed (%d golden + %d injections, %d by rank update, %d \
+     refactorised); %d row%s reused"
     (hits s)
     (if hits s = 1 then "" else "s")
     s.mem_hits s.disk_hits s.misses
     (if s.misses = 1 then "" else "es")
     (solves_performed s)
     (if solves_performed s = 1 then "" else "s")
-    s.golden_solves s.rows_classified s.rows_reused
+    s.golden_solves s.rows_classified s.rank_updates s.refactorisations
+    s.rows_reused
     (if s.rows_reused = 1 then "" else "s")

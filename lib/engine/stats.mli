@@ -22,6 +22,8 @@ val incr_store : t -> unit
 val incr_golden_solve : t -> unit
 val incr_row_classified : t -> unit
 val incr_row_reused : t -> unit
+val incr_rank_update : t -> unit
+val incr_refactorisation : t -> unit
 
 type snapshot = {
   mem_hits : int;  (** artefacts served from the memory tier *)
@@ -31,6 +33,13 @@ type snapshot = {
   golden_solves : int;  (** golden (un-faulted) circuit solves *)
   rows_classified : int;  (** FMEA rows classified by fault injection *)
   rows_reused : int;  (** FMEA rows taken verbatim from a previous table *)
+  rank_updates : int;
+      (** faulted solves served by a low-rank (SMW) re-solve against the
+          golden factors — including zero-delta reuses of the golden
+          solution *)
+  refactorisations : int;
+      (** faulted solves that assembled and factorised a system from
+          scratch *)
 }
 
 val snapshot : t -> snapshot

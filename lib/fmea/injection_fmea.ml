@@ -17,12 +17,11 @@ let default_options =
 
 type element_types = (string * string) list
 
-exception Golden_run_failed of string
+type solver = [ `Reuse | `Refactor of Circuit.Dc.backend ]
 
-let golden_solution netlist =
-  match Circuit.Dc.analyse netlist with
-  | Ok s -> s
-  | Error e -> raise (Golden_run_failed (Format.asprintf "%a" Circuit.Dc.pp_error e))
+type solve_path = [ `Reused | `Rank_update of int | `Refactor ]
+
+exception Golden_run_failed of string
 
 let max_element_current netlist solution =
   List.fold_left
@@ -34,17 +33,34 @@ let max_element_current netlist solution =
 (* The golden run and everything derived from it, computed once and
    shared — across the repeated single classifications of the "delve into
    a component" workflow, and (read-only) across the domains of the
-   parallel analysis. *)
+   parallel analysis.  Under the default [`Reuse] solver this includes
+   the golden MNA factorisation, which every injection then re-solves
+   against via a low-rank update instead of refactorising. *)
 type prepared = {
   p_options : options;
   p_netlist : Circuit.Netlist.t;
+  (* Some iff the solver is [`Reuse]. *)
+  p_factors : Circuit.Dc.golden option;
+  (* The backend forced on per-injection re-analysis under [`Refactor]. *)
+  p_refactor_backend : Circuit.Dc.backend;
   p_golden : Circuit.Dc.solution;
   p_golden_max_current : float;
   p_golden_readings : (string * float) list;  (* monitored, in sensor order *)
 }
 
-let prepare ?(options = default_options) netlist =
-  let golden = golden_solution netlist in
+let prepare ?(options = default_options) ?(solver = `Reuse) netlist =
+  let fail e = raise (Golden_run_failed (Format.asprintf "%a" Circuit.Dc.pp_error e)) in
+  let factors, refactor_backend, golden =
+    match solver with
+    | `Reuse -> (
+        match Circuit.Dc.factorise (Circuit.Dc.prepare netlist) with
+        | Ok g -> (Some g, `Auto, Circuit.Dc.golden_solution g)
+        | Error e -> fail e)
+    | `Refactor backend -> (
+        match Circuit.Dc.analyse ~backend netlist with
+        | Ok s -> (None, backend, s)
+        | Error e -> fail e)
+  in
   let monitored readings =
     match options.monitored_sensors with
     | None -> readings
@@ -54,6 +70,8 @@ let prepare ?(options = default_options) netlist =
   {
     p_options = options;
     p_netlist = netlist;
+    p_factors = factors;
+    p_refactor_backend = refactor_backend;
     p_golden = golden;
     p_golden_max_current = max_element_current netlist golden;
     p_golden_readings = monitored (Circuit.Dc.all_sensor_readings golden);
@@ -89,39 +107,58 @@ let compare_readings options golden_readings faulty =
           else acc)
     None golden_readings
 
-let classify_prepared p ~element_id fault =
+(* The faulted solve itself: the low-rank re-solve against the golden
+   factors under [`Reuse], or a from-scratch assemble + factorise of the
+   faulted netlist under [`Refactor]. *)
+let faulted_solution p ~on_solved ~element_id fault =
+  match p.p_factors with
+  | Some g ->
+      Circuit.Dc.inject
+        ~on_path:(fun path -> on_solved (path :> solve_path))
+        g ~element_id fault
+  | None -> (
+      let faulted = Circuit.Fault.inject p.p_netlist ~element_id fault in
+      on_solved `Refactor;
+      Circuit.Dc.analyse ~backend:p.p_refactor_backend faulted)
+
+let classify_prepared ?(on_solved = fun (_ : solve_path) -> ()) p ~element_id
+    fault =
   let options = p.p_options in
-  match Circuit.Fault.inject p.p_netlist ~element_id fault with
+  match faulted_solution p ~on_solved ~element_id fault with
   | exception Circuit.Fault.Not_applicable { reason; _ } ->
       `Simulation_failed (Printf.sprintf "fault not applicable: %s" reason)
-  | faulted -> (
-      match Circuit.Dc.analyse faulted with
-      | Error e -> `Simulation_failed (Format.asprintf "%a" Circuit.Dc.pp_error e)
-      | Ok solution -> (
-          let plausible =
-            match options.overcurrent_factor with
-            | None -> true
-            | Some factor ->
-                max_element_current faulted solution
-                <= factor *. Float.max p.p_golden_max_current 1e-12
-          in
-          if not plausible then
-            `Excluded
-              "non-physical operating point (supply overcurrent) — violates \
-               the stable-supply assumption; excluded from classification"
-          else
-            match compare_readings options p.p_golden_readings solution with
-            | Some (sensor, rel) ->
-                `Safety_related
-                  (Printf.sprintf "%s deviates by %.0f%%" sensor (100.0 *. rel))
-            | None -> `No_effect))
+  | Error e -> `Simulation_failed (Format.asprintf "%a" Circuit.Dc.pp_error e)
+  | Ok solution -> (
+      let plausible =
+        match options.overcurrent_factor with
+        | None -> true
+        | Some factor ->
+            (* Element ids — and therefore the set of currents to bound —
+               are unchanged by faults, so the golden netlist indexes the
+               faulted solution too. *)
+            max_element_current p.p_netlist solution
+            <= factor *. Float.max p.p_golden_max_current 1e-12
+      in
+      if not plausible then
+        `Excluded
+          "non-physical operating point (supply overcurrent) — violates \
+           the stable-supply assumption; excluded from classification"
+      else
+        match compare_readings options p.p_golden_readings solution with
+        | Some (sensor, rel) ->
+            `Safety_related
+              (Printf.sprintf "%s deviates by %.0f%%" sensor (100.0 *. rel))
+        | None -> `No_effect)
 
-let classify_single ?(options = default_options) netlist ~element_id fault =
-  classify_prepared (prepare ~options netlist) ~element_id fault
+let classify_single ?(options = default_options) ?solver netlist ~element_id
+    fault =
+  classify_prepared (prepare ~options ?solver netlist) ~element_id fault
 
-let analyse ?(options = default_options) ?(element_types = []) ?prepared
-    ?reuse ?on_classified netlist reliability =
-  let p = match prepared with Some p -> p | None -> prepare ~options netlist in
+let analyse ?(options = default_options) ?(element_types = []) ?solver
+    ?prepared ?reuse ?on_classified ?on_solved netlist reliability =
+  let p =
+    match prepared with Some p -> p | None -> prepare ~options ?solver netlist
+  in
   let type_of (e : Circuit.Element.t) =
     match List.assoc_opt e.Circuit.Element.id element_types with
     | Some t -> t
@@ -163,7 +200,7 @@ let analyse ?(options = default_options) ?(element_types = []) ?prepared
           ~safety_related:false ()
     | Some fault -> (
         (match on_classified with Some hook -> hook () | None -> ());
-        match classify_prepared p ~element_id:id fault with
+        match classify_prepared ?on_solved p ~element_id:id fault with
         | `Safety_related impact -> mk ~impact ~safety_related:true ()
         | `No_effect ->
             mk ~impact:"sensor readings within threshold" ~safety_related:false

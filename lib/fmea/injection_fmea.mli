@@ -42,20 +42,35 @@ type element_types = (string * string) list
     {!Blockdiag.To_netlist}); elements not listed fall back to their
     {!Circuit.Element.kind_name}. *)
 
+type solver = [ `Reuse | `Refactor of Circuit.Dc.backend ]
+(** How faulted systems are solved.  [`Reuse] (the default) factorises
+    the golden MNA system once and serves every injection as a low-rank
+    (Sherman–Morrison–Woodbury) re-solve against those factors —
+    {!Circuit.Dc.inject}.  [`Refactor b] is the from-scratch baseline:
+    each injection rewrites the netlist, re-assembles and refactorises on
+    backend [b]; kept for comparison benchmarks and as an escape hatch. *)
+
+type solve_path = [ `Reused | `Rank_update of int | `Refactor ]
+(** How one faulted solve was served, reported through [on_solved]:
+    golden solution reused as-is, rank-[k] update against the golden
+    factors, or a full refactorise. *)
+
 exception Golden_run_failed of string
 (** The un-faulted netlist itself does not solve. *)
 
 type prepared
 (** The golden run and its derived observables (max element current,
-    monitored sensor readings), computed once by {!prepare} and shared by
-    any number of {!classify_prepared} calls. *)
+    monitored sensor readings, and — under [`Reuse] — the golden MNA
+    factorisation), computed once by {!prepare} and shared by any number
+    of {!classify_prepared} calls. *)
 
-val prepare : ?options:options -> Circuit.Netlist.t -> prepared
+val prepare : ?options:options -> ?solver:solver -> Circuit.Netlist.t -> prepared
 (** Solves the golden netlist; raises {!Golden_run_failed} if it does not
     converge.  The result is immutable and safe to share across
     domains. *)
 
 val classify_prepared :
+  ?on_solved:(solve_path -> unit) ->
   prepared ->
   element_id:string ->
   Circuit.Fault.t ->
@@ -69,6 +84,7 @@ val classify_prepared :
 
 val classify_single :
   ?options:options ->
+  ?solver:solver ->
   Circuit.Netlist.t ->
   element_id:string ->
   Circuit.Fault.t ->
@@ -82,9 +98,11 @@ val classify_single :
 val analyse :
   ?options:options ->
   ?element_types:element_types ->
+  ?solver:solver ->
   ?prepared:prepared ->
   ?reuse:(component:string -> failure_mode:string -> Table.row option) ->
   ?on_classified:(unit -> unit) ->
+  ?on_solved:(solve_path -> unit) ->
   Circuit.Netlist.t ->
   Reliability.Reliability_model.t ->
   Table.t
@@ -106,4 +124,8 @@ val analyse :
       must be thread-safe.
     - [on_classified] fires once per row actually classified by fault
       injection (not for reused rows, nor for failure modes without a
-      fault model).  Called from pool domains — must be thread-safe. *)
+      fault model).  Called from pool domains — must be thread-safe.
+    - [on_solved] fires once per faulted solve with the path that served
+      it (reused / rank-k update / full refactorise), for the engine's
+      solver statistics.  Called from pool domains — must be
+      thread-safe. *)

@@ -23,6 +23,8 @@ let add_to m i j v =
   let k = index m i j in
   m.data.(k) <- Complex.add m.data.(k) v
 
+let copy m = { m with data = Array.copy m.data }
+
 exception Singular of int
 
 let pivot_threshold = 1e-13

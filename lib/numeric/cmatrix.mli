@@ -19,6 +19,8 @@ val set : t -> int -> int -> Complex.t -> unit
 
 val add_to : t -> int -> int -> Complex.t -> unit
 
+val copy : t -> t
+
 exception Singular of int
 
 val solve : t -> Complex.t array -> Complex.t array

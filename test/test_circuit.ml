@@ -311,6 +311,181 @@ let test_fault_name_mapping () =
     | _ -> false);
   Alcotest.(check bool) "unknown" true (Fault.of_failure_mode_name "jitter" = None)
 
+(* ---------- Golden-factor injection vs full re-analysis ---------- *)
+
+(* One element of every stamp class, so every fault → low-rank-delta rule
+   in [Dc.inject] gets exercised: conductance rank-1s, RHS-only source
+   faults, branch disable (rank-2), branch short, diode companion
+   removal, and the zero-delta "reused" cases. *)
+let mixed_netlist () =
+  Netlist.of_elements "mixed"
+    [
+      Element.make ~id:"V1" ~kind:(Element.Vsource 12.0) "vin" "gnd";
+      Element.make ~id:"R1" ~kind:(Element.Resistor 10.0) "vin" "mid";
+      Element.make ~id:"CS" ~kind:Element.Current_sensor "mid" "rail";
+      Element.make ~id:"D1" ~kind:(Element.Diode Element.default_diode) "rail" "out";
+      Element.make ~id:"R2" ~kind:(Element.Resistor 100.0) "out" "gnd";
+      Element.make ~id:"SW" ~kind:(Element.Switch true) "rail" "aux";
+      Element.make ~id:"RL" ~kind:(Element.Load 50.0) "aux" "gnd";
+      Element.make ~id:"C1" ~kind:(Element.Capacitor 1e-6) "out" "gnd";
+      Element.make ~id:"L1" ~kind:(Element.Inductor 1e-3) "rail" "lout";
+      Element.make ~id:"R3" ~kind:(Element.Resistor 200.0) "lout" "gnd";
+      Element.make ~id:"VS" ~kind:Element.Voltage_sensor "out" "gnd";
+      Element.make ~id:"I1" ~kind:(Element.Isource 0.01) "gnd" "out";
+    ]
+
+(* Same topology without the diode: the faulted circuits are linear, so
+   the SMW path (with its refinement step) must agree to roundoff. *)
+let mixed_linear_netlist () =
+  Netlist.of_elements "mixed-linear"
+    [
+      Element.make ~id:"V1" ~kind:(Element.Vsource 12.0) "vin" "gnd";
+      Element.make ~id:"R1" ~kind:(Element.Resistor 10.0) "vin" "mid";
+      Element.make ~id:"CS" ~kind:Element.Current_sensor "mid" "rail";
+      Element.make ~id:"R2" ~kind:(Element.Resistor 100.0) "rail" "out";
+      Element.make ~id:"RO" ~kind:(Element.Resistor 100.0) "out" "gnd";
+      Element.make ~id:"SW" ~kind:(Element.Switch true) "rail" "aux";
+      Element.make ~id:"RL" ~kind:(Element.Load 50.0) "aux" "gnd";
+      Element.make ~id:"C1" ~kind:(Element.Capacitor 1e-6) "out" "gnd";
+      Element.make ~id:"L1" ~kind:(Element.Inductor 1e-3) "rail" "lout";
+      Element.make ~id:"R3" ~kind:(Element.Resistor 200.0) "lout" "gnd";
+      Element.make ~id:"VS" ~kind:Element.Voltage_sensor "out" "gnd";
+      Element.make ~id:"I1" ~kind:(Element.Isource 0.01) "gnd" "out";
+    ]
+
+let injection_cases nl =
+  List.concat_map
+    (fun (e : Element.t) ->
+      let base = [ Fault.Open_circuit; Fault.Short_circuit ] in
+      let extra =
+        match e.Element.kind with
+        | Element.Vsource _ | Element.Isource _ ->
+            [ Fault.Stuck_value 2.0; Fault.Parameter_shift 0.5 ]
+        | Element.Resistor _ | Element.Load _ | Element.Inductor _
+        | Element.Capacitor _ ->
+            [ Fault.Parameter_shift 2.0 ]
+        | _ -> []
+      in
+      List.map (fun f -> (e.Element.id, f)) (base @ extra))
+    (Netlist.elements nl)
+
+let observables s ids nodes =
+  List.map (fun id -> Dc.element_current s id) ids
+  @ List.map (fun n -> Dc.node_voltage s n) nodes
+  @ List.map snd (Dc.all_sensor_readings s)
+
+(* [eps] is relative to the observable's magnitude: Newton tolerance
+   bounds voltage agreement, and currents through mΩ shorts amplify it. *)
+let check_inject_matches_reanalysis ~eps ?backend nl =
+  let p = Dc.prepare ?backend nl in
+  let g =
+    match Dc.factorise p with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Format.asprintf "golden failed: %a" Dc.pp_error e)
+  in
+  let ids = List.map (fun (e : Element.t) -> e.Element.id) (Netlist.elements nl) in
+  let nodes = Netlist.nodes nl in
+  List.iter
+    (fun (id, fault) ->
+      let what = Printf.sprintf "%s/%s" id (Fault.to_string fault) in
+      let fast = Dc.inject g ~element_id:id fault in
+      let slow = Dc.analyse (Fault.inject nl ~element_id:id fault) in
+      match (fast, slow) with
+      | Ok sf, Ok ss ->
+          List.iter2
+            (fun a b ->
+              check_float
+                ~eps:(eps *. (1.0 +. Float.max (Float.abs a) (Float.abs b)))
+                what b a)
+            (observables sf ids nodes) (observables ss ids nodes)
+      | Error _, Error _ -> ()
+      | Ok _, Error e ->
+          Alcotest.fail
+            (Format.asprintf "%s: re-analysis failed (%a) but inject succeeded"
+               what Dc.pp_error e)
+      | Error e, Ok _ ->
+          Alcotest.fail
+            (Format.asprintf "%s: inject failed (%a) but re-analysis succeeded"
+               what Dc.pp_error e))
+    (injection_cases nl)
+
+let test_inject_matches_dense () =
+  check_inject_matches_reanalysis ~eps:1e-4 (mixed_netlist ())
+
+let test_inject_matches_linear () =
+  check_inject_matches_reanalysis ~eps:1e-8 (mixed_linear_netlist ())
+
+let test_inject_matches_sparse_backend () =
+  check_inject_matches_reanalysis ~eps:1e-4 ~backend:`Sparse (mixed_netlist ())
+
+let test_sparse_backend_matches_dense () =
+  let nl = mixed_netlist () in
+  let sd = solve_exn nl in
+  let ss =
+    match Dc.analyse ~backend:`Sparse nl with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Format.asprintf "sparse: %a" Dc.pp_error e)
+  in
+  let ids = List.map (fun (e : Element.t) -> e.Element.id) (Netlist.elements nl) in
+  let nodes = Netlist.nodes nl in
+  List.iter2
+    (fun a b -> check_float ~eps:1e-6 "sparse vs dense" b a)
+    (observables ss ids nodes) (observables sd ids nodes)
+
+let test_inject_floating_node_singular () =
+  (* With gmin = 0 an open on R1 leaves n2 with no conductive connection
+     at all (the voltage sensor does not conduct): both the full
+     re-analysis and the SMW path must report a singular system. *)
+  let nl =
+    Netlist.of_elements "floating"
+      [
+        Element.make ~id:"V1" ~kind:(Element.Vsource 5.0) "vin" "gnd";
+        Element.make ~id:"R1" ~kind:(Element.Resistor 10.0) "vin" "n2";
+        Element.make ~id:"VS" ~kind:Element.Voltage_sensor "n2" "gnd";
+      ]
+  in
+  (match Dc.analyse ~gmin:0.0 (Fault.inject nl ~element_id:"R1" Fault.Open_circuit) with
+  | Error (Dc.Singular_system _) -> ()
+  | _ -> Alcotest.fail "dense re-analysis: expected Singular_system");
+  List.iter
+    (fun backend ->
+      let p = Dc.prepare ~gmin:0.0 ~backend nl in
+      match Dc.factorise p with
+      | Error e ->
+          Alcotest.fail (Format.asprintf "golden failed: %a" Dc.pp_error e)
+      | Ok g -> (
+          match Dc.inject g ~element_id:"R1" Fault.Open_circuit with
+          | Error (Dc.Singular_system _) -> ()
+          | _ -> Alcotest.fail "inject: expected Singular_system"))
+    [ `Dense; `Sparse ]
+
+let test_inject_paths_reported () =
+  (* Exact ranks hold on the linear netlist; with diodes present Newton
+     may add per-diode rank-1 corrections on top of the fault delta. *)
+  let nl = mixed_linear_netlist () in
+  let g =
+    match Dc.factorise (Dc.prepare nl) with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Format.asprintf "golden: %a" Dc.pp_error e)
+  in
+  let path_of id fault =
+    let seen = ref None in
+    ignore (Dc.inject ~on_path:(fun p -> seen := Some p) g ~element_id:id fault);
+    !seen
+  in
+  Alcotest.(check bool) "capacitor open reused" true
+    (path_of "C1" Fault.Open_circuit = Some `Reused);
+  Alcotest.(check bool) "closed switch short reused" true
+    (path_of "SW" Fault.Short_circuit = Some `Reused);
+  Alcotest.(check bool) "vsource stuck is rhs-only" true
+    (path_of "V1" (Fault.Stuck_value 2.0) = Some (`Rank_update 0));
+  Alcotest.(check bool) "sensor open is rank-2" true
+    (path_of "CS" Fault.Open_circuit = Some (`Rank_update 2));
+  Alcotest.(check bool) "resistor short is rank >= 1" true
+    (match path_of "R2" Fault.Short_circuit with
+    | Some (`Rank_update k) -> k >= 1
+    | _ -> false)
+
 (* ---------- Library ---------- *)
 
 let test_library_lookup () =
@@ -369,6 +544,16 @@ let suite =
     Alcotest.test_case "fault stuck/shift" `Quick test_fault_stuck_and_shift;
     Alcotest.test_case "fault not applicable" `Quick test_fault_not_applicable;
     Alcotest.test_case "fault name mapping" `Quick test_fault_name_mapping;
+    Alcotest.test_case "inject matches re-analysis" `Quick test_inject_matches_dense;
+    Alcotest.test_case "inject matches re-analysis (linear)" `Quick
+      test_inject_matches_linear;
+    Alcotest.test_case "inject matches re-analysis (sparse)" `Quick
+      test_inject_matches_sparse_backend;
+    Alcotest.test_case "sparse backend matches dense" `Quick
+      test_sparse_backend_matches_dense;
+    Alcotest.test_case "inject floating node singular" `Quick
+      test_inject_floating_node_singular;
+    Alcotest.test_case "inject paths reported" `Quick test_inject_paths_reported;
     Alcotest.test_case "library lookup" `Quick test_library_lookup;
     Alcotest.test_case "library coverage" `Quick test_library_coverage;
     Alcotest.test_case "library distributions" `Quick test_library_distributions_sum;
@@ -582,12 +767,51 @@ let ac_suite =
     check_float ~eps:1e-6 "last" 1000.0 (List.nth freqs 3);
     check_float ~eps:1e-6 "log spacing" 10.0 (List.nth freqs 1)
   in
+  (* The prepared path (one base matrix, reactive restamps per
+     frequency) must agree with analyse, and successive solves on the
+     same prepared value must not contaminate each other. *)
+  let test_prepared_matches_analyse () =
+    let nl = Decisive.Case_study.power_supply_netlist in
+    let freqs = Ac.log_space ~from_hz:10.0 ~to_hz:100_000.0 ~points:31 in
+    let reference = sweep_exn ~source:"DC1" nl freqs in
+    let p =
+      match Ac.prepare ~source:"DC1" nl with
+      | Ok p -> p
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+    in
+    let solve_exn freqs =
+      match Ac.solve p ~frequencies_hz:freqs with
+      | Ok s -> s
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+    in
+    (* A throwaway sweep first: if solve mutated the base, the real
+       sweep below would drift. *)
+    ignore (solve_exn [ 50.0; 5000.0 ]);
+    let sweep = solve_exn freqs in
+    let check_trace trace want got =
+      List.iter2
+        (fun (w : Ac.point) (g : Ac.point) ->
+          check_float ~eps:1e-12 (trace ^ " magnitude") w.Ac.magnitude
+            g.Ac.magnitude;
+          check_float ~eps:1e-9 (trace ^ " phase") w.Ac.phase_deg g.Ac.phase_deg)
+        want got
+    in
+    check_trace "CS1"
+      (Ac.sensor_response reference "CS1")
+      (Ac.sensor_response sweep "CS1");
+    List.iter
+      (fun n ->
+        check_trace n (Ac.node_response reference n) (Ac.node_response sweep n))
+      (Netlist.nodes nl)
+  in
   [
     Alcotest.test_case "RC low-pass" `Quick test_rc_low_pass;
     Alcotest.test_case "LC -40dB/decade" `Quick test_lc_rolloff;
     Alcotest.test_case "PSU filter cutoff" `Quick test_psu_filter_cutoff;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "log_space" `Quick test_log_space;
+    Alcotest.test_case "prepared sweep matches analyse" `Quick
+      test_prepared_matches_analyse;
   ]
 
 (* Cross-validation: the transient engine and the AC engine must agree —
@@ -620,3 +844,89 @@ let test_transient_ac_agree () =
 
 let cross_validation_suite =
   [ Alcotest.test_case "transient vs AC" `Quick test_transient_ac_agree ]
+
+(* ---------- synthetic generator netlists ---------- *)
+
+let generator_suite =
+  let test_ladder_shape () =
+    let nl = Generator.ladder ~sections:32 in
+    Alcotest.(check (list string)) "validates" [] (Netlist.validate nl);
+    (* 33 ladder nodes + 2 sensor mid-nodes + 3 branch unknowns. *)
+    Alcotest.(check int) "unknowns" 38 (Dc.size (Dc.prepare nl));
+    let s = solve_exn nl in
+    let vout = List.assoc "VOUT" (Dc.all_sensor_readings s) in
+    Alcotest.(check bool) (Printf.sprintf "droop (%.3f V)" vout) true
+      (vout > 0.0 && vout < 12.0);
+    (* Determinism: two generations are structurally identical. *)
+    Alcotest.(check bool) "deterministic" true
+      (List.equal Element.equal
+         (Netlist.elements nl)
+         (Netlist.elements (Generator.ladder ~sections:32)))
+  in
+  let test_grid_shape () =
+    let nl = Generator.grid ~rows:6 ~cols:6 in
+    Alcotest.(check (list string)) "validates" [] (Netlist.validate nl);
+    Alcotest.(check int) "unknowns" 39 (Dc.size (Dc.prepare nl));
+    let s = solve_exn nl in
+    let vout = List.assoc "VOUT" (Dc.all_sensor_readings s) in
+    Alcotest.(check bool) (Printf.sprintf "droop (%.3f V)" vout) true
+      (vout > 0.0 && vout < 12.0)
+  in
+  (* Acceptance-shaped check at unit-test scale: on an auto-sparse
+     ladder, the golden-factor re-solve must match a dense from-scratch
+     re-analysis to 1e-9 on every observable. *)
+  let test_ladder_inject_accuracy () =
+    let nl = Generator.ladder ~sections:160 in
+    let p = Dc.prepare nl in
+    Alcotest.(check bool) "auto picks sparse" true
+      (Dc.backend_used p = `Sparse);
+    let g =
+      match Dc.factorise p with
+      | Ok g -> g
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Dc.pp_error e)
+    in
+    let ids =
+      List.map (fun (e : Element.t) -> e.Element.id) (Netlist.elements nl)
+    in
+    let nodes = Netlist.nodes nl in
+    List.iter
+      (fun (id, fault) ->
+        let what = Printf.sprintf "%s/%s" id (Fault.to_string fault) in
+        let fast =
+          match Dc.inject g ~element_id:id fault with
+          | Ok s -> s
+          | Error e ->
+              Alcotest.fail (Format.asprintf "%s: %a" what Dc.pp_error e)
+        in
+        let slow =
+          match
+            Dc.analyse ~backend:`Dense (Fault.inject nl ~element_id:id fault)
+          with
+          | Ok s -> s
+          | Error e ->
+              Alcotest.fail (Format.asprintf "%s: %a" what Dc.pp_error e)
+        in
+        List.iter2
+          (fun a b ->
+            check_float
+              ~eps:(1e-9 *. (1.0 +. Float.max (Float.abs a) (Float.abs b)))
+              what b a)
+          (observables fast ids nodes)
+          (observables slow ids nodes))
+      [
+        ("RS5", Fault.Open_circuit);
+        ("RS5", Fault.Short_circuit);
+        ("RL40", Fault.Open_circuit);
+        ("RL40", Fault.Short_circuit);
+        ("RS80", Fault.Parameter_shift 2.0);
+        ("CS16", Fault.Open_circuit);
+        ("VIN", Fault.Stuck_value 0.0);
+        ("VIN", Fault.Parameter_shift 1.25);
+      ]
+  in
+  [
+    Alcotest.test_case "ladder shape" `Quick test_ladder_shape;
+    Alcotest.test_case "grid shape" `Quick test_grid_shape;
+    Alcotest.test_case "ladder inject accuracy 1e-9" `Quick
+      test_ladder_inject_accuracy;
+  ]

@@ -420,6 +420,41 @@ let test_no_fault_model_warning () =
   let t = Fmea.Injection_fmea.analyse nl rm in
   Alcotest.(check int) "warning row" 1 (List.length (Fmea.Table.warnings t))
 
+let test_solver_reuse_matches_refactor () =
+  (* The golden-factor low-rank re-solve must reproduce the from-scratch
+     baseline table — same classifications, same impact strings. *)
+  let nl = Decisive.Case_study.power_supply_netlist in
+  let options = Decisive.Case_study.injection_options in
+  let rm = Reliability.Reliability_model.table_ii in
+  let paths = ref [] in
+  let fast =
+    Fmea.Injection_fmea.analyse ~options ~solver:`Reuse
+      ~on_solved:(fun p -> paths := p :: !paths)
+      nl rm
+  in
+  let baseline =
+    Fmea.Injection_fmea.analyse ~options ~solver:(`Refactor `Auto) nl rm
+  in
+  Alcotest.(check bool) "tables equal" true (Fmea.Table.equal fast baseline);
+  Alcotest.(check bool) "no refactorise on the fast path" true
+    (not (List.mem `Refactor !paths));
+  Alcotest.(check bool) "rank updates used" true
+    (List.exists (function `Rank_update _ -> true | _ -> false) !paths)
+
+let test_solver_sparse_backend_table () =
+  (* Forcing the sparse backend through the whole refactor pipeline must
+     not change the table either. *)
+  let nl = Decisive.Case_study.power_supply_netlist in
+  let options = Decisive.Case_study.injection_options in
+  let rm = Reliability.Reliability_model.table_ii in
+  let dense =
+    Fmea.Injection_fmea.analyse ~options ~solver:(`Refactor `Dense) nl rm
+  in
+  let sparse =
+    Fmea.Injection_fmea.analyse ~options ~solver:(`Refactor `Sparse) nl rm
+  in
+  Alcotest.(check bool) "tables equal" true (Fmea.Table.equal dense sparse)
+
 (* ---------- FMEDA / Metrics / Asil ---------- *)
 
 let test_fmeda_best_coverage_wins () =
@@ -570,6 +605,10 @@ let suite =
     Alcotest.test_case "injection threshold" `Quick test_injection_threshold_sensitivity;
     Alcotest.test_case "golden run failure" `Quick test_golden_run_failure;
     Alcotest.test_case "no fault model warning" `Quick test_no_fault_model_warning;
+    Alcotest.test_case "solver reuse matches refactor" `Quick
+      test_solver_reuse_matches_refactor;
+    Alcotest.test_case "solver sparse backend table" `Quick
+      test_solver_sparse_backend_table;
     Alcotest.test_case "fmeda best coverage wins" `Quick test_fmeda_best_coverage_wins;
     Alcotest.test_case "fmeda unmatched ignored" `Quick test_fmeda_unmatched_ignored;
     Alcotest.test_case "metrics no SR hardware" `Quick test_metrics_no_sr_hardware;

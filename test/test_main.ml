@@ -17,6 +17,7 @@ let () =
       ("transient", Test_circuit.transient_suite);
       ("ac", Test_circuit.ac_suite);
       ("cross-validation", Test_circuit.cross_validation_suite);
+      ("generator", Test_circuit.generator_suite);
       ("blockdiag", Test_blockdiag.suite);
       ("reliability", Test_reliability.suite);
       ("lint", Test_lint.suite);
