@@ -25,6 +25,7 @@ let json_tables : (string * float) list ref = ref []
 let json_parallel : Modelio.Json.t list ref = ref []
 let json_incremental : Modelio.Json.t list ref = ref []
 let json_scaling : Modelio.Json.t list ref = ref []
+let json_path_fmea : Modelio.Json.t list ref = ref []
 
 let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
 
@@ -42,6 +43,7 @@ let write_results () =
         ("parallel", List (List.rev !json_parallel));
         ("incremental", List (List.rev !json_incremental));
         ("scaling", List (List.rev !json_scaling));
+        ("path_fmea", List (List.rev !json_path_fmea));
         ("kernels_ns_per_run", numbers !json_kernels);
       ]
   in
@@ -632,6 +634,162 @@ let scaling ~smoke () =
   if smoke && (speedup < 5.0 || !max_dev > 1e-9) then
     Printf.printf "WARNING: scaling acceptance not met on this host\n"
 
+(* ---------- Path FMEA: dominators vs enumeration (--smoke aware) ---------- *)
+
+(* Algorithm 1 at scale.  Near the 20 000-simple-path cap the dominator
+   route must beat enumeration by orders of magnitude while producing a
+   [Table.equal]-identical table; beyond the cap only the dominator
+   route has an answer at all, and it must be the closed-form one the
+   generator architectures guarantee. *)
+let path_fmea_scaling ~smoke () =
+  section "Path FMEA — dominator classification vs path enumeration";
+  let time_per_run reps f =
+    ignore (f ());
+    (* warm-up *)
+    let _, t = timed (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+    t /. float_of_int reps
+  in
+  let near_cap name sys paths =
+    let reference = Fmea.Path_fmea.analyse_enumerated sys in
+    let t_enum =
+      time_per_run (if smoke then 3 else 5) (fun () ->
+          Fmea.Path_fmea.analyse_enumerated sys)
+    in
+    let t_dom =
+      time_per_run (if smoke then 50 else 200) (fun () ->
+          Fmea.Path_fmea.analyse sys)
+    in
+    let identical = Fmea.Table.equal (Fmea.Path_fmea.analyse sys) reference in
+    let speedup = t_enum /. t_dom in
+    Printf.printf
+      "%-14s %7d paths   enumeration %8.3f ms   dominators %8.3f ms   \
+       speedup %7.1fx   identical %b\n"
+      name paths (1000.0 *. t_enum) (1000.0 *. t_dom) speedup identical;
+    json_path_fmea :=
+      Modelio.Json.Object
+        [
+          ("name", Modelio.Json.String name);
+          ("paths", Modelio.Json.Number (float_of_int paths));
+          ("enumeration_s", Modelio.Json.Number t_enum);
+          ("dominators_s", Modelio.Json.Number t_dom);
+          ("speedup", Modelio.Json.Number speedup);
+          ("identical", Modelio.Json.Bool identical);
+        ]
+      :: !json_path_fmea
+  in
+  let beyond_cap name sys paths expected =
+    let t_dom =
+      time_per_run (if smoke then 20 else 50) (fun () ->
+          Fmea.Path_fmea.analyse sys)
+    in
+    let t = Fmea.Path_fmea.analyse sys in
+    let exact = Fmea.Table.safety_related_components t = expected in
+    Printf.printf
+      "%-14s %7d paths   enumeration N/A (over the %d cap)   dominators \
+       %8.3f ms   exact %b\n"
+      name paths Fmea.Path_fmea.max_paths (1000.0 *. t_dom) exact;
+    json_path_fmea :=
+      Modelio.Json.Object
+        [
+          ("name", Modelio.Json.String name);
+          ("paths", Modelio.Json.Number (float_of_int paths));
+          ("beyond_cap", Modelio.Json.Bool true);
+          ("dominators_s", Modelio.Json.Number t_dom);
+          ("exact", Modelio.Json.Bool exact);
+        ]
+      :: !json_path_fmea
+  in
+  let d_stages = if smoke then 12 else 14 in
+  near_cap
+    (Printf.sprintf "diamond-%d" d_stages)
+    (Circuit.Generator.diamond_arch ~stages:d_stages)
+    (Circuit.Generator.diamond_path_count ~stages:d_stages);
+  let rows, cols = if smoke then (8, 8) else (9, 9) in
+  near_cap
+    (Printf.sprintf "grid-%dx%d" rows cols)
+    (Circuit.Generator.grid_arch ~rows ~cols)
+    (Circuit.Generator.grid_path_count ~rows ~cols);
+  let b_stages = 18 in
+  beyond_cap
+    (Printf.sprintf "diamond-%d" b_stages)
+    (Circuit.Generator.diamond_arch ~stages:b_stages)
+    (Circuit.Generator.diamond_path_count ~stages:b_stages)
+    (List.init (b_stages + 1) (Printf.sprintf "J%d"));
+  beyond_cap "grid-10x10"
+    (Circuit.Generator.grid_arch ~rows:10 ~cols:10)
+    (Circuit.Generator.grid_path_count ~rows:10 ~cols:10)
+    [ "B0_0"; "B9_9" ]
+
+(* ---------- Streaming search: millions of combinations, flat memory ---------- *)
+
+let streaming_search ~smoke () =
+  section "Streaming search — counter-based exhaustive enumeration";
+  (* [n] slots with three mechanisms each plus one two-option slot:
+     2 * 4^n combinations.  The list-based search capped out at 200 000
+     combinations (the materialised candidate list); the streaming fold
+     keeps only the evaluation window and the online Pareto front. *)
+  let n = if smoke then 6 else 10 in
+  let name i = Printf.sprintf "C%d" i in
+  let rows =
+    List.init (n + 1) (fun i ->
+        Fmea.Table.make_row ~component:(name i) ~component_fit:100.0
+          ~failure_mode:"f" ~distribution_pct:100.0 ~safety_related:true ())
+  in
+  let mechanisms =
+    List.init (n + 1) (fun i ->
+        if i = n then [ { Reliability.Sm_model.sm_name = "only";
+                          component_type = name i; failure_mode = "f";
+                          coverage_pct = 95.0; cost = 3.0 } ]
+        else
+          [
+            { Reliability.Sm_model.sm_name = "a"; component_type = name i;
+              failure_mode = "f"; coverage_pct = 60.0; cost = 1.0 };
+            { Reliability.Sm_model.sm_name = "b"; component_type = name i;
+              failure_mode = "f"; coverage_pct = 90.0; cost = 2.0 };
+            { Reliability.Sm_model.sm_name = "c"; component_type = name i;
+              failure_mode = "f"; coverage_pct = 99.0; cost = 4.0 };
+          ])
+    |> List.concat
+  in
+  let table = { Fmea.Table.system_name = "streaming"; rows } in
+  let catalogue = Reliability.Sm_model.of_mechanisms mechanisms in
+  let combinations = 2 * (1 lsl (2 * n)) in
+  let (count, cheapest), t =
+    timed (fun () ->
+        Optimize.Search.exhaustive_fold ~max_combinations:3_000_000 table
+          catalogue ~init:(0, None)
+          ~f:(fun (count, best) c ->
+            let best =
+              if c.Optimize.Search.spfm_pct < 90.0 then best
+              else
+                match best with
+                | Some (b : Optimize.Search.candidate)
+                  when b.Optimize.Search.cost <= c.Optimize.Search.cost ->
+                    best
+                | Some _ | None -> Some c
+            in
+            (count + 1, best)))
+  in
+  Printf.printf
+    "%d combinations streamed in %.2f s (%.0f candidates/s); cheapest \
+     ASIL-B deployment costs %s\n"
+    count t
+    (float_of_int count /. t)
+    (match cheapest with
+    | Some c -> Printf.sprintf "%.1f h" c.Optimize.Search.cost
+    | None -> "—  (none meets 90%)");
+  assert (count = combinations);
+  json_path_fmea :=
+    Modelio.Json.Object
+      [
+        ("name", Modelio.Json.String "streaming-search");
+        ("combinations", Modelio.Json.Number (float_of_int count));
+        ("seconds", Modelio.Json.Number t);
+        ( "candidates_per_s",
+          Modelio.Json.Number (float_of_int count /. t) );
+      ]
+    :: !json_path_fmea
+
 (* ---------- Iteration loop: incremental re-analysis ---------- *)
 
 (* The DECISIVE loop's common case: one design iteration touches one
@@ -857,6 +1015,8 @@ let () =
   extended_metrics ();
   parallel_speedups ~smoke ();
   iteration_loop ();
+  path_fmea_scaling ~smoke ();
+  streaming_search ~smoke ();
   scaling ~smoke ();
   kernel_benchmarks ~smoke ();
   if not smoke then micro_benchmarks ();

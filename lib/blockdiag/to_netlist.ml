@@ -89,30 +89,37 @@ let endpoint_key block port = block ^ "." ^ port
 
 let convert d =
   let blocks, connections = flatten "" d in
-  (* Union-find over endpoint keys, local to this conversion. *)
-  let parents : (string, string) Hashtbl.t = Hashtbl.create 64 in
-  let rec uf_find k =
-    match Hashtbl.find_opt parents k with
-    | None -> k
-    | Some p ->
-        let root = uf_find p in
-        if root <> p then Hashtbl.replace parents k root;
-        root
+  (* Electrical nets are the connected components of the endpoint graph
+     — the shared {!Graph.Digraph} kernel (direction ignored) instead of
+     a local union-find.  Every port of every block is interned up
+     front, so unconnected ports get their own singleton net. *)
+  let port_keys =
+    List.concat_map
+      (fun (b : Diagram.block) ->
+        List.map
+          (fun (p : Diagram.port) ->
+            endpoint_key b.Diagram.block_id p.Diagram.port_name)
+          b.Diagram.ports)
+      blocks
   in
-  let uf_union a b =
-    let ra = uf_find a and rb = uf_find b in
-    if ra <> rb then Hashtbl.replace parents ra rb
+  let g =
+    Graph.Digraph.of_edges ~nodes:port_keys
+      (List.map
+         (fun (c : Diagram.connection) ->
+           ( endpoint_key c.Diagram.from_ep.Diagram.ep_block
+               c.Diagram.from_ep.Diagram.ep_port,
+             endpoint_key c.Diagram.to_ep.Diagram.ep_block
+               c.Diagram.to_ep.Diagram.ep_port ))
+         connections)
   in
-  List.iter
-    (fun (c : Diagram.connection) ->
-      uf_union
-        (endpoint_key c.Diagram.from_ep.Diagram.ep_block
-           c.Diagram.from_ep.Diagram.ep_port)
-        (endpoint_key c.Diagram.to_ep.Diagram.ep_block
-           c.Diagram.to_ep.Diagram.ep_port))
-    connections;
-  (* Ground roots. *)
-  let ground_roots = Hashtbl.create 4 in
+  let net_of_key, net_count = Graph.Digraph.undirected_components g in
+  let net_id block port =
+    match Graph.Digraph.index g (endpoint_key block port) with
+    | Some i -> net_of_key.(i)
+    | None -> assert false (* every block port was interned above *)
+  in
+  (* Ground nets. *)
+  let grounded = Array.make (max 1 net_count) false in
   List.iter
     (fun (b : Diagram.block) ->
       let canonical =
@@ -123,23 +130,21 @@ let convert d =
       if String.equal canonical "ground" then
         List.iter
           (fun (p : Diagram.port) ->
-            Hashtbl.replace ground_roots
-              (uf_find (endpoint_key b.Diagram.block_id p.Diagram.port_name))
-              ())
+            grounded.(net_id b.Diagram.block_id p.Diagram.port_name) <- true)
           b.Diagram.ports)
     blocks;
   let net_names = Hashtbl.create 32 in
   let counter = ref 0 in
   let net_of block port =
-    let root = uf_find (endpoint_key block port) in
-    if Hashtbl.mem ground_roots root then Circuit.Netlist.ground
+    let net = net_id block port in
+    if grounded.(net) then Circuit.Netlist.ground
     else
-      match Hashtbl.find_opt net_names root with
+      match Hashtbl.find_opt net_names net with
       | Some n -> n
       | None ->
           incr counter;
           let n = Printf.sprintf "n%d" !counter in
-          Hashtbl.add net_names root n;
+          Hashtbl.add net_names net n;
           n
   in
   let skipped = ref [] in

@@ -27,45 +27,66 @@ let child_graph (c : Architecture.component) =
     c.Architecture.connections;
   (child_ids, List.rev !edges, List.rev !boundary_in, List.rev !boundary_out)
 
-let successors edges id =
-  List.filter_map (fun (f, t) -> if String.equal f id then Some t else None) edges
+(* The interned CSR digraph of the child connections, with the
+   input/output boundary resolved to source/sink node lists.  When a
+   boundary side is undeclared it falls back to degree: children with no
+   incoming (resp. outgoing) edges. *)
+let child_digraph (c : Architecture.component) =
+  let child_ids, edges, boundary_in, boundary_out = child_graph c in
+  let g = Graph.Digraph.of_edges ~nodes:child_ids edges in
+  let index id =
+    match Graph.Digraph.index g id with
+    | Some i -> i
+    | None -> assert false (* every child id was interned via ~nodes *)
+  in
+  let degree_filter deg =
+    List.filter_map
+      (fun id -> if deg (index id) = 0 then Some (index id) else None)
+      child_ids
+  in
+  let resolve boundary deg =
+    match boundary with
+    | [] -> degree_filter deg
+    | ids -> List.map index (List.sort_uniq String.compare ids)
+  in
+  let sources = resolve boundary_in (Graph.Digraph.in_degree g) in
+  let sinks = resolve boundary_out (Graph.Digraph.out_degree g) in
+  (g, sources, sinks)
 
-let predecessors edges id =
-  List.filter_map (fun (f, t) -> if String.equal t id then Some f else None) edges
+(* ---------- reference implementation: simple-path enumeration ----------
 
-let enumerate_paths ~edges ~sources ~sinks =
+   Exponential and capped at [max_paths]; kept as the executable
+   specification the dominator route is property-tested against, and
+   for {!paths}, whose consumers (the FTA bridge) genuinely want the
+   path lists. *)
+
+let enumerate_paths g ~sources ~sinks =
+  let n = Graph.Digraph.node_count g in
+  let is_sink = Graph.Bitset.create n in
+  List.iter (Graph.Bitset.add is_sink) sinks;
+  let on_path = Array.make n false in
   let count = ref 0 in
   let results = ref [] in
   let rec dfs path node =
-    if List.exists (String.equal node) path then () (* simple paths only *)
-    else begin
+    if not on_path.(node) then begin (* simple paths only *)
+      on_path.(node) <- true;
       let path = node :: path in
-      if List.exists (String.equal node) sinks then begin
+      if Graph.Bitset.mem is_sink node then begin
         incr count;
         if !count > max_paths then raise Too_many_paths;
-        results := List.rev path :: !results
+        results := List.rev_map (Graph.Digraph.name g) path :: !results
       end;
       (* A sink may still have successors; continue exploring. *)
-      List.iter (dfs path) (successors edges node)
+      Array.iter (dfs path) (Graph.Digraph.successors g node);
+      on_path.(node) <- false
     end
   in
   List.iter (dfs []) sources;
   List.rev !results
 
 let path_ids (c : Architecture.component) =
-  let child_ids, edges, boundary_in, boundary_out = child_graph c in
-  let sources =
-    match boundary_in with
-    | [] ->
-        List.filter (fun id -> predecessors edges id = []) child_ids
-    | srcs -> List.sort_uniq String.compare srcs
-  in
-  let sinks =
-    match boundary_out with
-    | [] -> List.filter (fun id -> successors edges id = []) child_ids
-    | snks -> List.sort_uniq String.compare snks
-  in
-  enumerate_paths ~edges ~sources ~sinks
+  let g, sources, sinks = child_digraph c in
+  enumerate_paths g ~sources ~sinks
 
 let paths (c : Architecture.component) =
   let find id =
@@ -74,6 +95,51 @@ let paths (c : Architecture.component) =
       c.Architecture.children
   in
   List.map (fun ids -> List.map find ids) (path_ids c)
+
+(* ---------- dominator-based classification (the production route) ---- *)
+
+let single_points (c : Architecture.component) =
+  let g, sources, sinks = child_digraph c in
+  match Graph.Dominators.on_every_path g ~sources ~sinks with
+  | None -> []
+  | Some on ->
+      List.map (Graph.Digraph.name g) (Graph.Bitset.to_list on)
+      |> List.sort String.compare
+
+(* A child's classification for loss-like failure modes. *)
+type path_verdict =
+  | On_all_paths
+  | Alternatives_remain
+  | Unclassified of string
+      (* the give-up branch: enumeration overflowed; never silent *)
+
+let dominator_classifier (c : Architecture.component) =
+  let g, sources, sinks = child_digraph c in
+  match Graph.Dominators.on_every_path g ~sources ~sinks with
+  | None -> fun _ -> Alternatives_remain (* no input→output path at all *)
+  | Some on ->
+      fun id ->
+        (match Graph.Digraph.index g id with
+        | Some i when Graph.Bitset.mem on i -> On_all_paths
+        | Some _ | None -> Alternatives_remain)
+
+let enumeration_classifier (c : Architecture.component) =
+  match path_ids c with
+  | ids ->
+      fun id ->
+        if
+          ids <> []
+          && List.for_all (fun p -> List.exists (String.equal id) p) ids
+        then On_all_paths
+        else Alternatives_remain
+  | exception Too_many_paths ->
+      let msg =
+        Printf.sprintf
+          "path enumeration overflowed (> %d simple paths); single-point \
+           status unknown — use the dominator analysis"
+          max_paths
+      in
+      fun _ -> Unclassified msg
 
 (* A child is never a single point if all its declared functions are
    redundant (1oo2 / 1oo3 / 2oo3). *)
@@ -88,15 +154,8 @@ let redundant (child : Architecture.component) =
              true)
        child.Architecture.functions
 
-let rec analyse_into ~options acc (c : Architecture.component) =
-  let ids =
-    match path_ids c with
-    | ids -> ids
-    | exception Too_many_paths -> []
-  in
-  let on_all_paths id =
-    ids <> [] && List.for_all (fun p -> List.exists (String.equal id) p) ids
-  in
+let rec analyse_into ~options ~classify acc (c : Architecture.component) =
+  let verdict = classify c in
   let acc =
     List.fold_left
       (fun acc (child : Architecture.component) ->
@@ -122,19 +181,27 @@ let rec analyse_into ~options acc (c : Architecture.component) =
                       ~failure_mode:fm_name
                       ~distribution_pct:fm.Architecture.distribution_pct
                       ~safety_related:false ()
-                  else if on_all_paths cid then
-                    Table.make_row
-                      ~impact:"breaks every input-output path (single point)"
-                      ~component:cid ~component_fit:child.Architecture.fit
-                      ~failure_mode:fm_name
-                      ~distribution_pct:fm.Architecture.distribution_pct
-                      ~safety_related:true ()
                   else
-                    Table.make_row ~impact:"alternative paths remain"
-                      ~component:cid ~component_fit:child.Architecture.fit
-                      ~failure_mode:fm_name
-                      ~distribution_pct:fm.Architecture.distribution_pct
-                      ~safety_related:false ()
+                    match verdict cid with
+                    | On_all_paths ->
+                        Table.make_row
+                          ~impact:"breaks every input-output path (single point)"
+                          ~component:cid ~component_fit:child.Architecture.fit
+                          ~failure_mode:fm_name
+                          ~distribution_pct:fm.Architecture.distribution_pct
+                          ~safety_related:true ()
+                    | Alternatives_remain ->
+                        Table.make_row ~impact:"alternative paths remain"
+                          ~component:cid ~component_fit:child.Architecture.fit
+                          ~failure_mode:fm_name
+                          ~distribution_pct:fm.Architecture.distribution_pct
+                          ~safety_related:false ()
+                    | Unclassified why ->
+                        Table.make_row ~warning:why ~component:cid
+                          ~component_fit:child.Architecture.fit
+                          ~failure_mode:fm_name
+                          ~distribution_pct:fm.Architecture.distribution_pct
+                          ~safety_related:false ()
                 else
                   Table.make_row
                     ~warning:
@@ -151,15 +218,21 @@ let rec analyse_into ~options acc (c : Architecture.component) =
             acc child.Architecture.failure_modes
         in
         if options.recurse && child.Architecture.children <> [] then
-          analyse_into ~options acc child
+          analyse_into ~options ~classify acc child
         else acc)
       acc c.Architecture.children
   in
   acc
 
-let analyse ?(options = default_options) c =
-  let rows = List.rev (analyse_into ~options [] c) in
+let analyse_with ~classify ~options c =
+  let rows = List.rev (analyse_into ~options ~classify [] c) in
   { Table.system_name = Architecture.component_name c; rows }
+
+let analyse ?(options = default_options) c =
+  analyse_with ~classify:dominator_classifier ~options c
+
+let analyse_enumerated ?(options = default_options) c =
+  analyse_with ~classify:enumeration_classifier ~options c
 
 let wrap_flat_package (p : Architecture.package) =
   let name = Base.display_name p.Architecture.package_meta in

@@ -1,12 +1,22 @@
 (** Automated FMEA on SSAM models — the paper's Algorithm 1.
 
-    For a composite component, enumerate all simple paths from its input
-    boundary to its output boundary through the child connection graph.  A
-    loss-of-function failure mode of a child is a *single-point fault*
-    (safety-related) when the child lies on **every** path — losing it
-    makes the output unreachable.  Non-loss-like modes get a warning
-    (Algorithm 1's else-branch).  The algorithm recurses into composite
-    children.
+    For a composite component, a loss-of-function failure mode of a
+    child is a *single-point fault* (safety-related) when the child lies
+    on **every** input→output path through the child connection graph —
+    losing it makes the output unreachable.  Non-loss-like modes get a
+    warning (Algorithm 1's else-branch).  The algorithm recurses into
+    composite children.
+
+    The "on every path" question is answered with the {!Graph}
+    kernels: the child graph gets a virtual super-source feeding every
+    input and a virtual super-sink fed by every output, and a child is
+    on all paths iff it dominates the super-sink (Lengauer–Tarjan, near
+    linear).  This is exact on any diagram — cyclic ones included — and
+    replaces the historical simple-path enumeration, which was
+    exponential and gave up (capped at {!max_paths}) on wide diagrams.
+    The enumeration survives as {!analyse_enumerated}/{!paths}: the
+    executable specification the dominator route is property-tested
+    against, and the path lists the FTA bridge consumes.
 
     Extension (documented in DESIGN.md): children whose every
     {!Ssam.Architecture.func} declares a redundant tolerance (1oo2, 1oo3,
@@ -23,17 +33,40 @@ type options = {
 
 val default_options : options
 
+val max_paths : int
+(** Cap on the reference enumeration (20 000 simple paths).  The
+    dominator-based {!analyse} has no cap. *)
+
+exception Too_many_paths
+(** Raised by {!paths} when the enumeration exceeds {!max_paths}. *)
+
 val paths :
   Ssam.Architecture.component -> Ssam.Architecture.component list list
 (** All simple input→output paths through [component]'s children, each as
     the list of traversed children (boundary endpoints omitted).  The
     input/output boundary is defined by connections whose endpoint is the
     composite itself; when there are none, sources are children without
-    incoming edges and sinks are children without outgoing edges. *)
+    incoming edges and sinks are children without outgoing edges.
+    Raises {!Too_many_paths} beyond {!max_paths}. *)
+
+val single_points : Ssam.Architecture.component -> string list
+(** Ids of the children lying on every input→output path (sorted) —
+    the dominator query by itself, without building a table.  [[]] when
+    the component has no input→output path. *)
 
 val analyse :
   ?options:options -> Ssam.Architecture.component -> Table.t
-(** FMEA table for one composite component. *)
+(** FMEA table for one composite component, classified via dominators:
+    exact on every model, no path cap. *)
+
+val analyse_enumerated :
+  ?options:options -> Ssam.Architecture.component -> Table.t
+(** The pre-dominator reference implementation: classification by
+    explicit path enumeration.  On components whose path count exceeds
+    {!max_paths} it no longer silently reports "alternative paths
+    remain" — every loss-like row gets an explicit warning that the
+    classification is unknown.  Kept for differential testing and
+    benchmarks; production callers want {!analyse}. *)
 
 val analyse_package :
   ?options:options -> Ssam.Architecture.package -> Table.t

@@ -8,6 +8,16 @@
 type cut_set = string list
 (** Sorted, duplicate-free basic-event ids. *)
 
+val normalize : string list -> cut_set
+(** Sort and deduplicate. *)
+
+val minimize : cut_set list -> cut_set list
+(** Drop every set with a proper (or equal, earlier) subset present.
+    Inputs must be {!normalize}d.  Each pairwise check is a sorted-list
+    merge with an early length cutoff — O(shorter set) instead of the
+    historical O(|a| * |b|) membership scans, which dominated MOCUS on
+    wide trees. *)
+
 val minimal : ?max_sets:int -> Fault_tree.t -> cut_set list
 (** Sorted by size then lexicographically.  K-out-of-N gates are expanded
     into the OR of all [k]-subsets.  Raises [Invalid_argument] when the

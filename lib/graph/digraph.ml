@@ -1,0 +1,143 @@
+type t = {
+  names : string array;  (* index -> id *)
+  ids : (string, int) Hashtbl.t;  (* id -> index *)
+  fwd_off : int array;  (* CSR offsets, length n+1 *)
+  fwd : int array;  (* packed successor indices *)
+  bwd_off : int array;
+  bwd : int array;
+}
+
+(* Build one CSR direction from an endpoint pair list.  Counting pass
+   then placement pass; within a node, targets keep edge-list order. *)
+let csr n pairs =
+  let off = Array.make (n + 1) 0 in
+  List.iter (fun (f, _) -> off.(f + 1) <- off.(f + 1) + 1) pairs;
+  for i = 1 to n do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let packed = Array.make off.(n) 0 in
+  let cursor = Array.copy off in
+  List.iter
+    (fun (f, t) ->
+      packed.(cursor.(f)) <- t;
+      cursor.(f) <- cursor.(f) + 1)
+    pairs;
+  (off, packed)
+
+let of_edges ?(nodes = []) edges =
+  let ids = Hashtbl.create 64 in
+  let rev_names = ref [] in
+  let count = ref 0 in
+  let intern id =
+    match Hashtbl.find_opt ids id with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        Hashtbl.add ids id i;
+        rev_names := id :: !rev_names;
+        incr count;
+        i
+  in
+  List.iter (fun id -> ignore (intern id)) nodes;
+  (* Intern the source before the target — OCaml evaluates tuple
+     components right-to-left, so [(intern f, intern t)] would number
+     targets first. *)
+  let int_edges =
+    List.map
+      (fun (f, t) ->
+        let fi = intern f in
+        let ti = intern t in
+        (fi, ti))
+      edges
+  in
+  let n = !count in
+  let names = Array.make n "" in
+  List.iteri (fun i id -> names.(n - 1 - i) <- id) !rev_names;
+  let fwd_off, fwd = csr n int_edges in
+  let bwd_off, bwd = csr n (List.map (fun (f, t) -> (t, f)) int_edges) in
+  { names; ids; fwd_off; fwd; bwd_off; bwd }
+
+let node_count t = Array.length t.names
+
+let edge_count t = Array.length t.fwd
+
+let index t id = Hashtbl.find_opt t.ids id
+
+let name t i =
+  if i < 0 || i >= Array.length t.names then
+    invalid_arg (Printf.sprintf "Digraph.name: index %d outside [0,%d)" i
+                   (Array.length t.names));
+  t.names.(i)
+
+let nodes t = Array.to_list t.names
+
+let slice off packed i =
+  Array.sub packed off.(i) (off.(i + 1) - off.(i))
+
+let successors t i = slice t.fwd_off t.fwd i
+
+let predecessors t i = slice t.bwd_off t.bwd i
+
+let names_of t arr = Array.to_list (Array.map (fun i -> t.names.(i)) arr)
+
+let successor_names t id =
+  match index t id with None -> [] | Some i -> names_of t (successors t i)
+
+let predecessor_names t id =
+  match index t id with None -> [] | Some i -> names_of t (predecessors t i)
+
+let out_degree t i = t.fwd_off.(i + 1) - t.fwd_off.(i)
+
+let in_degree t i = t.bwd_off.(i + 1) - t.bwd_off.(i)
+
+let bfs off packed n seeds =
+  let seen = Bitset.create n in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if not (Bitset.mem seen s) then begin
+        Bitset.add seen s;
+        Queue.add s queue
+      end)
+    seeds;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    for k = off.(u) to off.(u + 1) - 1 do
+      let v = packed.(k) in
+      if not (Bitset.mem seen v) then begin
+        Bitset.add seen v;
+        Queue.add v queue
+      end
+    done
+  done;
+  seen
+
+let reachable_from t seeds = bfs t.fwd_off t.fwd (node_count t) seeds
+
+let coreachable_of t seeds = bfs t.bwd_off t.bwd (node_count t) seeds
+
+let undirected_components t =
+  let n = node_count t in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if comp.(s) < 0 then begin
+      let c = !count in
+      incr count;
+      comp.(s) <- c;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let visit v =
+          if comp.(v) < 0 then begin
+            comp.(v) <- c;
+            Queue.add v queue
+          end
+        in
+        Array.iter visit (successors t u);
+        Array.iter visit (predecessors t u)
+      done
+    end
+  done;
+  (comp, !count)

@@ -1,0 +1,63 @@
+(** Compact int-indexed digraph over interned string ids.
+
+    The analysis layers (path FMEA, SSAM validation, netlist
+    conversion) all derive graph facts from edge lists of string ids —
+    and until now each re-derived them with O(E) [List.filter_map]
+    scans per query.  This module interns every id once into a dense
+    [0 .. n-1] range and stores the adjacency in CSR form (one offsets
+    array + one packed targets array per direction), so successor and
+    predecessor queries are O(out-degree) array slices and the
+    traversal kernels ({!Scc}, {!Dominators}, {!reachable_from}) touch
+    contiguous memory.
+
+    Construction is deterministic: node indices follow the order of
+    [nodes] (first occurrence wins), then first occurrence in the edge
+    list for endpoints not listed; parallel edges are kept (they do not
+    affect any kernel's answer but preserve the caller's multiplicity). *)
+
+type t
+
+val of_edges : ?nodes:string list -> (string * string) list -> t
+(** [of_edges ~nodes edges] interns [nodes] (in order) plus every edge
+    endpoint (in edge order) and builds both adjacency directions. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val index : t -> string -> int option
+(** Interned index of an id, if present. *)
+
+val name : t -> int -> string
+(** Inverse of {!index}.  Raises [Invalid_argument] outside [0,n). *)
+
+val nodes : t -> string list
+(** All interned ids, in index order. *)
+
+val successors : t -> int -> int array
+(** Shared CSR slice — do not mutate. *)
+
+val predecessors : t -> int -> int array
+
+val successor_names : t -> string -> string list
+(** Successors of an id, in edge-insertion order; [[]] for unknown ids.
+    Drop-in replacement for the [List.filter_map] edge scans. *)
+
+val predecessor_names : t -> string -> string list
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val reachable_from : t -> int list -> Bitset.t
+(** Forward BFS over the CSR adjacency: every node reachable from the
+    seed set (the seeds themselves included). *)
+
+val coreachable_of : t -> int list -> Bitset.t
+(** Backward BFS: every node from which some seed is reachable. *)
+
+val undirected_components : t -> int array * int
+(** Connected components ignoring edge direction:
+    [(component_of_node, count)].  Component ids are dense and ordered
+    by each component's smallest node index, so numbering is
+    deterministic — the union-find replacement for netlist merging. *)

@@ -1,0 +1,133 @@
+(* Lengauer–Tarjan with the simple (path-compression) eval/link —
+   O(E log V), linear in practice on block diagrams.  The kernel works
+   over closures so the same code serves both the plain digraph and the
+   virtually-augmented graph of [on_every_path] without materialising a
+   second CSR. *)
+
+let lt ~n ~root ~succ ~pred =
+  (* DFS numbering (iterative: diagrams can be long chains). *)
+  let parent = Array.make n (-1) in
+  let semi = Array.make n (-1) in  (* dfs number; -1 = unreachable *)
+  let vertex = Array.make n (-1) in  (* dfs number -> node *)
+  let next = ref 0 in
+  let stack = Stack.create () in
+  Stack.push (root, succ root, ref 0) stack;
+  semi.(root) <- !next;
+  vertex.(!next) <- root;
+  incr next;
+  while not (Stack.is_empty stack) do
+    let u, s, cursor = Stack.top stack in
+    if !cursor < Array.length s then begin
+      let v = s.(!cursor) in
+      incr cursor;
+      if semi.(v) < 0 then begin
+        parent.(v) <- u;
+        semi.(v) <- !next;
+        vertex.(!next) <- v;
+        incr next;
+        Stack.push (v, succ v, ref 0) stack
+      end
+    end
+    else ignore (Stack.pop stack)
+  done;
+  let reached = !next in
+  (* Forest for eval/link, with path compression on [ancestor]. *)
+  let ancestor = Array.make n (-1) in
+  let label = Array.init n (fun i -> i) in
+  let rec compress v =
+    let a = ancestor.(v) in
+    if ancestor.(a) >= 0 then begin
+      compress a;
+      if semi.(label.(a)) < semi.(label.(v)) then label.(v) <- label.(a);
+      ancestor.(v) <- ancestor.(a)
+    end
+  in
+  let eval v =
+    if ancestor.(v) < 0 then v
+    else begin
+      compress v;
+      label.(v)
+    end
+  in
+  let bucket = Array.make n [] in
+  let idom = Array.make n (-1) in
+  for i = reached - 1 downto 1 do
+    let w = vertex.(i) in
+    Array.iter
+      (fun v ->
+        if semi.(v) >= 0 then begin
+          let u = eval v in
+          if semi.(u) < semi.(w) then semi.(w) <- semi.(u)
+        end)
+      (pred w);
+    bucket.(vertex.(semi.(w))) <- w :: bucket.(vertex.(semi.(w)));
+    let p = parent.(w) in
+    ancestor.(w) <- p;
+    List.iter
+      (fun v ->
+        let u = eval v in
+        idom.(v) <- (if semi.(u) < semi.(v) then u else p))
+      bucket.(p);
+    bucket.(p) <- []
+  done;
+  for i = 1 to reached - 1 do
+    let w = vertex.(i) in
+    if idom.(w) <> vertex.(semi.(w)) then idom.(w) <- idom.(idom.(w))
+  done;
+  idom.(root) <- root;
+  idom
+
+let idoms g ~root =
+  let n = Digraph.node_count g in
+  if root < 0 || root >= n then invalid_arg "Dominators.idoms: bad root";
+  lt ~n ~root ~succ:(Digraph.successors g) ~pred:(Digraph.predecessors g)
+
+let dominators ~idom v =
+  if v < 0 || v >= Array.length idom || idom.(v) < 0 then []
+  else begin
+    let rec up acc u = if idom.(u) = u then List.rev (u :: acc) else up (u :: acc) idom.(u) in
+    up [] v
+  end
+
+let on_every_path g ~sources ~sinks =
+  if sources = [] || sinks = [] then None
+  else begin
+    let n = Digraph.node_count g in
+    let s = n and t = n + 1 in
+    let src = Array.of_list sources in
+    let sink_set = Bitset.create n in
+    List.iter (Bitset.add sink_set) sinks;
+    let to_t = [| t |] and empty = [| |] in
+    let succ u =
+      if u = s then src
+      else if u = t then empty
+      else begin
+        let base = Digraph.successors g u in
+        if Bitset.mem sink_set u then Array.append base to_t else base
+      end
+    in
+    let snk = Array.of_list sinks in
+    let from_s = [| s |] in
+    let pred u =
+      if u = t then snk
+      else if u = s then empty
+      else begin
+        let base = Digraph.predecessors g u in
+        if List.exists (Int.equal u) sources then Array.append base from_s
+        else base
+      end
+    in
+    let idom = lt ~n:(n + 2) ~root:s ~succ ~pred in
+    if idom.(t) < 0 then None (* no source→sink path *)
+    else begin
+      let on = Bitset.create n in
+      let rec up v =
+        if v <> s then begin
+          if v <> t then Bitset.add on v;
+          up idom.(v)
+        end
+      in
+      up idom.(t);
+      Some on
+    end
+  end

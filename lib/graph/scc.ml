@@ -1,0 +1,88 @@
+type result = { component : int array; count : int }
+
+(* Tarjan's algorithm, made iterative with an explicit work stack: each
+   frame is (node, next-successor-offset).  Lowlinks and the SCC stack
+   are the classic arrays. *)
+let compute g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_stack = ref [] in
+  let component = Array.make n (-1) in
+  let next_index = ref 0 in
+  let count = ref 0 in
+  let work = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      Stack.push (root, ref 0) work;
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      scc_stack := root :: !scc_stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty work) do
+        let u, cursor = Stack.top work in
+        let succ = Digraph.successors g u in
+        if !cursor < Array.length succ then begin
+          let v = succ.(!cursor) in
+          incr cursor;
+          if index.(v) < 0 then begin
+            index.(v) <- !next_index;
+            lowlink.(v) <- !next_index;
+            incr next_index;
+            scc_stack := v :: !scc_stack;
+            on_stack.(v) <- true;
+            Stack.push (v, ref 0) work
+          end
+          else if on_stack.(v) then
+            lowlink.(u) <- min lowlink.(u) index.(v)
+        end
+        else begin
+          ignore (Stack.pop work);
+          (match Stack.top_opt work with
+          | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(u)
+          | None -> ());
+          if lowlink.(u) = index.(u) then begin
+            let c = !count in
+            incr count;
+            let rec pop () =
+              match !scc_stack with
+              | [] -> ()
+              | v :: rest ->
+                  scc_stack := rest;
+                  on_stack.(v) <- false;
+                  component.(v) <- c;
+                  if v <> u then pop ()
+            in
+            pop ()
+          end
+        end
+      done
+    end
+  done;
+  { component; count = !count }
+
+let condense g r =
+  let n = Digraph.node_count g in
+  (* Deterministic SCC names: lowest-index member's id. *)
+  let representative = Array.make r.count (-1) in
+  for v = n - 1 downto 0 do
+    representative.(r.component.(v)) <- v
+  done;
+  let scc_name c = Digraph.name g representative.(c) in
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        let cu = r.component.(u) and cv = r.component.(v) in
+        if cu <> cv && not (Hashtbl.mem seen (cu, cv)) then begin
+          Hashtbl.add seen (cu, cv) ();
+          edges := (scc_name cu, scc_name cv) :: !edges
+        end)
+      (Digraph.successors g u)
+  done;
+  Digraph.of_edges
+    ~nodes:(List.init r.count scc_name)
+    (List.rev !edges)

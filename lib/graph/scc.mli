@@ -1,0 +1,21 @@
+(** Tarjan strongly-connected components and condensation.
+
+    Block diagrams with feedback (control loops, watchdog resets) put
+    cycles into the connection graph; condensing each SCC to one node
+    yields the DAG the path-counting and lint layers want, while the
+    dominator kernel handles cycles natively. *)
+
+type result = {
+  component : int array;  (** node index -> SCC id *)
+  count : int;  (** number of SCCs *)
+}
+
+val compute : Digraph.t -> result
+(** Iterative Tarjan (no recursion — diagrams can be deep chains).
+    SCC ids are in {e reverse topological order}: if any edge goes from
+    SCC [a] to SCC [b] (with [a <> b]) then [component a > component b]. *)
+
+val condense : Digraph.t -> result -> Digraph.t
+(** The condensation DAG: one node per SCC (named after its
+    lowest-index member, so naming is deterministic), one edge per
+    cross-SCC edge with duplicates collapsed. *)

@@ -162,43 +162,89 @@ let evaluate_with ev deployments =
   in
   { deployments; spfm_pct; cost = Fmea.Fmeda.total_cost deployments }
 
-let exhaustive ?(component_types = []) ?(max_combinations = 200_000) ?evaluator
-    table sm_model =
+(* ---------- streaming exhaustive enumeration ----------
+
+   The combination space is a mixed-radix counter: slot [i] contributes
+   a digit in [0 .. length slot_options], digit 0 meaning "deploy
+   nothing" and digit [j] the [j-1]-th option; the {e first} slot is the
+   most significant digit.  Counting 0, 1, 2, … reproduces, candidate
+   for candidate, the order the old list-based expansion
+   ([without @ with_each]) produced — so every downstream tie-break
+   (Pareto sweep stability, cheapest-meeting "first wins") is
+   bit-identical — without ever materialising the combination list:
+   candidates are decoded window by window, scored in parallel on the
+   {!Exec} pool, and folded in counter order at flat memory. *)
+
+let default_window = 8_192
+
+(* Combination count with saturation (33 slots of 3 options already
+   overflow 63-bit ints). *)
+let combination_count slots =
+  List.fold_left
+    (fun acc s ->
+      let r = List.length s.slot_options + 1 in
+      if acc > max_int / r then max_int else acc * r)
+    1 slots
+
+let exhaustive_fold ?(component_types = []) ?(max_combinations = 2_000_000)
+    ?(window = default_window) ?evaluator table sm_model ~init ~f =
   let slots = slots ~component_types table sm_model in
-  let combinations =
-    List.fold_left
-      (fun acc s -> acc * (List.length s.slot_options + 1))
-      1 slots
-  in
+  let combinations = combination_count slots in
   if combinations > max_combinations then
     invalid_arg
       (Printf.sprintf
          "Search.exhaustive: %d combinations exceed the limit of %d"
          combinations max_combinations);
-  let rec expand chosen = function
-    | [] -> [ List.rev chosen ]
-    | s :: rest ->
-        let without = expand chosen rest in
-        let with_each =
-          List.concat_map
-            (fun m ->
-              expand
-                (Fmea.Fmeda.deploy ~component:s.slot_component
-                   ~failure_mode:s.slot_failure_mode m
-                :: chosen)
-                rest)
-            s.slot_options
-        in
-        without @ with_each
+  (* Per-slot deployment table and mixed-radix weights (most significant
+     digit first, as in the historical expansion order). *)
+  let slot_arr = Array.of_list slots in
+  let n = Array.length slot_arr in
+  let deployments =
+    Array.map
+      (fun s ->
+        Array.of_list
+          (List.map
+             (Fmea.Fmeda.deploy ~component:s.slot_component
+                ~failure_mode:s.slot_failure_mode)
+             s.slot_options))
+      slot_arr
   in
-  (* Candidates are scored independently: chunk them over the domain
-     pool.  Each chunk shares the (immutable) evaluator; in-order
-     concatenation keeps the candidate list identical to a sequential
-     run. *)
+  let radix = Array.map (fun d -> Array.length d + 1) deployments in
+  let weight = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    weight.(i) <- weight.(i + 1) * radix.(i + 1)
+  done;
+  let decode counter =
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        let digit = counter / weight.(i) mod radix.(i) in
+        go (i - 1)
+          (if digit = 0 then acc else deployments.(i).(digit - 1) :: acc)
+    in
+    go (n - 1) []
+  in
   let ev =
     match evaluator with Some ev -> ev | None -> make_evaluator table
   in
-  Exec.parallel_chunks (evaluate_with ev) (expand [] slots)
+  let acc = ref init in
+  let base = ref 0 in
+  while !base < combinations do
+    let len = min window (combinations - !base) in
+    let window_candidates =
+      Exec.parallel_chunks (evaluate_with ev)
+        (List.init len (fun k -> decode (!base + k)))
+    in
+    List.iter (fun c -> acc := f !acc c) window_candidates;
+    base := !base + len
+  done;
+  !acc
+
+let exhaustive ?(component_types = []) ?(max_combinations = 200_000) ?evaluator
+    table sm_model =
+  List.rev
+    (exhaustive_fold ~component_types ~max_combinations ?evaluator table
+       sm_model ~init:[] ~f:(fun acc c -> c :: acc))
 
 let greedy ?(component_types = []) ?evaluator ~target table sm_model =
   let all_slots = slots ~component_types table sm_model in
@@ -302,29 +348,64 @@ let pareto_front candidates =
   in
   List.rev front
 
+(* One step of the cheapest-meeting fold — shared between the list-based
+   entry point and the streaming optimiser so both apply the identical
+   "cheaper wins, higher SPFM breaks cost ties, first wins exact ties"
+   rule in candidate order. *)
+let cheapest_step ~meets acc c =
+  if not (meets c) then acc
+  else
+    match acc with
+    | None -> Some c
+    | Some best ->
+        if c.cost < best.cost || (c.cost = best.cost && c.spfm_pct > best.spfm_pct)
+        then Some c
+        else acc
+
 let cheapest_meeting ~target candidates =
   let target_spfm = Fmea.Asil.spfm_target target in
   let meets c =
     match target_spfm with None -> true | Some t -> c.spfm_pct >= t
   in
-  List.fold_left
-    (fun acc c ->
-      if not (meets c) then acc
-      else
-        match acc with
-        | None -> Some c
-        | Some best ->
-            if
-              c.cost < best.cost
-              || (c.cost = best.cost && c.spfm_pct > best.spfm_pct)
-            then Some c
-            else acc)
-    None candidates
+  List.fold_left (cheapest_step ~meets) None candidates
+
+(* Online Pareto maintenance.  The front is kept sorted by ascending
+   cost with strictly increasing SPFM, so a fold of [front_insert] over
+   any candidate sequence ends in exactly [pareto_front] of that
+   sequence: a new candidate is dropped iff some earlier-kept candidate
+   is cheaper-or-equal with at least its SPFM (which also encodes the
+   "first candidate wins exact ties" rule — the incumbent was folded
+   first), and otherwise evicts the now-dominated suffix it supersedes.
+   Dropped candidates can never re-enter a batch front, so discarding
+   them immediately is lossless — this is what lets {!optimise} stream
+   millions of combinations at flat memory. *)
+let front_insert front c =
+  if
+    List.exists
+      (fun f -> f.cost <= c.cost && f.spfm_pct >= c.spfm_pct)
+      front
+  then front
+  else
+    let rec ins = function
+      | [] -> [ c ]
+      | f :: rest ->
+          if f.cost < c.cost then f :: ins rest
+          else c :: List.filter (fun g -> g.spfm_pct > c.spfm_pct) (f :: rest)
+    in
+    ins front
 
 let optimise ?(component_types = []) ?evaluator ~target table sm_model =
-  match exhaustive ~component_types ?evaluator table sm_model with
-  | candidates ->
-      (cheapest_meeting ~target candidates, pareto_front candidates)
+  let target_spfm = Fmea.Asil.spfm_target target in
+  let meets c =
+    match target_spfm with None -> true | Some t -> c.spfm_pct >= t
+  in
+  match
+    exhaustive_fold ~component_types ?evaluator table sm_model
+      ~init:(None, [])
+      ~f:(fun (best, front) c ->
+        (cheapest_step ~meets best c, front_insert front c))
+  with
+  | best, front -> (best, front)
   | exception Invalid_argument _ ->
       let g = greedy ~component_types ?evaluator ~target table sm_model in
       (Some g, [ g ])

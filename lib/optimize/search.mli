@@ -52,6 +52,29 @@ val evaluate_with : evaluator -> Fmea.Fmeda.deployment list -> candidate
     {!Fmea.Metrics.compute}'s exact order, so the candidate is
     bit-identical to {!evaluate} on the same table and deployments. *)
 
+val exhaustive_fold :
+  ?component_types:(string * string) list ->
+  ?max_combinations:int ->
+  ?window:int ->
+  ?evaluator:evaluator ->
+  Fmea.Table.t ->
+  Reliability.Sm_model.t ->
+  init:'acc ->
+  f:('acc -> candidate -> 'acc) ->
+  'acc
+(** Streaming exhaustive enumeration: fold [f] over every combination of
+    per-slot choices (including "deploy nothing") {e without}
+    materialising the combination list.  The space is walked as a
+    mixed-radix counter (first slot most significant, digit 0 = no
+    deployment), which reproduces the historical list order candidate
+    for candidate — all downstream tie-breaks are bit-identical.
+    Candidates are decoded and scored [window] at a time (default 8_192)
+    in parallel chunks on the {!Exec} pool, then folded sequentially in
+    counter order, so peak memory is O(window + slots) regardless of the
+    combination count.  Raises [Invalid_argument] if the count exceeds
+    [max_combinations] (default 2_000_000 — 10x the list-based cap,
+    affordable because nothing is retained). *)
+
 val exhaustive :
   ?component_types:(string * string) list ->
   ?max_combinations:int ->
@@ -59,12 +82,12 @@ val exhaustive :
   Fmea.Table.t ->
   Reliability.Sm_model.t ->
   candidate list
-(** Every combination of per-slot choices (including "deploy nothing"),
-    evaluated.  Raises [Invalid_argument] if the combination count exceeds
-    [max_combinations] (default 200_000) — use {!greedy} then.
-    Candidates are scored in parallel chunks on the {!Exec} pool with the
-    incremental evaluator; the returned list (order and every value) is
-    identical to a sequential run. *)
+(** {!exhaustive_fold} accumulated into a list.  Raises
+    [Invalid_argument] if the combination count exceeds
+    [max_combinations] (default 200_000, the historical list-based cap)
+    — use {!greedy} or {!exhaustive_fold} then.  The returned list
+    (order and every value) is identical to a sequential run of the old
+    recursive expansion. *)
 
 val greedy :
   ?component_types:(string * string) list ->
@@ -97,6 +120,11 @@ val optimise :
   candidate option * candidate list
 (** SAME's end-to-end Step 4b: exhaustive search when feasible (falling
     back to greedy), returning the chosen solution and the Pareto front.
+    Runs on {!exhaustive_fold} with an online cheapest/Pareto
+    accumulator, so design spaces up to ~2 million combinations are
+    searched exactly at flat memory; the result equals
+    [cheapest_meeting ~target (exhaustive ...), pareto_front
+    (exhaustive ...)] wherever the list-based search could run at all.
 
     [evaluator] (here and in {!exhaustive}/{!greedy}) supplies a
     prebuilt scorer for [table] — the incremental engine memoises it by

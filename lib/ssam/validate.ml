@@ -348,14 +348,17 @@ let check_hazard_numeric model (add : adder) =
     model.Model.hazard_packages
 
 (* SSAM008: a leaf component of a wired package that no relationship
-   touches is unreachable by any analysis path. *)
+   touches is unreachable by any analysis path.  The connection graph is
+   the shared {!Graph.Digraph} kernel (the same one the path FMEA's
+   dominator analysis interns), so "touched by a relationship" is an
+   O(1) interning lookup instead of a hand-rolled endpoint hashtable. *)
 let check_reachability model (add : adder) =
   List.iter
     (fun (p : Architecture.package) ->
-      let endpoints = Hashtbl.create 31 in
+      let edges = ref [] in
       let note (r : Architecture.relationship) =
-        Hashtbl.replace endpoints r.Architecture.from_component ();
-        Hashtbl.replace endpoints r.Architecture.to_component ()
+        edges := (r.Architecture.from_component, r.Architecture.to_component)
+                 :: !edges
       in
       List.iter note (Architecture.relationships p);
       List.iter
@@ -364,13 +367,14 @@ let check_reachability model (add : adder) =
             (fun c -> List.iter note c.Architecture.connections)
             root)
         (Architecture.top_components p);
-      if Hashtbl.length endpoints > 0 then
+      let g = Graph.Digraph.of_edges (List.rev !edges) in
+      if Graph.Digraph.node_count g > 0 then
         List.iter
           (fun root ->
             List.iter
               (fun (leaf : Architecture.component) ->
                 let id = Architecture.component_id leaf in
-                if not (Hashtbl.mem endpoints id) then
+                if Graph.Digraph.index g id = None then
                   add "SSAM008"
                     ~hint:"connect the component with a relationship or \
                            remove it"

@@ -105,6 +105,34 @@ let prop_cut_sets_minimal =
                set)
         sets)
 
+(* The merge-based minimizer must agree, order included, with the
+   historical quadratic one ([List.mem] membership scans) — on random
+   collections of normalized sets and on the DNFs MOCUS produces. *)
+let prop_minimize_matches_reference =
+  let reference_minimize sets =
+    let subset a b = List.for_all (fun x -> List.mem x b) a in
+    let sorted =
+      List.sort (fun a b -> Int.compare (List.length a) (List.length b)) sets
+    in
+    List.rev
+      (List.fold_left
+         (fun kept s ->
+           if List.exists (fun k -> subset k s) kept then kept else s :: kept)
+         [] sorted)
+  in
+  QCheck.Test.make ~name:"minimize = reference minimizer" ~count:120
+    QCheck.(
+      list_of_size
+        (QCheck.Gen.int_range 0 20)
+        (list_of_size (QCheck.Gen.int_range 0 5) (QCheck.int_range 0 7)))
+    (fun raw ->
+      let sets =
+        List.map
+          (fun xs -> Cut_sets.normalize (List.map (Printf.sprintf "e%d") xs))
+          raw
+      in
+      Cut_sets.minimize sets = reference_minimize sets)
+
 (* ---------- quantification ---------- *)
 
 let test_event_probabilities () =
@@ -285,6 +313,7 @@ let suite =
     Alcotest.test_case "cut sets: koon" `Quick test_cut_sets_koon;
     Alcotest.test_case "singletons/histogram" `Quick test_singletons_and_histogram;
     QCheck_alcotest.to_alcotest prop_cut_sets_minimal;
+    QCheck_alcotest.to_alcotest prop_minimize_matches_reference;
     Alcotest.test_case "event probabilities" `Quick test_event_probabilities;
     Alcotest.test_case "gate probabilities" `Quick test_top_probability_gates;
     Alcotest.test_case "bound ordering" `Quick test_bounds_order;

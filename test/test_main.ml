@@ -13,6 +13,7 @@ let () =
       ("engine", Test_engine.suite);
       ("query", Test_query.suite);
       ("typecheck", Test_typecheck.suite);
+      ("graph", Test_graph.suite);
       ("circuit", Test_circuit.suite);
       ("transient", Test_circuit.transient_suite);
       ("ac", Test_circuit.ac_suite);

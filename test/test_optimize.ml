@@ -194,6 +194,72 @@ let test_optimise_greedy_fallback () =
   | Some c -> Alcotest.(check bool) "fallback meets" true (c.Optimize.Search.spfm_pct >= 90.0)
   | None -> Alcotest.fail "expected greedy fallback solution"
 
+(* ---------- streaming enumeration ---------- *)
+
+let candidate_list = Alcotest.testable Optimize.Search.pp_candidate
+    Optimize.Search.equal_candidate
+
+let test_streaming_matches_list () =
+  let listed = Optimize.Search.exhaustive two_slot_table catalogue in
+  (* Window smaller than (and not dividing) the 6-candidate space, so
+     the fold crosses window boundaries. *)
+  let streamed =
+    List.rev
+      (Optimize.Search.exhaustive_fold ~window:4 two_slot_table catalogue
+         ~init:[] ~f:(fun acc c -> c :: acc))
+  in
+  Alcotest.(check (list candidate_list)) "same candidates, same order" listed
+    streamed
+
+let test_streaming_optimise_matches_list () =
+  let listed = Optimize.Search.exhaustive two_slot_table catalogue in
+  let chosen, front =
+    Optimize.Search.optimise ~target:Ssam.Requirement.ASIL_B two_slot_table
+      catalogue
+  in
+  Alcotest.(check (option candidate_list)) "same cheapest"
+    (Optimize.Search.cheapest_meeting ~target:Ssam.Requirement.ASIL_B listed)
+    chosen;
+  Alcotest.(check (list candidate_list)) "same pareto front"
+    (Optimize.Search.pareto_front listed)
+    front
+
+let test_streaming_beyond_list_cap () =
+  (* 9 slots x 3 options = 4^9 = 262 144 combinations: over the
+     list-based cap (the list entry point must refuse) but well inside
+     the streaming optimiser's budget — and the answer must be the
+     exact search, not the greedy fallback. *)
+  let n = 9 in
+  let rows = List.init n (fun i -> sr_row (Printf.sprintf "C%d" i) "f") in
+  let mechanisms =
+    List.concat_map
+      (fun i ->
+        [
+          mech ~cost:1.0 "a" (Printf.sprintf "C%d" i) "f" 60.0;
+          mech ~cost:2.0 "b" (Printf.sprintf "C%d" i) "f" 90.0;
+          mech ~cost:4.0 "c" (Printf.sprintf "C%d" i) "f" 99.0;
+        ])
+      (List.init n Fun.id)
+  in
+  let t = table rows and cat = Reliability.Sm_model.of_mechanisms mechanisms in
+  (match Optimize.Search.exhaustive t cat with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "list-based entry point should refuse 262k combinations");
+  let chosen, front =
+    Optimize.Search.optimise ~target:Ssam.Requirement.ASIL_B t cat
+  in
+  (match chosen with
+  | None -> Alcotest.fail "expected a solution"
+  | Some c ->
+      Alcotest.(check bool) "meets ASIL-B" true (c.Optimize.Search.spfm_pct >= 90.0);
+      (* ASIL-B needs 90 %: deploying "b" (90 % coverage) everywhere
+         gives exactly 90 at cost 18, and nothing cheaper reaches it. *)
+      Alcotest.(check (float 1e-9)) "exact optimum cost" 18.0
+        c.Optimize.Search.cost);
+  (* The greedy fallback would return a single-element front. *)
+  Alcotest.(check bool) "exhaustive front, not greedy" true
+    (List.length front > 1)
+
 let suite =
   [
     Alcotest.test_case "slots" `Quick test_slots;
@@ -208,4 +274,9 @@ let suite =
     Alcotest.test_case "greedy stops when stuck" `Quick test_greedy_stops_when_stuck;
     Alcotest.test_case "optimise end-to-end" `Quick test_optimise_end_to_end;
     Alcotest.test_case "optimise greedy fallback" `Quick test_optimise_greedy_fallback;
+    Alcotest.test_case "streaming matches list" `Quick test_streaming_matches_list;
+    Alcotest.test_case "streaming optimise matches list" `Quick
+      test_streaming_optimise_matches_list;
+    Alcotest.test_case "streaming beyond list cap" `Slow
+      test_streaming_beyond_list_cap;
   ]
