@@ -105,6 +105,23 @@ let set_jobs = function
   | Some n when n >= 1 -> Exec.set_default_jobs n
   | Some n -> Printf.eprintf "warning: ignoring non-positive --jobs %d\n" n
 
+let sched_arg =
+  let modes =
+    [ ("seq", Exec.Cost.Seq); ("par", Exec.Cost.Par); ("auto", Exec.Cost.Auto) ]
+  in
+  Arg.(
+    value
+    & opt (some (enum modes)) None
+    & info [ "sched" ] ~docv:"MODE"
+        ~doc:
+          "Parallel scheduling mode (overrides the $(b,SAME_SCHED) \
+           environment variable): $(b,seq) forces sequential execution, \
+           $(b,par) always dispatches to the pool, $(b,auto) (the default) \
+           parallelises only when the measured per-task cost clears the \
+           dispatch overhead.")
+
+let set_sched = function None -> () | Some m -> Exec.Cost.set_sched m
+
 let strict_arg =
   Arg.(
     value & flag
@@ -141,11 +158,19 @@ let make_engine cache explain =
       Some
         (Engine.Pipeline.create ~cache:(Engine.Cache.create ?dir:cache ()) ())
 
+(* Under --explain the scheduler verdict is always printed — including
+   when every batch ran sequentially, which on a small model is itself
+   the interesting fact ("auto chose sequential: est 1.2us/task below
+   the 48us dispatch overhead"). *)
 let report_stats explain engine =
-  match engine with
+  (match engine with
   | Some e when explain ->
       Format.printf "%a@." Engine.Stats.pp (Engine.Pipeline.snapshot e)
-  | _ -> ()
+  | _ -> ());
+  if explain then Format.printf "%a@." Exec.Cost.pp_decisions ();
+  match engine with
+  | Some e -> Engine.Pipeline.save_cost_state e
+  | None -> ()
 
 (* The `--strict` gate shared by fmea/fmeda/optimize: lint exactly the
    artefacts the analysis is about to consume. *)
@@ -379,10 +404,87 @@ let lint_cmd =
 
 (* same fmea *)
 
+let batch_arg =
+  Arg.(
+    value & flag
+    & info [ "batch" ]
+        ~doc:
+          "Batch-fleet mode: analyse every $(i,DIAGRAM) with one warm \
+           engine.  Variants sharing a circuit design share golden \
+           factorisations, and all remaining injections run as a single \
+           scheduled pool batch; prints a per-variant and fleet summary \
+           instead of full tables.")
+
+let diagrams_arg =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"DIAGRAM"
+        ~doc:
+          "Block diagram model (.bd text format); repeatable with \
+           $(b,--batch).")
+
+let load_diagrams paths =
+  List.fold_left
+    (fun acc path ->
+      match acc with
+      | Error _ as e -> e
+      | Ok vs -> Result.map (fun d -> (path, d) :: vs) (load_diagram path))
+    (Ok []) paths
+  |> Result.map List.rev
+
+(* The shared front half of `same fmea --batch` / `same fmeda --batch`:
+   load the fleet, gate it on --strict, run it through one warm engine.
+   [k] receives the engine, the loaded variants (label = file path, in
+   input order) and the fleet summary. *)
+let with_fleet paths reliability_path exclude monitored strict cache explain k
+    =
+  match load_diagrams paths with
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  | Ok variants -> (
+      match load_reliability reliability_path with
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+      | Ok reliability ->
+          if
+            strict
+            && not
+                 (List.for_all
+                    (fun (path, diagram) ->
+                      strict_ok ~strict ~diagram:(path, diagram)
+                        ~reliability:(reliability_path, reliability) ~exclude
+                        ~monitored ())
+                    variants)
+          then 1
+          else begin
+            let options =
+              {
+                Fmea.Injection_fmea.default_options with
+                exclude;
+                monitored_sensors =
+                  (match monitored with [] -> None | ids -> Some ids);
+              }
+            in
+            let engine =
+              match make_engine cache explain with
+              | Some e -> e
+              | None -> Engine.Pipeline.create ()
+            in
+            match
+              Engine.Batch.run_fmea engine ~options variants reliability
+            with
+            | exception Fmea.Injection_fmea.Golden_run_failed m ->
+                Printf.eprintf "error: golden simulation failed: %s\n" m;
+                1
+            | summary -> k engine variants reliability summary
+          end)
+
 let fmea_cmd =
-  let run diagram_path reliability_path exclude monitored output route strict
-      jobs cache explain =
-    set_jobs jobs;
+  let run_single diagram_path reliability_path exclude monitored output route
+      strict cache explain =
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         if
@@ -411,13 +513,43 @@ let fmea_cmd =
               Printf.eprintf "error: no input-output paths through %s\n" c;
               1)
   in
+  let run diagram_paths reliability_path exclude monitored output route strict
+      jobs sched cache explain batch =
+    set_jobs jobs;
+    set_sched sched;
+    if batch then
+      if route <> Decisive.Api.Via_injection then begin
+        Printf.eprintf "error: --batch supports only --route injection\n";
+        2
+      end
+      else
+        with_fleet diagram_paths reliability_path exclude monitored strict
+          cache explain (fun engine _variants _reliability summary ->
+            Format.printf "%a@." Engine.Batch.pp_summary summary;
+            (match output with
+            | Some path ->
+                Modelio.Csv.write_file path (Engine.Batch.to_csv summary);
+                Format.printf "fleet summary written to %s@." path
+            | None -> ());
+            report_stats explain (Some engine);
+            0)
+    else
+      match diagram_paths with
+      | [ diagram_path ] ->
+          run_single diagram_path reliability_path exclude monitored output
+            route strict cache explain
+      | _ ->
+          Printf.eprintf
+            "error: analysing several DIAGRAMs requires --batch\n";
+          2
+  in
   let doc = "Automated FMEA (DECISIVE Step 4a)." in
   Cmd.v
     (Cmd.info "fmea" ~doc)
     Term.(
-      const run $ diagram_arg $ reliability_arg $ exclude_arg $ monitored_arg
-      $ output_arg $ route_arg $ strict_arg $ jobs_arg $ cache_arg
-      $ explain_arg)
+      const run $ diagrams_arg $ reliability_arg $ exclude_arg $ monitored_arg
+      $ output_arg $ route_arg $ strict_arg $ jobs_arg $ sched_arg $ cache_arg
+      $ explain_arg $ batch_arg)
 
 (* same fmeda *)
 
@@ -429,9 +561,8 @@ let target_arg =
         ~doc:"Target integrity level (QM, ASIL-A..D, SIL1..4).")
 
 let fmeda_cmd =
-  let run diagram_path reliability_path sm_path exclude monitored output target
-      strict jobs cache explain =
-    set_jobs jobs;
+  let run_single diagram_path reliability_path sm_path exclude monitored
+      output target strict cache explain =
     with_diagram_and_models diagram_path reliability_path
       (fun diagram reliability ->
         match load_sm_model sm_path with
@@ -482,13 +613,67 @@ let fmeda_cmd =
                 report_stats explain engine;
                 code))
   in
+  let run diagram_paths reliability_path sm_path exclude monitored output
+      target strict jobs sched cache explain batch =
+    set_jobs jobs;
+    set_sched sched;
+    if batch then
+      match load_sm_model sm_path with
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+      | Ok sm_model ->
+          with_fleet diagram_paths reliability_path exclude monitored strict
+            cache explain (fun engine variants _reliability summary ->
+              Format.printf "%a@." Engine.Batch.pp_summary summary;
+              (* Step 4b per variant, still against the shared warm
+                 engine: search results cache by table fingerprint, so
+                 variants sharing a design also share the search. *)
+              let code =
+                List.fold_left2
+                  (fun worst (_, diagram)
+                       (e : Engine.Batch.fmea_entry) ->
+                    let conversion = Blockdiag.To_netlist.convert diagram in
+                    let refinement =
+                      Decisive.Api.refine ~engine ~target
+                        ~component_types:
+                          conversion.Blockdiag.To_netlist.block_types
+                        e.Engine.Batch.b_table sm_model
+                    in
+                    Format.printf "%-24s %a@." e.Engine.Batch.b_label
+                      (fun ppf () ->
+                        Fmea.Asil.pp_verdict ppf ~target
+                          ~spfm:refinement.Decisive.Api.achieved_spfm)
+                      ();
+                    match refinement.Decisive.Api.chosen with
+                    | Some _ -> worst
+                    | None -> 1)
+                  0 variants summary.Engine.Batch.f_entries
+              in
+              (match output with
+              | Some path ->
+                  Modelio.Csv.write_file path (Engine.Batch.to_csv summary);
+                  Format.printf "fleet summary written to %s@." path
+              | None -> ());
+              report_stats explain (Some engine);
+              code)
+    else
+      match diagram_paths with
+      | [ diagram_path ] ->
+          run_single diagram_path reliability_path sm_path exclude monitored
+            output target strict cache explain
+      | _ ->
+          Printf.eprintf
+            "error: analysing several DIAGRAMs requires --batch\n";
+          2
+  in
   let doc = "Automated FMEDA with safety-mechanism search (Steps 4a + 4b)." in
   Cmd.v
     (Cmd.info "fmeda" ~doc)
     Term.(
-      const run $ diagram_arg $ reliability_arg $ sm_arg $ exclude_arg
+      const run $ diagrams_arg $ reliability_arg $ sm_arg $ exclude_arg
       $ monitored_arg $ output_arg $ target_arg $ strict_arg $ jobs_arg
-      $ cache_arg $ explain_arg)
+      $ sched_arg $ cache_arg $ explain_arg $ batch_arg)
 
 (* same optimize *)
 
@@ -1113,8 +1298,64 @@ let scale_cmd =
         paths Fmea.Path_fmea.max_paths;
     0
   in
-  let run n topology analysis =
+  (* --analysis batch-fmea: the fleet workload — N PSU design variants
+     (cycling 3 electrical designs) cold (N independent engines) vs warm
+     (one engine, shared golden factorisations, one flat pool batch). *)
+  let run_batch_fmea n =
+    let count = max 2 (min n 1024) in
+    let variants = Decisive.Case_study.design_variants ~count () in
+    let reliability = Decisive.Case_study.reliability_model in
+    let options = Decisive.Case_study.injection_options in
+    let timed f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let cold, t_cold =
+      timed (fun () ->
+          List.map
+            (fun (label, diagram) ->
+              let e = Engine.Pipeline.create () in
+              let table =
+                Engine.Pipeline.injection_fmea e ~options diagram reliability
+              in
+              let snap = Engine.Pipeline.snapshot e in
+              (label, table, snap.Engine.Stats.golden_solves))
+            variants)
+    in
+    let cold_golden =
+      List.fold_left (fun acc (_, _, g) -> acc + g) 0 cold
+    in
+    let engine = Engine.Pipeline.create () in
+    let summary, t_fleet =
+      timed (fun () ->
+          Engine.Batch.run_fmea engine ~options variants reliability)
+    in
+    let snap = Engine.Pipeline.snapshot engine in
+    let identical =
+      List.for_all2
+        (fun (_, table, _) (e : Engine.Batch.fmea_entry) ->
+          Fmea.Table.equal table e.Engine.Batch.b_table)
+        cold summary.Engine.Batch.f_entries
+    in
+    Printf.printf
+      "fleet of %d variants (%d distinct designs, %d rows total)\n" count
+      summary.Engine.Batch.f_distinct_designs summary.Engine.Batch.f_rows;
+    Printf.printf "cold (N independent engines): %.3f ms, %d golden solves\n"
+      (1000.0 *. t_cold) cold_golden;
+    Printf.printf "warm fleet (one engine):      %.3f ms, %d golden solves\n"
+      (1000.0 *. t_fleet) snap.Engine.Stats.golden_solves;
+    Printf.printf "speedup %.2fx, golden solves %d -> %d, identical %b\n"
+      (t_cold /. t_fleet) cold_golden snap.Engine.Stats.golden_solves
+      identical;
+    if identical && snap.Engine.Stats.golden_solves < cold_golden then 0
+    else 1
+  in
+  let run n topology analysis jobs sched =
+    set_jobs jobs;
+    set_sched sched;
     if analysis = `Path_fmea then run_path_fmea n topology
+    else if analysis = `Batch_fmea then run_batch_fmea n
     else
     let nl =
       match topology with
@@ -1202,7 +1443,13 @@ let scale_cmd =
   let analysis_arg =
     Arg.(
       value
-      & opt (enum [ ("injection", `Injection); ("path-fmea", `Path_fmea) ])
+      & opt
+          (enum
+             [
+               ("injection", `Injection);
+               ("path-fmea", `Path_fmea);
+               ("batch-fmea", `Batch_fmea);
+             ])
           `Injection
       & info [ "analysis" ] ~docv:"ANALYSIS"
           ~doc:
@@ -1210,13 +1457,16 @@ let scale_cmd =
              synthetic netlist; $(b,path-fmea) benchmarks Algorithm 1's \
              dominator classification on a synthetic block diagram (for \
              $(b,ladder), $(docv) is the diamond-chain stage count; for \
-             $(b,grid), the approximate block count).")
+             $(b,grid), the approximate block count); $(b,batch-fmea) \
+             benchmarks the batch-fleet engine on $(docv) PSU design \
+             variants — one warm engine vs $(docv) cold runs (exit 0 iff \
+             the fleet shares golden solves and the tables are identical).")
   in
   let doc =
     "Benchmark the analysis kernels on synthetic scalable models."
   in
   Cmd.v (Cmd.info "scale" ~doc)
-    Term.(const run $ n_arg $ topology_arg $ analysis_arg)
+    Term.(const run $ n_arg $ topology_arg $ analysis_arg $ jobs_arg $ sched_arg)
 
 let main =
   let doc = "Safety Analysis Management Environment (DECISIVE tooling)" in

@@ -104,6 +104,49 @@ let power_supply_root =
 let injection_options =
   { Fmea.Injection_fmea.default_options with exclude = [ "DC1" ] }
 
+(* ---------- design-variant fleet ----------
+
+   The batch-fleet workload (one warm engine, N variants of one system,
+   as in S#'s Elbtunnel DesignExploration suite): cycle through three
+   electrical designs of the PSU — the baseline, a doubled output
+   capacitor, and a halved filter inductor — each under its own diagram
+   name.  Variants that share a design have element-for-element equal
+   netlists, so the engine's structural golden-run sharing makes a fleet
+   of N variants cost only [min N 3] golden factorisations. *)
+
+let with_param d ~block_id ~param value =
+  let open Blockdiag.Diagram in
+  {
+    d with
+    blocks =
+      List.map
+        (fun b ->
+          if String.equal b.block_id block_id then
+            {
+              b with
+              parameters =
+                (param, P_num value) :: List.remove_assoc param b.parameters;
+            }
+          else b)
+        d.blocks;
+  }
+
+let renamed name diagram = { diagram with Blockdiag.Diagram.diagram_name = name }
+
+let design_variants ?(count = 6) () =
+  List.init (Stdlib.max 1 count) (fun i ->
+      let name = Printf.sprintf "psu_v%d" (i + 1) in
+      let design =
+        match i mod 3 with
+        | 0 -> power_supply_diagram
+        | 1 ->
+            with_param power_supply_diagram ~block_id:"C2" ~param:"farads" 2e-5
+        | _ ->
+            with_param power_supply_diagram ~block_id:"L1" ~param:"henries"
+              5e-4
+      in
+      (name, renamed name design))
+
 let fmea_via_injection () =
   let conversion = Blockdiag.To_netlist.convert power_supply_diagram in
   Fmea.Injection_fmea.analyse ~options:injection_options

@@ -36,6 +36,16 @@ val sm_model : Reliability.Sm_model.t
 val injection_options : Fmea.Injection_fmea.options
 (** DC1 excluded ("assume that DC1 is stable"), default thresholds. *)
 
+val design_variants :
+  ?count:int -> unit -> (string * Blockdiag.Diagram.t) list
+(** A fleet of PSU design variants (default 6) for the batch-FMEA
+    workload: variant [i] is named ["psu_v<i+1>"] and cycles through
+    three electrical designs — the baseline, C2 doubled to 2e-5 F, and
+    L1 halved to 5e-4 H.  Variants sharing a design have
+    element-for-element equal netlists (only the diagram name differs),
+    so a fleet of [count] variants needs only [min count 3] golden
+    factorisations under the engine's structural sharing. *)
+
 val fmea_via_injection : unit -> Fmea.Table.t
 (** Step 4a on the circuit (Sec. V-A). *)
 

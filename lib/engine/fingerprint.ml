@@ -60,6 +60,18 @@ let netlist nl =
          (fun e -> leaf (Circuit.Element.show e))
          (Circuit.Netlist.elements nl))
 
+(* Name-free view for golden-run identity: every observable of a golden
+   run (factorisation, operating point, sensor readings, max element
+   current) depends only on the element list, so two design variants
+   whose extracted circuits are element-for-element equal can share one
+   factorisation even when their diagrams are named differently. *)
+let netlist_structure nl =
+  node
+    (leaf "netlist-structure"
+    :: List.map
+         (fun e -> leaf (Circuit.Element.show e))
+         (Circuit.Netlist.elements nl))
+
 let reliability_entry (e : Reliability.Reliability_model.entry) =
   leaf (Reliability.Reliability_model.show_entry e)
 

@@ -54,6 +54,13 @@ val netlist : Circuit.Netlist.t -> t
 (** One leaf per element, in netlist order — equal exactly when the
     extracted electrical circuit is equal. *)
 
+val netlist_structure : Circuit.Netlist.t -> t
+(** Like {!netlist} but ignoring the netlist {e name}: equal exactly when
+    the element lists are equal.  This is the golden-run identity — a
+    golden factorisation and everything derived from it depend only on
+    the elements, so design variants with identical circuits share one
+    golden solve under this fingerprint. *)
+
 val reliability_entry : Reliability.Reliability_model.entry -> t
 
 val reliability_model : Reliability.Reliability_model.t -> t

@@ -9,14 +9,40 @@ type t = {
   lock : Mutex.t;
 }
 
+(* ---------- scheduler-calibration persistence ---------- *)
+
+(* The [Exec.Cost] state (measured dispatch overhead + per-kernel EWMA
+   estimates) is machine-specific, so it is keyed by the core count and
+   stored as plain text, not marshalled. *)
+let cost_state_key () =
+  Cache.key ~stage:"exec.cost" ~version:1
+    (Fingerprint.leaf
+       (Printf.sprintf "cost-state/cores=%d"
+          (Stdlib.max 1 (Domain.recommended_domain_count ()))))
+
+let load_cost_state t =
+  match Cache.find t.p_cache (cost_state_key ()) with
+  | Some (`Memory s) | Some (`Disk s) -> Exec.Cost.import s
+  | None -> false
+
+let save_cost_state t =
+  Cache.store t.p_cache (cost_state_key ()) (Exec.Cost.export ())
+
 let create ?cache () =
-  {
-    p_cache = (match cache with Some c -> c | None -> Cache.create ());
-    p_stats = Stats.create ();
-    golden_runs = Hashtbl.create 8;
-    evaluators = Hashtbl.create 8;
-    lock = Mutex.create ();
-  }
+  let t =
+    {
+      p_cache = (match cache with Some c -> c | None -> Cache.create ());
+      p_stats = Stats.create ();
+      golden_runs = Hashtbl.create 8;
+      evaluators = Hashtbl.create 8;
+      lock = Mutex.create ();
+    }
+  in
+  (* Seed the scheduler from a previous session's calibration when the
+     cache has one: a warm-started engine never re-measures dispatch
+     overhead and decides correctly from its first batch. *)
+  ignore (load_cost_state t);
+  t
 
 let cache t = t.p_cache
 let stats t = t.p_stats
@@ -24,36 +50,45 @@ let snapshot t = Stats.snapshot t.p_stats
 
 (* ---------- generic memoisation ---------- *)
 
-let memo t ~stage ?(version = 1) ~key f =
-  let k = Cache.key ~stage ~version key in
-  let unmarshal payload =
-    (* The payload digest was already verified by [Cache.find]; this
-       guards against a stage/type confusion bug rather than disk rot. *)
-    try Some (Marshal.from_string payload 0) with _ -> None
-  in
-  let compute_and_store () =
-    Stats.incr_miss t.p_stats;
-    let v = f () in
-    (try
-       Cache.store t.p_cache k (Marshal.to_string v []);
-       Stats.incr_store t.p_stats
-     with _ -> ());
-    v
-  in
+(* The payload digest was already verified by [Cache.find]; unmarshal
+   failure guards against a stage/type confusion bug rather than disk
+   rot. *)
+let unmarshal payload = try Some (Marshal.from_string payload 0) with _ -> None
+
+(* Find-only half of [memo] (hit counters included), so the fleet driver
+   can separate its cached variants from its pending ones before
+   batching the pending work. *)
+let cache_find t k =
   match Cache.find t.p_cache k with
   | Some (`Memory payload) -> (
       match unmarshal payload with
       | Some v ->
           Stats.incr_mem_hit t.p_stats;
-          v
-      | None -> compute_and_store ())
+          Some v
+      | None -> None)
   | Some (`Disk payload) -> (
       match unmarshal payload with
       | Some v ->
           Stats.incr_disk_hit t.p_stats;
-          v
-      | None -> compute_and_store ())
-  | None -> compute_and_store ()
+          Some v
+      | None -> None)
+  | None -> None
+
+let cache_store t k v =
+  try
+    Cache.store t.p_cache k (Marshal.to_string v []);
+    Stats.incr_store t.p_stats
+  with _ -> ()
+
+let memo t ~stage ?(version = 1) ~key f =
+  let k = Cache.key ~stage ~version key in
+  match cache_find t k with
+  | Some v -> v
+  | None ->
+      Stats.incr_miss t.p_stats;
+      let v = f () in
+      cache_store t k v;
+      v
 
 let live_memo t table key compute =
   Mutex.lock t.lock;
@@ -92,8 +127,13 @@ let ssam_model_of diagram reliability =
       (Ssam.Base.meta ("engine:" ^ diagram.Blockdiag.Diagram.diagram_name))
     ()
 
-let golden_run t ~options ~fp_netlist ~fp_options netlist =
-  let key = Fingerprint.to_hex (Fingerprint.node [ fp_netlist; fp_options ]) in
+(* Golden runs are keyed by the {e structural} netlist fingerprint (name
+   ignored): every observable of a golden run depends only on the
+   element list and the options, so design variants with identical
+   circuits — a fleet's unmodified baseline copies — share one
+   factorisation. *)
+let golden_run t ~options ~fp_structure ~fp_options netlist =
+  let key = Fingerprint.to_hex (Fingerprint.node [ fp_structure; fp_options ]) in
   live_memo t t.golden_runs key (fun () ->
       let p = Fmea.Injection_fmea.prepare ~options netlist in
       Stats.incr_golden_solve t.p_stats;
@@ -199,7 +239,11 @@ let injection_fmea t ?previous ~options diagram reliability =
       ]
   in
   memo t ~stage:"fmea.injection" ~key (fun () ->
-      let prepared = golden_run t ~options ~fp_netlist ~fp_options netlist in
+      let prepared =
+        golden_run t ~options
+          ~fp_structure:(Fingerprint.netlist_structure netlist)
+          ~fp_options netlist
+      in
       let reuse =
         match previous with
         | None -> None
@@ -214,6 +258,108 @@ let injection_fmea t ?previous ~options diagram reliability =
       in
       Fmea.Injection_fmea.analyse ~options ~element_types ~prepared ?reuse
         ~on_classified ~on_solved netlist reliability)
+
+(* ---------- batch-fleet injection FMEA ---------- *)
+
+let rec take_rows k rows =
+  if k = 0 then ([], rows)
+  else
+    match rows with
+    | [] -> invalid_arg "Pipeline: fleet row count mismatch"
+    | r :: rest ->
+        let a, b = take_rows (k - 1) rest in
+        (r :: a, b)
+
+let injection_fmea_fleet t ~options variants reliability =
+  let fp_options = Fingerprint.injection_options options in
+  (* Resolve every variant against the content-addressed cache first:
+     hits are served as in [injection_fmea]; only the misses join the
+     flattened batch. *)
+  let resolved =
+    List.map
+      (fun (label, diagram) ->
+        let conversion = Blockdiag.To_netlist.convert diagram in
+        let netlist = conversion.Blockdiag.To_netlist.netlist in
+        let element_types = conversion.Blockdiag.To_netlist.block_types in
+        let key =
+          Cache.key ~stage:"fmea.injection" ~version:1
+            (Fingerprint.node
+               [
+                 Fingerprint.diagram diagram;
+                 Fingerprint.reliability_model reliability;
+                 fp_options;
+               ])
+        in
+        (label, netlist, element_types, key, cache_find t key))
+      variants
+  in
+  (* One golden run per distinct circuit structure: baseline copies in a
+     fleet share a factorisation, so N variants of D distinct designs
+     cost D golden solves, not N. *)
+  let pending =
+    List.filter_map
+      (fun (label, netlist, element_types, key, cached) ->
+        match cached with
+        | Some _ -> None
+        | None ->
+            Stats.incr_miss t.p_stats;
+            let prepared =
+              golden_run t ~options
+                ~fp_structure:(Fingerprint.netlist_structure netlist)
+                ~fp_options netlist
+            in
+            let injections =
+              Fmea.Injection_fmea.enumerate ~options ~element_types netlist
+                reliability
+            in
+            Some (label, netlist, key, prepared, injections))
+      resolved
+  in
+  let on_classified () = Stats.incr_row_classified t.p_stats in
+  let on_solved = function
+    | `Reused | `Rank_update _ -> Stats.incr_rank_update t.p_stats
+    | `Refactor -> Stats.incr_refactorisation t.p_stats
+  in
+  (* Flatten every pending variant's injections into ONE task list: the
+     pool sees a single large batch instead of N small barriers, and the
+     cost model decides once about a workload N times the size. *)
+  let flat =
+    List.concat_map
+      (fun (_, _, _, prepared, injections) ->
+        List.map (fun inj -> (prepared, inj)) injections)
+      pending
+  in
+  let rows =
+    Exec.scheduled_map ~key:Fmea.Injection_fmea.cost_key
+      (fun (prepared, inj) ->
+        Fmea.Injection_fmea.injection_row ~on_classified ~on_solved prepared
+          inj)
+      flat
+  in
+  (* Reassemble the flat rows into per-variant tables (flattening
+     preserved both variant order and in-variant row order), store each
+     table under its own cache key, and serve the results in input
+     order. *)
+  let computed = Hashtbl.create 8 in
+  let leftover =
+    List.fold_left
+      (fun rows (_, netlist, key, _, injections) ->
+        let taken, rest = take_rows (List.length injections) rows in
+        let table =
+          { Fmea.Table.system_name = Circuit.Netlist.name netlist; rows = taken }
+        in
+        cache_store t key table;
+        Hashtbl.replace computed (Cache.key_id key) table;
+        rest)
+      rows pending
+  in
+  assert (leftover = []);
+  List.map
+    (fun (label, _, _, key, cached) ->
+      match cached with
+      | Some table -> (label, table)
+      | None -> (label, Hashtbl.find computed (Cache.key_id key)))
+    resolved
 
 (* ---------- path FMEA ---------- *)
 

@@ -80,6 +80,36 @@ val injection_fmea :
     reliability entry for its component type is unchanged.  Raises
     {!Fmea.Injection_fmea.Golden_run_failed} like the cold path. *)
 
+val injection_fmea_fleet :
+  t ->
+  options:Fmea.Injection_fmea.options ->
+  (string * Blockdiag.Diagram.t) list ->
+  Reliability.Reliability_model.t ->
+  (string * Fmea.Table.t) list
+(** Batch-fleet FMEA: analyse N labelled design variants with one warm
+    engine.  Per-variant results (returned in input order, each
+    bit-identical to {!injection_fmea} on that variant alone) come from
+    the content-addressed cache when available; the remaining variants
+    share golden factorisations by {e structural} netlist fingerprint —
+    variants with element-for-element equal circuits cost one golden
+    solve between them — and all of their injections are flattened into
+    a single scheduled pool batch instead of N small barriers.  Each
+    computed table is stored under the same cache key
+    {!injection_fmea} uses, so fleet and single-variant runs feed each
+    other. *)
+
+(** {1 Scheduler-calibration persistence} *)
+
+val load_cost_state : t -> bool
+(** Restore the {!Exec.Cost} state (measured dispatch overhead +
+    per-kernel cost estimates) persisted in this pipeline's cache, if
+    any; [true] on success.  Runs automatically in {!create}. *)
+
+val save_cost_state : t -> unit
+(** Persist the current {!Exec.Cost} state through the cache (keyed by
+    core count — calibration is machine-specific), so the next session
+    starts with a calibrated scheduler. *)
+
 val path_fmea :
   t -> options:Fmea.Path_fmea.options -> Ssam.Architecture.component ->
   Fmea.Table.t

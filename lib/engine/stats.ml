@@ -54,9 +54,15 @@ type snapshot = {
   rows_reused : int;
   rank_updates : int;
   refactorisations : int;
+  sched_sequential : int;
+  sched_parallel : int;
 }
 
 let snapshot (t : t) =
+  (* The scheduler counters live in [Exec.Cost] (they are process-wide:
+     one cost model serves every pipeline), read here so one snapshot
+     carries the whole picture. *)
+  let sched_sequential, sched_parallel = Exec.Cost.counters () in
   {
     mem_hits = Atomic.get t.mem_hits;
     disk_hits = Atomic.get t.disk_hits;
@@ -67,6 +73,8 @@ let snapshot (t : t) =
     rows_reused = Atomic.get t.rows_reused;
     rank_updates = Atomic.get t.rank_updates;
     refactorisations = Atomic.get t.refactorisations;
+    sched_sequential;
+    sched_parallel;
   }
 
 let hits s = s.mem_hits + s.disk_hits
@@ -86,4 +94,7 @@ let pp ppf s =
     (if solves_performed s = 1 then "" else "s")
     s.golden_solves s.rows_classified s.rank_updates s.refactorisations
     s.rows_reused
-    (if s.rows_reused = 1 then "" else "s")
+    (if s.rows_reused = 1 then "" else "s");
+  Format.fprintf ppf "; scheduler: %d parallel / %d sequential batch%s"
+    s.sched_parallel s.sched_sequential
+    (if s.sched_parallel + s.sched_sequential = 1 then "" else "es")

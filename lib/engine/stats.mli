@@ -40,6 +40,12 @@ type snapshot = {
   refactorisations : int;
       (** faulted solves that assembled and factorised a system from
           scratch *)
+  sched_sequential : int;
+      (** pool batches the adaptive scheduler ran sequentially
+          (process-wide, from {!Exec.Cost.counters}) *)
+  sched_parallel : int;
+      (** pool batches the adaptive scheduler dispatched to the domain
+          pool (process-wide, from {!Exec.Cost.counters}) *)
 }
 
 val snapshot : t -> snapshot

@@ -241,6 +241,10 @@ let parallel_map ?jobs f xs =
 let parallel_iter ?jobs f xs = ignore (parallel_map ?jobs (fun x -> f x; ()) xs)
 
 let chunk_list ~chunk_size xs =
+  if chunk_size <= 0 then
+    invalid_arg
+      (Printf.sprintf "Exec.chunk_list: chunk_size %d (must be >= 1)"
+         chunk_size);
   let rec take k acc = function
     | rest when k = 0 -> (List.rev acc, rest)
     | [] -> (List.rev acc, [])
@@ -255,14 +259,25 @@ let chunk_list ~chunk_size xs =
   go [] xs
 
 let parallel_chunks ?jobs ?chunk_size f xs =
+  (match chunk_size with
+  | Some c when c <= 0 ->
+      invalid_arg
+        (Printf.sprintf "Exec.parallel_chunks: chunk_size %d (must be >= 1)" c)
+  | _ -> ());
   let n = List.length xs in
   if n = 0 then []
   else begin
     let j = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
+    (* Cap parallelism at the element count so [jobs > n] can never
+       produce empty chunks or one-element dispatch of a cheap map. *)
+    let j = Stdlib.min j n in
     let chunk_size =
       match chunk_size with
-      | Some c -> Stdlib.max 1 c
-      | None -> Stdlib.max 1 (n / (j * 4))
+      | Some c -> c
+      | None ->
+          (* Ceiling division: ~4 chunks per worker, and never 0 even for
+             tiny lists. *)
+          (n + (j * 4) - 1) / (j * 4)
     in
     if j <= 1 || chunk_size >= n then List.map f xs
     else
@@ -270,3 +285,394 @@ let parallel_chunks ?jobs ?chunk_size f xs =
       |> parallel_map ~jobs:j (List.map f)
       |> List.concat
   end
+
+(* ---------- adaptive scheduling: the cost model ---------- *)
+
+module Cost = struct
+  (* Per-kernel online cost estimation.  Each pool call site names its
+     workload with a stable string key ("fmea.injection",
+     "optimize.search", ...); every scheduled batch feeds an EWMA of the
+     measured per-task nanoseconds under that key, and [decide] only
+     parallelises when the estimated win clears the measured dispatch
+     overhead.  All state is process-global (guarded by [lock]) so one
+     warm engine amortises calibration across many analyses. *)
+
+  type estimate = { ns_per_task : float; samples : int }
+
+  type decision = Sequential | Parallel of { chunk_size : int }
+
+  type sched = Seq | Par | Auto
+
+  type record = {
+    d_key : string;
+    d_tasks : int;
+    d_jobs : int;
+    d_decision : decision;
+    d_estimate_ns : float option;
+    d_measured_ns : float option;
+  }
+
+  let lock = Mutex.create ()
+  let estimates : (string, estimate) Hashtbl.t = Hashtbl.create 16
+  let decision_log : record list ref = ref [] (* newest first, bounded *)
+  let log_limit = 64
+  let seq_batches = Atomic.make 0
+  let par_batches = Atomic.make 0
+
+  (* Smoothing factor: heavy enough that a cache-cold first batch does
+     not dominate, light enough to track a workload whose per-task cost
+     drifts (e.g. growing netlists across an iteration loop). *)
+  let ewma_alpha = 0.3
+
+  let now_ns () = Unix.gettimeofday () *. 1e9
+
+  let observe ~key ~tasks elapsed_ns =
+    if tasks > 0 && elapsed_ns >= 0.0 then begin
+      let per_task = elapsed_ns /. float_of_int tasks in
+      Mutex.lock lock;
+      (match Hashtbl.find_opt estimates key with
+      | None -> Hashtbl.replace estimates key { ns_per_task = per_task; samples = 1 }
+      | Some e ->
+          Hashtbl.replace estimates key
+            {
+              ns_per_task =
+                ((1.0 -. ewma_alpha) *. e.ns_per_task)
+                +. (ewma_alpha *. per_task);
+              samples = e.samples + 1;
+            });
+      Mutex.unlock lock
+    end
+
+  let estimate ~key =
+    Mutex.lock lock;
+    let r = Hashtbl.find_opt estimates key in
+    Mutex.unlock lock;
+    r
+
+  (* ----- dispatch overhead: measured, not guessed ----- *)
+
+  (* Conservative default (50 us) until a calibration runs or an imported
+     state supplies the measured value for this machine. *)
+  let overhead_ns = ref 50_000.0
+  let calibrated = ref false
+
+  let dispatch_overhead_ns () = !overhead_ns
+
+  let set_dispatch_overhead_ns ns =
+    overhead_ns := Float.max 1.0 ns;
+    calibrated := true
+
+  let calibrate ?(rounds = 16) () =
+    (* Time empty batches through a real pool: wake-up, cursor atomics,
+       collection.  Median across rounds rejects scheduler noise. *)
+    let jobs = Stdlib.max 2 (default_jobs ()) in
+    let n = 256 in
+    run_batch ~jobs n (fun _ -> ());
+    (* first batch pays domain spawn *)
+    let samples =
+      List.init rounds (fun _ ->
+          let t0 = now_ns () in
+          run_batch ~jobs n (fun _ -> ());
+          now_ns () -. t0)
+    in
+    let sorted = List.sort compare samples in
+    let median = List.nth sorted (rounds / 2) in
+    overhead_ns := Float.max 1_000.0 median;
+    calibrated := true;
+    !overhead_ns
+
+  let ensure_calibrated () = if not !calibrated then ignore (calibrate ())
+
+  (* ----- effective parallelism ----- *)
+
+  (* [SAME_JOBS] expresses intent; physical cores bound the achievable
+     win.  Tests and benches may pin an assumed core count so decisions
+     are reproducible across machines. *)
+  let assumed_cores = ref None
+
+  let set_assumed_cores c = assumed_cores := c
+
+  let effective_cores () =
+    match !assumed_cores with
+    | Some c -> Stdlib.max 1 c
+    | None -> Stdlib.max 1 (Domain.recommended_domain_count ())
+
+  (* ----- the policy ----- *)
+
+  (* Parallelise only when the estimated saving beats the dispatch
+     overhead with margin to spare:
+       saving = tasks * ns_per_task * (p - 1) / p   with p = min jobs cores
+       go parallel iff saving > 2 * overhead_ns.  *)
+  let margin = 2.0
+
+  (* A chunk should hold ~200 us of work so per-chunk dispatch stays in
+     the noise, but never so few chunks that workers idle: keep at least
+     two chunks per worker when the list allows it. *)
+  let chunk_target_ns = 200_000.0
+
+  let chunk_for ~tasks ~jobs ns_per_task =
+    let balance = Stdlib.max 1 (tasks / (2 * Stdlib.max 1 jobs)) in
+    let amortise =
+      if ns_per_task <= 0.0 then balance
+      else
+        let c = int_of_float (Float.ceil (chunk_target_ns /. ns_per_task)) in
+        Stdlib.max 1 c
+    in
+    Stdlib.max 1 (Stdlib.min balance amortise)
+
+  let decide ~tasks ~cost ~jobs =
+    let p = Stdlib.min (Stdlib.max 1 jobs) (effective_cores ()) in
+    if tasks <= 1 || p <= 1 then Sequential
+    else begin
+      let c = Float.max 1.0 cost.ns_per_task in
+      let total = c *. float_of_int tasks in
+      let win = total *. (float_of_int (p - 1) /. float_of_int p) in
+      if win > margin *. !overhead_ns then
+        Parallel { chunk_size = chunk_for ~tasks ~jobs:p c }
+      else Sequential
+    end
+
+  (* ----- SAME_SCHED escape hatch ----- *)
+
+  let sched_override = ref None
+  let warned_sched = ref None
+
+  let env_sched () =
+    match Sys.getenv_opt "SAME_SCHED" with
+    | None -> None
+    | Some s -> (
+        match String.lowercase_ascii (String.trim s) with
+        | "seq" | "sequential" -> Some Seq
+        | "par" | "parallel" -> Some Par
+        | "auto" -> Some Auto
+        | _ ->
+            if !warned_sched <> Some s then begin
+              warned_sched := Some s;
+              Logs.warn (fun m ->
+                  m
+                    "ignoring malformed SAME_SCHED=%S (expected \
+                     seq|par|auto); using auto"
+                    s)
+            end;
+            None)
+
+  let sched () =
+    match !sched_override with
+    | Some m -> m
+    | None -> ( match env_sched () with Some m -> m | None -> Auto)
+
+  let set_sched m = sched_override := Some m
+
+  (* ----- bookkeeping: counters and the decision log ----- *)
+
+  let note = function
+    | Sequential -> Atomic.incr seq_batches
+    | Parallel _ -> Atomic.incr par_batches
+
+  let counters () = (Atomic.get seq_batches, Atomic.get par_batches)
+
+  let record r =
+    Mutex.lock lock;
+    let keep = !decision_log in
+    let keep =
+      if List.length keep >= log_limit then
+        List.filteri (fun i _ -> i < log_limit - 1) keep
+      else keep
+    in
+    decision_log := r :: keep;
+    Mutex.unlock lock
+
+  let decisions () =
+    Mutex.lock lock;
+    let l = List.rev !decision_log in
+    Mutex.unlock lock;
+    l
+
+  let reset () =
+    Mutex.lock lock;
+    Hashtbl.reset estimates;
+    decision_log := [];
+    Mutex.unlock lock;
+    Atomic.set seq_batches 0;
+    Atomic.set par_batches 0
+
+  (* ----- persistence (stored under Engine.Cache by the caller) ----- *)
+
+  let state_version = "same-cost/1"
+
+  let export () =
+    let b = Buffer.create 256 in
+    Buffer.add_string b state_version;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (Printf.sprintf "overhead_ns %.17g\n" !overhead_ns);
+    Mutex.lock lock;
+    let entries =
+      Hashtbl.fold (fun k e acc -> (k, e) :: acc) estimates []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Mutex.unlock lock;
+    List.iter
+      (fun (k, e) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s %.17g %d\n" k e.ns_per_task e.samples))
+      entries;
+    Buffer.contents b
+
+  let import s =
+    match String.split_on_char '\n' s with
+    | header :: rest when String.trim header = state_version -> (
+        try
+          List.iter
+            (fun line ->
+              match String.split_on_char ' ' (String.trim line) with
+              | [ "" ] -> ()
+              | [ "overhead_ns"; v ] ->
+                  set_dispatch_overhead_ns (float_of_string v)
+              | [ key; ns; samples ] ->
+                  let ns = float_of_string ns in
+                  let samples = int_of_string samples in
+                  if ns >= 0.0 && samples > 0 then begin
+                    Mutex.lock lock;
+                    Hashtbl.replace estimates key
+                      { ns_per_task = ns; samples };
+                    Mutex.unlock lock
+                  end
+              | _ -> failwith "malformed cost-state line")
+            rest;
+          true
+        with _ -> false)
+    | _ -> false
+
+  (* ----- rendering for --explain ----- *)
+
+  let pp_mode ppf = function
+    | Sequential -> Format.fprintf ppf "sequential"
+    | Parallel { chunk_size } ->
+        Format.fprintf ppf "parallel(chunk %d)" chunk_size
+
+  let pp_ns ppf = function
+    | None -> Format.fprintf ppf "-"
+    | Some ns when ns >= 1e6 -> Format.fprintf ppf "%.2fms" (ns /. 1e6)
+    | Some ns when ns >= 1e3 -> Format.fprintf ppf "%.1fus" (ns /. 1e3)
+    | Some ns -> Format.fprintf ppf "%.0fns" ns
+
+  let pp_decisions ppf () =
+    match decisions () with
+    | [] ->
+        Format.fprintf ppf
+          "scheduler: no batches submitted (nothing to parallelise)"
+    | ds ->
+        let seq, par = counters () in
+        Format.fprintf ppf
+          "scheduler: %d batch(es) parallel, %d sequential (overhead %a, \
+           %d core(s) assumed)"
+          par seq pp_ns
+          (Some !overhead_ns)
+          (effective_cores ());
+        List.iter
+          (fun r ->
+            let mode = Format.asprintf "%a" pp_mode r.d_decision in
+            Format.fprintf ppf
+              "@\n  %-20s %6d tasks  jobs=%d  %-20s est %a/task  measured \
+               %a/task"
+              r.d_key r.d_tasks r.d_jobs mode pp_ns r.d_estimate_ns pp_ns
+              r.d_measured_ns)
+          ds
+end
+
+(* ---------- the scheduled entry point ---------- *)
+
+let rec split_n k xs =
+  if k = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: rest ->
+        let a, b = split_n (k - 1) rest in
+        (x :: a, b)
+
+(* First batch under a fresh key: run this many tasks sequentially to
+   seed the EWMA before deciding about the rest.  Small enough that a
+   cheap workload loses nothing, large enough to average solver noise. *)
+let pilot_tasks = 24
+
+let scheduled_map ?jobs ~key f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+      let n = List.length xs in
+      let jobs =
+        match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs ()
+      in
+      let mode = Cost.sched () in
+      let run_parallel chunk_size xs =
+        chunk_list ~chunk_size xs
+        |> parallel_map ~jobs (List.map f)
+        |> List.concat
+      in
+      let fallback_chunk tasks =
+        let j = Stdlib.min jobs tasks in
+        Stdlib.max 1 ((tasks + (j * 4) - 1) / (j * 4))
+      in
+      if mode = Cost.Auto && jobs > 1 && Cost.effective_cores () > 1 then
+        Cost.ensure_calibrated ();
+      let est0 = Cost.estimate ~key in
+      let t0 = Cost.now_ns () in
+      let decision, result =
+        match mode with
+        | Cost.Seq -> (Cost.Sequential, List.map f xs)
+        | Cost.Par ->
+            if jobs <= 1 then (Cost.Sequential, List.map f xs)
+            else
+              let chunk_size =
+                match est0 with
+                | Some e -> Cost.chunk_for ~tasks:n ~jobs e.Cost.ns_per_task
+                | None -> fallback_chunk n
+              in
+              (Cost.Parallel { chunk_size }, run_parallel chunk_size xs)
+        | Cost.Auto -> (
+            if jobs <= 1 || Cost.effective_cores () <= 1 then
+              (Cost.Sequential, List.map f xs)
+            else
+              match est0 with
+              | Some e -> (
+                  match Cost.decide ~tasks:n ~cost:e ~jobs with
+                  | Cost.Sequential -> (Cost.Sequential, List.map f xs)
+                  | Cost.Parallel { chunk_size } as d ->
+                      (d, run_parallel chunk_size xs))
+              | None -> (
+                  (* No estimate yet: sequential pilot seeds the EWMA,
+                     then decide about the remainder.  Never slower than
+                     sequential by construction. *)
+                  let pilot = Stdlib.min pilot_tasks n in
+                  let head, tail = split_n pilot xs in
+                  let tp = Cost.now_ns () in
+                  let head_r = List.map f head in
+                  Cost.observe ~key ~tasks:pilot (Cost.now_ns () -. tp);
+                  if tail = [] then (Cost.Sequential, head_r)
+                  else
+                    match Cost.estimate ~key with
+                    | None -> (Cost.Sequential, head_r @ List.map f tail)
+                    | Some e -> (
+                        match
+                          Cost.decide ~tasks:(n - pilot) ~cost:e ~jobs
+                        with
+                        | Cost.Sequential ->
+                            (Cost.Sequential, head_r @ List.map f tail)
+                        | Cost.Parallel { chunk_size } as d ->
+                            (d, head_r @ run_parallel chunk_size tail))))
+      in
+      let elapsed = Cost.now_ns () -. t0 in
+      Cost.observe ~key ~tasks:n elapsed;
+      Cost.note decision;
+      Cost.record
+        {
+          Cost.d_key = key;
+          d_tasks = n;
+          d_jobs = jobs;
+          d_decision = decision;
+          d_estimate_ns = Option.map (fun e -> e.Cost.ns_per_task) est0;
+          d_measured_ns = Some (elapsed /. float_of_int n);
+        };
+      result

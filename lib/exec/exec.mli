@@ -50,14 +50,123 @@ val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 val parallel_chunks :
   ?jobs:int -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!parallel_map} but amortised for cheap tasks: the input is cut
-    into contiguous chunks (default: enough for ~4 chunks per worker,
-    minimum 1 element) and each pool task maps a whole chunk with
-    [List.map], preserving order.  Use for large candidate lists where
-    per-element dispatch would dominate. *)
+    into contiguous chunks (default: ceiling division to ~4 chunks per
+    worker, with the worker count capped at the element count so tiny
+    lists and [jobs > n] never yield empty chunks or one-element
+    dispatch) and each pool task maps a whole chunk with [List.map],
+    preserving order.  Use for large candidate lists where per-element
+    dispatch would dominate.
+
+    @raise Invalid_argument if [chunk_size] is given and [<= 0]. *)
 
 val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** {!parallel_map} for effects only (the effects must be thread-safe —
     e.g. charging an atomic {!Store.Budget}). *)
+
+(** Adaptive scheduling: measure, then decide.
+
+    A fixed "always parallelise with ~4 chunks per worker" rule made the
+    small-problem injection FMEA {e slower} than sequential (0.19x on one
+    core): dispatch overhead swamped sub-millisecond batches.  [Cost]
+    keeps an online EWMA of the measured per-task nanoseconds for each
+    workload key and a measured dispatch overhead, and {!scheduled_map}
+    only parallelises when the estimated saving clears that overhead.
+    The [SAME_SCHED] environment variable ([seq] | [par] | [auto],
+    default [auto]) or {!Cost.set_sched} force a mode globally. *)
+module Cost : sig
+  type estimate = { ns_per_task : float; samples : int }
+  (** EWMA of measured per-task cost under one workload key. *)
+
+  type decision = Sequential | Parallel of { chunk_size : int }
+
+  type sched = Seq | Par | Auto
+
+  type record = {
+    d_key : string;
+    d_tasks : int;
+    d_jobs : int;
+    d_decision : decision;
+    d_estimate_ns : float option;  (** estimate before the batch ran *)
+    d_measured_ns : float option;  (** measured per-task ns afterwards *)
+  }
+
+  val sched : unit -> sched
+  (** Effective mode: {!set_sched} override, else [SAME_SCHED] (malformed
+      values warn once and are ignored), else [Auto]. *)
+
+  val set_sched : sched -> unit
+
+  val observe : key:string -> tasks:int -> float -> unit
+  (** [observe ~key ~tasks elapsed_ns] folds a measured batch (total
+      elapsed nanoseconds over [tasks] tasks) into the EWMA for [key]. *)
+
+  val estimate : key:string -> estimate option
+
+  val decide : tasks:int -> cost:estimate -> jobs:int -> decision
+  (** The policy: with [p = min jobs (effective_cores ())], go parallel
+      iff [tasks * ns_per_task * (p - 1) / p > 2 * dispatch_overhead_ns],
+      with [chunk_size] from {!chunk_for}.  Monotone: more tasks or
+      higher per-task cost never flips a parallel verdict back to
+      sequential.  Pin {!set_assumed_cores} in tests for
+      machine-independent assertions. *)
+
+  val chunk_for : tasks:int -> jobs:int -> float -> int
+  (** Chunk size from measured cost: big enough that each chunk holds
+      ~200 us of work, small enough to keep >= 2 chunks per worker when
+      the list allows it.  Always >= 1. *)
+
+  val calibrate : ?rounds:int -> unit -> float
+  (** One-shot dispatch-overhead measurement (median of [rounds] empty
+      pool batches); returns and installs the measured overhead in ns.
+      Runs automatically before the first [Auto] decision if no
+      calibration was imported. *)
+
+  val dispatch_overhead_ns : unit -> float
+
+  val set_dispatch_overhead_ns : float -> unit
+  (** Install an overhead value directly (tests; imported state) and mark
+      the process calibrated. *)
+
+  val effective_cores : unit -> int
+
+  val set_assumed_cores : int option -> unit
+  (** Pin the core count {!decide} uses ([None] returns to
+      [Domain.recommended_domain_count]).  For tests and benches. *)
+
+  val counters : unit -> int * int
+  (** [(sequential, parallel)] batches scheduled so far. *)
+
+  val decisions : unit -> record list
+  (** The bounded decision log, oldest first. *)
+
+  val reset : unit -> unit
+  (** Clear estimates, the decision log and the counters (not the
+      calibrated overhead). *)
+
+  val export : unit -> string
+  (** Serialise overhead + estimates ("same-cost/1" text format) for
+      persistence through [Engine.Cache]. *)
+
+  val import : string -> bool
+  (** Restore a state written by {!export}.  [false] (and no partial
+      update of the overhead) on malformed input. *)
+
+  val pp_decisions : Format.formatter -> unit -> unit
+  (** Render the scheduler verdicts for [--explain]: chosen mode, chunk
+      size, estimated vs measured per-task cost — also when every batch
+      ran sequentially. *)
+end
+
+val scheduled_map : ?jobs:int -> key:string -> ('a -> 'b) -> 'a list -> 'b list
+(** [scheduled_map ~key f xs] is [List.map f xs] with the execution
+    strategy chosen by {!Cost.decide} under the workload key [key]:
+    sequential when the batch is too small to beat dispatch overhead,
+    chunked parallel otherwise.  The first batch under a fresh key runs a
+    short sequential pilot to seed the estimate, so [auto] is never
+    slower than sequential.  Results (and the re-raised lowest-index
+    exception) are bit-identical to [List.map] in every mode.  Every
+    batch is timed, folded into the EWMA and recorded in the decision
+    log. *)
 
 (** The reusable fixed-size pool underneath the [parallel_*] wrappers.
     Kernels normally use the wrappers (which share one global pool);

@@ -154,76 +154,91 @@ let classify_single ?(options = default_options) ?solver netlist ~element_id
     fault =
   classify_prepared (prepare ~options ?solver netlist) ~element_id fault
 
-let analyse ?(options = default_options) ?(element_types = []) ?solver
-    ?prepared ?reuse ?on_classified ?on_solved netlist reliability =
-  let p =
-    match prepared with Some p -> p | None -> prepare ~options ?solver netlist
-  in
+type injection = string * float * Reliability.Reliability_model.failure_mode
+
+(* Enumerate the (element, failure-mode) injections — cheap, and it fixes
+   the row order before anything runs on the pool.  Exposed so the
+   batch-fleet driver can flatten several variants' injections into one
+   task list. *)
+let enumerate ?(options = default_options) ?(element_types = []) netlist
+    reliability =
   let type_of (e : Circuit.Element.t) =
     match List.assoc_opt e.Circuit.Element.id element_types with
     | Some t -> t
     | None -> Circuit.Element.kind_name e.Circuit.Element.kind
   in
-  (* Enumerate the (element, failure-mode) injections first — cheap, and
-     it fixes the row order — then classify them on the domain pool, one
-     DC solve per injection, the golden solution shared read-only. *)
-  let injections =
-    List.concat_map
-      (fun (e : Circuit.Element.t) ->
-        let id = e.Circuit.Element.id in
-        if List.exists (String.equal id) options.exclude then []
-        else
-          match Reliability.Reliability_model.find reliability (type_of e) with
-          | None -> []
-          | Some entry ->
-              let fit = entry.Reliability.Reliability_model.fit in
-              List.map
-                (fun (fm : Reliability.Reliability_model.failure_mode) ->
-                  (id, fit, fm))
-                entry.Reliability.Reliability_model.failure_modes)
-      (Circuit.Netlist.elements netlist)
+  List.concat_map
+    (fun (e : Circuit.Element.t) ->
+      let id = e.Circuit.Element.id in
+      if List.exists (String.equal id) options.exclude then []
+      else
+        match Reliability.Reliability_model.find reliability (type_of e) with
+        | None -> []
+        | Some entry ->
+            let fit = entry.Reliability.Reliability_model.fit in
+            List.map
+              (fun (fm : Reliability.Reliability_model.failure_mode) ->
+                (id, fit, fm))
+              entry.Reliability.Reliability_model.failure_modes)
+    (Circuit.Netlist.elements netlist)
+
+let compute_row ?on_classified ?on_solved p
+    ((id, fit, (fm : Reliability.Reliability_model.failure_mode)) : injection)
+    =
+  let name = fm.Reliability.Reliability_model.fm_name in
+  let dist = fm.Reliability.Reliability_model.distribution_pct in
+  let mk =
+    Table.make_row ~component:id ~component_fit:fit ~failure_mode:name
+      ~distribution_pct:dist
   in
-  let compute_row (id, fit, (fm : Reliability.Reliability_model.failure_mode))
-      =
-    let name = fm.Reliability.Reliability_model.fm_name in
-    let dist = fm.Reliability.Reliability_model.distribution_pct in
-    let mk =
-      Table.make_row ~component:id ~component_fit:fit ~failure_mode:name
-        ~distribution_pct:dist
-    in
-    match fm.Reliability.Reliability_model.fault with
-    | None ->
-        mk
-          ~warning:
-            (Printf.sprintf
-               "no fault model for failure mode '%s' — review manually" name)
-          ~safety_related:false ()
-    | Some fault -> (
-        (match on_classified with Some hook -> hook () | None -> ());
-        match classify_prepared ?on_solved p ~element_id:id fault with
-        | `Safety_related impact -> mk ~impact ~safety_related:true ()
-        | `No_effect ->
-            mk ~impact:"sensor readings within threshold" ~safety_related:false
-              ()
-        | `Excluded why -> mk ~warning:why ~safety_related:false ()
-        | `Simulation_failed why ->
-            mk
-              ~warning:(Printf.sprintf "simulation failed: %s" why)
-              ~safety_related:false ())
+  match fm.Reliability.Reliability_model.fault with
+  | None ->
+      mk
+        ~warning:
+          (Printf.sprintf
+             "no fault model for failure mode '%s' — review manually" name)
+        ~safety_related:false ()
+  | Some fault -> (
+      (match on_classified with Some hook -> hook () | None -> ());
+      match classify_prepared ?on_solved p ~element_id:id fault with
+      | `Safety_related impact -> mk ~impact ~safety_related:true ()
+      | `No_effect ->
+          mk ~impact:"sensor readings within threshold" ~safety_related:false
+            ()
+      | `Excluded why -> mk ~warning:why ~safety_related:false ()
+      | `Simulation_failed why ->
+          mk
+            ~warning:(Printf.sprintf "simulation failed: %s" why)
+            ~safety_related:false ())
+
+(* The reuse hook (when provided by the incremental engine) is asked
+   first; a reused row skips its faulted solve entirely.  The hook is
+   consulted from pool domains, so it must be thread-safe. *)
+let injection_row ?reuse ?on_classified ?on_solved p
+    (((id, _, fm) : injection) as inj) =
+  match reuse with
+  | None -> compute_row ?on_classified ?on_solved p inj
+  | Some f -> (
+      match
+        f ~component:id ~failure_mode:fm.Reliability.Reliability_model.fm_name
+      with
+      | Some row -> row
+      | None -> compute_row ?on_classified ?on_solved p inj)
+
+let cost_key = "fmea.injection"
+
+let analyse ?(options = default_options) ?(element_types = []) ?solver
+    ?prepared ?reuse ?on_classified ?on_solved netlist reliability =
+  let p =
+    match prepared with Some p -> p | None -> prepare ~options ?solver netlist
   in
-  (* The reuse hook (when provided by the incremental engine) is asked
-     first; a reused row skips its faulted solve entirely.  The hook is
-     consulted from pool domains, so it must be thread-safe. *)
-  let row_of ((id, _, (fm : Reliability.Reliability_model.failure_mode)) as inj)
-      =
-    match reuse with
-    | None -> compute_row inj
-    | Some f -> (
-        match
-          f ~component:id ~failure_mode:fm.Reliability.Reliability_model.fm_name
-        with
-        | Some row -> row
-        | None -> compute_row inj)
+  let injections = enumerate ~options ~element_types netlist reliability in
+  (* One DC solve per injection, the golden solution shared read-only;
+     the cost model decides whether this batch is worth the pool at all
+     (a handful of rank-1 re-solves is not). *)
+  let rows =
+    Exec.scheduled_map ~key:cost_key
+      (injection_row ?reuse ?on_classified ?on_solved p)
+      injections
   in
-  let rows = Exec.parallel_map row_of injections in
   { Table.system_name = Circuit.Netlist.name netlist; rows }

@@ -95,6 +95,38 @@ val classify_single :
 (** [classify_prepared (prepare netlist)] — convenience for one-off
     classifications; repeated calls should {!prepare} once instead. *)
 
+type injection = string * float * Reliability.Reliability_model.failure_mode
+(** One planned fault injection: element id, component FIT and the
+    failure mode to inject. *)
+
+val enumerate :
+  ?options:options ->
+  ?element_types:element_types ->
+  Circuit.Netlist.t ->
+  Reliability.Reliability_model.t ->
+  injection list
+(** The (element, failure-mode) pairs {!analyse} would classify, in row
+    order: every non-excluded element with a reliability entry crossed
+    with its failure modes.  Pure and cheap — exposed so the batch-fleet
+    driver can flatten several variants' injections into one pool
+    batch. *)
+
+val injection_row :
+  ?reuse:(component:string -> failure_mode:string -> Table.row option) ->
+  ?on_classified:(unit -> unit) ->
+  ?on_solved:(solve_path -> unit) ->
+  prepared ->
+  injection ->
+  Table.row
+(** Classify one enumerated injection against a shared golden run and
+    render its table row — exactly what {!analyse} does per task.  Safe
+    to call from pool domains (the hooks must be thread-safe, as under
+    {!analyse}). *)
+
+val cost_key : string
+(** The {!Exec.Cost} workload key under which injection classifications
+    are scheduled ("fmea.injection"). *)
+
 val analyse :
   ?options:options ->
   ?element_types:element_types ->

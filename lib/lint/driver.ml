@@ -34,7 +34,9 @@ let run ?jobs ?(rules = []) ?min_severity input =
     [ Ssam_pack.run; Blockdiag_pack.run; Reliability_pack.run; Query_pack.run ]
   in
   let all =
-    List.concat (Exec.parallel_map ?jobs (fun pack -> pack input) packs)
+    List.concat
+      (Exec.scheduled_map ?jobs ~key:"lint.pack" (fun pack -> pack input)
+         packs)
   in
   let wanted = List.map String.uppercase_ascii rules in
   let all =

@@ -232,7 +232,7 @@ let exhaustive_fold ?(component_types = []) ?(max_combinations = 2_000_000)
   while !base < combinations do
     let len = min window (combinations - !base) in
     let window_candidates =
-      Exec.parallel_chunks (evaluate_with ev)
+      Exec.scheduled_map ~key:"optimize.search" (evaluate_with ev)
         (List.init len (fun k -> decode (!base + k)))
     in
     List.iter (fun c -> acc := f !acc c) window_candidates;
@@ -293,7 +293,7 @@ let greedy ?(component_types = []) ?evaluator ~target table sm_model =
           all_slots
       in
       let scored =
-        Exec.parallel_chunks
+        Exec.scheduled_map ~key:"optimize.greedy"
           (fun (next, (m : Reliability.Sm_model.mechanism), existing) ->
             let c = evaluate_with ev next in
             let gain = c.spfm_pct -. current_candidate.spfm_pct in

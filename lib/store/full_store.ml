@@ -27,10 +27,12 @@ let unit_verdicts unit =
 
 let evaluate l =
   (* Every unit is already resident, so the per-unit path FMEAs are
-     independent pure computations: run them across the domain pool and
-     add the verdict counts in unit order (integer sums — identical to
-     the sequential result for any schedule). *)
-  List.fold_left ( + ) 0 (Exec.parallel_map unit_verdicts l.units)
+     independent pure computations: schedule them across the domain pool
+     (the cost model keeps small sets sequential) and add the verdict
+     counts in unit order (integer sums — identical to the sequential
+     result for any schedule). *)
+  List.fold_left ( + ) 0
+    (Exec.scheduled_map ~key:"store.evaluate" unit_verdicts l.units)
 
 let release ~budget l =
   List.iter

@@ -34,7 +34,11 @@ let evaluate ?budget spec =
        whole window across the domain pool, then release.  Integer
        verdict counts summed in unit order: bit-identical to the
        sequential store for every window size. *)
-    let verdicts = Exec.parallel_map (fun (u, _) -> analyse_unit u) units in
+    let verdicts =
+      Exec.scheduled_map ~key:"store.evaluate"
+        (fun (u, _) -> analyse_unit u)
+        units
+    in
     safety_related := List.fold_left ( + ) !safety_related verdicts;
     List.iter
       (fun (_, n) ->

@@ -440,6 +440,89 @@ let test_assurance_claim_reuse () =
       Alcotest.(check bool) "warm verdict equals cold" true
         (cold.Assurance.Eval.overall = r2.Assurance.Eval.overall))
 
+(* ---------- batch fleet ---------- *)
+
+(* Six design variants cycle three electrical designs, so one warm
+   engine must perform exactly three golden factorisations — strictly
+   fewer than the six a cold fleet pays — while every per-variant table
+   stays bit-identical to its standalone analysis. *)
+let test_fleet_shares_golden () =
+  let variants = Decisive.Case_study.design_variants ~count:6 () in
+  let options = Decisive.Case_study.injection_options in
+  let reliability = Decisive.Case_study.reliability_model in
+  let engine = Engine.Pipeline.create () in
+  let summary = Engine.Batch.run_fmea engine ~options variants reliability in
+  let snap = Engine.Pipeline.snapshot engine in
+  Alcotest.(check int) "three designs" 3 summary.Engine.Batch.f_distinct_designs;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer golden solves than variants (%d < 6)"
+       snap.Engine.Stats.golden_solves)
+    true
+    (snap.Engine.Stats.golden_solves < List.length variants);
+  Alcotest.(check int) "exactly one golden solve per design" 3
+    snap.Engine.Stats.golden_solves;
+  List.iter2
+    (fun (label, diagram) (e : Engine.Batch.fmea_entry) ->
+      Alcotest.(check string) "entries in input order" label
+        e.Engine.Batch.b_label;
+      let standalone =
+        Engine.Pipeline.injection_fmea
+          (Engine.Pipeline.create ())
+          ~options diagram reliability
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s identical to standalone" label)
+        true
+        (Fmea.Table.equal standalone e.Engine.Batch.b_table))
+    variants summary.Engine.Batch.f_entries;
+  (* A second fleet over the same engine is pure cache hits: no new
+     solves at all. *)
+  let summary2 = Engine.Batch.run_fmea engine ~options variants reliability in
+  let snap2 = Engine.Pipeline.snapshot engine in
+  Alcotest.(check int) "no new golden solves" snap.Engine.Stats.golden_solves
+    snap2.Engine.Stats.golden_solves;
+  Alcotest.(check int) "no new classifications"
+    snap.Engine.Stats.rows_classified snap2.Engine.Stats.rows_classified;
+  Alcotest.(check bool) "cache hits recorded" true
+    (Engine.Stats.hits snap2 >= List.length variants);
+  List.iter2
+    (fun (e1 : Engine.Batch.fmea_entry) (e2 : Engine.Batch.fmea_entry) ->
+      Alcotest.(check bool) "second run identical" true
+        (Fmea.Table.equal e1.Engine.Batch.b_table e2.Engine.Batch.b_table))
+    summary.Engine.Batch.f_entries summary2.Engine.Batch.f_entries
+
+(* ---------- scheduler-calibration persistence ---------- *)
+
+let test_cost_state_persists () =
+  with_temp_dir (fun dir ->
+      let saved_overhead = Exec.Cost.dispatch_overhead_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          Exec.Cost.set_dispatch_overhead_ns saved_overhead;
+          Exec.Cost.reset ())
+        (fun () ->
+          let e1 =
+            Engine.Pipeline.create ~cache:(Engine.Cache.create ~dir ()) ()
+          in
+          Exec.Cost.set_dispatch_overhead_ns 7_777.0;
+          Exec.Cost.observe ~key:"persist.k" ~tasks:100 5_000_000.0;
+          Engine.Pipeline.save_cost_state e1;
+          Exec.Cost.reset ();
+          Alcotest.(check bool) "estimates cleared by reset" true
+            (Exec.Cost.estimate ~key:"persist.k" = None);
+          (* A fresh pipeline over the same directory restores the
+             calibration in [create]. *)
+          let _e2 =
+            Engine.Pipeline.create ~cache:(Engine.Cache.create ~dir ()) ()
+          in
+          Alcotest.(check (float 1e-9)) "overhead restored" 7_777.0
+            (Exec.Cost.dispatch_overhead_ns ());
+          match Exec.Cost.estimate ~key:"persist.k" with
+          | Some est ->
+              Alcotest.(check (float 1e-3)) "ns/task restored" 50_000.0
+                est.Exec.Cost.ns_per_task
+          | None -> Alcotest.fail "estimate not restored"))
+
 let suite =
   [
     Alcotest.test_case "fingerprint: diagram" `Quick test_fingerprint_diagram;
@@ -462,6 +545,10 @@ let suite =
       test_api_refine_warm_equals_cold;
     Alcotest.test_case "api: all routes through the engine" `Quick
       test_api_routes_warm_equals_cold;
+    Alcotest.test_case "fleet: shared golden, identical tables" `Quick
+      test_fleet_shares_golden;
+    Alcotest.test_case "fleet: cost state persists" `Quick
+      test_cost_state_persists;
     Alcotest.test_case "pipeline: assurance claim reuse" `Quick
       test_assurance_claim_reuse;
   ]

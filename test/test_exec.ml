@@ -284,6 +284,214 @@ let test_malformed_same_jobs_warns () =
         "well-formed value parsed" (Some 4) (Exec.env_jobs ());
       Alcotest.(check int) "no extra warning" 1 (List.length !warnings))
 
+(* ---------- parallel_chunks edge cases ---------- *)
+
+let test_parallel_chunks_edges () =
+  List.iter
+    (fun c ->
+      Alcotest.check_raises
+        (Printf.sprintf "chunk_size=%d rejected" c)
+        (Invalid_argument
+           (Printf.sprintf "Exec.parallel_chunks: chunk_size %d (must be >= 1)"
+              c))
+        (fun () ->
+          ignore (Exec.parallel_chunks ~jobs:4 ~chunk_size:c succ [ 1; 2; 3 ])))
+    [ 0; -3 ];
+  Alcotest.(check (list int))
+    "empty list" []
+    (Exec.parallel_chunks ~jobs:4 succ []);
+  (* jobs far above the element count: no empty chunks, no degenerate
+     dispatch, order preserved. *)
+  List.iter
+    (fun n ->
+      let xs = List.init n Fun.id in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=64 n=%d" n)
+        (List.map succ xs)
+        (Exec.parallel_chunks ~jobs:64 succ xs))
+    [ 1; 2; 3; 5; 63; 64; 65 ]
+
+(* ---------- the cost model's decision policy ---------- *)
+
+let with_pinned_cost f =
+  let saved_overhead = Exec.Cost.dispatch_overhead_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.Cost.set_assumed_cores None;
+      Exec.Cost.set_dispatch_overhead_ns saved_overhead)
+    (fun () ->
+      Exec.Cost.set_assumed_cores (Some 8);
+      Exec.Cost.set_dispatch_overhead_ns 50_000.0;
+      f ())
+
+let test_cost_decide () =
+  with_pinned_cost (fun () ->
+      let est ns = { Exec.Cost.ns_per_task = ns; samples = 4 } in
+      (* 10 tasks x 100 ns: the saving is under a microsecond against a
+         100 us overhead budget. *)
+      Alcotest.(check bool)
+        "tiny batch stays sequential" true
+        (Exec.Cost.decide ~tasks:10 ~cost:(est 100.0) ~jobs:8
+        = Exec.Cost.Sequential);
+      (match Exec.Cost.decide ~tasks:1000 ~cost:(est 1_000_000.0) ~jobs:8 with
+      | Exec.Cost.Parallel { chunk_size } ->
+          Alcotest.(check bool) "chunk positive" true (chunk_size >= 1)
+      | Exec.Cost.Sequential ->
+          Alcotest.fail "1000 x 1 ms should go parallel");
+      (* One worker can never save anything. *)
+      Alcotest.(check bool)
+        "jobs=1 sequential" true
+        (Exec.Cost.decide ~tasks:1_000_000 ~cost:(est 1e9) ~jobs:1
+        = Exec.Cost.Sequential))
+
+let test_cost_decide_monotonic () =
+  with_pinned_cost (fun () ->
+      let parallel tasks ns =
+        match
+          Exec.Cost.decide ~tasks
+            ~cost:{ Exec.Cost.ns_per_task = ns; samples = 3 }
+            ~jobs:4
+        with
+        | Exec.Cost.Parallel _ -> true
+        | Exec.Cost.Sequential -> false
+      in
+      let tasks = [ 2; 8; 32; 128; 512; 2048 ] in
+      let costs = [ 50.0; 500.0; 5_000.0; 50_000.0; 500_000.0 ] in
+      (* More tasks or higher per-task cost never flips a parallel
+         verdict back to sequential. *)
+      List.iter
+        (fun t ->
+          List.iter
+            (fun c ->
+              if parallel t c then begin
+                Alcotest.(check bool)
+                  (Printf.sprintf "2x tasks keeps parallel (t=%d c=%g)" t c)
+                  true
+                  (parallel (2 * t) c);
+                Alcotest.(check bool)
+                  (Printf.sprintf "2x cost keeps parallel (t=%d c=%g)" t c)
+                  true
+                  (parallel t (2.0 *. c))
+              end;
+              Alcotest.(check bool)
+                "chunk >= 1" true
+                (Exec.Cost.chunk_for ~tasks:t ~jobs:4 c >= 1))
+            costs)
+        tasks)
+
+(* ---------- cost-state export/import round-trip ---------- *)
+
+let test_cost_state_roundtrip () =
+  let saved_overhead = Exec.Cost.dispatch_overhead_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.Cost.set_dispatch_overhead_ns saved_overhead;
+      Exec.Cost.reset ())
+    (fun () ->
+      Exec.Cost.reset ();
+      Exec.Cost.set_dispatch_overhead_ns 12_345.0;
+      Exec.Cost.observe ~key:"rt.a" ~tasks:10 1_000_000.0;
+      Exec.Cost.observe ~key:"rt.a" ~tasks:10 2_000_000.0;
+      Exec.Cost.observe ~key:"rt.b" ~tasks:4 80_000.0;
+      let before_a = Option.get (Exec.Cost.estimate ~key:"rt.a") in
+      let state = Exec.Cost.export () in
+      Exec.Cost.reset ();
+      Alcotest.(check bool)
+        "estimates cleared" true
+        (Exec.Cost.estimate ~key:"rt.a" = None);
+      Alcotest.(check bool) "import succeeds" true (Exec.Cost.import state);
+      let after_a = Option.get (Exec.Cost.estimate ~key:"rt.a") in
+      Alcotest.(check (float 1e-9))
+        "ns/task preserved" before_a.Exec.Cost.ns_per_task
+        after_a.Exec.Cost.ns_per_task;
+      Alcotest.(check int)
+        "samples preserved" before_a.Exec.Cost.samples
+        after_a.Exec.Cost.samples;
+      Alcotest.(check (float 1e-9))
+        "overhead preserved" 12_345.0
+        (Exec.Cost.dispatch_overhead_ns ());
+      Alcotest.(check bool)
+        "second key restored" true
+        (Exec.Cost.estimate ~key:"rt.b" <> None);
+      Alcotest.(check bool)
+        "malformed state rejected" false
+        (Exec.Cost.import "garbage"))
+
+(* ---------- auto scheduling is bit-identical to sequential ---------- *)
+
+let with_sched_mode mode f =
+  (* [set_sched] has no unset; [Auto] is the documented default. *)
+  Fun.protect
+    ~finally:(fun () -> Exec.Cost.set_sched Exec.Cost.Auto)
+    (fun () ->
+      Exec.Cost.set_sched mode;
+      f ())
+
+(* Pin 8 cores and a near-zero overhead so Auto genuinely takes parallel
+   decisions whatever the host's real core count, then require the result
+   to equal the forced-sequential one. *)
+let with_eager_auto f =
+  let saved_overhead = Exec.Cost.dispatch_overhead_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.Cost.set_assumed_cores None;
+      Exec.Cost.set_dispatch_overhead_ns saved_overhead;
+      Exec.Cost.set_sched Exec.Cost.Auto)
+    (fun () ->
+      Exec.Cost.set_assumed_cores (Some 8);
+      Exec.Cost.set_dispatch_overhead_ns 1_000.0;
+      f ())
+
+let prop_auto_equals_seq_fmea =
+  QCheck.Test.make ~count:12
+    ~name:"injection FMEA: auto scheduling bit-identical to sequential"
+    QCheck.(pair (int_range 1 4) (int_range 5 50))
+    (fun (jobs, pct) ->
+      let options =
+        {
+          Decisive.Case_study.injection_options with
+          Fmea.Injection_fmea.threshold_rel = float_of_int pct /. 100.0;
+        }
+      in
+      let analyse () =
+        Fmea.Injection_fmea.analyse ~options ~element_types:case_study_types
+          Decisive.Case_study.power_supply_netlist
+          Decisive.Case_study.reliability_model
+      in
+      with_eager_auto (fun () ->
+          with_jobs jobs (fun () ->
+              Fmea.Table.equal
+                (with_sched_mode Exec.Cost.Seq analyse)
+                (with_sched_mode Exec.Cost.Auto analyse))))
+
+let test_auto_equals_seq_search () =
+  let table = Decisive.Case_study.fmea_via_injection () in
+  let sms = Decisive.Case_study.sm_model in
+  let exhaustive () =
+    Optimize.Search.exhaustive ~component_types:case_study_types table sms
+  in
+  let greedy () =
+    Optimize.Search.greedy ~component_types:case_study_types
+      ~target:Ssam.Requirement.ASIL_B table sms
+  in
+  with_eager_auto (fun () ->
+      let seq_ex = with_sched_mode Exec.Cost.Seq exhaustive in
+      let seq_gr = with_sched_mode Exec.Cost.Seq greedy in
+      List.iter
+        (fun jobs ->
+          with_jobs jobs (fun () ->
+              Alcotest.(check bool)
+                (Printf.sprintf "exhaustive auto=seq jobs=%d" jobs)
+                true
+                (List.equal Optimize.Search.equal_candidate seq_ex
+                   (with_sched_mode Exec.Cost.Auto exhaustive));
+              Alcotest.(check bool)
+                (Printf.sprintf "greedy auto=seq jobs=%d" jobs)
+                true
+                (Optimize.Search.equal_candidate seq_gr
+                   (with_sched_mode Exec.Cost.Auto greedy))))
+        [ 1; 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "parallel map" `Quick test_parallel_map;
@@ -304,4 +512,13 @@ let suite =
     Alcotest.test_case "prepared classification" `Quick
       test_prepared_classification;
     QCheck_alcotest.to_alcotest prop_incremental_evaluator;
+    Alcotest.test_case "parallel chunks edges" `Quick
+      test_parallel_chunks_edges;
+    Alcotest.test_case "cost decide policy" `Quick test_cost_decide;
+    Alcotest.test_case "cost decide monotonic" `Quick
+      test_cost_decide_monotonic;
+    Alcotest.test_case "cost state round-trip" `Quick
+      test_cost_state_roundtrip;
+    QCheck_alcotest.to_alcotest prop_auto_equals_seq_fmea;
+    Alcotest.test_case "auto = seq (search)" `Quick test_auto_equals_seq_search;
   ]
