@@ -27,6 +27,7 @@ let json_incremental : Modelio.Json.t list ref = ref []
 let json_scaling : Modelio.Json.t list ref = ref []
 let json_path_fmea : Modelio.Json.t list ref = ref []
 let json_batch : Modelio.Json.t list ref = ref []
+let json_diagnosis : Modelio.Json.t list ref = ref []
 
 let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
 
@@ -69,6 +70,7 @@ let write_results () =
         ("incremental", List (List.rev !json_incremental));
         ("scaling", List (List.rev !json_scaling));
         ("path_fmea", List (List.rev !json_path_fmea));
+        ("diagnosis", List (List.rev !json_diagnosis));
         ("scheduler", List (List.map json_of_decision (Exec.Cost.decisions ())));
         ("kernels_ns_per_run", numbers !json_kernels);
       ]
@@ -932,6 +934,108 @@ let streaming_search ~smoke () =
       ]
     :: !json_path_fmea
 
+(* ---------- Diagnosis: dataflow fixpoints + forward/backward oracle ---------- *)
+
+let diagnosis ~smoke () =
+  section "Diagnosis — dataflow fixpoints and the forward/backward oracle";
+  let open Dataflow in
+  let fixpoints name arch =
+    let m = Model.of_architecture arch in
+    let nodes = Graph.Digraph.node_count m.Model.graph in
+    ignore (Passes.forward_taint m);
+    (* warm-up *)
+    let reps = if smoke then 20 else 200 in
+    let _, t =
+      timed (fun () ->
+          for _ = 1 to reps do
+            ignore (Passes.forward_taint m);
+            ignore (Passes.backward_reach m)
+          done)
+    in
+    let forward = Passes.forward_taint m in
+    let backward = Passes.backward_reach m in
+    let agree, pairs = Passes.agreement m ~forward ~backward in
+    assert agree;
+    let iterations =
+      forward.Passes.stats.Fixpoint.iterations
+      + backward.Passes.stats.Fixpoint.iterations
+    in
+    let ns_per_node = 1e9 *. t /. float_of_int (reps * 2 * nodes) in
+    Printf.printf
+      "%-14s %5d nodes   %5d iterations   %8.0f ns/node/pass   oracle \
+       agrees over %d pairs\n"
+      name nodes iterations ns_per_node pairs;
+    json_diagnosis :=
+      Modelio.Json.Object
+        [
+          ("name", Modelio.Json.String name);
+          ("nodes", Modelio.Json.Number (float_of_int nodes));
+          ("iterations", Modelio.Json.Number (float_of_int iterations));
+          ("ns_per_node", Modelio.Json.Number ns_per_node);
+          ("agreement_pairs", Modelio.Json.Number (float_of_int pairs));
+          ("agree", Modelio.Json.Bool agree);
+        ]
+      :: !json_diagnosis
+  in
+  let d_stages = if smoke then 8 else 12 in
+  let g_side = if smoke then 8 else 16 in
+  fixpoints
+    (Printf.sprintf "diamond-%d" d_stages)
+    (Circuit.Generator.diamond_arch ~stages:d_stages);
+  fixpoints
+    (Printf.sprintf "grid-%dx%d" g_side g_side)
+    (Circuit.Generator.grid_arch ~rows:g_side ~cols:g_side);
+  (* The case-study circuit: backward candidates confirmed or refuted by
+     numeric fault injection — the paper's Table IV from the other
+     direction. *)
+  let diagram = Decisive.Case_study.power_supply_diagram in
+  let reliability = Decisive.Case_study.reliability_model in
+  let m = Model.of_diagram ~reliability diagram in
+  let verify =
+    match
+      Diagnose.circuit_verifier ~options:Decisive.Case_study.injection_options
+        ~reliability ~output:"CS1" diagram
+    with
+    | Ok v -> v
+    | Error why -> failwith why
+  in
+  let report, t =
+    timed (fun () ->
+        match Diagnose.diagnose ~verify m ~output:"CS1" with
+        | Ok r -> r
+        | Error why -> failwith why)
+  in
+  let confirmed =
+    List.length
+      (List.filter
+         (fun (e : Diagnose.explanation) ->
+           match e.Diagnose.verdict with Diagnose.Confirmed _ -> true | _ -> false)
+         report.Diagnose.candidates)
+  in
+  Printf.printf
+    "power-supply   %d candidates -> %d confirmed by injection   %d minimal \
+     single points   %.1f ms\n"
+    (List.length report.Diagnose.candidates)
+    confirmed
+    (List.length report.Diagnose.singles)
+    (1000.0 *. t);
+  assert report.Diagnose.agree;
+  json_diagnosis :=
+    Modelio.Json.Object
+      [
+        ("name", Modelio.Json.String "power-supply-CS1");
+        ( "candidates",
+          Modelio.Json.Number
+            (float_of_int (List.length report.Diagnose.candidates)) );
+        ("confirmed", Modelio.Json.Number (float_of_int confirmed));
+        ( "singles",
+          Modelio.Json.Number (float_of_int (List.length report.Diagnose.singles))
+        );
+        ("seconds", Modelio.Json.Number t);
+        ("agree", Modelio.Json.Bool report.Diagnose.agree);
+      ]
+    :: !json_diagnosis
+
 (* ---------- Iteration loop: incremental re-analysis ---------- *)
 
 (* The DECISIVE loop's common case: one design iteration touches one
@@ -1160,6 +1264,7 @@ let () =
   iteration_loop ();
   path_fmea_scaling ~smoke ();
   streaming_search ~smoke ();
+  diagnosis ~smoke ();
   scaling ~smoke ();
   kernel_benchmarks ~smoke ();
   if not smoke then micro_benchmarks ();

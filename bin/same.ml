@@ -283,13 +283,22 @@ let lint_cmd =
             "Minimum severity to report: $(b,error), $(b,warning) or \
              $(b,info).")
   in
+  let category_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "category" ] ~docv:"PACK"
+          ~doc:
+            "Only report findings from these rule packs (comma-separated, \
+             repeatable): $(b,ssam), $(b,blk), $(b,rel), $(b,qry) or \
+             $(b,dfa).")
+  in
   let list_arg =
     Arg.(
       value & flag
       & info [ "list" ] ~doc:"Print the rule catalogue and exit.")
   in
-  let run list_rules format rules severity diagram_path reliability_path
-      sm_path query_paths exclude monitored jobs =
+  let run list_rules format rules categories severity diagram_path
+      reliability_path sm_path query_paths exclude monitored jobs =
     set_jobs jobs;
     if list_rules then begin
       List.iter
@@ -307,15 +316,32 @@ let lint_cmd =
         |> List.map String.trim
         |> List.filter (fun s -> s <> "")
       in
+      let category_names =
+        List.concat_map (String.split_on_char ',') categories
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      let categories, bad_categories =
+        List.partition_map
+          (fun s ->
+            match Lint.Rule.category_of_string s with
+            | Some c -> Left c
+            | None -> Right s)
+          category_names
+      in
       let unknown =
         List.filter (fun id -> Lint.Driver.find_rule id = None) rules
       in
-      match unknown with
-      | id :: _ ->
+      match (unknown, bad_categories) with
+      | id :: _, _ ->
           Printf.eprintf "error: unknown rule id '%s' (see same lint --list)\n"
             id;
           2
-      | [] -> (
+      | [], c :: _ ->
+          Printf.eprintf
+            "error: unknown category '%s' (ssam, blk, rel, qry or dfa)\n" c;
+          2
+      | [], [] -> (
           let ( let* ) r f =
             match r with
             | Error m ->
@@ -381,7 +407,8 @@ let lint_cmd =
           | Error code -> code
           | Ok input ->
               let diagnostics =
-                Lint.Driver.run ~rules ?min_severity:severity input
+                Lint.Driver.run ~rules ~categories ?min_severity:severity
+                  input
               in
               (match format with
               | `Text -> print_string (Lint.Driver.to_text diagnostics)
@@ -398,9 +425,98 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const run $ list_arg $ format_arg $ rules_arg $ severity_arg
-      $ diagram_arg $ reliability_arg $ sm_arg $ query_arg $ exclude_arg
-      $ monitored_arg $ jobs_arg)
+      const run $ list_arg $ format_arg $ rules_arg $ category_arg
+      $ severity_arg $ diagram_arg $ reliability_arg $ sm_arg $ query_arg
+      $ exclude_arg $ monitored_arg $ jobs_arg)
+
+(* same diagnose *)
+
+let diagnose_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"SENSOR"
+          ~doc:"The observation point whose deviation to explain.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ])
+          `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: $(b,text), $(b,json) or $(b,sarif).")
+  in
+  let structural_arg =
+    Arg.(
+      value & flag
+      & info [ "structural" ]
+          ~doc:
+            "Skip the numeric verification step: report every structural \
+             candidate instead of injecting each one against the golden \
+             run.")
+  in
+  let run diagram_path output reliability_path exclude monitored format
+      structural jobs sched =
+    set_jobs jobs;
+    set_sched sched;
+    let ( let* ) r f =
+      match r with
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+      | Ok v -> f v
+    in
+    let* diagram = load_diagram diagram_path in
+    let* reliability = load_reliability reliability_path in
+    let model =
+      Dataflow.Model.of_diagram ~monitored ~reliability diagram
+    in
+    let verify =
+      if structural then None
+      else
+        let options =
+          { Fmea.Injection_fmea.default_options with exclude }
+        in
+        match
+          Dataflow.Diagnose.circuit_verifier ~options ~reliability ~output
+            diagram
+        with
+        | Ok v -> Some v
+        | Error why ->
+            Printf.eprintf
+              "warning: numeric verification unavailable (%s); reporting \
+               structural candidates\n"
+              why;
+            None
+    in
+    match Dataflow.Diagnose.diagnose ?verify model ~output with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        2
+    | Ok report ->
+        (match format with
+        | `Text -> print_string (Dataflow.Diagnose.to_text report)
+        | `Json ->
+            print_endline
+              (Modelio.Json.to_string ~indent:2
+                 (Dataflow.Diagnose.to_json report))
+        | `Sarif ->
+            print_endline
+              (Modelio.Json.to_string ~indent:2
+                 (Dataflow.Diagnose.to_sarif report)));
+        if report.Dataflow.Diagnose.agree then 0 else 1
+  in
+  let doc =
+    "Explain an observed output deviation: backward propagation proposes \
+     the failure modes that can reach the output, numeric fault injection \
+     confirms or refutes each, and the minimal single/double-point \
+     explanations are reported (the inverse of $(b,same fmea))."
+  in
+  Cmd.v (Cmd.info "diagnose" ~doc)
+    Term.(
+      const run $ diagram_arg $ output_arg $ reliability_arg $ exclude_arg
+      $ monitored_arg $ format_arg $ structural_arg $ jobs_arg $ sched_arg)
 
 (* same fmea *)
 
@@ -1474,6 +1590,7 @@ let main =
   Cmd.group info
     [
       lint_cmd;
+      diagnose_cmd;
       scale_cmd;
       fmea_cmd;
       fmeda_cmd;

@@ -1,0 +1,297 @@
+open Ssam
+
+type mode = {
+  m_index : int;
+  m_node : int;
+  m_component : string;
+  m_name : string;
+  m_key : string;
+  m_meta_id : string;
+  m_loss_like : bool;
+  m_pct : float;
+  m_hazards : string list;
+}
+
+type t = {
+  graph : Graph.Digraph.t;
+  modes : mode array;
+  node_modes : int list array;
+  node_fit : float array;
+  outputs : (string * int) list;
+  redundant : Graph.Bitset.t;
+  covered : Graph.Bitset.t;
+  sms : (string * int * string list) list;
+}
+
+let mode_count m = Array.length m.modes
+let output_names m = List.map fst m.outputs
+
+let find_output m id =
+  List.assoc_opt id m.outputs
+
+let output_index m id =
+  let rec go i = function
+    | [] -> None
+    | (o, _) :: _ when String.equal o id -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 m.outputs
+
+(* Shared assembly: given the graph, the per-node failure-mode raw data
+   and the output nodes, build the dense mode universe and index maps. *)
+let assemble ~graph ~raw_modes ~node_fit ~outputs ~redundant ~covered_pred
+    ~sms =
+  let n = Graph.Digraph.node_count graph in
+  let node_modes = Array.make n [] in
+  let modes =
+    Array.of_list
+      (List.mapi
+         (fun i (node, component, name, meta_id, loss_like, pct, hazards) ->
+           node_modes.(node) <- i :: node_modes.(node);
+           {
+             m_index = i;
+             m_node = node;
+             m_component = component;
+             m_name = name;
+             m_key = component ^ "/" ^ name;
+             m_meta_id = meta_id;
+             m_loss_like = loss_like;
+             m_pct = pct;
+             m_hazards = hazards;
+           })
+         raw_modes)
+  in
+  Array.iteri (fun i l -> node_modes.(i) <- List.rev l) node_modes;
+  let covered = Graph.Bitset.create (Array.length modes) in
+  Array.iter
+    (fun m -> if covered_pred m then Graph.Bitset.add covered m.m_index)
+    modes;
+  { graph; modes; node_modes; node_fit; outputs; redundant; covered; sms }
+
+(* ---------- SSAM architecture route ---------- *)
+
+(* Child-level connection graph of a composite (the Path_fmea view):
+   relationships whose endpoint is the composite itself mark the
+   input/output boundary. *)
+let child_graph (c : Architecture.component) =
+  let self = Architecture.component_id c in
+  let child_ids = List.map Architecture.component_id c.Architecture.children in
+  let is_child id = List.exists (String.equal id) child_ids in
+  let edges = ref [] in
+  let boundary_out = ref [] in
+  List.iter
+    (fun (r : Architecture.relationship) ->
+      let f = r.Architecture.from_component
+      and t = r.Architecture.to_component in
+      if String.equal t self && is_child f then boundary_out := f :: !boundary_out
+      else if is_child f && is_child t then edges := (f, t) :: !edges)
+    c.Architecture.connections;
+  (child_ids, List.rev !edges, List.rev !boundary_out)
+
+let fully_redundant (child : Architecture.component) =
+  child.Architecture.functions <> []
+  && List.for_all
+       (fun (f : Architecture.func) ->
+         match f.Architecture.tolerance with
+         | Architecture.OneOoOne -> false
+         | Architecture.OneOoTwo | Architecture.OneOoThree
+         | Architecture.TwoOoThree ->
+             true)
+       child.Architecture.functions
+
+let of_architecture ?outputs (c : Architecture.component) =
+  let child_ids, edges, boundary_out = child_graph c in
+  let graph = Graph.Digraph.of_edges ~nodes:child_ids edges in
+  let index id =
+    match Graph.Digraph.index graph id with
+    | Some i -> i
+    | None -> assert false (* interned via ~nodes *)
+  in
+  let n = Graph.Digraph.node_count graph in
+  let out_nodes =
+    match outputs with
+    | Some ids -> List.filter_map (Graph.Digraph.index graph) ids
+    | None -> (
+        match List.sort_uniq String.compare boundary_out with
+        | [] ->
+            List.filter_map
+              (fun id ->
+                let i = index id in
+                if Graph.Digraph.out_degree graph i = 0 then Some i else None)
+              child_ids
+        | ids -> List.map index ids)
+  in
+  let outputs =
+    List.map (fun i -> (Graph.Digraph.name graph i, i)) out_nodes
+  in
+  let node_fit = Array.make n 0.0 in
+  let redundant = Graph.Bitset.create n in
+  let raw = ref [] in
+  let sms = ref [] in
+  List.iter
+    (fun (child : Architecture.component) ->
+      let cid = Architecture.component_id child in
+      let node = index cid in
+      node_fit.(node) <- child.Architecture.fit;
+      if fully_redundant child then Graph.Bitset.add redundant node;
+      List.iter
+        (fun (fm : Architecture.failure_mode) ->
+          raw :=
+            ( node,
+              cid,
+              Base.display_name fm.Architecture.fm_meta,
+              fm.Architecture.fm_meta.Base.id,
+              Architecture.is_loss_like fm.Architecture.nature,
+              fm.Architecture.distribution_pct,
+              fm.Architecture.hazards )
+            :: !raw)
+        child.Architecture.failure_modes;
+      List.iter
+        (fun (sm : Architecture.safety_mechanism) ->
+          sms :=
+            (sm.Architecture.sm_meta.Base.id, node, sm.Architecture.covers)
+            :: !sms)
+        child.Architecture.safety_mechanisms)
+    c.Architecture.children;
+  let sms = List.rev !sms in
+  let covered_ids =
+    List.concat_map (fun (_, _, covers) -> covers) sms
+  in
+  assemble ~graph ~raw_modes:(List.rev !raw) ~node_fit ~outputs ~redundant
+    ~covered_pred:(fun m ->
+      List.exists (String.equal m.m_meta_id) covered_ids)
+    ~sms
+
+let of_package ?outputs (p : Architecture.package) =
+  let name = Base.display_name p.Architecture.package_meta in
+  let root =
+    Architecture.component ~component_type:Architecture.System
+      ~children:(Architecture.top_components p)
+      ~connections:(Architecture.relationships p)
+      ~meta:(Base.meta ~name ("dataflow-root:" ^ name))
+      ()
+  in
+  of_architecture ?outputs root
+
+(* ---------- block-diagram route ---------- *)
+
+let is_ground_type ty =
+  match String.lowercase_ascii ty with "ground" | "gnd" -> true | _ -> false
+
+let is_sensor_type ty =
+  let ty = String.lowercase_ascii ty in
+  let suffix = "_sensor" in
+  let ls = String.length suffix and lt = String.length ty in
+  String.equal ty "sensor"
+  || (lt >= ls && String.equal (String.sub ty (lt - ls) ls) suffix)
+
+let of_diagram ?(monitored = []) ?reliability ?sm (d : Blockdiag.Diagram.t) =
+  let open Blockdiag.Diagram in
+  (* One level's blocks and connections, recursively; each level is
+     self-contained (validate rejects cross-level endpoints). *)
+  let rec levels (d : Blockdiag.Diagram.t) =
+    (d.blocks, d.connections) :: List.concat_map levels d.subsystems
+  in
+  let levels = levels d in
+  let all_blocks = List.concat_map fst levels in
+  let keep =
+    List.filter (fun b -> not (is_ground_type b.block_type)) all_blocks
+  in
+  let node_ids = List.map (fun b -> b.block_id) keep in
+  let block_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace tbl b.block_id b) keep;
+    fun id -> Hashtbl.find_opt tbl id
+  in
+  let port_kind b name =
+    List.find_map
+      (fun p -> if String.equal p.port_name name then Some p.port_kind else None)
+      b.ports
+  in
+  let edges = ref [] in
+  List.iter
+    (fun (_, conns) ->
+      List.iter
+        (fun conn ->
+          match (block_of conn.from_ep.ep_block, block_of conn.to_ep.ep_block)
+          with
+          | Some fb, Some tb ->
+              edges := (fb.block_id, tb.block_id) :: !edges;
+              (* Electrical wires carry faults both ways. *)
+              let conserving b ep =
+                match port_kind b ep.ep_port with
+                | Some Conserving -> true
+                | Some (In_port | Out_port) -> false
+                | None -> false
+              in
+              if conserving fb conn.from_ep && conserving tb conn.to_ep then
+                edges := (tb.block_id, fb.block_id) :: !edges
+          | _ -> () (* endpoint on a dropped/unknown block *))
+        conns)
+    levels;
+  let graph = Graph.Digraph.of_edges ~nodes:node_ids (List.rev !edges) in
+  let index id =
+    match Graph.Digraph.index graph id with
+    | Some i -> i
+    | None -> assert false
+  in
+  let outputs =
+    let named =
+      List.filter_map
+        (fun id ->
+          match Graph.Digraph.index graph id with
+          | Some i -> Some (id, i)
+          | None -> None)
+        monitored
+    in
+    if named <> [] then named
+    else
+      List.filter_map
+        (fun b ->
+          if is_sensor_type b.block_type then Some (b.block_id, index b.block_id)
+          else None)
+        keep
+  in
+  let n = Graph.Digraph.node_count graph in
+  let node_fit = Array.make n 0.0 in
+  let raw = ref [] in
+  let covered_keys = ref [] in
+  List.iter
+    (fun b ->
+      let node = index b.block_id in
+      match
+        Option.bind reliability (fun r ->
+            Reliability.Reliability_model.find r b.block_type)
+      with
+      | None -> ()
+      | Some entry ->
+          node_fit.(node) <- entry.Reliability.Reliability_model.fit;
+          List.iter
+            (fun (fm : Reliability.Reliability_model.failure_mode) ->
+              let name = fm.Reliability.Reliability_model.fm_name in
+              raw :=
+                ( node,
+                  b.block_id,
+                  name,
+                  Printf.sprintf "%s:fm:%s" b.block_id name,
+                  fm.Reliability.Reliability_model.loss_of_function,
+                  fm.Reliability.Reliability_model.distribution_pct,
+                  [] )
+                :: !raw;
+              let has_sm =
+                match sm with
+                | None -> false
+                | Some catalogue ->
+                    Reliability.Sm_model.applicable catalogue
+                      ~component_type:b.block_type ~failure_mode:name
+                    <> []
+              in
+              if has_sm then
+                covered_keys := (b.block_id ^ "/" ^ name) :: !covered_keys)
+            entry.Reliability.Reliability_model.failure_modes)
+    keep;
+  let covered_keys = !covered_keys in
+  assemble ~graph ~raw_modes:(List.rev !raw) ~node_fit ~outputs
+    ~redundant:(Graph.Bitset.create n)
+    ~covered_pred:(fun m -> List.exists (String.equal m.m_key) covered_keys)
+    ~sms:[]

@@ -1,0 +1,76 @@
+(** The failure-propagation model the dataflow passes run on: one
+    digraph node per component/block, a dense universe of (component,
+    failure-mode) pairs, and the designated observation points.
+
+    Built from either artefact the toolchain holds:
+
+    - an SSAM architecture (composite component or flat package) —
+      edges follow the declared relationships, failure modes and
+      redundancy come straight off the components;
+    - a block diagram plus reliability model — signal connections are
+      directed out→in, electrical (conserving↔conserving) connections
+      propagate both ways, and [ground] blocks are dropped entirely
+      (the reference node is not a fault-propagation path; keeping it
+      would short every block to every sensor). *)
+
+type mode = {
+  m_index : int;  (** dense index into {!field:modes} *)
+  m_node : int;  (** graph node of the owning component *)
+  m_component : string;  (** owning component / block id *)
+  m_name : string;  (** failure-mode display name *)
+  m_key : string;  (** stable cut-set atom: ["component/mode"] *)
+  m_meta_id : string;  (** SSAM failure-mode id (SM [covers] target) *)
+  m_loss_like : bool;
+  m_pct : float;  (** share of the component's FIT, in [0,100] *)
+  m_hazards : string list;  (** cited hazardous-situation ids *)
+}
+
+type t = {
+  graph : Graph.Digraph.t;
+  modes : mode array;  (** universe, grouped by node in node order *)
+  node_modes : int list array;  (** node → mode indices, ascending *)
+  node_fit : float array;  (** component FIT per node *)
+  outputs : (string * int) list;  (** observation points: (id, node) *)
+  redundant : Graph.Bitset.t;
+      (** nodes whose every declared function is fault-tolerant
+          (1oo2/1oo3/2oo3) — never single points *)
+  covered : Graph.Bitset.t;
+      (** modes (not nodes) some safety mechanism diagnoses *)
+  sms : (string * int * string list) list;
+      (** placed mechanisms: (sm id, host node, covered mode meta ids);
+          empty on the diagram route, where mechanisms are type-level *)
+}
+
+val of_architecture : ?outputs:string list -> Ssam.Architecture.component -> t
+(** Child-level model of a composite: nodes are the children, edges the
+    internal connections; relationships touching the composite itself
+    mark the boundary.  [outputs] overrides the observation points
+    (default: boundary outputs, else sink nodes). *)
+
+val of_package : ?outputs:string list -> Ssam.Architecture.package -> t
+(** {!of_architecture} on a synthetic root holding the package's top
+    components and relationships — the flat-package view.  Nested
+    children contribute no nodes of their own. *)
+
+val of_diagram :
+  ?monitored:string list ->
+  ?reliability:Reliability.Reliability_model.t ->
+  ?sm:Reliability.Sm_model.t ->
+  Blockdiag.Diagram.t ->
+  t
+(** Block-diagram model as described above.  Failure modes come from
+    the reliability entry for each block's type (none without an
+    entry); mode coverage from the [sm] catalogue's applicable
+    mechanisms.  [monitored] selects the observation points (unknown
+    ids are ignored); default: every [*_sensor] block. *)
+
+val mode_count : t -> int
+
+val output_names : t -> string list
+
+val find_output : t -> string -> int option
+(** Graph node of an observation point, by id. *)
+
+val output_index : t -> string -> int option
+(** Dense index of an observation point into {!field:outputs} — the bit
+    position backward passes use. *)

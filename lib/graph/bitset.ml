@@ -45,6 +45,16 @@ let union_into ~into s =
     s.words;
   !changed
 
+let subset a b =
+  if a.size <> b.size then invalid_arg "Bitset.subset: size mismatch";
+  let n = Array.length a.words in
+  let rec go i =
+    i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let equal a b = a.size = b.size && a.words = b.words
+
 let iter f t =
   Array.iteri
     (fun wi w ->

@@ -26,6 +26,14 @@ val union_into : into:t -> t -> bool
 (** [union_into ~into s] ors [s] into [into]; returns [true] iff [into]
     changed.  Universes must match. *)
 
+val subset : t -> t -> bool
+(** [subset a b] — every member of [a] is in [b], word-at-a-time.  The
+    partial order the dataflow fixpoint's convergence test uses.
+    Universes must match. *)
+
+val equal : t -> t -> bool
+(** Same universe and same members. *)
+
 val iter : (int -> unit) -> t -> unit
 (** Members in increasing order. *)
 

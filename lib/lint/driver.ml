@@ -1,6 +1,6 @@
 let catalogue =
   Ssam_pack.rules @ Blockdiag_pack.rules @ Reliability_pack.rules
-  @ Query_pack.rules
+  @ Query_pack.rules @ Dataflow_pack.rules
 
 let find_rule id =
   let id = String.uppercase_ascii id in
@@ -28,10 +28,16 @@ let effective_model (input : Input.t) =
       in
       { input with Input.model = Some model }
 
-let run ?jobs ?(rules = []) ?min_severity input =
+let run ?jobs ?(rules = []) ?(categories = []) ?min_severity input =
   let input = effective_model input in
   let packs =
-    [ Ssam_pack.run; Blockdiag_pack.run; Reliability_pack.run; Query_pack.run ]
+    [
+      Ssam_pack.run;
+      Blockdiag_pack.run;
+      Reliability_pack.run;
+      Query_pack.run;
+      Dataflow_pack.run;
+    ]
   in
   let all =
     List.concat
@@ -45,6 +51,13 @@ let run ?jobs ?(rules = []) ?min_severity input =
       List.filter
         (fun (d : Rule.diagnostic) ->
           List.mem (String.uppercase_ascii d.Rule.rule_id) wanted)
+        all
+  in
+  let all =
+    if categories = [] then all
+    else
+      List.filter
+        (fun (d : Rule.diagnostic) -> List.mem d.Rule.d_category categories)
         all
   in
   let all =
@@ -93,7 +106,9 @@ let to_json ds =
     Object
       [
         ("id", String r.Rule.id);
+        ("name", String r.Rule.id);
         ("shortDescription", Object [ ("text", String r.Rule.title) ]);
+        ("helpUri", String ("DESIGN.md#" ^ String.lowercase_ascii r.Rule.id));
         ( "defaultConfiguration",
           Object [ ("level", String (Rule.sarif_level r.Rule.severity)) ] );
         ( "properties",

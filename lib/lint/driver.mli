@@ -1,16 +1,20 @@
-(** The lint driver: runs the four rule packs over an {!Input.t} and
-    renders the diagnostics.
+(** The lint driver: runs the five rule packs (SSAM, block diagram,
+    reliability, query, dataflow) over an {!Input.t} and renders the
+    diagnostics.
 
-    Packs execute in parallel on the shared analysis pool ({!Exec}) —
-    each pack is one task, so a run is at most four-wide; determinism
-    comes from {!Exec.parallel_map}'s in-order collection.  When the
-    input has a diagram but no SSAM model, the diagram is transformed
+    Pack dispatch goes through {!Exec.scheduled_map} under the
+    ["lint.pack"] workload key, so the adaptive cost model decides
+    sequential vs parallel execution per run; determinism comes from
+    its in-order collection — findings are bit-identical at every
+    [SAME_JOBS] setting.  When the input has a diagram but no SSAM
+    model, the diagram is transformed
     ({!Blockdiag.Transform.to_ssam_model}, with the reliability model
     aggregated on when present) so the SSAM pack always sees the design
     the analysis commands would. *)
 
 val catalogue : Rule.t list
-(** Every registered rule, grouped by pack (SSAM, BLK, REL, QRY ids). *)
+(** Every registered rule, grouped by pack (SSAM, BLK, REL, QRY, DFA
+    ids). *)
 
 val find_rule : string -> Rule.t option
 (** Case-insensitive lookup by id. *)
@@ -18,11 +22,13 @@ val find_rule : string -> Rule.t option
 val run :
   ?jobs:int ->
   ?rules:string list ->
+  ?categories:Rule.category list ->
   ?min_severity:Rule.severity ->
   Input.t ->
   Rule.diagnostic list
 (** All diagnostics, errors first (stable within a severity).  [rules]
     restricts to the given ids (case-insensitive; empty means all);
+    [categories] restricts to the given packs (empty means all);
     [min_severity] drops anything below the threshold. *)
 
 val has_errors : Rule.diagnostic list -> bool
@@ -35,4 +41,7 @@ val to_json : Rule.diagnostic list -> Modelio.Json.t
 (** SARIF-style: [{"version": "2.1.0", "runs": [{"tool": {"driver":
     {"name": "same lint", "rules": [...]}}, "results": [...]}]}] with
     one result per diagnostic, carrying level, message, rule id and the
-    physical/logical location when known. *)
+    physical/logical location when known.  Each rule descriptor carries
+    [name], [shortDescription], a [helpUri] (the rule's DESIGN.md
+    anchor) and its pack under [properties.category], so SARIF viewers
+    can group findings by pack. *)

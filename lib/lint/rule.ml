@@ -19,7 +19,7 @@ let sarif_level = function
   | Warning -> "warning"
   | Info -> "note"
 
-type category = Ssam_model | Block_diagram | Reliability | Query
+type category = Ssam_model | Block_diagram | Reliability | Query | Dataflow
 [@@deriving eq, show]
 
 let category_to_string = function
@@ -27,6 +27,16 @@ let category_to_string = function
   | Block_diagram -> "blockdiag"
   | Reliability -> "reliability"
   | Query -> "query"
+  | Dataflow -> "dataflow"
+
+let category_of_string s =
+  match String.lowercase_ascii s with
+  | "ssam" -> Some Ssam_model
+  | "blockdiag" | "blk" -> Some Block_diagram
+  | "reliability" | "rel" -> Some Reliability
+  | "query" | "qry" -> Some Query
+  | "dataflow" | "dfa" -> Some Dataflow
+  | _ -> None
 
 type t = { id : string; severity : severity; category : category; title : string }
 [@@deriving eq, show]

@@ -2,7 +2,7 @@
     produce.
 
     Every check in the [same lint] driver belongs to a named rule
-    ([SSAM003], [BLK005], [REL009], [QRY004]...) with a fixed severity
+    ([SSAM003], [BLK005], [REL009], [QRY004], [DFA001]...) with a fixed severity
     and category, so reports can be filtered by id or severity and the
     catalogue can be printed ([same lint --list]). *)
 
@@ -19,10 +19,15 @@ val severity_of_string : string -> severity option
 val sarif_level : severity -> string
 (** SARIF result level: ["error"], ["warning"], ["note"]. *)
 
-type category = Ssam_model | Block_diagram | Reliability | Query
+type category = Ssam_model | Block_diagram | Reliability | Query | Dataflow
 [@@deriving eq, show]
 
 val category_to_string : category -> string
+(** ["ssam"], ["blockdiag"], ["reliability"], ["query"], ["dataflow"]. *)
+
+val category_of_string : string -> category option
+(** Accepts the full names and the CLI short codes [blk], [rel], [qry],
+    [dfa] (case-insensitive). *)
 
 type t = {
   id : string;  (** e.g. ["BLK005"] *)

@@ -31,4 +31,27 @@ for args in \
   fi
 done
 
+echo "== lint: SARIF report on the seeded-bad diagram =="
+# Uploaded as a CI artifact; findings must survive the SARIF round trip.
+"$SAME" lint examples/models/bad_psu.bd --format json > lint.sarif || true
+python3 - <<'EOF'
+import json, sys
+with open("lint.sarif") as f:
+    s = json.load(f)
+if s.get("version") != "2.1.0":
+    sys.exit("lint.sarif: not SARIF 2.1.0")
+run = s["runs"][0]
+if not run["results"]:
+    sys.exit("lint.sarif: no findings on the seeded-bad diagram")
+rules = run["tool"]["driver"]["rules"]
+for r in rules:
+    if "helpUri" not in r or "name" not in r:
+        sys.exit(f"lint.sarif: rule {r.get('id')} missing helpUri/name")
+print(f"lint.sarif OK: {len(run['results'])} findings, {len(rules)} rule descriptors")
+EOF
+
+echo "== diagnose: backward diagnosis agrees with forward injection =="
+# Exit 0 asserts the forward/backward oracle itself.
+"$SAME" diagnose examples/models/psu.bd --output CS1 -e DC1 > /dev/null
+
 echo "CI OK"

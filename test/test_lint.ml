@@ -45,7 +45,7 @@ let test_catalogue () =
     List.sort_uniq compare
       (List.map (fun (r : Rule.t) -> r.Rule.category) Driver.catalogue)
   in
-  Alcotest.(check int) "four packs contribute" 4 (List.length categories);
+  Alcotest.(check int) "five packs contribute" 5 (List.length categories);
   Alcotest.(check bool) "lookup is case-insensitive" true
     (Driver.find_rule "ssam003" <> None);
   Alcotest.(check bool) "unknown id" true (Driver.find_rule "NOPE42" = None)
@@ -348,6 +348,110 @@ let test_query_rules () =
   | ds ->
       Alcotest.fail (Printf.sprintf "expected 1 diagnostic, got %d" (List.length ds))
 
+(* ---------- dataflow pack ---------- *)
+
+(* r1 feeds the sensor; r2 is marooned (latent mode); cs2 watches
+   nothing (silent output). *)
+let dfa_input ?(exclude = []) () =
+  let d =
+    bd
+      ~connections:[ Blockdiag.Diagram.connect ("r1", "a") ("cs1", "a") ]
+      [
+        eblock "r1" "resistor";
+        eblock "r2" "resistor";
+        eblock "cs1" "current_sensor";
+        eblock "cs2" "current_sensor";
+      ]
+  in
+  {
+    (input_of_diagram ~exclude d) with
+    Input.reliability =
+      Some
+        ( Some "rel.csv",
+          Reliability.Reliability_model.of_entries [ entry "resistor" ] );
+  }
+
+let test_dfa_rules () =
+  let ds = run1 (dfa_input ~exclude:[ "r1" ] ()) in
+  Alcotest.(check bool) "DFA001 latent mode" true (has_rule "DFA001" ds);
+  Alcotest.(check bool) "DFA002 silent output" true (has_rule "DFA002" ds);
+  Alcotest.(check bool) "DFA008 excluded still explains" true
+    (has_rule "DFA008" ds);
+  let latent =
+    List.find (fun (d : Rule.diagnostic) -> d.Rule.rule_id = "DFA001") ds
+  in
+  Alcotest.(check (option string)) "element is the marooned block"
+    (Some "r2") latent.Rule.element;
+  Alcotest.(check (option string)) "file carried" (Some "d.bd")
+    latent.Rule.file;
+  (* The oracle holds on every well-formed model, so DFA003 never fires
+     here. *)
+  Alcotest.(check bool) "DFA003 silent" false (has_rule "DFA003" ds)
+
+let test_dfa_category_filter () =
+  let ds =
+    Driver.run ~jobs:1 ~categories:[ Rule.Dataflow ] (dfa_input ())
+  in
+  Alcotest.(check bool) "only dataflow findings" true
+    (ds <> []
+    && List.for_all
+         (fun (d : Rule.diagnostic) -> d.Rule.d_category = Rule.Dataflow)
+         ds);
+  List.iter
+    (fun (spelling, expected) ->
+      Alcotest.(check bool)
+        ("category_of_string " ^ spelling)
+        true
+        (Rule.category_of_string spelling = expected))
+    [
+      ("dfa", Some Rule.Dataflow);
+      ("dataflow", Some Rule.Dataflow);
+      ("BLK", Some Rule.Block_diagram);
+      ("qry", Some Rule.Query);
+      ("nope", None);
+    ]
+
+let test_dfa_parallel_deterministic () =
+  let input = dfa_input ~exclude:[ "r1" ] () in
+  let seq = Driver.run ~jobs:1 input in
+  let par = Driver.run ~jobs:4 input in
+  Alcotest.(check bool) "DFA findings identical at jobs 1 and 4" true
+    (List.for_all2 Rule.equal_diagnostic seq par)
+
+let test_sarif_rule_metadata () =
+  let ds = run1 (dfa_input ()) in
+  let json = Driver.to_json ds in
+  let member_exn k j = Option.get (Modelio.Json.member k j) in
+  let run = List.hd (Option.get (Modelio.Json.to_list (member_exn "runs" json))) in
+  let rules =
+    member_exn "tool" run |> member_exn "driver" |> member_exn "rules"
+    |> Modelio.Json.to_list |> Option.get
+  in
+  Alcotest.(check bool) "every rule has name + helpUri + category" true
+    (rules <> []
+    && List.for_all
+         (fun r ->
+           Modelio.Json.member "name" r <> None
+           && (match
+                 Option.bind (Modelio.Json.member "helpUri" r)
+                   Modelio.Json.to_str
+               with
+              | Some uri ->
+                  String.length uri > String.length "DESIGN.md#"
+                  && String.sub uri 0 10 = "DESIGN.md#"
+              | None -> false)
+           && Modelio.Json.member "category" (member_exn "properties" r)
+              <> None)
+         rules);
+  let dfa_listed =
+    List.exists
+      (fun r ->
+        Option.bind (Modelio.Json.member "id" r) Modelio.Json.to_str
+        = Some "DFA001")
+      rules
+  in
+  Alcotest.(check bool) "DFA001 in the descriptor array" true dfa_listed
+
 (* ---------- driver filters and rendering ---------- *)
 
 let mixed_input =
@@ -424,6 +528,11 @@ let suite =
     Alcotest.test_case "rel tables" `Quick test_rel_tables;
     Alcotest.test_case "rel/sm cross-checks" `Quick test_rel_sm_cross;
     Alcotest.test_case "query rules" `Quick test_query_rules;
+    Alcotest.test_case "dfa rules" `Quick test_dfa_rules;
+    Alcotest.test_case "dfa category filter" `Quick test_dfa_category_filter;
+    Alcotest.test_case "dfa parallel deterministic" `Quick
+      test_dfa_parallel_deterministic;
+    Alcotest.test_case "sarif rule metadata" `Quick test_sarif_rule_metadata;
     Alcotest.test_case "driver filters" `Quick test_driver_filters;
     Alcotest.test_case "parallel deterministic" `Quick test_driver_parallel_deterministic;
     Alcotest.test_case "rendering" `Quick test_rendering;

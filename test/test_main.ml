@@ -22,6 +22,7 @@ let () =
       ("blockdiag", Test_blockdiag.suite);
       ("reliability", Test_reliability.suite);
       ("lint", Test_lint.suite);
+      ("dataflow", Test_dataflow.suite);
       ("fmea", Test_fmea.suite);
       ("degradation", Test_fmea.degradation_suite);
       ("optimize", Test_optimize.suite);
