@@ -28,6 +28,7 @@ let json_scaling : Modelio.Json.t list ref = ref []
 let json_path_fmea : Modelio.Json.t list ref = ref []
 let json_batch : Modelio.Json.t list ref = ref []
 let json_diagnosis : Modelio.Json.t list ref = ref []
+let json_fta : Modelio.Json.t list ref = ref []
 
 let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
 
@@ -71,6 +72,7 @@ let write_results () =
         ("scaling", List (List.rev !json_scaling));
         ("path_fmea", List (List.rev !json_path_fmea));
         ("diagnosis", List (List.rev !json_diagnosis));
+        ("fta", List (List.rev !json_fta));
         ("scheduler", List (List.map json_of_decision (Exec.Cost.decisions ())));
         ("kernels_ns_per_run", numbers !json_kernels);
       ]
@@ -934,6 +936,113 @@ let streaming_search ~smoke () =
       ]
     :: !json_path_fmea
 
+(* ---------- FTA: BDD minimal cut sets vs MOCUS expansion ---------- *)
+
+(* The cut-set kernel acceptance: at every published size the hash-consed
+   BDD/ZBDD route must produce the [Cut_sets.minimal]-identical list at
+   least as fast as the MOCUS expansion (whose minimisation is quadratic
+   in the set count), and past the MOCUS 100k intermediate-set cap —
+   where MOCUS raises and [`Auto] falls back — the BDD must still solve
+   the tree exactly: cut-set count and the closed-form 2-out-of-n
+   probability both checked. *)
+let fta ~smoke () =
+  section "FTA — BDD minimal cut sets vs MOCUS expansion";
+  let basic prefix i =
+    Fta.Fault_tree.basic ~rate_fit:100.0 (Printf.sprintf "%s%d" prefix i)
+  in
+  (* AND of k two-way ORs: 2^k minimal cut sets of order k. *)
+  let series_parallel k =
+    Fta.Fault_tree.and_ "top"
+      (List.init k (fun i ->
+           Fta.Fault_tree.or_
+             (Printf.sprintf "s%d" i)
+             [ basic "a" i; basic "b" i ]))
+  in
+  (* 2-out-of-n vote: n(n-1)/2 minimal cut sets of order 2. *)
+  let vote n =
+    Fta.Fault_tree.koon "vote" ~k:2 (List.init n (basic "e"))
+  in
+  let time_per_run reps f =
+    ignore (f ());
+    (* warm-up *)
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let _, t = timed f in
+      best := Float.min !best t
+    done;
+    !best
+  in
+  let published name tree sets =
+    let mocus () = Fta.Cut_sets.minimal ~engine:`Mocus tree in
+    let bdd () = Fta.Cut_sets.minimal ~engine:`Bdd tree in
+    let t_mocus = time_per_run (if smoke then 2 else 4) mocus in
+    let t_bdd = time_per_run (if smoke then 5 else 20) bdd in
+    let identical = mocus () = bdd () && List.length (bdd ()) = sets in
+    let speedup = t_mocus /. t_bdd in
+    Printf.printf
+      "%-18s %6d cut sets   mocus %8.3f ms   bdd %8.3f ms   speedup \
+       %6.1fx   identical %b\n"
+      name sets (1000.0 *. t_mocus) (1000.0 *. t_bdd) speedup identical;
+    json_fta :=
+      Modelio.Json.Object
+        [
+          ("name", Modelio.Json.String name);
+          ("cut_sets", Modelio.Json.Number (float_of_int sets));
+          ("mocus_s", Modelio.Json.Number t_mocus);
+          ("bdd_s", Modelio.Json.Number t_bdd);
+          ("speedup", Modelio.Json.Number speedup);
+          ("identical", Modelio.Json.Bool identical);
+        ]
+      :: !json_fta
+  in
+  published "series-parallel-10" (series_parallel 10) 1024;
+  if not smoke then published "series-parallel-12" (series_parallel 12) 4096;
+  published
+    (if smoke then "vote-2-of-80" else "vote-2-of-120")
+    (vote (if smoke then 80 else 120))
+    (if smoke then 80 * 79 / 2 else 120 * 119 / 2);
+  (* Beyond the MOCUS cap: 2-of-500 has 124 750 minimal cut sets. *)
+  let n = 500 in
+  let tree = vote n in
+  let expected = n * (n - 1) / 2 in
+  let mocus_raises =
+    match Fta.Cut_sets.minimal ~engine:`Mocus tree with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  let sets, t_bdd = timed (fun () -> Fta.Cut_sets.minimal ~engine:`Auto tree) in
+  let probs = Fta.Quant.event_probabilities tree in
+  let p = match probs with (_, p) :: _ -> p | [] -> 0.0 in
+  let q = 1.0 -. p in
+  let nf = float_of_int n in
+  let closed =
+    1.0 -. (q ** nf) -. (nf *. p *. (q ** (nf -. 1.0)))
+  in
+  let bdd_p = Fta.Quant.top_probability_exact tree probs in
+  let exact =
+    List.length sets = expected
+    && List.for_all (fun s -> List.length s = 2) sets
+    && Float.abs (bdd_p -. closed) <= 1e-6 *. closed
+  in
+  Printf.printf
+    "vote-2-of-%d       %6d cut sets   mocus raises (over the 100k cap): \
+     %b   bdd %8.3f ms   P(top) %.6e vs closed form %.6e   exact %b\n"
+    n expected mocus_raises (1000.0 *. t_bdd) bdd_p closed exact;
+  json_fta :=
+    Modelio.Json.Object
+      [
+        ("name", Modelio.Json.String (Printf.sprintf "vote-2-of-%d" n));
+        ("beyond_cap", Modelio.Json.Bool true);
+        ("cut_sets", Modelio.Json.Number (float_of_int (List.length sets)));
+        ("expected", Modelio.Json.Number (float_of_int expected));
+        ("mocus_raises", Modelio.Json.Bool mocus_raises);
+        ("bdd_s", Modelio.Json.Number t_bdd);
+        ("bdd_p", Modelio.Json.Number bdd_p);
+        ("closed_form_p", Modelio.Json.Number closed);
+        ("exact", Modelio.Json.Bool exact);
+      ]
+    :: !json_fta
+
 (* ---------- Diagnosis: dataflow fixpoints + forward/backward oracle ---------- *)
 
 let diagnosis ~smoke () =
@@ -1264,6 +1373,7 @@ let () =
   iteration_loop ();
   path_fmea_scaling ~smoke ();
   streaming_search ~smoke ();
+  fta ~smoke ();
   diagnosis ~smoke ();
   scaling ~smoke ();
   kernel_benchmarks ~smoke ();

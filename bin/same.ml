@@ -289,8 +289,8 @@ let lint_cmd =
       & info [ "category" ] ~docv:"PACK"
           ~doc:
             "Only report findings from these rule packs (comma-separated, \
-             repeatable): $(b,ssam), $(b,blk), $(b,rel), $(b,qry) or \
-             $(b,dfa).")
+             repeatable): $(b,ssam), $(b,blk), $(b,rel), $(b,qry), \
+             $(b,dfa) or $(b,fta).")
   in
   let list_arg =
     Arg.(
@@ -339,7 +339,8 @@ let lint_cmd =
           2
       | [], c :: _ ->
           Printf.eprintf
-            "error: unknown category '%s' (ssam, blk, rel, qry or dfa)\n" c;
+            "error: unknown category '%s' (ssam, blk, rel, qry, dfa or fta)\n"
+            c;
           2
       | [], [] -> (
           let ( let* ) r f =
@@ -879,6 +880,47 @@ let transform_cmd =
 (* same fta *)
 
 let fta_cmd =
+  let diagram_pos =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"DIAGRAM" ~doc:"Block diagram model (.bd text format).")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from" ] ~docv:"DIAGRAM"
+          ~doc:
+            "Block diagram to lower through the five-step structural \
+             pipeline (alternative to the positional argument).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("bdd", `Bdd); ("mocus", `Mocus) ]) `Auto
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Minimal-cut-set engine: $(b,auto) (MOCUS, falling back to the \
+             BDD past the expansion cap), $(b,bdd) or $(b,mocus).")
+  in
+  let card_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cardinality" ] ~docv:"K"
+          ~doc:"Only report minimal cut sets of at most $(docv) events.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Also write the analysis to $(docv): $(b,.dot) exports Graphviz, \
+             $(b,.xml) exports Open-PSA MEF, any other suffix gets the text \
+             report.")
+  in
   let dot_arg =
     Arg.(
       value
@@ -892,41 +934,106 @@ let fta_cmd =
       & info [ "open-psa" ] ~docv:"FILE"
           ~doc:"Write the tree as Open-PSA MEF XML.")
   in
-  let run diagram_path reliability_path dot psa =
-    with_diagram_and_models diagram_path reliability_path
-      (fun diagram reliability ->
-        let root = Decisive.Api.functional_root ~reliability diagram in
-        match Fta.From_ssam.generate root with
-        | exception Fta.From_ssam.No_paths c ->
-            Printf.eprintf "error: no input-output paths through %s\n" c;
-            1
-        | tree ->
-            Format.printf "%a@." Fta.Fault_tree.pp_ascii tree;
-            let sets = Fta.Cut_sets.minimal tree in
-            Format.printf "minimal cut sets (%d):@." (List.length sets);
-            List.iter
-              (fun s -> Format.printf "  {%s}@." (String.concat ", " s))
-              sets;
-            let probs = Fta.Quant.event_probabilities tree in
-            Format.printf "top event (rare-event bound, 10,000 h): %.3e@."
-              (Fta.Quant.rare_event_bound sets probs);
-            (match dot with
-            | Some path ->
-                Fta.Export.save_dot ~path
-                  ~name:diagram.Blockdiag.Diagram.diagram_name tree;
-                Format.printf "dot written to %s@." path
-            | None -> ());
-            (match psa with
-            | Some path ->
-                Fta.Export.save_open_psa ~path
-                  ~model_name:diagram.Blockdiag.Diagram.diagram_name tree;
-                Format.printf "Open-PSA written to %s@." path
-            | None -> ());
-            0)
+  let run pos_path from_path reliability_path engine max_card out dot psa =
+    match (match from_path with Some p -> Some p | None -> pos_path) with
+    | None ->
+        Printf.eprintf "error: give a DIAGRAM argument or --from FILE\n";
+        2
+    | Some path ->
+        with_diagram_and_models path reliability_path
+          (fun diagram reliability ->
+            let name = diagram.Blockdiag.Diagram.diagram_name in
+            let lowered =
+              match Fta.From_ssam.of_diagram ~reliability diagram with
+              | tree -> Ok (tree, `Structural)
+              | exception Fta.From_ssam.No_paths c -> Error c
+              | exception Fta.From_ssam.Cyclic _ -> (
+                  (* cycles have no well-founded structural lowering *)
+                  let root = Decisive.Api.functional_root ~reliability diagram in
+                  match Fta.From_ssam.generate root with
+                  | tree -> Ok (tree, `Paths)
+                  | exception Fta.From_ssam.No_paths c -> Error c)
+            in
+            match lowered with
+            | Error c ->
+                Printf.eprintf "error: no input-output paths through %s\n" c;
+                1
+            | Ok (tree, route) -> (
+                match Fta.Cut_sets.minimal ~engine tree with
+                | exception Invalid_argument m ->
+                    Printf.eprintf "error: %s (retry with --engine bdd)\n" m;
+                    1
+                | all_sets ->
+                    let buf = Buffer.create 1024 in
+                    let bpf fmt = Printf.bprintf buf fmt in
+                    bpf "%s\n" (Format.asprintf "%a" Fta.Fault_tree.pp_ascii tree);
+                    (match route with
+                    | `Structural -> ()
+                    | `Paths ->
+                        bpf
+                          "note: cyclic connection structure — lowered by \
+                           path enumeration\n");
+                    let sets =
+                      match max_card with
+                      | None -> all_sets
+                      | Some k ->
+                          List.filter (fun s -> List.length s <= k) all_sets
+                    in
+                    bpf "minimal cut sets (%d%s):\n" (List.length sets)
+                      (match max_card with
+                      | None -> ""
+                      | Some k ->
+                          Printf.sprintf " of %d, cardinality <= %d"
+                            (List.length all_sets) k);
+                    List.iter
+                      (fun s -> bpf "  {%s}\n" (String.concat ", " s))
+                      sets;
+                    let probs = Fta.Quant.event_probabilities tree in
+                    bpf "top event (BDD-exact, 10,000 h): %.3e\n"
+                      (Fta.Quant.top_probability_exact tree probs);
+                    bpf "top event (rare-event bound):    %.3e\n"
+                      (Fta.Quant.rare_event_bound all_sets probs);
+                    let top5 xs = List.filteri (fun i _ -> i < 5) xs in
+                    List.iter
+                      (fun (e, v) -> bpf "  birnbaum       %-28s %.3e\n" e v)
+                      (top5 (Fta.Quant.birnbaum tree probs));
+                    List.iter
+                      (fun (e, v) -> bpf "  fussell-vesely %-28s %.3e\n" e v)
+                      (top5 (Fta.Quant.fussell_vesely tree probs));
+                    print_string (Buffer.contents buf);
+                    (match out with
+                    | Some path when Filename.check_suffix path ".dot" ->
+                        Fta.Export.save_dot ~path ~name tree;
+                        Format.printf "dot written to %s@." path
+                    | Some path when Filename.check_suffix path ".xml" ->
+                        Fta.Export.save_open_psa ~path ~model_name:name tree;
+                        Format.printf "Open-PSA written to %s@." path
+                    | Some path ->
+                        let oc = open_out path in
+                        output_string oc (Buffer.contents buf);
+                        close_out oc;
+                        Format.printf "report written to %s@." path
+                    | None -> ());
+                    (match dot with
+                    | Some path ->
+                        Fta.Export.save_dot ~path ~name tree;
+                        Format.printf "dot written to %s@." path
+                    | None -> ());
+                    (match psa with
+                    | Some path ->
+                        Fta.Export.save_open_psa ~path ~model_name:name tree;
+                        Format.printf "Open-PSA written to %s@." path
+                    | None -> ());
+                    0))
   in
-  let doc = "Generate and analyse the fault tree of a design." in
+  let doc =
+    "Generate and analyse the fault tree of a design (structural lowering, \
+     BDD or MOCUS cut sets, exact quantification)."
+  in
   Cmd.v (Cmd.info "fta" ~doc)
-    Term.(const run $ diagram_arg $ reliability_arg $ dot_arg $ psa_arg)
+    Term.(
+      const run $ diagram_pos $ from_arg $ reliability_arg $ engine_arg
+      $ card_arg $ out_arg $ dot_arg $ psa_arg)
 
 (* same assure *)
 

@@ -283,3 +283,58 @@ let aggregate_reliability rm (p : Architecture.package) =
           | Architecture.Relationship _ as r -> r)
         p.Architecture.elements;
   }
+
+(* The *functional* SSAM twin of a diagram: electrically-structural
+   blocks (ground) vanish, sources feed the root boundary and sinks
+   return to it, every remaining connection becomes a child-level
+   relationship.  Lives here — rather than in the top-level API — so the
+   FTA pipeline can lower diagrams without depending on the analysis
+   engine; [Decisive.Api.functional_root] delegates. *)
+let functional_root ~reliability (diagram : Diagram.t) =
+  let package = aggregate_reliability reliability (to_ssam diagram) in
+  let classify id =
+    match Architecture.find_in_package package id with
+    | None -> `Absent
+    | Some c -> (
+        match block_type_of_component c with
+        | Some "ground" -> `Ground
+        | Some ("vsource" | "isource") -> `Source c
+        | Some ("load" | "microcontroller" | "pll") -> `Sink c
+        | Some _ | None -> `Plain c)
+  in
+  let root_id = "root:" ^ diagram.Diagram.diagram_name in
+  let children = ref [] in
+  let connections = ref [] in
+  let k = ref 0 in
+  let conn a bb =
+    incr k;
+    connections :=
+      Architecture.relationship
+        ~meta:(Base.meta (Printf.sprintf "%s:c%d" root_id !k))
+        ~from_component:a ~to_component:bb ()
+      :: !connections
+  in
+  List.iter
+    (fun (b : Diagram.block) ->
+      match classify b.Diagram.block_id with
+      | `Ground | `Absent -> ()
+      | `Source c | `Sink c | `Plain c ->
+          children := c :: !children;
+          (match classify b.Diagram.block_id with
+          | `Source _ -> conn root_id b.Diagram.block_id
+          | `Sink _ -> conn b.Diagram.block_id root_id
+          | `Ground | `Absent | `Plain _ -> ()))
+    diagram.Diagram.blocks;
+  List.iter
+    (fun (c : Diagram.connection) ->
+      let f = c.Diagram.from_ep.Diagram.ep_block in
+      let t = c.Diagram.to_ep.Diagram.ep_block in
+      match (classify f, classify t) with
+      | (`Ground | `Absent), _ | _, (`Ground | `Absent) -> ()
+      | _, _ -> conn f t)
+    diagram.Diagram.connections;
+  Architecture.component ~component_type:Architecture.System
+    ~children:(List.rev !children)
+    ~connections:(List.rev !connections)
+    ~meta:(Base.meta ~name:diagram.Diagram.diagram_name root_id)
+    ()

@@ -35,3 +35,14 @@ val aggregate_reliability :
     block type has a reliability entry, set its FIT and attach the
     catalogue failure modes (ids ["<component>:fm:<name>"]).  Components
     without an entry are left untouched. *)
+
+val functional_root :
+  reliability:Reliability.Reliability_model.t ->
+  Diagram.t ->
+  Ssam.Architecture.component
+(** The diagram's functional SSAM twin as a single System component:
+    {!to_ssam} + {!aggregate_reliability}, with ground blocks dropped,
+    sources (vsource/isource) connected from the root boundary and sinks
+    (load/microcontroller/pll) connected back to it — the component the
+    path-FMEA and FTA routes analyse.  Moved here from the top-level API
+    so {!Fta.From_ssam}'s block-diagram pipeline can use it directly. *)

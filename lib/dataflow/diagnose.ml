@@ -20,12 +20,13 @@ type verifier = Model.mode -> [ `Confirmed of string | `Refuted of string ]
 
 let verify_cost_key = "dataflow.verify"
 
-let cut_sets (m : Model.t) explanations =
-  let surviving =
-    List.filter_map
-      (fun e -> match e.verdict with Refuted _ -> None | _ -> Some e.mode)
-      explanations
-  in
+let surviving_modes explanations =
+  List.filter_map
+    (fun e -> match e.verdict with Refuted _ -> None | _ -> Some e.mode)
+    explanations
+
+let direct_cut_sets (m : Model.t) explanations =
+  let surviving = surviving_modes explanations in
   let singles =
     List.filter_map
       (fun (md : Model.mode) ->
@@ -60,6 +61,64 @@ let cut_sets (m : Model.t) explanations =
   in
   let minimal = Fta.Cut_sets.minimize (singles @ doubles) in
   List.partition (fun cs -> List.length cs = 1) minimal
+
+(* The same combination logic as [direct_cut_sets], but said once as a
+   fault tree: surviving non-redundant loss-like modes are direct
+   disjuncts, redundant components become per-component OR gates under
+   a 2-out-of-N vote (a single redundant channel loss is tolerated;
+   any two distinct redundant components failing are not). *)
+let lowered_fault_tree (m : Model.t) explanations =
+  let basic (md : Model.mode) =
+    Fta.Fault_tree.basic
+      ~description:
+        (Printf.sprintf "%s: %s" md.Model.m_component md.Model.m_name)
+      md.Model.m_key
+  in
+  let non_redundant, redundant =
+    List.partition
+      (fun (md : Model.mode) ->
+        not (Graph.Bitset.mem m.Model.redundant md.Model.m_node))
+      (List.filter
+         (fun (md : Model.mode) -> md.Model.m_loss_like)
+         (surviving_modes explanations))
+  in
+  let components =
+    List.fold_left
+      (fun acc (md : Model.mode) ->
+        if List.exists (String.equal md.Model.m_component) acc then acc
+        else acc @ [ md.Model.m_component ])
+      [] redundant
+  in
+  let gates =
+    List.map
+      (fun cmp ->
+        Fta.Fault_tree.or_ ("red:" ^ cmp)
+          (List.map basic
+             (List.filter
+                (fun (md : Model.mode) ->
+                  String.equal md.Model.m_component cmp)
+                redundant)))
+      components
+  in
+  let vote =
+    if List.length gates >= 2 then
+      [ Fta.Fault_tree.koon "redundant-pair" ~k:2 gates ]
+    else []
+  in
+  match List.map basic non_redundant @ vote with
+  | [] -> None
+  | disjuncts -> Some (Fta.Fault_tree.or_ "deviation-explained" disjuncts)
+
+(* Production route: read the explanations off the decision diagram of
+   the lowered tree — cardinality ≤ 2 minimal critical sets, partitioned
+   by size.  Differentially tested against [direct_cut_sets]. *)
+let cut_sets (m : Model.t) explanations =
+  match lowered_fault_tree m explanations with
+  | None -> ([], [])
+  | Some tree ->
+      Fta.Bdd.build tree
+      |> Fta.Bdd.minimal_critical_sets ~max_cardinality:2
+      |> List.partition (fun cs -> List.length cs = 1)
 
 let diagnose ?jobs ?verify (m : Model.t) ~output =
   match Model.output_index m output with

@@ -48,6 +48,21 @@ val diagnose :
     ["dataflow.verify"]) when a verifier is supplied.  [Error] when the
     output id names no observation point. *)
 
+val lowered_fault_tree :
+  Model.t -> explanation list -> Fta.Fault_tree.t option
+(** The surviving explanations as a fault tree over mode keys:
+    non-redundant loss-like modes are direct disjuncts; redundant
+    components become per-component OR gates under a 2-out-of-N vote.
+    [None] when nothing survives.  {!diagnose} reads [singles]/[doubles]
+    off this tree's {!Fta.Bdd} as the cardinality-1/2 minimal critical
+    sets. *)
+
+val direct_cut_sets :
+  Model.t -> explanation list -> string list list * string list list
+(** The historical direct combination — explicit pair enumeration plus
+    {!Fta.Cut_sets.minimize} — kept as the differential oracle for the
+    BDD route ([(singles, doubles)], same answers, QCheck-tested). *)
+
 val circuit_verifier :
   ?options:Fmea.Injection_fmea.options ->
   reliability:Reliability.Reliability_model.t ->

@@ -13,60 +13,8 @@ type analysis_route = Via_injection | Via_ssam_paths | Via_fta
 
    This mirrors how the paper's Fig. 12 SSAM twin is drawn: a directed
    chain from supply to load with off-path branches hanging off. *)
-let functional_root ~reliability (diagram : Blockdiag.Diagram.t) =
-  let package =
-    Blockdiag.Transform.aggregate_reliability reliability
-      (Blockdiag.Transform.to_ssam diagram)
-  in
-  let classify id =
-    match Ssam.Architecture.find_in_package package id with
-    | None -> `Absent
-    | Some c -> (
-        match Blockdiag.Transform.block_type_of_component c with
-        | Some "ground" -> `Ground
-        | Some ("vsource" | "isource") -> `Source c
-        | Some ("load" | "microcontroller" | "pll") -> `Sink c
-        | Some _ | None -> `Plain c)
-  in
-  let root_id = "root:" ^ diagram.Blockdiag.Diagram.diagram_name in
-  let children = ref [] in
-  let connections = ref [] in
-  let k = ref 0 in
-  let conn a b =
-    incr k;
-    connections :=
-      Ssam.Architecture.relationship
-        ~meta:(Ssam.Base.meta (Printf.sprintf "%s:c%d" root_id !k))
-        ~from_component:a ~to_component:b ()
-      :: !connections
-  in
-  List.iter
-    (fun (b : Blockdiag.Diagram.block) ->
-      match classify b.Blockdiag.Diagram.block_id with
-      | `Ground | `Absent -> ()
-      | `Source c | `Sink c | `Plain c ->
-          children := c :: !children;
-          (match classify b.Blockdiag.Diagram.block_id with
-          | `Source _ -> conn root_id b.Blockdiag.Diagram.block_id
-          | `Sink _ -> conn b.Blockdiag.Diagram.block_id root_id
-          | `Ground | `Absent | `Plain _ -> ()))
-    diagram.Blockdiag.Diagram.blocks;
-  List.iter
-    (fun (c : Blockdiag.Diagram.connection) ->
-      let f = c.Blockdiag.Diagram.from_ep.Blockdiag.Diagram.ep_block in
-      let t = c.Blockdiag.Diagram.to_ep.Blockdiag.Diagram.ep_block in
-      match (classify f, classify t) with
-      | (`Ground | `Absent), _ | _, (`Ground | `Absent) -> ()
-      | _, _ -> conn f t)
-    diagram.Blockdiag.Diagram.connections;
-  Ssam.Architecture.component ~component_type:Ssam.Architecture.System
-    ~children:(List.rev !children)
-    ~connections:(List.rev !connections)
-    ~meta:
-      (Ssam.Base.meta
-         ~name:diagram.Blockdiag.Diagram.diagram_name
-         root_id)
-    ()
+let functional_root ~reliability diagram =
+  Blockdiag.Transform.functional_root ~reliability diagram
 
 let analyse ?engine ?previous ?(route = Via_injection) ?(exclude = [])
     ?monitored_sensors diagram reliability =

@@ -53,6 +53,8 @@ let child_digraph (c : Architecture.component) =
   let sinks = resolve boundary_out (Graph.Digraph.out_degree g) in
   (g, sources, sinks)
 
+let child_structure = child_digraph
+
 (* ---------- reference implementation: simple-path enumeration ----------
 
    Exponential and capped at [max_paths]; kept as the executable

@@ -49,6 +49,16 @@ val paths :
     incoming edges and sinks are children without outgoing edges.
     Raises {!Too_many_paths} beyond {!max_paths}. *)
 
+val child_structure :
+  Ssam.Architecture.component -> Graph.Digraph.t * int list * int list
+(** The interned child connection graph together with its resolved
+    boundary, [(graph, sources, sinks)] — exactly the structure every
+    path/dominator query here runs on.  Exposed so the FTA lowering
+    ({!Fta.From_ssam}[.of_structure]) assembles its fault trees over the
+    {e same} graph and boundary semantics, which is what makes the
+    cardinality-1 critical sets provably comparable with
+    {!single_points}. *)
+
 val single_points : Ssam.Architecture.component -> string list
 (** Ids of the children lying on every input→output path (sorted) —
     the dominator query by itself, without building a table.  [[]] when

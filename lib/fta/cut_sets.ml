@@ -47,13 +47,14 @@ let rec choose k items =
     | x :: rest ->
         List.map (fun c -> x :: c) (choose (k - 1) rest) @ choose k rest
 
-let minimal ?(max_sets = 100_000) tree =
-  let check n =
-    if n > max_sets then
-      invalid_arg
-        (Printf.sprintf "Cut_sets.minimal: intermediate size %d exceeds %d" n
-           max_sets)
-  in
+type engine = [ `Auto | `Bdd | `Mocus ]
+
+(* Internal cap signal: [`Mocus] surfaces it as the historical
+   [Invalid_argument]; [`Auto] turns it into a logged BDD fallback. *)
+exception Overflow of int
+
+let mocus ~max_sets tree =
+  let check n = if n > max_sets then raise (Overflow n) in
   (* Bottom-up: each node yields its list of cut sets (a DNF). *)
   let rec go node : cut_set list =
     match node with
@@ -97,6 +98,35 @@ let minimal ?(max_sets = 100_000) tree =
       | 0 -> List.compare String.compare a b
       | n -> n)
     sets
+
+(* The cap fallback is reported once per process: every further tree
+   routed to the BDD engine would repeat the same advice. *)
+let fallback_logged = ref false
+
+let log_fallback n max_sets =
+  if not !fallback_logged then begin
+    fallback_logged := true;
+    Logs.warn (fun m ->
+        m
+          "Cut_sets.minimal: MOCUS intermediate size %d exceeds %d; falling \
+           back to the BDD engine (logged once)"
+          n max_sets)
+  end
+
+let minimal ?(max_sets = 100_000) ?(engine = `Auto) tree =
+  match engine with
+  | `Bdd -> Bdd.minimal_cut_sets (Bdd.build tree)
+  | `Mocus -> (
+      try mocus ~max_sets tree
+      with Overflow n ->
+        invalid_arg
+          (Printf.sprintf "Cut_sets.minimal: intermediate size %d exceeds %d" n
+             max_sets))
+  | `Auto -> (
+      try mocus ~max_sets tree
+      with Overflow n ->
+        log_fallback n max_sets;
+        Bdd.minimal_cut_sets (Bdd.build tree))
 
 let singletons sets =
   List.filter_map (function [ e ] -> Some e | _ -> None) sets

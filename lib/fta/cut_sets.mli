@@ -18,10 +18,21 @@ val minimize : cut_set list -> cut_set list
     historical O(|a| * |b|) membership scans, which dominated MOCUS on
     wide trees. *)
 
-val minimal : ?max_sets:int -> Fault_tree.t -> cut_set list
-(** Sorted by size then lexicographically.  K-out-of-N gates are expanded
-    into the OR of all [k]-subsets.  Raises [Invalid_argument] when the
-    intermediate product exceeds [max_sets] (default 100_000). *)
+type engine = [ `Auto | `Bdd | `Mocus ]
+(** [`Mocus]: the historical bottom-up DNF expansion, kept as the
+    differential oracle — raises [Invalid_argument] past [max_sets].
+    [`Bdd]: compile to a {!Bdd.t} and read the cut sets off the ZBDD —
+    capless.  [`Auto] (the default): MOCUS while it fits, logged BDD
+    fallback when the cap is hit — never raises. *)
+
+val minimal : ?max_sets:int -> ?engine:engine -> Fault_tree.t -> cut_set list
+(** Sorted by size then lexicographically; both engines produce the
+    identical list (QCheck-tested).  K-out-of-N gates are expanded into
+    the OR of all [k]-subsets under MOCUS and composed as a threshold
+    recursion under BDD.  With [`Auto] (default), exceeding [max_sets]
+    (default 100_000) intermediate sets no longer raises: the tree is
+    re-solved exactly on the BDD engine and a warning is logged once per
+    process via {!Logs}. *)
 
 val singletons : cut_set list -> string list
 (** Events forming size-1 minimal cut sets. *)

@@ -6,18 +6,28 @@ let strip_prefix s prefix =
     Some (String.sub s n (String.length s - n))
   else None
 
+(* "loss:C" → C; voting channels ("loss:C:ch1") are not whole-component
+   ids and drop out. *)
+let component_of_loss_event event_id =
+  match strip_prefix event_id "loss:" with
+  | Some rest -> (
+      match String.index_opt rest ':' with
+      | Some _ -> None
+      | None -> Some rest)
+  | None -> None
+
 let single_point_components tree =
   let sets = Cut_sets.minimal tree in
-  List.filter_map
-    (fun event_id ->
-      match strip_prefix event_id "loss:" with
-      | Some rest -> (
-          (* Voting channels ("loss:C:ch1") are not whole-component ids. *)
-          match String.index_opt rest ':' with
-          | Some _ -> None
-          | None -> Some rest)
-      | None -> None)
-    (Cut_sets.singletons sets)
+  List.filter_map component_of_loss_event (Cut_sets.singletons sets)
+
+let single_points_via_bdd (c : Architecture.component) =
+  match From_ssam.of_structure c with
+  | exception From_ssam.No_paths _ -> []
+  | tree ->
+      Bdd.build ~order:(From_ssam.event_order c) tree
+      |> Bdd.minimal_critical_sets ~max_cardinality:1
+      |> List.concat_map (List.filter_map component_of_loss_event)
+      |> List.sort_uniq String.compare
 
 let analyse (c : Architecture.component) =
   let tree = From_ssam.generate c in

@@ -14,6 +14,16 @@ val analyse : Ssam.Architecture.component -> Fmea.Table.t
     with no input→output paths, [Invalid_argument] when the cut-set
     expansion explodes. *)
 
+val single_points_via_bdd : Ssam.Architecture.component -> string list
+(** Single-point components read straight off the decision diagram:
+    lower the composite with {!From_ssam.of_structure}, build the
+    {!Bdd} under the {!From_ssam.event_order} hint and keep the
+    cardinality-1 minimal critical sets that name whole components
+    (sorted).  [[]] when the composite has no input→output structure.
+    The third route to the same answer as {!Fmea.Path_fmea.single_points}
+    and {!single_point_components} — cross-checked in the tests.
+    Raises {!From_ssam.Cyclic} on cyclic diagrams. *)
+
 val agrees_with_path_fmea : Ssam.Architecture.component -> bool
 (** The cross-check: both routes find the same set of safety-related
     components.  Exposed so tests and benches can assert it on every

@@ -18,11 +18,47 @@
 exception No_paths of string
 (** The composite has no input→output paths to analyse. *)
 
+exception Cyclic of string list
+(** {!of_structure} found a dependency cycle among the child
+    connections; the payload lists the children on (or blocked behind)
+    the cycle.  Fall back to the path-based {!generate}, which handles
+    cyclic diagrams via simple-path enumeration. *)
+
 val loss_event_id : component_id:string -> string
 (** ["loss:<component>"] — basic-event naming convention. *)
 
 val generate : Ssam.Architecture.component -> Fault_tree.t
-(** Raises {!No_paths}. *)
+(** The AND-over-paths construction by explicit path enumeration.
+    Raises {!No_paths}; exponential on wide diagrams (it inherits the
+    {!Fmea.Path_fmea.max_paths} cap) but correct on cyclic ones. *)
+
+val of_structure : Ssam.Architecture.component -> Fault_tree.t
+(** The Safety_Profile five-step pipeline: (1) index the components
+    into the child connection graph, (2) instantiate each component's
+    failure-logic template ([component loss], redundant tolerances as
+    k-out-of-N votes), (3) dependency-sort the connections,
+    (4) assemble bottom-up — [U(v) = loss(v) ∨ ⋀ preds U(p)] with
+    [U(source) = loss(source)] and top [⋀ sinks U(sink)] — and
+    (5) hand off to {!Quant} for quantification.  On a DAG the result
+    denotes the same boolean function as {!generate} (QCheck-tested:
+    identical minimal cut sets) but its size is linear in the graph
+    rather than in the path count.  Raises {!No_paths} when no
+    source→sink structure exists and {!Cyclic} on cyclic diagrams. *)
+
+val event_order : Ssam.Architecture.component -> string list
+(** Basic-event ordering hint for {!Bdd.build}: children sorted along
+    dominator chains from the sources ({!Graph.Dominators.order_hint}),
+    expanded to their template events — keeps serially-dependent events
+    adjacent, where BDDs of series-parallel functions stay small. *)
+
+val of_diagram :
+  reliability:Reliability.Reliability_model.t ->
+  Blockdiag.Diagram.t ->
+  Fault_tree.t
+(** {!of_structure} over the functional root of an electrical block
+    diagram ({!Blockdiag.Transform.functional_root}): sources feed,
+    loads/controllers sink, grounds drop out.  Same exceptions as
+    {!of_structure}. *)
 
 val loss_rate_fit : Ssam.Architecture.component -> float
 (** Σ FIT × distribution over the component's loss-of-function modes (the

@@ -16,22 +16,22 @@ let event_probabilities ?(mission_hours = 10_000.0) tree =
 let prob probabilities id =
   Option.value ~default:0.0 (List.assoc_opt id probabilities)
 
-let rec top_probability_exact tree probabilities =
+let rec top_probability_independent tree probabilities =
   match tree with
   | Fault_tree.Basic e -> prob probabilities e.Fault_tree.event_id
   | Fault_tree.And (_, cs) ->
       List.fold_left
-        (fun acc c -> acc *. top_probability_exact c probabilities)
+        (fun acc c -> acc *. top_probability_independent c probabilities)
         1.0 cs
   | Fault_tree.Or (_, cs) ->
       1.0
       -. List.fold_left
-           (fun acc c -> acc *. (1.0 -. top_probability_exact c probabilities))
+           (fun acc c -> acc *. (1.0 -. top_probability_independent c probabilities))
            1.0 cs
   | Fault_tree.Koon (_, k, cs) ->
       (* Probability that at least k of the children fail: enumerate child
          outcome combinations (children counts are small in practice). *)
-      let ps = List.map (fun c -> top_probability_exact c probabilities) cs in
+      let ps = List.map (fun c -> top_probability_independent c probabilities) cs in
       let rec go ps failed_needed =
         match ps with
         | [] -> if failed_needed <= 0 then 1.0 else 0.0
@@ -40,6 +40,19 @@ let rec top_probability_exact tree probabilities =
             +. ((1.0 -. p) *. go rest failed_needed)
       in
       go ps k
+
+(* BDD-exact quantification: one Shannon-expansion pass.  Shared events
+   collapse on the canonical BDD, so repetition is handled exactly —
+   the legacy recursion above would multiply a repeated event's
+   probability once per occurrence. *)
+let top_probability_exact tree probabilities =
+  Bdd.probability (Bdd.build tree) (prob probabilities)
+
+let birnbaum tree probabilities =
+  Bdd.birnbaum (Bdd.build tree) (prob probabilities)
+
+let fussell_vesely tree probabilities =
+  Bdd.fussell_vesely (Bdd.build tree) (prob probabilities)
 
 let cut_set_probability probabilities set =
   List.fold_left (fun acc id -> acc *. prob probabilities id) 1.0 set

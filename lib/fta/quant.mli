@@ -15,10 +15,31 @@ val event_probabilities :
 
 val top_probability_exact :
   Fault_tree.t -> probabilities -> float
-(** Exact evaluation assuming independent basic events, by recursive gate
-    composition (AND = product, OR = 1-Π(1-p), k-oo-n by enumeration over
-    children).  Events appearing under several gates are treated as
-    independent copies — use the cut-set bounds when events repeat. *)
+(** Exact top-event probability by Shannon expansion over the
+    {!Bdd} of the tree: one memoised pass on the canonical diagram, so
+    basic events repeated under several gates are handled {e exactly}
+    (the historical repeated-event caveat is gone). *)
+
+val top_probability_independent :
+  Fault_tree.t -> probabilities -> float
+(** @deprecated The pre-BDD evaluation by recursive gate composition
+    (AND = product, OR = 1-Π(1-p), k-oo-n by enumeration over children).
+    Events appearing under several gates are treated as {e independent
+    copies}, which over- or under-estimates whenever events repeat.  It
+    agrees with {!top_probability_exact} exactly on repetition-free
+    trees (QCheck-tested) and is kept only as that differential
+    oracle. *)
+
+val birnbaum : Fault_tree.t -> probabilities -> (string * float) list
+(** BDD-based Birnbaum importance per basic event:
+    [P(top | e) - P(top | ¬e)], descending. *)
+
+val fussell_vesely :
+  Fault_tree.t -> probabilities -> (string * float) list
+(** BDD-based Fussell–Vesely (fractional) importance per basic event:
+    the share of top-event probability removed by making the event
+    perfectly reliable — exact, unlike the rare-event approximation of
+    {!importance}.  Empty when the top probability is 0. *)
 
 val rare_event_bound : Cut_sets.cut_set list -> probabilities -> float
 (** Σ over minimal cut sets of Π p — the standard upper bound, tight for

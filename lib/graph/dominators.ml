@@ -89,6 +89,68 @@ let dominators ~idom v =
     up [] v
   end
 
+let order_hint g ~sources =
+  let n = Digraph.node_count g in
+  if n = 0 then []
+  else begin
+    let sources =
+      List.sort_uniq Int.compare
+        (List.filter (fun v -> v >= 0 && v < n) sources)
+    in
+    match sources with
+    | [] -> List.init n (fun i -> i)
+    | _ ->
+        (* BFS depth from the virtual super-source (max_int = unreachable). *)
+        let depth = Array.make n max_int in
+        let q = Queue.create () in
+        List.iter
+          (fun s ->
+            if depth.(s) = max_int then begin
+              depth.(s) <- 0;
+              Queue.add s q
+            end)
+          sources;
+        while not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          Array.iter
+            (fun v ->
+              if depth.(v) = max_int then begin
+                depth.(v) <- depth.(u) + 1;
+                Queue.add v q
+              end)
+            (Digraph.successors g u)
+        done;
+        (* Dominator-chain length w.r.t. the same virtual super-source:
+           nodes deep in a chain of mandatory predecessors sort late, so
+           serially-dependent variables end up adjacent. *)
+        let s = n in
+        let src = Array.of_list sources in
+        let empty = [||] and from_s = [| s |] in
+        let succ u = if u = s then src else Digraph.successors g u in
+        let pred u =
+          if u = s then empty
+          else begin
+            let base = Digraph.predecessors g u in
+            if List.exists (Int.equal u) sources then Array.append base from_s
+            else base
+          end
+        in
+        let idom = lt ~n:(n + 1) ~root:s ~succ ~pred in
+        let chain = Array.make n max_int in
+        for v = 0 to n - 1 do
+          if idom.(v) >= 0 then chain.(v) <- List.length (dominators ~idom v)
+        done;
+        List.stable_sort
+          (fun a b ->
+            match Int.compare chain.(a) chain.(b) with
+            | 0 -> (
+                match Int.compare depth.(a) depth.(b) with
+                | 0 -> Int.compare a b
+                | c -> c)
+            | c -> c)
+          (List.init n (fun i -> i))
+  end
+
 let on_every_path g ~sources ~sinks =
   if sources = [] || sinks = [] then None
   else begin

@@ -22,6 +22,15 @@ val dominators : idom:int array -> int -> int list
     to (and including) the root, nearest first.  [[]] if the node is
     unreachable. *)
 
+val order_hint : Digraph.t -> sources:int list -> int list
+(** A variable-ordering heuristic for decision-diagram kernels: all
+    nodes, sorted by (dominator-chain length from a virtual super-source
+    feeding every source, BFS depth, node index).  Serially-dependent
+    nodes — those stacked along a dominator chain — come out adjacent,
+    which keeps the BDD of a series-parallel structure function small.
+    Unreachable nodes follow the reachable ones in index order; with no
+    sources the plain index order is returned. *)
+
 val on_every_path :
   Digraph.t -> sources:int list -> sinks:int list -> Bitset.t option
 (** Nodes lying on {e every} source→sink simple path, computed as the

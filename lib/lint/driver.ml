@@ -1,6 +1,6 @@
 let catalogue =
   Ssam_pack.rules @ Blockdiag_pack.rules @ Reliability_pack.rules
-  @ Query_pack.rules @ Dataflow_pack.rules
+  @ Query_pack.rules @ Dataflow_pack.rules @ Fta_pack.rules
 
 let find_rule id =
   let id = String.uppercase_ascii id in
@@ -37,6 +37,7 @@ let run ?jobs ?(rules = []) ?(categories = []) ?min_severity input =
       Reliability_pack.run;
       Query_pack.run;
       Dataflow_pack.run;
+      Fta_pack.run;
     ]
   in
   let all =

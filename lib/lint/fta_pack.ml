@@ -1,0 +1,201 @@
+(* FTA pack: fault-tree checks over the structural lowering
+   (Fta.From_ssam.of_structure).  Diagram inputs are lowered through
+   their functional root (sources feed, loads sink, grounds dropped);
+   model inputs check every composite component of every package.
+
+   Composites whose connection graph is cyclic fall back to the
+   path-based generator, so the pack still reports on cyclic diagrams
+   unless the enumeration itself overflows. *)
+
+let rule id severity title =
+  { Rule.id; severity; category = Rule.Fault_tree; title }
+
+let fta001 =
+  rule "FTA001" Rule.Error "composite has no input-to-output path"
+
+let fta002 =
+  rule "FTA002" Rule.Warning
+    "rate-less basic event in an otherwise quantified tree"
+
+let fta003 =
+  rule "FTA003" Rule.Error
+    "voting gate demands more failures than distinct events beneath it"
+
+let fta004 =
+  rule "FTA004" Rule.Warning
+    "high-integrity component is a single point of failure"
+
+let fta005 = rule "FTA005" Rule.Info "basic event repeated under several gates"
+
+let rules = [ fta001; fta002; fta003; fta004; fta005 ]
+
+(* ASIL C/D and SIL 3/4 allocations demand freedom from single-point
+   faults (ISO 26262 / IEC 61508 architectural metrics). *)
+let high_integrity = function
+  | Ssam.Requirement.ASIL_C | Ssam.Requirement.ASIL_D -> true
+  | Ssam.Requirement.SIL n -> n >= 3
+  | Ssam.Requirement.QM | Ssam.Requirement.ASIL_A | Ssam.Requirement.ASIL_B ->
+      false
+
+(* The lowered trees share subtrees (a node's U feeds every successor),
+   so a naive traversal can revisit far more nodes than the DAG holds —
+   the fuel cap keeps FTA003/FTA005 linear-ish and makes them best
+   effort on pathological sharing. *)
+let traversal_fuel = 100_000
+
+let lower (c : Ssam.Architecture.component) =
+  match Fta.From_ssam.of_structure c with
+  | tree -> Ok tree
+  | exception Fta.From_ssam.No_paths _ -> Error `No_paths
+  | exception Fta.From_ssam.Cyclic _ -> (
+      match Fta.From_ssam.generate c with
+      | tree -> Ok tree
+      | exception Fta.From_ssam.No_paths _ -> Error `No_paths
+      | exception Fmea.Path_fmea.Too_many_paths -> Error `Too_many_paths)
+
+(* The tree-level rules (FTA002/003/005), directly testable on any
+   fault tree; [owner] names the enclosing composite in messages. *)
+let check_tree ?file ~owner tree =
+  let acc = ref [] in
+  let diag ?element ?hint rule msg =
+    acc := Rule.diagnostic ?element ?file ?hint ~rule msg :: !acc
+  in
+  (* FTA002 — quantification gaps. *)
+  let events = Fta.Fault_tree.basic_events tree in
+  let rated (e : Fta.Fault_tree.event) =
+    match e.Fta.Fault_tree.rate_fit with
+    | Some r when r > 0.0 -> true
+    | Some _ | None -> false
+  in
+  if List.exists rated events then
+    List.iter
+      (fun (e : Fta.Fault_tree.event) ->
+        if not (rated e) then
+          diag ~element:e.Fta.Fault_tree.event_id
+            ~hint:
+              "give the component a FIT rate (or loss-mode distribution) so \
+               the top-event probability is meaningful"
+            fta002
+            (Printf.sprintf
+               "basic event '%s' has no failure rate while the rest of \
+                '%s''s tree is quantified"
+               e.Fta.Fault_tree.event_id owner))
+      events;
+  (* FTA003 + FTA005 — one fuel-capped walk. *)
+  let fuel = ref traversal_fuel in
+  let seen_events = Hashtbl.create 64 in
+  let bad_votes = ref [] in
+  let rec walk t =
+    if !fuel > 0 then begin
+      decr fuel;
+      match t with
+      | Fta.Fault_tree.Basic e ->
+          let id = e.Fta.Fault_tree.event_id in
+          let n =
+            match Hashtbl.find_opt seen_events id with
+            | Some n -> n
+            | None -> 0
+          in
+          Hashtbl.replace seen_events id (n + 1)
+      | Fta.Fault_tree.And (_, children) | Fta.Fault_tree.Or (_, children) ->
+          List.iter walk children
+      | Fta.Fault_tree.Koon (gid, k, children) ->
+          let distinct = List.length (Fta.Fault_tree.basic_events t) in
+          if k > distinct then bad_votes := (gid, k, distinct) :: !bad_votes;
+          List.iter walk children
+    end
+  in
+  walk tree;
+  List.iter
+    (fun (gid, k, distinct) ->
+      diag ~element:gid
+        ~hint:"the channels share wiring; the vote can never be honest" fta003
+        (Printf.sprintf
+           "voting gate '%s' needs %d failures but only %d distinct basic \
+            events feed it"
+           gid k distinct))
+    (List.sort_uniq compare !bad_votes);
+  if !fuel > 0 then
+    Hashtbl.fold
+      (fun id n acc -> if n > 1 then (id, n) :: acc else acc)
+      seen_events []
+    |> List.sort compare
+    |> List.iter (fun (id, n) ->
+           diag ~element:id
+             ~hint:
+               "rare-event bounds drift on repeated events — use the \
+                BDD-exact probability"
+             fta005
+             (Printf.sprintf "basic event '%s' appears %d times in '%s''s tree"
+                id n owner));
+  List.rev !acc
+
+let check_component ?file (c : Ssam.Architecture.component) =
+  let acc = ref [] in
+  let diag ?element ?hint rule msg =
+    acc := Rule.diagnostic ?element ?file ?hint ~rule msg :: !acc
+  in
+  let cid = Ssam.Architecture.component_id c in
+  (match lower c with
+  | Error `Too_many_paths ->
+      (* cyclic AND beyond the enumeration cap: nothing sound to say *)
+      ()
+  | Error `No_paths ->
+      diag ~element:cid
+        ~hint:
+          "declare the boundary connections (composite → child for inputs, \
+           child → composite for outputs) or give the children edges"
+        fta001
+        (Printf.sprintf
+           "composite '%s' has no input→output structure to lower — no fault \
+            tree, no path FMEA"
+           cid)
+  | Ok tree ->
+      acc := List.rev_append (check_tree ?file ~owner:cid tree) !acc;
+      (* FTA004 — single points against integrity allocations. *)
+      let singles =
+        match Fta.Fmea_from_fta.single_points_via_bdd c with
+        | singles -> singles
+        | exception Fta.From_ssam.Cyclic _ -> []
+      in
+      List.iter
+        (fun (child : Ssam.Architecture.component) ->
+          match child.Ssam.Architecture.integrity with
+          | Some level when high_integrity level ->
+              let child_id = Ssam.Architecture.component_id child in
+              if List.exists (String.equal child_id) singles then
+                diag ~element:child_id
+                  ~hint:"add a redundant path or a redundant-tolerance function"
+                  fta004
+                  (Printf.sprintf
+                     "component '%s' is allocated %s yet is a cardinality-1 \
+                      critical set of '%s'"
+                     child_id
+                     (Ssam.Requirement.integrity_level_to_string level)
+                     cid)
+          | Some _ | None -> ())
+        c.Ssam.Architecture.children);
+  List.rev !acc
+
+let rec composites (c : Ssam.Architecture.component) =
+  if c.Ssam.Architecture.children = [] then []
+  else c :: List.concat_map composites c.Ssam.Architecture.children
+
+let run (input : Input.t) =
+  match (input.Input.diagram, input.Input.model) with
+  | Some (path, diagram), _ ->
+      let reliability =
+        match input.Input.reliability with
+        | Some (_, rel) -> rel
+        | None -> Reliability.Reliability_model.empty
+      in
+      check_component ~file:path
+        (Blockdiag.Transform.functional_root ~reliability diagram)
+  | None, Some model ->
+      List.concat_map
+        (fun pkg ->
+          List.concat_map
+            (fun top -> List.concat_map check_component (composites top))
+            (Ssam.Architecture.top_components pkg))
+        model.Ssam.Model.component_packages
+  | None, None -> []

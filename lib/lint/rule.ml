@@ -19,7 +19,13 @@ let sarif_level = function
   | Warning -> "warning"
   | Info -> "note"
 
-type category = Ssam_model | Block_diagram | Reliability | Query | Dataflow
+type category =
+  | Ssam_model
+  | Block_diagram
+  | Reliability
+  | Query
+  | Dataflow
+  | Fault_tree
 [@@deriving eq, show]
 
 let category_to_string = function
@@ -28,6 +34,7 @@ let category_to_string = function
   | Reliability -> "reliability"
   | Query -> "query"
   | Dataflow -> "dataflow"
+  | Fault_tree -> "fta"
 
 let category_of_string s =
   match String.lowercase_ascii s with
@@ -36,6 +43,7 @@ let category_of_string s =
   | "reliability" | "rel" -> Some Reliability
   | "query" | "qry" -> Some Query
   | "dataflow" | "dfa" -> Some Dataflow
+  | "fta" | "faulttree" | "fault-tree" -> Some Fault_tree
   | _ -> None
 
 type t = { id : string; severity : severity; category : category; title : string }

@@ -19,15 +19,22 @@ val severity_of_string : string -> severity option
 val sarif_level : severity -> string
 (** SARIF result level: ["error"], ["warning"], ["note"]. *)
 
-type category = Ssam_model | Block_diagram | Reliability | Query | Dataflow
+type category =
+  | Ssam_model
+  | Block_diagram
+  | Reliability
+  | Query
+  | Dataflow
+  | Fault_tree
 [@@deriving eq, show]
 
 val category_to_string : category -> string
-(** ["ssam"], ["blockdiag"], ["reliability"], ["query"], ["dataflow"]. *)
+(** ["ssam"], ["blockdiag"], ["reliability"], ["query"], ["dataflow"],
+    ["fta"]. *)
 
 val category_of_string : string -> category option
 (** Accepts the full names and the CLI short codes [blk], [rel], [qry],
-    [dfa] (case-insensitive). *)
+    [dfa], [fta] (case-insensitive). *)
 
 type t = {
   id : string;  (** e.g. ["BLK005"] *)

@@ -54,4 +54,38 @@ echo "== diagnose: backward diagnosis agrees with forward injection =="
 # Exit 0 asserts the forward/backward oracle itself.
 "$SAME" diagnose examples/models/psu.bd --output CS1 -e DC1 > /dev/null
 
+echo "== fta: BDD engine end to end on the example diagram =="
+# Structural lowering -> BDD cut sets -> exact quantification, via the CLI.
+"$SAME" fta --from examples/models/psu.bd --max-cardinality 2 --engine bdd \
+  -o _build/fta_smoke.txt
+grep -q "BDD-exact" _build/fta_smoke.txt
+
+echo "== bench --smoke: fta acceptance (BDD >= MOCUS, beyond-cap exact) =="
+dune exec bench/main.exe -- --smoke > /dev/null
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_results.json") as f:
+    r = json.load(f)
+fta = r.get("fta")
+if not fta:
+    sys.exit("fta section is empty")
+published = [e for e in fta if "speedup" in e]
+beyond = [e for e in fta if e.get("beyond_cap")]
+if not published or not beyond:
+    sys.exit("fta section is missing a subject class")
+for e in published:
+    if not e["identical"]:
+        sys.exit(f"{e['name']}: BDD cut sets != MOCUS cut sets")
+    if e["speedup"] < 1.0:
+        sys.exit(f"{e['name']}: BDD speedup {e['speedup']:.2f}x below 1.0x")
+b = beyond[0]
+if not b["mocus_raises"]:
+    sys.exit(f"{b['name']}: MOCUS unexpectedly fit under the 100k cap")
+if not b["exact"]:
+    sys.exit(f"{b['name']}: beyond-cap BDD solve not exact")
+print("fta OK: " + ", ".join(
+    f"{e['name']} {e['speedup']:.0f}x" for e in published) +
+    f"; {b['cut_sets']:.0f} cut sets solved past the cap")
+EOF
+
 echo "CI OK"

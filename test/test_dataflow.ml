@@ -419,6 +419,35 @@ let test_double_point_cut_sets () =
         [ [ "A/loss"; "B/loss" ] ]
         report.Diagnose.doubles
 
+(* The BDD-derived singles/doubles must equal the historical direct
+   pair enumeration on every model — the tentpole's differential. *)
+let test_cut_set_routes_agree () =
+  let check name m ~output =
+    match Diagnose.diagnose ~jobs:1 m ~output with
+    | Error e -> Alcotest.fail e
+    | Ok report ->
+        let direct_singles, direct_doubles =
+          Diagnose.direct_cut_sets m report.Diagnose.explanations
+        in
+        Alcotest.(check (list (list string)))
+          (name ^ ": BDD singles = direct singles")
+          (List.sort compare direct_singles)
+          (List.sort compare report.Diagnose.singles);
+        Alcotest.(check (list (list string)))
+          (name ^ ": BDD doubles = direct doubles")
+          (List.sort compare direct_doubles)
+          (List.sort compare report.Diagnose.doubles);
+        (* The lowered tree exists exactly when something survived. *)
+        Alcotest.(check bool) (name ^ ": lowered tree consistent") true
+          (Option.is_some
+             (Diagnose.lowered_fault_tree m report.Diagnose.explanations)
+          = (report.Diagnose.explanations <> []))
+  in
+  check "psu" (psu_model ()) ~output:"CS1";
+  check "redundant pair"
+    (Model.of_architecture (redundant_pair_arch ()))
+    ~output:"OUT"
+
 (* ---------- integrity propagation ---------- *)
 
 let test_integrity_violations () =
@@ -502,6 +531,7 @@ let suite =
     Alcotest.test_case "unknown output" `Quick test_unknown_output;
     Alcotest.test_case "double-point cut sets" `Quick
       test_double_point_cut_sets;
+    Alcotest.test_case "cut-set routes agree" `Quick test_cut_set_routes_agree;
     Alcotest.test_case "integrity propagation" `Quick
       test_integrity_violations;
   ]

@@ -65,34 +65,73 @@ let test_singletons_and_histogram () =
   Alcotest.(check (list (pair int int))) "histogram" [ (1, 2); (2, 1); (3, 1) ]
     (Cut_sets.order_histogram sets)
 
-(* Property: every minimal cut set, when "failed", satisfies the tree;
-   removing any event from it un-satisfies it (true minimality). *)
-let prop_cut_sets_minimal =
-  let rec tree_gen depth next_id =
+(* Does the tree's top event hold when exactly [failed] have occurred?
+   The executable specification every engine is tested against. *)
+let rec holds failed = function
+  | Fault_tree.Basic e -> List.mem e.Fault_tree.event_id failed
+  | Fault_tree.And (_, cs) -> List.for_all (holds failed) cs
+  | Fault_tree.Or (_, cs) -> List.exists (holds failed) cs
+  | Fault_tree.Koon (_, k, cs) ->
+      List.length (List.filter (holds failed) cs) >= k
+
+(* Random trees over a small event pool (repetition is common — the
+   interesting case for both engines).  [rich] adds k-oo-n gates and
+   rates; the original AND/OR generator is kept for the legacy
+   minimality property. *)
+let rec tree_gen depth next_id =
+  QCheck.Gen.(
+    if depth = 0 then
+      map (fun i -> b (Printf.sprintf "e%d" (i mod next_id))) (int_range 0 (next_id - 1))
+    else
+      frequency
+        [
+          (2, map (fun i -> b (Printf.sprintf "e%d" (i mod next_id))) (int_range 0 (next_id - 1)));
+          ( 1,
+            map
+              (fun cs -> Fault_tree.and_ "g" cs)
+              (list_size (int_range 1 3) (tree_gen (depth - 1) next_id)) );
+          ( 1,
+            map
+              (fun cs -> Fault_tree.or_ "g" cs)
+              (list_size (int_range 1 3) (tree_gen (depth - 1) next_id)) );
+        ])
+
+let rich_tree_gen depth next_id =
+  let leaf =
+    QCheck.Gen.map
+      (fun i ->
+        let i = i mod next_id in
+        b ~rate:(10.0 *. float_of_int (i + 1)) (Printf.sprintf "e%d" i))
+      (QCheck.Gen.int_range 0 (next_id - 1))
+  in
+  let rec go depth =
     QCheck.Gen.(
-      if depth = 0 then
-        map (fun i -> b (Printf.sprintf "e%d" (i mod next_id))) (int_range 0 (next_id - 1))
+      if depth = 0 then leaf
       else
         frequency
           [
-            (2, map (fun i -> b (Printf.sprintf "e%d" (i mod next_id))) (int_range 0 (next_id - 1)));
+            (2, leaf);
             ( 1,
               map
                 (fun cs -> Fault_tree.and_ "g" cs)
-                (list_size (int_range 1 3) (tree_gen (depth - 1) next_id)) );
+                (list_size (int_range 1 3) (go (depth - 1))) );
             ( 1,
               map
                 (fun cs -> Fault_tree.or_ "g" cs)
-                (list_size (int_range 1 3) (tree_gen (depth - 1) next_id)) );
+                (list_size (int_range 1 3) (go (depth - 1))) );
+            ( 1,
+              map2
+                (fun k cs ->
+                  Fault_tree.koon "v" ~k:(1 + (k mod List.length cs)) cs)
+                (int_range 0 2)
+                (list_size (int_range 2 4) (go (depth - 1))) );
           ])
   in
-  let rec holds failed = function
-    | Fault_tree.Basic e -> List.mem e.Fault_tree.event_id failed
-    | Fault_tree.And (_, cs) -> List.for_all (holds failed) cs
-    | Fault_tree.Or (_, cs) -> List.exists (holds failed) cs
-    | Fault_tree.Koon (_, k, cs) ->
-        List.length (List.filter (holds failed) cs) >= k
-  in
+  go depth
+
+(* Property: every minimal cut set, when "failed", satisfies the tree;
+   removing any event from it un-satisfies it (true minimality). *)
+let prop_cut_sets_minimal =
   QCheck.Test.make ~name:"minimal cut sets are cut sets and minimal" ~count:80
     (QCheck.make (tree_gen 3 6))
     (fun t ->
@@ -242,64 +281,346 @@ let test_cross_check_case_study () =
   Alcotest.(check bool) "FTA route agrees with Algorithm 1" true
     (Fmea_from_fta.agrees_with_path_fmea Decisive.Case_study.power_supply_root)
 
+(* Random layered series-parallel system: stage i's [widths_i] blocks
+   each feed every block of stage i+1; the boundary wraps the first and
+   last stages.  Shared by the consistency properties below. *)
+let layered_system widths =
+  (* QCheck shrinking can step outside int_range; clamp defensively. *)
+  let widths = List.map (fun w -> Int.max 1 (Int.min 3 w)) widths in
+  let children = ref [] in
+  let connections = ref [] in
+  let k = ref 0 in
+  let conn a bb =
+    incr k;
+    connections :=
+      Ssam.Architecture.relationship
+        ~meta:(Ssam.Base.meta (Printf.sprintf "k%d" !k))
+        ~from_component:a ~to_component:bb ()
+      :: !connections
+  in
+  let stage_ids =
+    List.mapi
+      (fun i width ->
+        List.init width (fun j ->
+            let id = Printf.sprintf "s%d_%d" i j in
+            children :=
+              Ssam.Architecture.component ~fit:10.0
+                ~failure_modes:
+                  [
+                    Ssam.Architecture.failure_mode
+                      ~meta:(Ssam.Base.meta ~name:"loss" (id ^ ":loss"))
+                      ~nature:Ssam.Architecture.Loss_of_function
+                      ~distribution_pct:100.0 ();
+                  ]
+                ~meta:(Ssam.Base.meta ~name:id id)
+                ()
+              :: !children;
+            id))
+      widths
+  in
+  (match stage_ids with
+  | first :: _ -> List.iter (fun id -> conn "root" id) first
+  | [] -> ());
+  let rec wire = function
+    | a :: (bs :: _ as rest) ->
+        List.iter (fun x -> List.iter (fun y -> conn x y) bs) a;
+        wire rest
+    | [ last ] -> List.iter (fun id -> conn id "root") last
+    | [] -> ()
+  in
+  wire stage_ids;
+  Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+    ~children:(List.rev !children)
+    ~connections:(List.rev !connections)
+    ~meta:(Ssam.Base.meta ~name:"root" "root")
+    ()
+
 (* Property: the consistency theorem on random series-parallel systems —
    singleton minimal cut sets = Algorithm 1's safety-related components. *)
 let prop_fta_path_agreement =
   QCheck.Test.make ~name:"FTA singletons = path-FMEA single points" ~count:60
     QCheck.(list_of_size (QCheck.Gen.int_range 1 5) (QCheck.int_range 1 3))
-    (fun widths ->
-      (* QCheck shrinking can step outside int_range; clamp defensively. *)
-      let widths = List.map (fun w -> Int.max 1 (Int.min 3 w)) widths in
-      let children = ref [] in
-      let connections = ref [] in
-      let k = ref 0 in
-      let conn a b =
-        incr k;
-        connections :=
-          Ssam.Architecture.relationship
-            ~meta:(Ssam.Base.meta (Printf.sprintf "k%d" !k))
-            ~from_component:a ~to_component:b ()
-          :: !connections
-      in
-      let stage_ids =
+    (fun widths -> Fmea_from_fta.agrees_with_path_fmea (layered_system widths))
+
+(* ---------- BDD kernel ---------- *)
+
+let with_jobs jobs f =
+  let saved = Exec.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Exec.set_default_jobs saved)
+    (fun () ->
+      Exec.set_default_jobs jobs;
+      f ())
+
+let sort_sets sets =
+  List.sort
+    (fun a bb ->
+      match Int.compare (List.length a) (List.length bb) with
+      | 0 -> List.compare String.compare a bb
+      | n -> n)
+    (List.map (List.sort String.compare) sets)
+
+let test_bdd_engine_known_trees () =
+  let t =
+    Fault_tree.and_ "top"
+      [ Fault_tree.or_ "g1" [ b "a"; b "bb" ]; Fault_tree.or_ "g2" [ b "a"; b "c" ] ]
+  in
+  Alcotest.(check (list (list string)))
+    "series-parallel via BDD"
+    [ [ "a" ]; [ "bb"; "c" ] ]
+    (Cut_sets.minimal ~engine:`Bdd t);
+  let m = Bdd.build t in
+  Alcotest.(check bool) "not constant" true (Bdd.constant m = None);
+  Alcotest.(check int) "three variables" 3 (Bdd.var_count m);
+  Alcotest.(check bool) "has decision nodes" true (Bdd.node_count m > 0);
+  Alcotest.(check (float 0.0)) "two minimal cut sets" 2.0 (Bdd.minimal_cut_set_count m);
+  Alcotest.(check (list (list string)))
+    "cardinality-1 critical sets" [ [ "a" ] ]
+    (Bdd.minimal_critical_sets ~max_cardinality:1 m);
+  (* A reversed variable order changes the diagram, never the sets. *)
+  let m' = Bdd.build ~order:[ "c"; "bb"; "a" ] t in
+  Alcotest.(check (list (list string)))
+    "order-independent" (Bdd.minimal_cut_sets m) (Bdd.minimal_cut_sets m');
+  (* Constant detection: a 1-oo-1 vote of a tautology is impossible here,
+     but an empty-cut-set function is: a AND (NOT available) — instead
+     check the constant-true side via an always-failing koon dual. *)
+  Alcotest.(check bool) "constant reported" true
+    (Bdd.constant (Bdd.build (b "a")) = None)
+
+let test_koon_beyond_mocus_cap_exact () =
+  (* 2-oo-30 voting: C(30,2) = 435 pairs.  Check the BDD count and the
+     Shannon probability against the closed form for i.i.d. channels. *)
+  let n = 30 and p = 0.01 in
+  let t =
+    Fault_tree.koon "v" ~k:2 (List.init n (fun i -> b (Printf.sprintf "x%02d" i)))
+  in
+  let m = Bdd.build t in
+  Alcotest.(check (float 0.0)) "pair count" 435.0 (Bdd.minimal_cut_set_count m);
+  let closed =
+    1.0
+    -. ((1.0 -. p) ** float_of_int n)
+    -. (float_of_int n *. p *. ((1.0 -. p) ** float_of_int (n - 1)))
+  in
+  let got = Bdd.probability m (fun _ -> p) in
+  Alcotest.(check (float 1e-12)) "P(>=2 of 30)" closed got
+
+let test_cap_fallback () =
+  (* C(20,2) = 190 intermediate sets: past a 100-set cap MOCUS raises,
+     `Auto falls back to the BDD and returns the exact answer. *)
+  let t =
+    Fault_tree.koon "v" ~k:2 (List.init 20 (fun i -> b (Printf.sprintf "x%02d" i)))
+  in
+  Alcotest.check_raises "explicit MOCUS still raises"
+    (Invalid_argument "Cut_sets.minimal: intermediate size 190 exceeds 100")
+    (fun () -> ignore (Cut_sets.minimal ~max_sets:100 ~engine:`Mocus t));
+  let auto = Cut_sets.minimal ~max_sets:100 t in
+  Alcotest.(check int) "auto fallback solves exactly" 190 (List.length auto);
+  Alcotest.(check (list (list string)))
+    "fallback = BDD engine" (Cut_sets.minimal ~engine:`Bdd t) auto
+
+let prop_bdd_equals_mocus =
+  QCheck.Test.make
+    ~name:"BDD cut sets = MOCUS cut sets (SAME_JOBS 1/4)" ~count:120
+    (QCheck.make QCheck.Gen.(pair (rich_tree_gen 3 6) (oneofl [ 1; 4 ])))
+    (fun (t, jobs) ->
+      with_jobs jobs (fun () ->
+          Cut_sets.minimal ~engine:`Bdd t = Cut_sets.minimal ~engine:`Mocus t))
+
+(* Brute force over all event subsets (≤ 12 events): the minimal models
+   of the structure function, filtered per cardinality. *)
+let brute_minimal t =
+  let events =
+    List.map (fun (e : Fault_tree.event) -> e.Fault_tree.event_id)
+      (Fault_tree.basic_events t)
+  in
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  assert (n <= 12);
+  let sets = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    let set =
+      List.filter_map
+        (fun i -> if mask land (1 lsl i) <> 0 then Some arr.(i) else None)
+        (List.init n Fun.id)
+    in
+    if holds set t then sets := Cut_sets.normalize set :: !sets
+  done;
+  sort_sets (Cut_sets.minimize !sets)
+
+let prop_critical_sets_brute_force =
+  QCheck.Test.make
+    ~name:"cardinality-k critical sets = brute-force enumeration" ~count:40
+    (QCheck.make (rich_tree_gen 3 12))
+    (fun t ->
+      let reference = brute_minimal t in
+      let m = Bdd.build t in
+      Bdd.minimal_cut_sets m = reference
+      && List.for_all
+           (fun k ->
+             Bdd.minimal_critical_sets ~max_cardinality:k m
+             = List.filter (fun s -> List.length s <= k) reference)
+           [ 1; 2; 3 ])
+
+(* ---------- BDD quantification ---------- *)
+
+let test_quant_repeated_exact () =
+  (* a OR (a AND b) ≡ a: the legacy independent-copies recursion
+     overestimates, the BDD route is exact. *)
+  let t = Fault_tree.or_ "top" [ b "a"; Fault_tree.and_ "g" [ b "a"; b "bb" ] ] in
+  let ps = [ ("a", 0.3); ("bb", 0.5) ] in
+  Alcotest.(check (float 1e-12)) "exact = P(a)" 0.3
+    (Quant.top_probability_exact t ps);
+  Alcotest.(check bool) "legacy overestimates repeated events" true
+    (Quant.top_probability_independent t ps > 0.3 +. 1e-6)
+
+let prop_quant_old_new_agree_without_repetition =
+  (* On repetition-free trees the deprecated recursion is correct: the
+     two evaluations must agree to float noise. *)
+  let uniquify t =
+    let n = ref 0 in
+    let rec go = function
+      | Fault_tree.Basic e ->
+          incr n;
+          Fault_tree.Basic
+            { e with Fault_tree.event_id = Printf.sprintf "u%d" !n }
+      | Fault_tree.And (id, cs) -> Fault_tree.And (id, List.map go cs)
+      | Fault_tree.Or (id, cs) -> Fault_tree.Or (id, List.map go cs)
+      | Fault_tree.Koon (id, k, cs) -> Fault_tree.Koon (id, k, List.map go cs)
+    in
+    go t
+  in
+  QCheck.Test.make
+    ~name:"BDD probability = legacy recursion on repetition-free trees"
+    ~count:100
+    (QCheck.make (rich_tree_gen 3 6))
+    (fun t ->
+      let t = uniquify t in
+      let ps =
         List.mapi
-          (fun i width ->
-            List.init width (fun j ->
-                let id = Printf.sprintf "s%d_%d" i j in
-                children :=
-                  Ssam.Architecture.component ~fit:10.0
-                    ~failure_modes:
-                      [
-                        Ssam.Architecture.failure_mode
-                          ~meta:(Ssam.Base.meta ~name:"loss" (id ^ ":loss"))
-                          ~nature:Ssam.Architecture.Loss_of_function
-                          ~distribution_pct:100.0 ();
-                      ]
-                    ~meta:(Ssam.Base.meta ~name:id id)
-                    ()
-                  :: !children;
-                id))
-          widths
+          (fun i (e : Fault_tree.event) ->
+            (e.Fault_tree.event_id, 0.05 +. (0.09 *. float_of_int (i mod 10))))
+          (Fault_tree.basic_events t)
       in
-      (match stage_ids with
-      | first :: _ -> List.iter (fun id -> conn "root" id) first
-      | [] -> ());
-      let rec wire = function
-        | a :: (bs :: _ as rest) ->
-            List.iter (fun x -> List.iter (fun y -> conn x y) bs) a;
-            wire rest
-        | [ last ] -> List.iter (fun id -> conn id "root") last
-        | [] -> ()
-      in
-      wire stage_ids;
-      let root =
-        Ssam.Architecture.component ~component_type:Ssam.Architecture.System
-          ~children:(List.rev !children)
-          ~connections:(List.rev !connections)
-          ~meta:(Ssam.Base.meta ~name:"root" "root")
-          ()
-      in
-      Fmea_from_fta.agrees_with_path_fmea root)
+      Float.abs
+        (Quant.top_probability_exact t ps
+        -. Quant.top_probability_independent t ps)
+      <= 1e-9)
+
+let test_importance_measures () =
+  let t = Fault_tree.or_ "top" [ b "a"; b "bb" ] in
+  let ps = [ ("a", 0.1); ("bb", 0.2) ] in
+  (match Quant.birnbaum t ps with
+  | (top, v) :: _ ->
+      Alcotest.(check string) "bb has top Birnbaum" "bb" top;
+      Alcotest.(check (float 1e-12)) "1 - P(a)" 0.9 v
+  | [] -> Alcotest.fail "expected birnbaum entries");
+  (match Quant.fussell_vesely t ps with
+  | (top, v) :: _ ->
+      Alcotest.(check string) "bb has top FV" "bb" top;
+      (* P(top) = 0.28; removing bb leaves 0.1. *)
+      Alcotest.(check (float 1e-12)) "share" ((0.28 -. 0.1) /. 0.28) v
+  | [] -> Alcotest.fail "expected FV entries");
+  (* Repeated events: FV of the dominating event is 1, the absorbed
+     event contributes nothing. *)
+  let t2 = Fault_tree.or_ "top" [ b "a"; Fault_tree.and_ "g" [ b "a"; b "bb" ] ] in
+  let ps2 = [ ("a", 0.3); ("bb", 0.5) ] in
+  Alcotest.(check (float 1e-12)) "FV(a) = 1" 1.0
+    (List.assoc "a" (Quant.fussell_vesely t2 ps2));
+  Alcotest.(check (float 1e-12)) "Birnbaum(bb) = 0" 0.0
+    (List.assoc "bb" (Quant.birnbaum t2 ps2))
+
+(* ---------- structural lowering (of_structure) ---------- *)
+
+let test_of_structure_case_study () =
+  let root = Decisive.Case_study.power_supply_root in
+  Alcotest.(check (list (list string)))
+    "of_structure = generate (minimal cut sets, PSU)"
+    (Cut_sets.minimal (From_ssam.generate root))
+    (Cut_sets.minimal (From_ssam.of_structure root))
+
+let prop_of_structure_equals_generate =
+  QCheck.Test.make
+    ~name:"of_structure = generate on layered systems" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 5) (QCheck.int_range 1 3))
+    (fun widths ->
+      let root = layered_system widths in
+      Cut_sets.minimal (From_ssam.of_structure root)
+      = Cut_sets.minimal (From_ssam.generate root))
+
+let cyclic_root () =
+  let block id =
+    Ssam.Architecture.component ~fit:10.0
+      ~meta:(Ssam.Base.meta ~name:id id)
+      ()
+  in
+  let conn n a bb =
+    Ssam.Architecture.relationship ~meta:(Ssam.Base.meta n) ~from_component:a
+      ~to_component:bb ()
+  in
+  Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+    ~children:[ block "A"; block "B" ]
+    ~connections:
+      [ conn "k0" "root" "A"; conn "k1" "A" "B"; conn "k2" "B" "A";
+        conn "k3" "B" "root" ]
+    ~meta:(Ssam.Base.meta ~name:"root" "root")
+    ()
+
+let test_of_structure_cyclic () =
+  match From_ssam.of_structure (cyclic_root ()) with
+  | exception From_ssam.Cyclic stuck ->
+      Alcotest.(check bool) "cycle members named" true
+        (List.mem "A" stuck && List.mem "B" stuck)
+  | _ -> Alcotest.fail "expected Cyclic"
+
+let test_of_structure_no_paths () =
+  let lonely =
+    Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+      ~children:[]
+      ~meta:(Ssam.Base.meta ~name:"empty" "empty")
+      ()
+  in
+  match From_ssam.of_structure lonely with
+  | exception From_ssam.No_paths "empty" -> ()
+  | _ -> Alcotest.fail "expected No_paths"
+
+let test_event_order () =
+  let root = Decisive.Case_study.power_supply_root in
+  let order = From_ssam.event_order root in
+  Alcotest.(check bool) "no duplicate events" true
+    (List.length order = List.length (List.sort_uniq String.compare order));
+  let tree_events =
+    List.map (fun (e : Fault_tree.event) -> e.Fault_tree.event_id)
+      (Fault_tree.basic_events (From_ssam.of_structure root))
+  in
+  Alcotest.(check bool) "covers the lowered tree's events" true
+    (List.for_all (fun id -> List.mem id order) tree_events);
+  (* The hint must be harmless to feed straight into the kernel. *)
+  let m =
+    Bdd.build ~order (From_ssam.of_structure root)
+  in
+  Alcotest.(check (list (list string)))
+    "ordered build = default build"
+    (Bdd.minimal_cut_sets (Bdd.build (From_ssam.of_structure root)))
+    (Bdd.minimal_cut_sets m)
+
+(* Acceptance: three routes, one answer, on the paper's PSU. *)
+let test_single_points_three_routes () =
+  let root = Decisive.Case_study.power_supply_root in
+  let via_paths = Fmea.Path_fmea.single_points root in
+  Alcotest.(check (list string))
+    "BDD cardinality-1 = dominator single points"
+    via_paths
+    (Fmea_from_fta.single_points_via_bdd root);
+  Alcotest.(check bool) "non-trivial" true (via_paths <> [])
+
+let prop_single_points_via_bdd =
+  QCheck.Test.make
+    ~name:"BDD single points = dominator single points (layered)" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 5) (QCheck.int_range 1 3))
+    (fun widths ->
+      let root = layered_system widths in
+      Fmea_from_fta.single_points_via_bdd root
+      = Fmea.Path_fmea.single_points root)
 
 let suite =
   [
@@ -324,6 +645,27 @@ let suite =
     Alcotest.test_case "no paths" `Quick test_no_paths;
     Alcotest.test_case "cross-check case study" `Quick test_cross_check_case_study;
     QCheck_alcotest.to_alcotest prop_fta_path_agreement;
+    Alcotest.test_case "bdd: known trees" `Quick test_bdd_engine_known_trees;
+    Alcotest.test_case "bdd: koon exact past expansion" `Quick
+      test_koon_beyond_mocus_cap_exact;
+    Alcotest.test_case "cap fallback to BDD" `Quick test_cap_fallback;
+    QCheck_alcotest.to_alcotest prop_bdd_equals_mocus;
+    QCheck_alcotest.to_alcotest prop_critical_sets_brute_force;
+    Alcotest.test_case "quant: repeated events exact" `Quick
+      test_quant_repeated_exact;
+    QCheck_alcotest.to_alcotest prop_quant_old_new_agree_without_repetition;
+    Alcotest.test_case "quant: importance measures" `Quick
+      test_importance_measures;
+    Alcotest.test_case "of_structure: case study" `Quick
+      test_of_structure_case_study;
+    QCheck_alcotest.to_alcotest prop_of_structure_equals_generate;
+    Alcotest.test_case "of_structure: cyclic" `Quick test_of_structure_cyclic;
+    Alcotest.test_case "of_structure: no paths" `Quick
+      test_of_structure_no_paths;
+    Alcotest.test_case "event order hint" `Quick test_event_order;
+    Alcotest.test_case "single points: three routes" `Quick
+      test_single_points_three_routes;
+    QCheck_alcotest.to_alcotest prop_single_points_via_bdd;
   ]
 
 (* ---------- export ---------- *)
@@ -332,6 +674,87 @@ let contains haystack needle =
   let n = String.length haystack and m = String.length needle in
   let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
   m = 0 || go 0
+
+(* Reconstruct a fault tree from its Open-PSA MEF serialisation —
+   enough of a reader to state the round-trip property.  Gate ids
+   mutate (the writer suffixes a counter) but the boolean structure,
+   event ids and rates must survive. *)
+let tree_of_open_psa (root : Modelio.Xml.element) =
+  let ft =
+    match Modelio.Xml.find_first root "define-fault-tree" with
+    | Some ft -> ft
+    | None -> Alcotest.fail "no define-fault-tree"
+  in
+  let attr el name =
+    match Modelio.Xml.attribute el name with
+    | Some v -> v
+    | None -> Alcotest.failf "missing attribute %s" name
+  in
+  let gates = Hashtbl.create 16 in
+  let rates = Hashtbl.create 16 in
+  List.iter
+    (fun (el : Modelio.Xml.element) ->
+      match el.Modelio.Xml.tag with
+      | "define-gate" -> Hashtbl.replace gates (attr el "name") el
+      | "define-basic-event" ->
+          let rate =
+            match Modelio.Xml.find_first el "exponential" with
+            | None -> None
+            | Some e ->
+                Option.map
+                  (fun f -> float_of_string (attr f "value") /. 1e-9)
+                  (Modelio.Xml.find_first e "float")
+          in
+          Hashtbl.replace rates (attr el "name") rate
+      | _ -> ())
+    (Modelio.Xml.child_elements ft);
+  let rec formula (el : Modelio.Xml.element) =
+    match el.Modelio.Xml.tag with
+    | "basic-event" ->
+        let name = attr el "name" in
+        Fault_tree.basic
+          ?rate_fit:(Option.join (Hashtbl.find_opt rates name))
+          name
+    | "gate" -> gate (attr el "name")
+    | "and" ->
+        Fault_tree.and_ "g" (List.map formula (Modelio.Xml.child_elements el))
+    | "or" ->
+        Fault_tree.or_ "g" (List.map formula (Modelio.Xml.child_elements el))
+    | "atleast" ->
+        Fault_tree.koon "v"
+          ~k:(int_of_string (attr el "min"))
+          (List.map formula (Modelio.Xml.child_elements el))
+    | tag -> Alcotest.failf "unexpected formula tag '%s'" tag
+  and gate name =
+    match Modelio.Xml.child_elements (Hashtbl.find gates name) with
+    | [ f ] -> formula f
+    | _ -> Alcotest.failf "gate '%s' must hold exactly one formula" name
+  in
+  (gate "top", Hashtbl.length gates)
+
+let prop_open_psa_round_trip =
+  QCheck.Test.make ~name:"Open-PSA round-trip preserves the tree" ~count:80
+    (QCheck.make (rich_tree_gen 3 6))
+    (fun t ->
+      let reparsed = Modelio.Xml.parse (Export.to_open_psa_string t) in
+      let t', defined_gates = tree_of_open_psa reparsed in
+      (* one define-gate per gate occurrence, plus the "top" wrapper *)
+      defined_gates = Fault_tree.gate_count t + 1
+      && Bdd.minimal_cut_sets (Bdd.build t')
+         = Bdd.minimal_cut_sets (Bdd.build t)
+      && List.length (Fault_tree.basic_events t)
+         = List.length (Fault_tree.basic_events t')
+      && List.for_all2
+           (fun (a : Fault_tree.event) (bb : Fault_tree.event) ->
+             String.equal a.Fault_tree.event_id bb.Fault_tree.event_id
+             &&
+             match (a.Fault_tree.rate_fit, bb.Fault_tree.rate_fit) with
+             | None, None -> true
+             | Some x, Some y ->
+                 Float.abs (x -. y) <= 1e-5 *. Float.max 1.0 (Float.abs x)
+             | _ -> false)
+           (List.sort compare (Fault_tree.basic_events t))
+           (List.sort compare (Fault_tree.basic_events t')))
 
 let export_suite =
   let tree = From_ssam.generate Decisive.Case_study.power_supply_root in
@@ -385,9 +808,20 @@ let export_suite =
     Sys.remove dot_path;
     Sys.remove psa_path
   in
+  let test_round_trip_case_study () =
+    let reparsed = Modelio.Xml.parse (Export.to_open_psa_string tree) in
+    let tree', _ = tree_of_open_psa reparsed in
+    Alcotest.(check (list (list string)))
+      "cut sets survive the MEF round-trip"
+      (Cut_sets.minimal tree)
+      (Bdd.minimal_cut_sets (Bdd.build tree'))
+  in
   [
     Alcotest.test_case "dot export" `Quick test_dot;
     Alcotest.test_case "dot koon" `Quick test_dot_koon;
     Alcotest.test_case "open-psa export" `Quick test_open_psa;
     Alcotest.test_case "save files" `Quick test_save_files;
+    Alcotest.test_case "open-psa round-trip (case study)" `Quick
+      test_round_trip_case_study;
+    QCheck_alcotest.to_alcotest prop_open_psa_round_trip;
   ]

@@ -162,6 +162,41 @@ let test_on_every_path_cyclic () =
       Alcotest.(check (list string)) "whole chain" [ "s"; "a"; "b"; "t" ]
         (List.sort (fun a b -> Int.compare (idx a) (idx b)) (names_of_set g set))
 
+let test_order_hint () =
+  (* s → {a, b} → m → t: chain members (s, m, t) sort before the
+     parallel pair, all reachable nodes are present exactly once. *)
+  let g =
+    Graph.Digraph.of_edges ~nodes:[ "x" ]
+      [ ("s", "a"); ("s", "b"); ("a", "m"); ("b", "m"); ("m", "t") ]
+  in
+  let idx id = Option.get (Graph.Digraph.index g id) in
+  let hint = Graph.Dominators.order_hint g ~sources:[ idx "s" ] in
+  Alcotest.(check int) "every node listed" (Graph.Digraph.node_count g)
+    (List.length hint);
+  Alcotest.(check int) "no duplicates"
+    (Graph.Digraph.node_count g)
+    (List.length (List.sort_uniq Int.compare hint));
+  let pos id =
+    let rec go i = function
+      | [] -> Alcotest.failf "node %s missing from hint" id
+      | x :: _ when x = idx id -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 hint
+  in
+  Alcotest.(check bool) "source first" true (pos "s" = 0);
+  (* a, b and m share chain length 2 (none dominates another's path),
+     so BFS depth breaks the tie; t's chain s→m→t is strictly longer. *)
+  Alcotest.(check bool) "dominator chain order" true
+    (pos "a" < pos "m" && pos "b" < pos "m" && pos "m" < pos "t");
+  (* The unreachable node trails the reachable ones. *)
+  Alcotest.(check bool) "unreachable last" true
+    (pos "x" = Graph.Digraph.node_count g - 1);
+  (* No sources: plain index order. *)
+  Alcotest.(check (list int)) "no sources -> index order"
+    (List.init (Graph.Digraph.node_count g) Fun.id)
+    (Graph.Dominators.order_hint g ~sources:[])
+
 (* ---------- path FMEA on the generator architectures ---------- *)
 
 let test_single_points_diamond () =
@@ -327,6 +362,7 @@ let suite =
     Alcotest.test_case "undirected components" `Quick test_undirected_components;
     Alcotest.test_case "scc + condensation" `Quick test_scc;
     Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "order_hint" `Quick test_order_hint;
     Alcotest.test_case "on_every_path" `Quick test_on_every_path;
     Alcotest.test_case "on_every_path none" `Quick test_on_every_path_none;
     Alcotest.test_case "on_every_path cyclic" `Quick test_on_every_path_cyclic;

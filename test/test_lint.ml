@@ -45,7 +45,7 @@ let test_catalogue () =
     List.sort_uniq compare
       (List.map (fun (r : Rule.t) -> r.Rule.category) Driver.catalogue)
   in
-  Alcotest.(check int) "five packs contribute" 5 (List.length categories);
+  Alcotest.(check int) "six packs contribute" 6 (List.length categories);
   Alcotest.(check bool) "lookup is case-insensitive" true
     (Driver.find_rule "ssam003" <> None);
   Alcotest.(check bool) "unknown id" true (Driver.find_rule "NOPE42" = None)
@@ -452,6 +452,100 @@ let test_sarif_rule_metadata () =
   in
   Alcotest.(check bool) "DFA001 in the descriptor array" true dfa_listed
 
+(* ---------- FTA pack ---------- *)
+
+let rel f t =
+  Ssam.Architecture.relationship
+    ~meta:(Ssam.Base.meta (f ^ "->" ^ t))
+    ~from_component:f ~to_component:t ()
+
+(* root → A → {B, C} → D: A and D are single points, the diamond makes
+   A's loss event repeat in the lowered tree.  A carries ASIL D; C has
+   no FIT in an otherwise quantified tree. *)
+let fta_fixture_root () =
+  let leaf ?fit ?integrity id =
+    component ?fit ?integrity ~failure_modes:[ fm (id ^ ":fm:loss") ] id
+  in
+  Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+    ~children:
+      [
+        leaf ~fit:10.0 ~integrity:Ssam.Requirement.ASIL_D "A";
+        leaf ~fit:10.0 "B";
+        leaf "C";
+        leaf ~fit:10.0 "D";
+      ]
+    ~connections:
+      [
+        rel "root" "A"; rel "A" "B"; rel "A" "C"; rel "B" "D"; rel "C" "D";
+        rel "D" "root";
+      ]
+    ~meta:(Ssam.Base.meta "root")
+    ()
+
+let test_fta_rules () =
+  let ds = Fta_pack.check_component ~file:"m.ssam" (fta_fixture_root ()) in
+  Alcotest.(check bool) "FTA002 rate-less event" true (has_rule "FTA002" ds);
+  Alcotest.(check bool) "FTA004 high-integrity single point" true
+    (has_rule "FTA004" ds);
+  Alcotest.(check bool) "FTA005 repeated event" true (has_rule "FTA005" ds);
+  let fta004 =
+    List.find (fun (d : Rule.diagnostic) -> d.Rule.rule_id = "FTA004") ds
+  in
+  Alcotest.(check (option string)) "names the ASIL D component" (Some "A")
+    fta004.Rule.element;
+  Alcotest.(check (option string)) "file carried" (Some "m.ssam")
+    fta004.Rule.file;
+  (* D is also a single point but carries no integrity allocation. *)
+  Alcotest.(check int) "exactly one FTA004" 1
+    (List.length
+       (List.filter (fun (d : Rule.diagnostic) -> d.Rule.rule_id = "FTA004") ds));
+  (* Pathless composite: FTA001. *)
+  let lonely =
+    Ssam.Architecture.component ~component_type:Ssam.Architecture.System
+      ~children:[] ~meta:(Ssam.Base.meta "empty") ()
+  in
+  Alcotest.(check bool) "FTA001 on a pathless composite" true
+    (has_rule "FTA001" (Fta_pack.check_component lonely))
+
+let test_fta_bad_vote () =
+  (* A 3-vote fed by only two distinct events: FTA003. *)
+  let e id = Fta.Fault_tree.basic ~rate_fit:5.0 id in
+  let tree =
+    Fta.Fault_tree.koon "v" ~k:3 [ e "x"; e "y"; e "x" ]
+  in
+  let ds = Fta_pack.check_tree ~owner:"root" tree in
+  Alcotest.(check bool) "FTA003 fires" true (has_rule "FTA003" ds);
+  let d = List.find (fun (d : Rule.diagnostic) -> d.Rule.rule_id = "FTA003") ds in
+  Alcotest.(check (option string)) "names the gate" (Some "v") d.Rule.element;
+  (* An honest vote over distinct events stays silent. *)
+  Alcotest.(check bool) "honest vote silent" false
+    (has_rule "FTA003"
+       (Fta_pack.check_tree ~owner:"root"
+          (Fta.Fault_tree.koon "v" ~k:2 [ e "x"; e "y"; e "z" ])))
+
+let test_fta_category_filter () =
+  let model =
+    Ssam.Model.create
+      ~component_packages:
+        [
+          Ssam.Architecture.package
+            ~meta:(Ssam.Base.meta "pkg")
+            [ Ssam.Architecture.Component (fta_fixture_root ()) ];
+        ]
+      ~meta:(Ssam.Base.meta "m")
+      ()
+  in
+  let input = { Input.empty with Input.model = Some model } in
+  let ds = Driver.run ~jobs:1 ~categories:[ Rule.Fault_tree ] input in
+  Alcotest.(check bool) "only fta findings, non-empty" true
+    (ds <> []
+    && List.for_all
+         (fun (d : Rule.diagnostic) -> d.Rule.d_category = Rule.Fault_tree)
+         ds);
+  Alcotest.(check bool) "fta spelling accepted" true
+    (Rule.category_of_string "fta" = Some Rule.Fault_tree
+    && Rule.category_of_string "FTA" = Some Rule.Fault_tree)
+
 (* ---------- driver filters and rendering ---------- *)
 
 let mixed_input =
@@ -532,6 +626,9 @@ let suite =
     Alcotest.test_case "dfa category filter" `Quick test_dfa_category_filter;
     Alcotest.test_case "dfa parallel deterministic" `Quick
       test_dfa_parallel_deterministic;
+    Alcotest.test_case "fta rules" `Quick test_fta_rules;
+    Alcotest.test_case "fta bad vote" `Quick test_fta_bad_vote;
+    Alcotest.test_case "fta category filter" `Quick test_fta_category_filter;
     Alcotest.test_case "sarif rule metadata" `Quick test_sarif_rule_metadata;
     Alcotest.test_case "driver filters" `Quick test_driver_filters;
     Alcotest.test_case "parallel deterministic" `Quick test_driver_parallel_deterministic;
