@@ -30,6 +30,8 @@ let json_batch : Modelio.Json.t list ref = ref []
 let json_diagnosis : Modelio.Json.t list ref = ref []
 let json_fta : Modelio.Json.t list ref = ref []
 
+let json_assess : Modelio.Json.t list ref = ref []
+
 let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
 
 let json_of_decision (r : Exec.Cost.record) =
@@ -73,6 +75,7 @@ let write_results () =
         ("path_fmea", List (List.rev !json_path_fmea));
         ("diagnosis", List (List.rev !json_diagnosis));
         ("fta", List (List.rev !json_fta));
+        ("assess", List (List.rev !json_assess));
         ("scheduler", List (List.map json_of_decision (Exec.Cost.decisions ())));
         ("kernels_ns_per_run", numbers !json_kernels);
       ]
@@ -604,8 +607,23 @@ let batch_fmea ~smoke () =
   ignore
     (Engine.Batch.run_fmea (Engine.Pipeline.create ()) ~options variants
        reliability);
+  (* Best-of-N with a fresh scenario per repetition: every rep pays the
+     full engine setup it claims to (a re-used fleet engine would serve
+     the whole batch from its result cache and time a no-op), and the
+     minimum strips scheduler/GC noise — the CI gate asserts on these
+     numbers. *)
+  let reps = 5 in
+  let best f =
+    let rec go best_t best_v n =
+      if n = 0 then (Option.get best_v, best_t)
+      else
+        let v, t = timed f in
+        if t < best_t then go t (Some v) (n - 1) else go best_t best_v (n - 1)
+    in
+    go infinity None reps
+  in
   let cold, t_cold =
-    timed (fun () ->
+    best (fun () ->
         List.map
           (fun (label, diagram) ->
             let e = Engine.Pipeline.create () in
@@ -616,11 +634,14 @@ let batch_fmea ~smoke () =
           variants)
   in
   let cold_golden = List.fold_left (fun acc (_, _, g) -> acc + g) 0 cold in
-  let engine = Engine.Pipeline.create () in
-  let summary, t_fleet =
-    timed (fun () -> Engine.Batch.run_fmea engine ~options variants reliability)
+  let (summary, fleet_golden), t_fleet =
+    best (fun () ->
+        let engine = Engine.Pipeline.create () in
+        let summary =
+          Engine.Batch.run_fmea engine ~options variants reliability
+        in
+        (summary, (Engine.Pipeline.snapshot engine).Engine.Stats.golden_solves))
   in
-  let fleet_golden = (Engine.Pipeline.snapshot engine).Engine.Stats.golden_solves in
   let identical =
     List.for_all2
       (fun (_, table, _) (e : Engine.Batch.fmea_entry) ->
@@ -1043,6 +1064,81 @@ let fta ~smoke () =
       ]
     :: !json_fta
 
+(* ---------- Assessment: bit-parallel Monte-Carlo vs BDD-exact ---------- *)
+
+let assess ~smoke () =
+  section "Assessment — bit-parallel Monte-Carlo vs BDD-exact";
+  let published name ?(sampling = Assess.Mc.Direct) ~trials ~mission_hours tree
+      =
+    let config =
+      {
+        Assess.Mc.default with
+        Assess.Mc.mission_hours;
+        sampling;
+        trials = Some trials;
+        exact = Assess.Mc.Force;
+      }
+    in
+    (* warm-up pays code first-touch; the timed run is the reported one *)
+    ignore (Assess.Mc.run { config with Assess.Mc.trials = Some 100_000 } tree);
+    let r = Assess.Mc.run config tree in
+    let exact = Option.get r.Assess.Mc.exact in
+    let delta = Option.get r.Assess.Mc.exact_delta in
+    (* The estimate is deterministic for the fixed seed, so this is a
+       reproducible acceptance criterion, not a statistical coin flip. *)
+    let within_ci = delta <= r.Assess.Mc.halfwidth in
+    Printf.printf
+      "%-18s %9d trials   %7.1f Mtrials/s   P(top) %.6e +/- %.1e   exact \
+       %.6e   delta %.1e   within CI %b\n"
+      name r.Assess.Mc.trials
+      (r.Assess.Mc.trials_per_sec /. 1e6)
+      r.Assess.Mc.top_probability r.Assess.Mc.halfwidth exact delta within_ci;
+    record_timing (Printf.sprintf "assess/%s" name) r.Assess.Mc.elapsed_s;
+    json_assess :=
+      Modelio.Json.Object
+        [
+          ("name", Modelio.Json.String name);
+          ( "sampling",
+            Modelio.Json.String (Assess.Mc.sampling_to_string sampling) );
+          ("trials", Modelio.Json.Number (float_of_int r.Assess.Mc.trials));
+          ("trials_per_sec", Modelio.Json.Number r.Assess.Mc.trials_per_sec);
+          ("estimate", Modelio.Json.Number r.Assess.Mc.top_probability);
+          ("ci_halfwidth", Modelio.Json.Number r.Assess.Mc.halfwidth);
+          ("exact", Modelio.Json.Number exact);
+          ("exact_delta", Modelio.Json.Number delta);
+          ("within_ci", Modelio.Json.Bool within_ci);
+          ("instrs", Modelio.Json.Number (float_of_int r.Assess.Mc.instrs));
+        ]
+      :: !json_assess
+  in
+  (* The paper's power-supply tree: the CI smoke gate asserts >= 1M
+     trials/s and the estimate inside its own 99% interval here. *)
+  let psu = Fta.From_ssam.generate Decisive.Case_study.power_supply_root in
+  published "power-supply" ~trials:(if smoke then 4_000_000 else 16_000_000)
+    ~mission_hours:10_000.0 psu;
+  (* A voted redundancy at well-conditioned probabilities: the k-of-n
+     bit-sliced comparator at its widest. *)
+  let vote n =
+    Fta.Fault_tree.koon "vote" ~k:2
+      (List.init n (fun i ->
+           Fta.Fault_tree.basic ~rate_fit:100.0 (Printf.sprintf "e%d" i)))
+  in
+  published "vote-2-of-24" ~trials:(if smoke then 1_000_000 else 8_000_000)
+    ~mission_hours:4.0e5 (vote 24);
+  (* Rare top event (~1e-9): importance sampling converges at a budget
+     where direct sampling essentially never sees a hit. *)
+  let rare =
+    Fta.Fault_tree.and_ "top"
+      [
+        Fta.Fault_tree.basic ~rate_fit:100.0 "a";
+        Fta.Fault_tree.basic ~rate_fit:100.0 "b";
+        Fta.Fault_tree.basic ~rate_fit:100.0 "c";
+      ]
+  in
+  published "rare-and-3" ~sampling:Assess.Mc.Importance
+    ~trials:(if smoke then 1_000_000 else 4_000_000)
+    ~mission_hours:10_000.0 rare
+
 (* ---------- Diagnosis: dataflow fixpoints + forward/backward oracle ---------- *)
 
 let diagnosis ~smoke () =
@@ -1179,33 +1275,65 @@ let iteration_loop () =
           }
     | None -> reliability
   in
-  (* Iteration 1 fills the warm engine's caches. *)
-  let warm_engine = Engine.Pipeline.create () in
-  let table_v1, t_v1 =
-    timed (fun () ->
-        Engine.Pipeline.injection_fmea warm_engine ~options diagram reliability)
+  (* One untimed pass through both paths pays the first-touch costs of
+     the diff/reuse machinery, which otherwise land on whichever timed
+     run happens first. *)
+  let fill engine =
+    Engine.Pipeline.injection_fmea engine ~options diagram reliability
   in
-  (* Cold: a fresh engine re-analyses the edited model from scratch. *)
-  let cold_engine = Engine.Pipeline.create () in
-  let table_cold, t_cold =
-    timed (fun () ->
-        Engine.Pipeline.injection_fmea cold_engine ~options diagram edited)
+  let warm_once engine table_v1 =
+    Engine.Pipeline.injection_fmea engine
+      ~previous:
+        {
+          Engine.Pipeline.prev_diagram = diagram;
+          prev_reliability = reliability;
+          prev_table = table_v1;
+        }
+      ~options diagram edited
   in
-  let cold = Engine.Pipeline.snapshot cold_engine in
-  (* Warm: same engine, previous iteration supplied. *)
-  Engine.Stats.reset (Engine.Pipeline.stats warm_engine);
-  let table_warm, t_warm =
-    timed (fun () ->
-        Engine.Pipeline.injection_fmea warm_engine
-          ~previous:
-            {
-              Engine.Pipeline.prev_diagram = diagram;
-              prev_reliability = reliability;
-              prev_table = table_v1;
-            }
-          ~options diagram edited)
+  (let e = Engine.Pipeline.create () in
+   ignore (warm_once e (fill e));
+   ignore (Engine.Pipeline.injection_fmea (Engine.Pipeline.create ()) ~options diagram edited));
+  (* Best-of-N, fresh scenario per repetition: the warm engine is
+     recreated and refilled (untimed) every rep — re-running warm on an
+     already-warm engine would hit the result cache and time a no-op —
+     and the cold engine is recreated every rep.  The CI gate asserts
+     warm <= cold on these minima. *)
+  let reps = 5 in
+  (* [f] returns (value, elapsed); keep the fastest rep. *)
+  let best f =
+    let rec go best_t best_v n =
+      if n = 0 then (Option.get best_v, best_t)
+      else
+        let v, t = f () in
+        if t < best_t then go t (Some v) (n - 1) else go best_t best_v (n - 1)
+    in
+    go infinity None reps
   in
-  let warm = Engine.Pipeline.snapshot warm_engine in
+  let t_v1 = ref 0.0 in
+  let (table_cold, cold), t_cold =
+    best (fun () ->
+        timed (fun () ->
+            let cold_engine = Engine.Pipeline.create () in
+            let table =
+              Engine.Pipeline.injection_fmea cold_engine ~options diagram edited
+            in
+            (table, Engine.Pipeline.snapshot cold_engine)))
+  in
+  let (table_warm, warm), t_warm =
+    best (fun () ->
+        let warm_engine = Engine.Pipeline.create () in
+        let table_v1, t_fill = timed (fun () -> fill warm_engine) in
+        t_v1 := t_fill;
+        Engine.Stats.reset (Engine.Pipeline.stats warm_engine);
+        let (table, snapshot), elapsed =
+          timed (fun () ->
+              let table = warm_once warm_engine table_v1 in
+              (table, Engine.Pipeline.snapshot warm_engine))
+        in
+        ((table, snapshot), elapsed))
+  in
+  let t_v1 = !t_v1 in
   let identical = Fmea.Table.equal table_cold table_warm in
   Printf.printf "iteration 1 (fills caches):  %7.3f s\n" t_v1;
   Printf.printf "cold re-analysis:            %7.3f s   %d solves\n" t_cold
@@ -1374,6 +1502,7 @@ let () =
   path_fmea_scaling ~smoke ();
   streaming_search ~smoke ();
   fta ~smoke ();
+  assess ~smoke ();
   diagnosis ~smoke ();
   scaling ~smoke ();
   kernel_benchmarks ~smoke ();

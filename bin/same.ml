@@ -1035,6 +1035,256 @@ let fta_cmd =
       const run $ diagram_pos $ from_arg $ reliability_arg $ engine_arg
       $ card_arg $ out_arg $ dot_arg $ psa_arg)
 
+(* same assess *)
+
+let assess_cmd =
+  let model_pos =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Model to assess: a block diagram (.bd) or an Open-PSA MEF \
+             fault tree (.xml).")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("auto", `Auto); ("fta", `Fta); ("ssam", `Ssam);
+               ("diagram", `Diagram) ])
+          `Auto
+      & info [ "from" ] ~docv:"KIND"
+          ~doc:
+            "How to read MODEL: $(b,fta) parses Open-PSA MEF XML, \
+             $(b,diagram) lowers a block diagram structurally, $(b,ssam) \
+             lowers through the transformed SSAM view (path enumeration). \
+             $(b,auto) picks by file suffix.")
+  in
+  let mission_arg =
+    Arg.(
+      value
+      & opt float Assess.Mc.default.Assess.Mc.mission_hours
+      & info [ "mission-hours" ] ~docv:"H"
+          ~doc:"Mission time in hours for the exponential failure model.")
+  in
+  let trials_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Trial budget (rounded up to whole replicates). Mutually \
+             exclusive with $(b,--rel-precision).")
+  in
+  let precision_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rel-precision" ] ~docv:"P"
+          ~doc:
+            "Adaptive budget: sample until the 99% confidence half-width \
+             falls below $(docv) times the estimate.")
+  in
+  let method_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("direct", Assess.Mc.Direct);
+               ("importance", Assess.Mc.Importance);
+               ("stratified", Assess.Mc.Stratified) ])
+          Assess.Mc.Direct
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:
+            "Sampling scheme: $(b,direct), $(b,importance) (rate-tilted \
+             with likelihood-ratio weights, for rare top events) or \
+             $(b,stratified).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int Assess.Mc.default.Assess.Mc.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master RNG seed. Results are bit-identical for a fixed seed \
+             across every $(b,SAME_JOBS) setting.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "o"; "output" ] ~docv:"FORMAT"
+          ~doc:"Report format: $(b,text) or $(b,json).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit non-zero unless the BDD-exact top probability was \
+             computed and lies inside the Monte-Carlo confidence \
+             interval.")
+  in
+  let lower_diagram path reliability_path via_ssam =
+    match load_diagram path with
+    | Error m -> Error m
+    | Ok diagram -> (
+        match load_reliability reliability_path with
+        | Error m -> Error m
+        | Ok reliability -> (
+            let by_paths () =
+              let root = Decisive.Api.functional_root ~reliability diagram in
+              match Fta.From_ssam.generate root with
+              | tree -> Ok tree
+              | exception Fta.From_ssam.No_paths c ->
+                  Error
+                    (Printf.sprintf "no input-output paths through %s" c)
+            in
+            if via_ssam then by_paths ()
+            else
+              match Fta.From_ssam.of_diagram ~reliability diagram with
+              | tree -> Ok tree
+              | exception Fta.From_ssam.No_paths c ->
+                  Error
+                    (Printf.sprintf "no input-output paths through %s" c)
+              | exception Fta.From_ssam.Cyclic _ -> by_paths ()))
+  in
+  let load_tree path from reliability_path =
+    let kind =
+      match from with
+      | `Auto ->
+          if Filename.check_suffix path ".xml" then `Fta else `Diagram
+      | `Fta -> `Fta
+      | `Ssam -> `Ssam
+      | `Diagram -> `Diagram
+    in
+    match kind with
+    | `Fta -> (
+        try Ok (Fta.Export.load_open_psa ~path) with
+        | Fta.Export.Format_error m ->
+            Error (Printf.sprintf "%s: %s" path m)
+        | Sys_error m -> Error m
+        | Modelio.Xml.Parse_error { pos; message } ->
+            Error (Printf.sprintf "%s: at offset %d: %s" path pos message))
+    | `Diagram -> lower_diagram path reliability_path false
+    | `Ssam -> lower_diagram path reliability_path true
+  in
+  let report_json (r : Assess.Mc.report) =
+    let open Modelio.Json in
+    let num x = Number x in
+    let opt = function Some x -> Number x | None -> Null in
+    Object
+      [
+        ("top_probability", num r.Assess.Mc.top_probability);
+        ("ci_halfwidth", num r.Assess.Mc.halfwidth);
+        ("trials", num (float_of_int r.Assess.Mc.trials));
+        ("elapsed_s", num r.Assess.Mc.elapsed_s);
+        ("trials_per_sec", num r.Assess.Mc.trials_per_sec);
+        ("sampling", String (Assess.Mc.sampling_to_string r.Assess.Mc.sampling));
+        ("mission_hours", num r.Assess.Mc.mission_hours);
+        ("instructions", num (float_of_int r.Assess.Mc.instrs));
+        ("exact", opt r.Assess.Mc.exact);
+        ("exact_delta", opt r.Assess.Mc.exact_delta);
+        ( "events",
+          List
+            (List.map
+               (fun (e : Assess.Mc.event_report) ->
+                 Object
+                   [
+                     ("id", String e.Assess.Mc.event_id);
+                     ("probability", num e.Assess.Mc.probability);
+                     ("importance", num e.Assess.Mc.importance);
+                   ])
+               r.Assess.Mc.events) );
+      ]
+  in
+  let report_text (r : Assess.Mc.report) =
+    Printf.printf "top event (%s, %g h mission): %.6e +/- %.1e (99%% CI)\n"
+      (Assess.Mc.sampling_to_string r.Assess.Mc.sampling)
+      r.Assess.Mc.mission_hours r.Assess.Mc.top_probability
+      r.Assess.Mc.halfwidth;
+    Printf.printf "trials: %d  (%.1f Mtrials/s, %.3f s, %d instructions)\n"
+      r.Assess.Mc.trials
+      (r.Assess.Mc.trials_per_sec /. 1e6)
+      r.Assess.Mc.elapsed_s r.Assess.Mc.instrs;
+    (match (r.Assess.Mc.exact, r.Assess.Mc.exact_delta) with
+    | Some exact, Some delta ->
+        Printf.printf "BDD-exact cross-check: %.6e  delta %.1e  %s\n" exact
+          delta
+          (if delta <= r.Assess.Mc.halfwidth then "(inside CI)"
+           else "(OUTSIDE CI)")
+    | _ -> ());
+    if r.Assess.Mc.events <> [] then begin
+      Printf.printf "event importance (Fussell-Vesely style):\n";
+      List.iter
+        (fun (e : Assess.Mc.event_report) ->
+          Printf.printf "  %-32s p=%.3e  importance %.3f\n"
+            e.Assess.Mc.event_id e.Assess.Mc.probability
+            e.Assess.Mc.importance)
+        r.Assess.Mc.events
+    end
+  in
+  let run path from reliability_path mission trials precision method_ seed out
+      check =
+    match path with
+    | None ->
+        Printf.eprintf "error: give a MODEL argument\n";
+        2
+    | Some path -> (
+        match load_tree path from reliability_path with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | Ok tree -> (
+            let config =
+              {
+                Assess.Mc.default with
+                Assess.Mc.mission_hours = mission;
+                sampling = method_;
+                trials;
+                rel_precision = precision;
+                seed;
+              }
+            in
+            match Assess.Mc.run config tree with
+            | exception Invalid_argument m ->
+                Printf.eprintf "error: %s\n" m;
+                1
+            | report ->
+                (match out with
+                | `Text -> report_text report
+                | `Json ->
+                    print_endline
+                      (Modelio.Json.to_string ~indent:2 (report_json report)));
+                if check then
+                  match report.Assess.Mc.exact_delta with
+                  | Some delta when delta <= report.Assess.Mc.halfwidth -> 0
+                  | Some _ ->
+                      Printf.eprintf
+                        "error: estimate outside the 99%% CI of the \
+                         BDD-exact probability\n";
+                      1
+                  | None ->
+                      Printf.eprintf
+                        "error: --check needs the BDD-exact cross-check \
+                         (tree too large)\n";
+                      1
+                else 0))
+  in
+  let doc =
+    "Bit-parallel Monte-Carlo safety assessment: estimate the mission \
+     failure probability of a fault tree (or a design lowered to one) at \
+     millions of trials per second, with confidence intervals and a \
+     BDD-exact cross-check on tractable trees."
+  in
+  Cmd.v (Cmd.info "assess" ~doc)
+    Term.(
+      const run $ model_pos $ from_arg $ reliability_arg $ mission_arg
+      $ trials_arg $ precision_arg $ method_arg $ seed_arg $ out_arg
+      $ check_arg)
+
 (* same assure *)
 
 let assure_cmd =
@@ -1704,6 +1954,7 @@ let main =
       optimize_cmd;
       transform_cmd;
       fta_cmd;
+      assess_cmd;
       assure_cmd;
       run_cmd;
       report_cmd;

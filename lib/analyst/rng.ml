@@ -3,12 +3,27 @@ type t = { mutable state : int64 }
 let create seed = { state = Int64.of_int seed }
 
 (* SplitMix64 (Steele, Lea, Flood 2014). *)
-let next_int64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* Stream splitting: the child state is the parent state hashed together
+   with the stream index through two finalizer rounds, so distinct
+   indices land in unrelated regions of the SplitMix64 sequence.  The
+   parent is NOT advanced — [split t i] is a pure function of the
+   parent's current state, which is what makes replicated Monte-Carlo
+   runs reproducible independent of evaluation order. *)
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: negative stream index";
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  { state = mix64 (Int64.logxor (mix64 z) 0xA3EC647659359ACDL) }
 
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
@@ -24,3 +39,8 @@ let gaussian t ~mean ~stddev =
   mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
 
 let bernoulli t ~p = float t < p
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  (* Inverse CDF: T = -ln(1-u)/rate, with log1p for small u accuracy. *)
+  -.Float.log1p (-.float t) /. rate

@@ -11,6 +11,17 @@ val create : int -> t
 val next_int64 : t -> int64
 (** Advances the state. *)
 
+val split : t -> int -> t
+(** [split t i] derives an independent child stream for index [i >= 0]
+    without advancing [t]: the child state hashes (parent state, [i])
+    through two SplitMix64 finalizer rounds, so distinct indices yield
+    statistically unrelated streams (no collision on realistic draw
+    counts — property-tested).  The replacement for ad-hoc reseeding:
+    replicated experiments take [split master r] per replicate and
+    [split replicate e] per entity, and results stay bit-identical
+    however the replicates are scheduled.
+    @raise Invalid_argument on a negative index. *)
+
 val float : t -> float
 (** Uniform in [0, 1). *)
 
@@ -22,3 +33,7 @@ val gaussian : t -> mean:float -> stddev:float -> float
 (** Box-Muller. *)
 
 val bernoulli : t -> p:float -> bool
+
+val exponential : t -> rate:float -> float
+(** Inverse-CDF exponential sample with rate [rate] (events per unit
+    time): [-ln(1-u)/rate].  Raises [Invalid_argument] when [rate <= 0]. *)

@@ -1,0 +1,46 @@
+type t = {
+  mutable n : int;
+  mutable wsum : float;
+  mutable wsumsq : float;
+  ev : float array;
+}
+
+let create ~n_events =
+  { n = 0; wsum = 0.0; wsumsq = 0.0; ev = Array.make n_events 0.0 }
+
+let n t = t.n
+
+let event_weight t i = t.ev.(i)
+
+let merge_into dst src =
+  dst.n <- dst.n + src.n;
+  dst.wsum <- dst.wsum +. src.wsum;
+  dst.wsumsq <- dst.wsumsq +. src.wsumsq;
+  Array.iteri (fun i w -> dst.ev.(i) <- dst.ev.(i) +. w) src.ev
+
+let mean t = if t.n = 0 then 0.0 else t.wsum /. float_of_int t.n
+
+let z99 = 2.575829303548901
+(* Two-sided 99%: Phi^-1(0.995). *)
+
+(* Wilson score interval — valid for 0/1 weights (direct sampling),
+   where wsum is the hit count.  Behaves sanely at 0 hits, unlike the
+   Wald interval, which collapses to width zero. *)
+let wilson_halfwidth ?(z = z99) t =
+  if t.n = 0 then infinity
+  else
+    let nf = float_of_int t.n in
+    let p = t.wsum /. nf in
+    let z2 = z *. z in
+    z
+    *. sqrt (((p *. (1.0 -. p)) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+    /. (1.0 +. (z2 /. nf))
+
+(* CLT interval for weighted estimators (importance / stratified):
+   sample variance of the per-trial weighted indicator. *)
+let clt_halfwidth ?(z = z99) t =
+  if t.n < 2 then infinity
+  else
+    let nf = float_of_int t.n in
+    let var = (t.wsumsq -. (t.wsum *. t.wsum /. nf)) /. (nf -. 1.0) in
+    z *. sqrt (Float.max var 0.0 /. nf)

@@ -1,0 +1,44 @@
+(** Online accumulators and confidence intervals for the Monte-Carlo
+    assessment kernel.
+
+    One accumulator per replicate, merged in stream order, keeps the
+    parallel estimate bit-identical to the sequential one.  The fields
+    cover both samplers: under direct sampling every trial weighs 0 or 1
+    ([wsum] is the hit count, interval by Wilson score); under
+    importance or stratified sampling [wsum]/[wsumsq] accumulate
+    likelihood-ratio weights over top-event trials (interval by CLT). *)
+
+type t = {
+  mutable n : int;  (** trials seen *)
+  mutable wsum : float;  (** sum of weighted top-event indicators *)
+  mutable wsumsq : float;  (** sum of squares, for the CLT interval *)
+  ev : float array;
+      (** per-event weighted co-occurrence with the top event, indexed
+          like {!Program.events} — the numerator of the Fussell-Vesely
+          style importance the report exposes *)
+}
+
+val create : n_events:int -> t
+
+val n : t -> int
+
+val event_weight : t -> int -> float
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds [src] into [dst]; associative, so folding
+    replicate accumulators in index order is schedule-independent. *)
+
+val mean : t -> float
+(** The probability estimate [wsum / n]. *)
+
+val z99 : float
+(** Two-sided 99% normal quantile. *)
+
+val wilson_halfwidth : ?z:float -> t -> float
+(** Wilson score half-width — for 0/1 weights (direct sampling).
+    [infinity] on an empty accumulator. *)
+
+val clt_halfwidth : ?z:float -> t -> float
+(** Normal-approximation half-width from the sample variance of the
+    weighted indicator — for importance / stratified weights.
+    [infinity] below 2 trials. *)

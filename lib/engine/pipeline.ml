@@ -1,3 +1,35 @@
+(* Physical-identity memo, bounded.  Within a session the engine keeps
+   meeting the same in-memory values — the warm path re-fingerprints the
+   previous diagram it analysed a moment ago, a fleet shares one
+   reliability model across every variant — and the derived values
+   (fingerprints, netlist conversions, SSAM views) are pure.  Keyed by
+   [==]: content hashing is exactly the cost being avoided.  A miss on a
+   structurally-equal-but-fresh value only costs the recompute, so the
+   memo can never serve a stale answer. *)
+module Ident_memo = struct
+  type ('a, 'b) t = { mutable entries : ('a * 'b) list; cap : int }
+
+  let create cap = { entries = []; cap }
+
+  let rec truncate n = function
+    | [] -> []
+    | _ :: _ when n = 0 -> []
+    | x :: rest -> x :: truncate (n - 1) rest
+
+  let find_or ?(eq = fun a b -> a == b) m lock key compute =
+    Mutex.lock lock;
+    let hit = List.find_opt (fun (k, _) -> eq k key) m.entries in
+    Mutex.unlock lock;
+    match hit with
+    | Some (_, v) -> v
+    | None ->
+        let v = compute () in
+        Mutex.lock lock;
+        m.entries <- truncate m.cap ((key, v) :: m.entries);
+        Mutex.unlock lock;
+        v
+end
+
 type t = {
   p_cache : Cache.t;
   p_stats : Stats.t;
@@ -6,6 +38,13 @@ type t = {
      by fingerprint hex; guarded by [lock]. *)
   golden_runs : (string, Fmea.Injection_fmea.prepared) Hashtbl.t;
   evaluators : (string, Optimize.Search.evaluator) Hashtbl.t;
+  (* Identity memos for the per-call fixed costs of the FMEA entry
+     points; these dominate a warm one-edit run at small system sizes. *)
+  fp_diagrams : (Blockdiag.Diagram.t, Fingerprint.t) Ident_memo.t;
+  fp_models : (Reliability.Reliability_model.t, Fingerprint.t) Ident_memo.t;
+  conversions : (Blockdiag.Diagram.t, Blockdiag.To_netlist.result) Ident_memo.t;
+  fp_netlists : (Blockdiag.Diagram.t, Fingerprint.t) Ident_memo.t;
+  ssam_views : (Blockdiag.Diagram.t * Reliability.Reliability_model.t, Ssam.Model.t) Ident_memo.t;
   lock : Mutex.t;
 }
 
@@ -35,6 +74,11 @@ let create ?cache () =
       p_stats = Stats.create ();
       golden_runs = Hashtbl.create 8;
       evaluators = Hashtbl.create 8;
+      fp_diagrams = Ident_memo.create 8;
+      fp_models = Ident_memo.create 8;
+      conversions = Ident_memo.create 8;
+      fp_netlists = Ident_memo.create 8;
+      ssam_views = Ident_memo.create 8;
       lock = Mutex.create ();
     }
   in
@@ -127,6 +171,31 @@ let ssam_model_of diagram reliability =
       (Ssam.Base.meta ("engine:" ^ diagram.Blockdiag.Diagram.diagram_name))
     ()
 
+(* Memoised-by-identity accessors.  A warm engine fills these during the
+   previous run, so the one-edit path only pays for what actually
+   changed; a cold engine pays every fingerprint from scratch — which is
+   what makes warm strictly cheaper than cold. *)
+let fp_diagram t d =
+  Ident_memo.find_or t.fp_diagrams t.lock d (fun () -> Fingerprint.diagram d)
+
+let fp_model t rm =
+  Ident_memo.find_or t.fp_models t.lock rm (fun () ->
+      Fingerprint.reliability_model rm)
+
+let convert t d =
+  Ident_memo.find_or t.conversions t.lock d (fun () ->
+      Blockdiag.To_netlist.convert d)
+
+let fp_netlist_of t d netlist =
+  Ident_memo.find_or t.fp_netlists t.lock d (fun () ->
+      Fingerprint.netlist netlist)
+
+let ssam_view t d rm =
+  Ident_memo.find_or
+    ~eq:(fun (d1, r1) (d2, r2) -> d1 == d2 && r1 == r2)
+    t.ssam_views t.lock (d, rm)
+    (fun () -> ssam_model_of d rm)
+
 (* Golden runs are keyed by the {e structural} netlist fingerprint (name
    ignored): every observable of a golden run depends only on the
    element list and the options, so design variants with identical
@@ -155,15 +224,19 @@ let golden_run t ~options ~fp_structure ~fp_options netlist =
    deviation text. *)
 let reuse_hook t ~previous:prev ~diagram ~reliability ~element_types
     ~fp_netlist =
-  let prev_conversion = Blockdiag.To_netlist.convert prev.prev_diagram in
+  let prev_conversion = convert t prev.prev_diagram in
   let prev_netlist = prev_conversion.Blockdiag.To_netlist.netlist in
-  if not (Fingerprint.equal (Fingerprint.netlist prev_netlist) fp_netlist) then
-    None
+  if
+    not
+      (Fingerprint.equal
+         (fp_netlist_of t prev.prev_diagram prev_netlist)
+         fp_netlist)
+  then None
   else begin
     let impact =
       Ssam.Diff.analyse
-        ~old_model:(ssam_model_of prev.prev_diagram prev.prev_reliability)
-        ~new_model:(ssam_model_of diagram reliability)
+        ~old_model:(ssam_view t prev.prev_diagram prev.prev_reliability)
+        ~new_model:(ssam_view t diagram reliability)
     in
     let impacted = Hashtbl.create 32 in
     List.iter
@@ -198,9 +271,19 @@ let reuse_hook t ~previous:prev ~diagram ~reliability ~element_types
       | None -> Fingerprint.leaf "no-entry"
       | Some e -> Fingerprint.reliability_entry e
     in
+    (* Component types repeat across rows; fingerprint each type once
+       per hook instead of twice per row. *)
+    let entry_verdicts = Hashtbl.create 16 in
     let entry_unchanged ty =
-      Fingerprint.equal (entry_fp prev.prev_reliability ty)
-        (entry_fp reliability ty)
+      match Hashtbl.find_opt entry_verdicts ty with
+      | Some v -> v
+      | None ->
+          let v =
+            Fingerprint.equal (entry_fp prev.prev_reliability ty)
+              (entry_fp reliability ty)
+          in
+          Hashtbl.add entry_verdicts ty v;
+          v
     in
     let prev_rows = Hashtbl.create 64 in
     List.iter
@@ -225,18 +308,14 @@ let reuse_hook t ~previous:prev ~diagram ~reliability ~element_types
   end
 
 let injection_fmea t ?previous ~options diagram reliability =
-  let conversion = Blockdiag.To_netlist.convert diagram in
+  let conversion = convert t diagram in
   let netlist = conversion.Blockdiag.To_netlist.netlist in
   let element_types = conversion.Blockdiag.To_netlist.block_types in
-  let fp_netlist = Fingerprint.netlist netlist in
+  let fp_netlist = fp_netlist_of t diagram netlist in
   let fp_options = Fingerprint.injection_options options in
   let key =
     Fingerprint.node
-      [
-        Fingerprint.diagram diagram;
-        Fingerprint.reliability_model reliability;
-        fp_options;
-      ]
+      [ fp_diagram t diagram; fp_model t reliability; fp_options ]
   in
   memo t ~stage:"fmea.injection" ~key (fun () ->
       let prepared =
@@ -272,36 +351,42 @@ let rec take_rows k rows =
 
 let injection_fmea_fleet t ~options variants reliability =
   let fp_options = Fingerprint.injection_options options in
+  (* The reliability model is shared by the whole fleet: fingerprint it
+     once, not once per variant. *)
+  let fp_reliability = fp_model t reliability in
   (* Resolve every variant against the content-addressed cache first:
      hits are served as in [injection_fmea]; only the misses join the
      flattened batch. *)
   let resolved =
     List.map
       (fun (label, diagram) ->
-        let conversion = Blockdiag.To_netlist.convert diagram in
+        let conversion = convert t diagram in
         let netlist = conversion.Blockdiag.To_netlist.netlist in
         let element_types = conversion.Blockdiag.To_netlist.block_types in
         let key =
           Cache.key ~stage:"fmea.injection" ~version:1
             (Fingerprint.node
-               [
-                 Fingerprint.diagram diagram;
-                 Fingerprint.reliability_model reliability;
-                 fp_options;
-               ])
+               [ fp_diagram t diagram; fp_reliability; fp_options ])
         in
         (label, netlist, element_types, key, cache_find t key))
       variants
   in
   (* One golden run per distinct circuit structure: baseline copies in a
      fleet share a factorisation, so N variants of D distinct designs
-     cost D golden solves, not N. *)
+     cost D golden solves, not N.  And one row batch per distinct cache
+     key: duplicate variants (a fleet's unmodified baseline copies)
+     classify their rows once and share the table. *)
+  let pending_keys = Hashtbl.create 8 in
   let pending =
     List.filter_map
       (fun (label, netlist, element_types, key, cached) ->
         match cached with
         | Some _ -> None
+        | None when Hashtbl.mem pending_keys (Cache.key_id key) ->
+            Stats.incr_mem_hit t.p_stats;
+            None
         | None ->
+            Hashtbl.replace pending_keys (Cache.key_id key) ();
             Stats.incr_miss t.p_stats;
             let prepared =
               golden_run t ~options

@@ -141,6 +141,99 @@ let save_dot ~path ?name tree =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_dot ?name tree))
 
+(* ---------- Open-PSA MEF import ---------- *)
+
+exception Format_error of string
+
+let format_error fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
+
+let of_open_psa (root : Modelio.Xml.element) =
+  let ft =
+    match Modelio.Xml.find_first root "define-fault-tree" with
+    | Some ft -> ft
+    | None -> format_error "Open-PSA import: no define-fault-tree element"
+  in
+  let attr el name =
+    match Modelio.Xml.attribute el name with
+    | Some v -> v
+    | None ->
+        format_error "Open-PSA import: <%s> missing attribute '%s'"
+          el.Modelio.Xml.tag name
+  in
+  let gates = Hashtbl.create 16 in
+  let first_gate = ref None in
+  let rates = Hashtbl.create 16 in
+  List.iter
+    (fun (el : Modelio.Xml.element) ->
+      match el.Modelio.Xml.tag with
+      | "define-gate" ->
+          let name = attr el "name" in
+          if !first_gate = None then first_gate := Some name;
+          Hashtbl.replace gates name el
+      | "define-basic-event" ->
+          (* The MEF writes exponential rates in per-hour; FIT is 1e-9/h. *)
+          let rate =
+            match Modelio.Xml.find_first el "exponential" with
+            | None -> None
+            | Some e ->
+                Option.map
+                  (fun f ->
+                    let v = attr f "value" in
+                    match float_of_string_opt v with
+                    | Some r -> r /. 1e-9
+                    | None ->
+                        format_error
+                          "Open-PSA import: non-numeric rate '%s'" v)
+                  (Modelio.Xml.find_first e "float")
+          in
+          Hashtbl.replace rates (attr el "name") rate
+      | _ -> ())
+    (Modelio.Xml.child_elements ft);
+  let rec formula (el : Modelio.Xml.element) =
+    match el.Modelio.Xml.tag with
+    | "basic-event" ->
+        let name = attr el "name" in
+        Fault_tree.basic
+          ?rate_fit:(Option.join (Hashtbl.find_opt rates name))
+          name
+    | "gate" -> gate (attr el "name")
+    | "and" ->
+        Fault_tree.and_ "g" (List.map formula (Modelio.Xml.child_elements el))
+    | "or" ->
+        Fault_tree.or_ "g" (List.map formula (Modelio.Xml.child_elements el))
+    | "atleast" ->
+        let k =
+          let m = attr el "min" in
+          match int_of_string_opt m with
+          | Some k -> k
+          | None -> format_error "Open-PSA import: non-integer min '%s'" m
+        in
+        Fault_tree.koon "v" ~k (List.map formula (Modelio.Xml.child_elements el))
+    | tag -> format_error "Open-PSA import: unsupported formula tag '%s'" tag
+  and gate name =
+    match Hashtbl.find_opt gates name with
+    | None -> format_error "Open-PSA import: undefined gate '%s'" name
+    | Some def -> (
+        match Modelio.Xml.child_elements def with
+        | [ f ] -> formula f
+        | _ ->
+            format_error
+              "Open-PSA import: gate '%s' must hold exactly one formula" name)
+  in
+  let top =
+    if Hashtbl.mem gates "top" then "top"
+    else
+      match !first_gate with
+      | Some g -> g
+      | None -> format_error "Open-PSA import: fault tree defines no gates"
+  in
+  try gate top
+  with Invalid_argument m -> format_error "Open-PSA import: %s" m
+
+let parse_open_psa s = of_open_psa (Modelio.Xml.parse s)
+
+let load_open_psa ~path = of_open_psa (Modelio.Xml.parse_file path)
+
 let save_open_psa ~path ?model_name tree =
   let oc = open_out_bin path in
   Fun.protect

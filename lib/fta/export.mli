@@ -18,3 +18,27 @@ val to_open_psa_string : ?model_name:string -> Fault_tree.t -> string
 val save_dot : path:string -> ?name:string -> Fault_tree.t -> unit
 
 val save_open_psa : path:string -> ?model_name:string -> Fault_tree.t -> unit
+
+(** {1 Import} *)
+
+exception Format_error of string
+(** Raised by the Open-PSA readers on a document this importer cannot
+    interpret (missing fault tree, dangling gate reference, unsupported
+    formula connective). *)
+
+val of_open_psa : Modelio.Xml.element -> Fault_tree.t
+(** Reads an Open-PSA MEF document back into the unified IR: the tree
+    rooted at the gate named ["top"] of the first [define-fault-tree]
+    (falling back to the first defined gate when there is no ["top"]).
+    Supports [and]/[or]/[atleast] connectives, [gate] references and
+    [basic-event] leaves; [exponential] rates in per-hour convert back
+    to FIT.  Inverse of {!to_open_psa} up to gate naming — the writer
+    suffixes a counter, so boolean structure, event ids and rates
+    round-trip but gate ids do not.
+    @raise Format_error on malformed or unsupported input. *)
+
+val parse_open_psa : string -> Fault_tree.t
+(** [of_open_psa] composed with the XML parser.
+    @raise Modelio.Xml.Parse_error on ill-formed XML. *)
+
+val load_open_psa : path:string -> Fault_tree.t

@@ -5,9 +5,7 @@ let event_probabilities ?(mission_hours = 10_000.0) tree =
     (fun (e : Fault_tree.event) ->
       let p =
         match e.Fault_tree.rate_fit with
-        | Some fit ->
-            let lambda = fit *. 1e-9 in
-            1.0 -. exp (-.lambda *. mission_hours)
+        | Some fit -> Reliability.Fit.failure_probability fit ~mission_hours
         | None -> 0.0
       in
       (e.Fault_tree.event_id, p))

@@ -23,6 +23,12 @@ let residual fit ~coverage_pct =
 
 let sum = List.fold_left ( +. ) 0.0
 
+let failure_probability fit ~mission_hours =
+  if mission_hours < 0.0 then
+    invalid_arg "Fit.failure_probability: negative mission time";
+  (* -expm1 keeps precision at the FIT scale, where lambda*t is tiny. *)
+  -.Float.expm1 (-.(to_failures_per_hour fit) *. mission_hours)
+
 let pp ppf fit = Format.fprintf ppf "%g FIT" fit
 
 let equal = Float.equal

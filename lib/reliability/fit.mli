@@ -25,6 +25,13 @@ val residual : t -> coverage_pct:float -> t
 
 val sum : t list -> t
 
+val failure_probability : t -> mission_hours:float -> float
+(** Probability that a constant-rate failure occurs within the mission:
+    [1 - exp(-fit * 1e-9 * mission_hours)] — the exponential CDF at the
+    mission time.  The single source of the FIT → probability conversion
+    used by fault-tree quantification and Monte-Carlo assessment.
+    Raises [Invalid_argument] on a negative mission time. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints like the paper's tables: ["3 FIT"], ["4.5 FIT"]. *)
 

@@ -60,8 +60,27 @@ echo "== fta: BDD engine end to end on the example diagram =="
   -o _build/fta_smoke.txt
 grep -q "BDD-exact" _build/fta_smoke.txt
 
-echo "== bench --smoke: fta acceptance (BDD >= MOCUS, beyond-cap exact) =="
-dune exec bench/main.exe -- --smoke > /dev/null
+echo "== assess: Monte-Carlo CLI smoke (deterministic across SAME_JOBS) =="
+# --check exits non-zero unless the estimate lands inside the 99% CI of
+# the BDD-exact probability; run under both job settings and compare.
+SAME_JOBS=1 "$SAME" assess examples/models/psu.bd --trials 1000000 \
+  -o json --check > _build/assess_j1.json
+SAME_JOBS=4 "$SAME" assess examples/models/psu.bd --trials 1000000 \
+  -o json --check > _build/assess_j4.json
+python3 - <<'EOF'
+import json, sys
+a = json.load(open("_build/assess_j1.json"))
+b = json.load(open("_build/assess_j4.json"))
+for k in ("top_probability", "ci_halfwidth", "trials", "exact"):
+    if a[k] != b[k]:
+        sys.exit(f"assess CLI: {k} differs across SAME_JOBS 1 vs 4 "
+                 f"({a[k]!r} != {b[k]!r})")
+print(f"assess CLI OK: P(top) {a['top_probability']:.3e} "
+      f"+/- {a['ci_halfwidth']:.1e}, bit-identical across SAME_JOBS")
+EOF
+
+echo "== bench --smoke: fta + assess + regression acceptance =="
+SAME_JOBS=4 dune exec bench/main.exe -- --smoke > /dev/null
 python3 - <<'EOF'
 import json, sys
 with open("BENCH_results.json") as f:
@@ -86,6 +105,46 @@ if not b["exact"]:
 print("fta OK: " + ", ".join(
     f"{e['name']} {e['speedup']:.0f}x" for e in published) +
     f"; {b['cut_sets']:.0f} cut sets solved past the cap")
+
+assess = r.get("assess")
+if not assess:
+    sys.exit("assess section is empty")
+for e in assess:
+    if e["trials_per_sec"] < 1e6:
+        sys.exit(f"{e['name']}: {e['trials_per_sec']:.0f} trials/s "
+                 f"below the 1e6 floor")
+    if not e["within_ci"]:
+        sys.exit(f"{e['name']}: estimate {e['estimate']:.6e} outside the "
+                 f"99% CI of exact {e['exact']:.6e}")
+print("assess OK: " + ", ".join(
+    f"{e['name']} {e['trials_per_sec'] / 1e6:.0f}M/s" for e in assess))
+
+inc = r.get("incremental")
+if not inc:
+    sys.exit("incremental section is empty")
+for e in inc:
+    # A warm engine reuses fingerprints, conversions and cached rows from
+    # the previous revision; it must never lose to a cold run.
+    if e["warm_s"] > e["cold_s"]:
+        sys.exit(f"{e['name']}: warm {e['warm_s'] * 1e3:.2f} ms slower "
+                 f"than cold {e['cold_s'] * 1e3:.2f} ms")
+    if not e["identical"]:
+        sys.exit(f"{e['name']}: warm table != cold table")
+print("incremental OK: " + ", ".join(
+    f"{e['name']} warm {e['warm_s'] * 1e3:.2f} ms vs cold "
+    f"{e['cold_s'] * 1e3:.2f} ms" for e in inc))
+
+batch = r.get("batch_fmea")
+if not batch:
+    sys.exit("batch_fmea section is empty")
+for e in batch:
+    # Fleet-mode sharing (golden dedup + duplicate-variant dedup) must
+    # beat independent cold runs on wall clock, not only on solve counts.
+    if e["speedup"] < 1.0:
+        sys.exit(f"{e['name']}: fleet speedup {e['speedup']:.2f}x "
+                 f"below 1.0x")
+print("batch_fmea OK: " + ", ".join(
+    f"{e['name']} {e['speedup']:.2f}x" for e in batch))
 EOF
 
 echo "CI OK"

@@ -45,6 +45,56 @@ let test_rng_distributions () =
   Alcotest.(check bool) (Printf.sprintf "bernoulli ~0.25, got %g" rate) true
     (Float.abs (rate -. 0.25) < 0.02)
 
+let test_rng_split () =
+  (* Splitting is pure: the parent's sequence is unchanged by it. *)
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let _ = Rng.split a 0 and _ = Rng.split a 7 in
+  Alcotest.(check bool) "split leaves parent untouched" true
+    (List.init 10 (fun _ -> Rng.next_int64 a)
+    = List.init 10 (fun _ -> Rng.next_int64 b));
+  (* Same index twice gives the same stream; distinct indices differ. *)
+  let p = Rng.create 5 in
+  Alcotest.(check bool) "same index, same stream" true
+    (Rng.next_int64 (Rng.split p 3) = Rng.next_int64 (Rng.split p 3));
+  Alcotest.(check bool) "distinct indices, distinct streams" true
+    (Rng.next_int64 (Rng.split p 3) <> Rng.next_int64 (Rng.split p 4));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split: negative stream index") (fun () ->
+      ignore (Rng.split p (-1)));
+  (* Statistical smoke: the first 1k draws of 64 sibling streams (and of
+     the parent) never collide — 65k SplitMix64 outputs are birthday-safe
+     by ~2^25, so any collision means the split is broken. *)
+  let seen = Hashtbl.create (65 * 1_000) in
+  let collisions = ref 0 in
+  let drain rng =
+    for _ = 1 to 1_000 do
+      let v = Rng.next_int64 rng in
+      if Hashtbl.mem seen v then incr collisions else Hashtbl.add seen v ()
+    done
+  in
+  let master = Rng.create 2024 in
+  for i = 0 to 63 do
+    drain (Rng.split master i)
+  done;
+  drain master;
+  Alcotest.(check int) "no collision across 65 streams x 1k draws" 0
+    !collisions
+
+let test_rng_exponential () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~rate:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "exponential mean ~1/4, got %g" mean)
+    true
+    (Float.abs (mean -. 0.25) < 0.01);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Rng.exponential: rate must be positive") (fun () ->
+      ignore (Rng.exponential rng ~rate:0.0))
+
 (* ---------- Cost model / durations ---------- *)
 
 let profile_a =
@@ -197,6 +247,8 @@ let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng split streams" `Quick test_rng_split;
+    Alcotest.test_case "rng exponential" `Quick test_rng_exponential;
     Alcotest.test_case "rng distributions" `Quick test_rng_distributions;
     Alcotest.test_case "duration calibration" `Quick test_duration_calibration;
     Alcotest.test_case "duration breakdown" `Quick test_duration_breakdown;

@@ -675,69 +675,20 @@ let contains haystack needle =
   let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
   m = 0 || go 0
 
-(* Reconstruct a fault tree from its Open-PSA MEF serialisation —
-   enough of a reader to state the round-trip property.  Gate ids
+(* The round-trip reader lives in the library now ([Export.of_open_psa]);
+   the property keeps an independent count of gate definitions.  Gate ids
    mutate (the writer suffixes a counter) but the boolean structure,
    event ids and rates must survive. *)
-let tree_of_open_psa (root : Modelio.Xml.element) =
-  let ft =
-    match Modelio.Xml.find_first root "define-fault-tree" with
-    | Some ft -> ft
-    | None -> Alcotest.fail "no define-fault-tree"
-  in
-  let attr el name =
-    match Modelio.Xml.attribute el name with
-    | Some v -> v
-    | None -> Alcotest.failf "missing attribute %s" name
-  in
-  let gates = Hashtbl.create 16 in
-  let rates = Hashtbl.create 16 in
-  List.iter
-    (fun (el : Modelio.Xml.element) ->
-      match el.Modelio.Xml.tag with
-      | "define-gate" -> Hashtbl.replace gates (attr el "name") el
-      | "define-basic-event" ->
-          let rate =
-            match Modelio.Xml.find_first el "exponential" with
-            | None -> None
-            | Some e ->
-                Option.map
-                  (fun f -> float_of_string (attr f "value") /. 1e-9)
-                  (Modelio.Xml.find_first e "float")
-          in
-          Hashtbl.replace rates (attr el "name") rate
-      | _ -> ())
-    (Modelio.Xml.child_elements ft);
-  let rec formula (el : Modelio.Xml.element) =
-    match el.Modelio.Xml.tag with
-    | "basic-event" ->
-        let name = attr el "name" in
-        Fault_tree.basic
-          ?rate_fit:(Option.join (Hashtbl.find_opt rates name))
-          name
-    | "gate" -> gate (attr el "name")
-    | "and" ->
-        Fault_tree.and_ "g" (List.map formula (Modelio.Xml.child_elements el))
-    | "or" ->
-        Fault_tree.or_ "g" (List.map formula (Modelio.Xml.child_elements el))
-    | "atleast" ->
-        Fault_tree.koon "v"
-          ~k:(int_of_string (attr el "min"))
-          (List.map formula (Modelio.Xml.child_elements el))
-    | tag -> Alcotest.failf "unexpected formula tag '%s'" tag
-  and gate name =
-    match Modelio.Xml.child_elements (Hashtbl.find gates name) with
-    | [ f ] -> formula f
-    | _ -> Alcotest.failf "gate '%s' must hold exactly one formula" name
-  in
-  (gate "top", Hashtbl.length gates)
+let defined_gate_count (root : Modelio.Xml.element) =
+  List.length (Modelio.Xml.descendants root "define-gate")
 
 let prop_open_psa_round_trip =
   QCheck.Test.make ~name:"Open-PSA round-trip preserves the tree" ~count:80
     (QCheck.make (rich_tree_gen 3 6))
     (fun t ->
       let reparsed = Modelio.Xml.parse (Export.to_open_psa_string t) in
-      let t', defined_gates = tree_of_open_psa reparsed in
+      let t' = Export.of_open_psa reparsed in
+      let defined_gates = defined_gate_count reparsed in
       (* one define-gate per gate occurrence, plus the "top" wrapper *)
       defined_gates = Fault_tree.gate_count t + 1
       && Bdd.minimal_cut_sets (Bdd.build t')
@@ -809,12 +760,35 @@ let export_suite =
     Sys.remove psa_path
   in
   let test_round_trip_case_study () =
-    let reparsed = Modelio.Xml.parse (Export.to_open_psa_string tree) in
-    let tree', _ = tree_of_open_psa reparsed in
+    let tree' = Export.parse_open_psa (Export.to_open_psa_string tree) in
     Alcotest.(check (list (list string)))
       "cut sets survive the MEF round-trip"
       (Cut_sets.minimal tree)
       (Bdd.minimal_cut_sets (Bdd.build tree'))
+  in
+  let test_import_errors () =
+    let expect_error doc =
+      match Export.parse_open_psa doc with
+      | exception Export.Format_error _ -> ()
+      | _ -> Alcotest.fail "expected Format_error"
+    in
+    expect_error "<opsa-mef></opsa-mef>";
+    expect_error
+      "<opsa-mef><define-fault-tree name=\"t\"><define-gate name=\"top\"><gate \
+       name=\"missing\"/></define-gate></define-fault-tree></opsa-mef>";
+    expect_error
+      "<opsa-mef><define-fault-tree name=\"t\"><define-gate \
+       name=\"top\"><xor><basic-event name=\"a\"/><basic-event \
+       name=\"b\"/></xor></define-gate></define-fault-tree></opsa-mef>";
+    (* No gate named "top": fall back to the first defined gate. *)
+    let t =
+      Export.parse_open_psa
+        "<opsa-mef><define-fault-tree name=\"t\"><define-gate \
+         name=\"root\"><or><basic-event name=\"a\"/><basic-event \
+         name=\"b\"/></or></define-gate></define-fault-tree></opsa-mef>"
+    in
+    Alcotest.(check int) "fallback top gate read" 2
+      (List.length (Fault_tree.basic_events t))
   in
   [
     Alcotest.test_case "dot export" `Quick test_dot;
@@ -823,5 +797,6 @@ let export_suite =
     Alcotest.test_case "save files" `Quick test_save_files;
     Alcotest.test_case "open-psa round-trip (case study)" `Quick
       test_round_trip_case_study;
+    Alcotest.test_case "open-psa import errors" `Quick test_import_errors;
     QCheck_alcotest.to_alcotest prop_open_psa_round_trip;
   ]

@@ -27,6 +27,7 @@ let () =
       ("degradation", Test_fmea.degradation_suite);
       ("optimize", Test_optimize.suite);
       ("fta", Test_fta.suite);
+      ("assess", Test_assess.suite);
       ("fta-export", Test_fta.export_suite);
       ("hara", Test_hara.suite);
       ("assurance", Test_assurance.suite);

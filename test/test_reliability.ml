@@ -14,7 +14,19 @@ let test_fit_arithmetic () =
   Alcotest.(check (float 1e-24)) "failures/hour" 1e-8
     (Fit.to_failures_per_hour (Fit.of_float 10.0));
   Alcotest.(check (float 1e-9)) "of failures/hour" 10.0
-    (Fit.of_failures_per_hour 1e-8)
+    (Fit.of_failures_per_hour 1e-8);
+  (* Mission probability: 100 FIT over 10k hours is 1e-3 to first order,
+     and expm1 keeps the tiny-lambda regime exact where exp would round. *)
+  Alcotest.(check (float 1e-12)) "mission probability" 9.995001666e-4
+    (Fit.failure_probability (Fit.of_float 100.0) ~mission_hours:10_000.0);
+  Alcotest.(check (float 1e-18)) "tiny-rate precision" 1e-9
+    (Fit.failure_probability (Fit.of_float 1.0) ~mission_hours:1.0);
+  Alcotest.(check (float 0.0)) "zero mission" 0.0
+    (Fit.failure_probability (Fit.of_float 100.0) ~mission_hours:0.0);
+  Alcotest.check_raises "negative mission"
+    (Invalid_argument "Fit.failure_probability: negative mission time")
+    (fun () ->
+      ignore (Fit.failure_probability 10.0 ~mission_hours:(-1.0)))
 
 let test_fit_validation () =
   Alcotest.check_raises "negative" (Invalid_argument "Fit.of_float: negative FIT")
