@@ -31,6 +31,7 @@ let json_diagnosis : Modelio.Json.t list ref = ref []
 let json_fta : Modelio.Json.t list ref = ref []
 
 let json_assess : Modelio.Json.t list ref = ref []
+let json_serve : Modelio.Json.t list ref = ref []
 
 let record_timing name seconds = json_tables := (name, seconds) :: !json_tables
 
@@ -76,6 +77,7 @@ let write_results () =
         ("diagnosis", List (List.rev !json_diagnosis));
         ("fta", List (List.rev !json_fta));
         ("assess", List (List.rev !json_assess));
+        ("serve", List (List.rev !json_serve));
         ("scheduler", List (List.map json_of_decision (Exec.Cost.decisions ())));
         ("kernels_ns_per_run", numbers !json_kernels);
       ]
@@ -253,8 +255,8 @@ let table6 () =
     (* The paper-era JVM heap, scaled with the sets. *)
     4 * 1024 * 1024 * 1024 / scale
   in
-  Printf.printf "%-6s %15s %15s %15s %s\n" "Set" "elements" "full store (s)"
-    "lazy store (s)" "paper (s)";
+  Printf.printf "%-6s %15s %15s %15s %15s %s\n" "Set" "elements"
+    "full store (s)" "lazy store (s)" "auto (s)" "paper (s)";
   let paper_times = [ 0.1; 0.2; 0.8; 4.1; 48.3; nan ] in
   List.iteri
     (fun i spec ->
@@ -277,33 +279,55 @@ let table6 () =
             | Ok (_, sr) -> `Ok sr
             | Error _ -> `Overflow)
       in
+      (* [`Auto] should track the winner: the cost model's estimate for
+         the lazy windows decides whether streaming pays on this set. *)
+      let auto_budget = Store.Budget.create ~max_bytes:budget_bytes in
+      let auto_choice = Store.Backend.choose ~budget:auto_budget spec in
+      let auto_result, t_auto =
+        timed (fun () ->
+            match
+              Store.Backend.evaluate ~backend:`Auto ~budget:auto_budget spec
+            with
+            | Ok (_, sr) -> `Ok sr
+            | Error _ -> `Overflow)
+      in
       let cell result t =
         match result with
         | `Ok _ -> Printf.sprintf "%15.3f" t
         | `Overflow -> Printf.sprintf "%15s" "N/A (overflow)"
       in
-      (match full_result with
-      | `Ok _ ->
-          record_timing
-            (Printf.sprintf "table6/%s/full" spec.Store.Synthetic.set_name)
-            t_full
-      | `Overflow -> ());
-      (match lazy_result with
-      | `Ok _ ->
-          record_timing
-            (Printf.sprintf "table6/%s/lazy" spec.Store.Synthetic.set_name)
-            t_lazy
-      | `Overflow -> ());
+      let record kind result t =
+        match result with
+        | `Ok _ ->
+            record_timing
+              (Printf.sprintf "table6/%s/%s" spec.Store.Synthetic.set_name
+                 kind)
+              t
+        | `Overflow -> ()
+      in
+      record "full" full_result t_full;
+      record "lazy" lazy_result t_lazy;
+      record "auto" auto_result t_auto;
+      (match (full_result, lazy_result, auto_result) with
+      | `Ok f, `Ok l, `Ok a when f <> a || l <> a ->
+          Printf.printf
+            "WARNING: backend verdicts disagree on %s (full %d, lazy %d, \
+             auto %d)\n"
+            spec.Store.Synthetic.set_name f l a
+      | _ -> ());
       let paper = List.nth paper_times i in
-      Printf.printf "%-6s %15d %s %s %s\n"
+      Printf.printf "%-6s %15d %s %s %s [%s] %s\n"
         spec.Store.Synthetic.set_name spec.Store.Synthetic.target_elements
         (cell full_result t_full) (cell lazy_result t_lazy)
+        (cell auto_result t_auto)
+        (match auto_choice with `Full -> "full" | `Lazy -> "lazy")
         (if Float.is_nan paper then "N/A (overflow)" else Printf.sprintf "%.1f" paper))
     Store.Synthetic.table_vi_sets;
   Printf.printf
     "shape check: the full store grows linearly and dies at Set5 (the \
      paper's EMF memory overflow); the streaming store (the paper's \
-     future-work fix) completes every set.\n"
+     future-work fix) completes every set; auto streams only when the \
+     cost model says the windows pay for their dispatch.\n"
 
 (* ---------- Step 4b ablation: search strategies ---------- *)
 
@@ -1366,6 +1390,227 @@ let iteration_loop () =
       ]
     :: !json_incremental
 
+(* ---------- same serve: warm daemon vs cold CLI ---------- *)
+
+(* The daemon's value proposition, measured end to end: a cold `same
+   fmea` CLI run (process start + model load + full analysis) against
+   warm one-edit requests to an in-process server over its real Unix
+   socket — each edit a *distinct* reliability change, so every request
+   is an incremental re-analysis, not a response-cache hit.  A second
+   experiment fires N identical concurrent requests at a fresh
+   fingerprint and reads back how many computations actually ran. *)
+let serve_bench ~smoke () =
+  section "same serve — warm sessions vs cold CLI (System B, one edit)";
+  let subject = Decisive.Systems.system_b in
+  let diagram = subject.Decisive.Systems.diagram in
+  let reliability = subject.Decisive.Systems.reliability in
+  let exclude = "DC1,BAT1" and monitored = "CS1,CS2,VS1" in
+  (* Model texts: the diagram via its text format, the reliability model
+     via its spreadsheet round-trip. *)
+  let diagram_path = Filename.temp_file "same-serve-sysb" ".bd" in
+  Blockdiag.Text_format.write_file diagram_path diagram;
+  let diagram_text = In_channel.with_open_bin diagram_path In_channel.input_all in
+  let reliability_csv m =
+    match (Reliability.Reliability_model.to_spreadsheet m).Modelio.Spreadsheet.sheets with
+    | { Modelio.Spreadsheet.table; _ } :: _ ->
+        Modelio.Csv.to_string
+          (table.Modelio.Csv.header :: table.Modelio.Csv.rows)
+    | [] -> ""
+  in
+  let reliability_path = Filename.temp_file "same-serve-rel" ".csv" in
+  Out_channel.with_open_bin reliability_path (fun oc ->
+      Out_channel.output_string oc (reliability_csv reliability));
+  let edited k =
+    match
+      Reliability.Reliability_model.find reliability "microcontroller"
+    with
+    | Some e ->
+        Reliability.Reliability_model.add reliability
+          {
+            e with
+            Reliability.Reliability_model.fit =
+              e.Reliability.Reliability_model.fit +. (25.0 *. float_of_int k);
+          }
+    | None -> reliability
+  in
+  (* Cold baseline: the real CLI, fresh process per run. *)
+  let same_exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/same.exe"
+  in
+  let cold_cli () =
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let _, t =
+      timed (fun () ->
+          let pid =
+            Unix.create_process same_exe
+              [|
+                same_exe; "fmea"; diagram_path; "-r"; reliability_path;
+                "-e"; "DC1"; "-e"; "BAT1";
+                "-m"; "CS1"; "-m"; "CS2"; "-m"; "VS1";
+              |]
+              Unix.stdin null null
+          in
+          ignore (Unix.waitpid [] pid))
+    in
+    Unix.close null;
+    t
+  in
+  if not (Sys.file_exists same_exe) then
+    Printf.printf "same.exe not found next to the bench — section skipped\n"
+  else begin
+    let reps = if smoke then 2 else 3 in
+    let best f =
+      let rec go acc n = if n = 0 then acc else go (Float.min acc (f ())) (n - 1) in
+      go (f ()) (reps - 1)
+    in
+    let t_cold = best cold_cli in
+    (* Warm path: in-process server on a real socket, one session,
+       distinct one-edit requests streamed over one connection. *)
+    let socket_path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "same-bench-%d.sock" (Unix.getpid ()))
+    in
+    let server =
+      Serve.Server.start
+        {
+          Serve.Server.socket_path;
+          cache_dir = None;
+          jobs = Exec.default_jobs ();
+        }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.stop server;
+        Serve.Server.wait server;
+        Sys.remove diagram_path;
+        Sys.remove reliability_path)
+      (fun () ->
+        let client =
+          match Serve.Client.connect socket_path with
+          | Ok c -> c
+          | Error m -> failwith m
+        in
+        let rpc req =
+          match Serve.Client.rpc client req with
+          | Ok json -> json
+          | Error m -> failwith ("serve bench: " ^ m)
+        in
+        let session =
+          let open_response =
+            rpc
+              (Serve.Protocol.Open_session
+                 {
+                   o_diagram = diagram_text;
+                   o_reliability = Some (reliability_csv reliability);
+                   o_params =
+                     [ ("exclude", exclude); ("monitored", monitored) ];
+                 })
+          in
+          match
+            Modelio.Json.(Option.bind (member "session" open_response) to_str)
+          with
+          | Some id -> id
+          | None -> failwith "serve bench: open returned no session"
+        in
+        let edits = if smoke then 12 else 30 in
+        (* Request payloads are prepared up front: the latency being
+           measured is the daemon round-trip, not the client's CSV
+           pretty-printer. *)
+        let payloads =
+          List.init edits (fun k -> reliability_csv (edited (k + 1)))
+        in
+        let latencies =
+          List.map
+            (fun csv ->
+              let _, t =
+                timed (fun () ->
+                    rpc
+                      (Serve.Protocol.Edit
+                         {
+                           e_session = session;
+                           e_diagram = None;
+                           e_reliability = Some csv;
+                         }))
+              in
+              t)
+            payloads
+        in
+        let sorted = List.sort Float.compare latencies in
+        let pct p =
+          let n = List.length sorted in
+          List.nth sorted (Int.min (n - 1) (p * n / 100))
+        in
+        let warm_p50 = pct 50 and warm_p99 = pct 99 in
+        (* Coalescing: N identical concurrent requests at a fingerprint
+           nobody has asked for yet must run exactly one computation.
+           The request is deliberately slow (Monte-Carlo assessment) so
+           the followers really do arrive while the leader is solving. *)
+        let before = Serve.Server.stats server in
+        let concurrent = 4 in
+        let analyse_request =
+          Serve.Protocol.Analyse
+            {
+              Serve.Protocol.a_analysis = Serve.Protocol.Assess;
+              a_diagram = diagram_text;
+              a_reliability = Some (reliability_csv reliability);
+              a_sm = None;
+              a_params =
+                [ ("seed", "11"); ("trials", if smoke then "2000000" else "8000000") ];
+            }
+        in
+        let outputs = Array.make concurrent "" in
+        let threads =
+          List.init concurrent (fun i ->
+              Thread.create
+                (fun () ->
+                  match Serve.Client.one_shot ~socket:socket_path analyse_request with
+                  | Ok json ->
+                      outputs.(i) <-
+                        Option.value ~default:""
+                          Modelio.Json.(
+                            Option.bind (member "output" json) to_str)
+                  | Error m -> failwith ("serve bench: " ^ m))
+                ())
+        in
+        List.iter Thread.join threads;
+        let after = Serve.Server.stats server in
+        let coalesced_solves =
+          after.Serve.Server.analyses_computed
+          - before.Serve.Server.analyses_computed
+        in
+        let identical =
+          Array.for_all (fun o -> o = outputs.(0) && o <> "") outputs
+        in
+        Serve.Client.close client;
+        let speedup = t_cold /. warm_p50 in
+        Printf.printf "cold CLI (fresh process):    %7.3f s\n" t_cold;
+        Printf.printf "warm one-edit p50:           %7.4f s   p99: %7.4f s\n"
+          warm_p50 warm_p99;
+        Printf.printf "warm speedup over cold CLI:  %7.1fx\n" speedup;
+        Printf.printf
+          "%d identical concurrent requests -> %d computation(s), outputs \
+           identical: %b\n"
+          concurrent coalesced_solves identical;
+        record_timing "serve/cold_cli" t_cold;
+        record_timing "serve/warm_p50" warm_p50;
+        json_serve :=
+          Modelio.Json.Object
+            [
+              ("name", Modelio.Json.String "system-b/mcu-fit-edit");
+              ("cold_cli_s", Modelio.Json.Number t_cold);
+              ("warm_p50_s", Modelio.Json.Number warm_p50);
+              ("warm_p99_s", Modelio.Json.Number warm_p99);
+              ("speedup", Modelio.Json.Number speedup);
+              ( "coalesced_requests",
+                Modelio.Json.Number (float_of_int concurrent) );
+              ( "coalesced_solves",
+                Modelio.Json.Number (float_of_int coalesced_solves) );
+              ("identical", Modelio.Json.Bool identical);
+            ]
+          :: !json_serve)
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 (* Shared runner: measures one test and records its ns/run estimate into
@@ -1499,6 +1744,7 @@ let () =
   parallel_speedups ~smoke ();
   batch_fmea ~smoke ();
   iteration_loop ();
+  serve_bench ~smoke ();
   path_fmea_scaling ~smoke ();
   streaming_search ~smoke ();
   fta ~smoke ();

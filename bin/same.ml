@@ -235,6 +235,67 @@ let report_table output table =
   | None -> ());
   0
 
+(* Daemon routing (`--connect`): ship the model texts to a running
+   `same serve` and print its response instead of computing locally. *)
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Route the analysis through a running $(b,same serve) daemon on \
+           this Unix socket: the warm engine reuses golden factorisations \
+           and cached results across requests and sessions.")
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error m -> Error m
+
+let daemon_analyse ~socket ~analysis ~diagram_path ?reliability_path ?sm_path
+    ~params () =
+  let ( let* ) r f =
+    match r with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok v -> f v
+  in
+  let read_opt = function
+    | None -> Ok None
+    | Some path -> Result.map Option.some (read_file path)
+  in
+  let* a_diagram = read_file diagram_path in
+  let* a_reliability = read_opt reliability_path in
+  let* a_sm = read_opt sm_path in
+  let a =
+    {
+      Serve.Protocol.a_analysis = analysis;
+      a_diagram;
+      a_reliability;
+      a_sm;
+      a_params = List.filter (fun (_, v) -> v <> "") params;
+    }
+  in
+  match Serve.Client.one_shot ~socket (Serve.Protocol.Analyse a) with
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  | Ok json ->
+      (match Modelio.Json.(Option.bind (member "output" json) to_str) with
+      | Some out -> print_string out
+      | None -> ());
+      (match Modelio.Json.(Option.bind (member "exit" json) to_float) with
+      | Some code -> int_of_float code
+      | None -> 0)
+
+let comma ids = String.concat "," ids
+
 (* same lint *)
 
 let severity_conv =
@@ -298,8 +359,46 @@ let lint_cmd =
       & info [ "list" ] ~doc:"Print the rule catalogue and exit.")
   in
   let run list_rules format rules categories severity diagram_path
-      reliability_path sm_path query_paths exclude monitored jobs =
+      reliability_path sm_path query_paths exclude monitored jobs connect =
     set_jobs jobs;
+    match (connect, diagram_path) with
+    | Some _, None ->
+        Printf.eprintf "error: --connect lints a DIAGRAM (with -r/-s/-q)\n";
+        2
+    | Some socket, Some diagram_path -> (
+        let query =
+          match query_paths with
+          | [] -> Ok ("", "")
+          | [ path ] -> Result.map (fun src -> (path, src)) (read_file path)
+          | _ -> Error "--connect takes at most one --query"
+        in
+        match query with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            2
+        | Ok (qname, query) ->
+            daemon_analyse ~socket ~analysis:Serve.Protocol.Lint ~diagram_path
+              ?reliability_path ?sm_path
+              ~params:
+                [
+                  ("exclude", comma exclude);
+                  ("monitored", comma monitored);
+                  ( "severity",
+                    match severity with
+                    | None -> ""
+                    | Some s -> Lint.Rule.severity_to_string s );
+                  ("query", query);
+                  ("qname", qname);
+                  (* Labels only: keep daemon diagnostics prefixed with
+                     the same file names the local CLI would print. *)
+                  ("name", diagram_path);
+                  ("rname", Option.value reliability_path ~default:"");
+                  ("sname", Option.value sm_path ~default:"");
+                  ( "format",
+                    match format with `Text -> "" | `Json -> "json" );
+                ]
+              ())
+    | None, _ ->
     if list_rules then begin
       List.iter
         (fun (r : Lint.Rule.t) ->
@@ -428,7 +527,7 @@ let lint_cmd =
     Term.(
       const run $ list_arg $ format_arg $ rules_arg $ category_arg
       $ severity_arg $ diagram_arg $ reliability_arg $ sm_arg $ query_arg
-      $ exclude_arg $ monitored_arg $ jobs_arg)
+      $ exclude_arg $ monitored_arg $ jobs_arg $ connect_arg)
 
 (* same diagnose *)
 
@@ -458,9 +557,27 @@ let diagnose_cmd =
              run.")
   in
   let run diagram_path output reliability_path exclude monitored format
-      structural jobs sched =
+      structural jobs sched connect =
     set_jobs jobs;
     set_sched sched;
+    match connect with
+    | Some socket ->
+        daemon_analyse ~socket ~analysis:Serve.Protocol.Diagnose ~diagram_path
+          ?reliability_path
+          ~params:
+            [
+              ("output", output);
+              ("exclude", comma exclude);
+              ("monitored", comma monitored);
+              ("structural", if structural then "true" else "");
+              ( "format",
+                match format with
+                | `Text -> ""
+                | `Json -> "json"
+                | `Sarif -> "sarif" );
+            ]
+          ()
+    | None ->
     let ( let* ) r f =
       match r with
       | Error m ->
@@ -517,7 +634,8 @@ let diagnose_cmd =
   Cmd.v (Cmd.info "diagnose" ~doc)
     Term.(
       const run $ diagram_arg $ output_arg $ reliability_arg $ exclude_arg
-      $ monitored_arg $ format_arg $ structural_arg $ jobs_arg $ sched_arg)
+      $ monitored_arg $ format_arg $ structural_arg $ jobs_arg $ sched_arg
+      $ connect_arg)
 
 (* same fmea *)
 
@@ -631,9 +749,20 @@ let fmea_cmd =
               1)
   in
   let run diagram_paths reliability_path exclude monitored output route strict
-      jobs sched cache explain batch =
+      jobs sched cache explain batch connect =
     set_jobs jobs;
     set_sched sched;
+    match (connect, diagram_paths) with
+    | Some socket, [ diagram_path ] ->
+        daemon_analyse ~socket ~analysis:Serve.Protocol.Fmea ~diagram_path
+          ?reliability_path
+          ~params:
+            [ ("exclude", comma exclude); ("monitored", comma monitored) ]
+          ()
+    | Some _, _ ->
+        Printf.eprintf "error: --connect takes a single DIAGRAM\n";
+        2
+    | None, _ ->
     if batch then
       if route <> Decisive.Api.Via_injection then begin
         Printf.eprintf "error: --batch supports only --route injection\n";
@@ -666,7 +795,7 @@ let fmea_cmd =
     Term.(
       const run $ diagrams_arg $ reliability_arg $ exclude_arg $ monitored_arg
       $ output_arg $ route_arg $ strict_arg $ jobs_arg $ sched_arg $ cache_arg
-      $ explain_arg $ batch_arg)
+      $ explain_arg $ batch_arg $ connect_arg)
 
 (* same fmeda *)
 
@@ -731,9 +860,25 @@ let fmeda_cmd =
                 code))
   in
   let run diagram_paths reliability_path sm_path exclude monitored output
-      target strict jobs sched cache explain batch =
+      target strict jobs sched cache explain batch connect =
     set_jobs jobs;
     set_sched sched;
+    match (connect, diagram_paths) with
+    | Some socket, [ diagram_path ] ->
+        daemon_analyse ~socket ~analysis:Serve.Protocol.Fmeda ~diagram_path
+          ?reliability_path ?sm_path
+          ~params:
+            [
+              ("exclude", comma exclude);
+              ("monitored", comma monitored);
+              ( "target",
+                Ssam.Requirement.integrity_level_to_string target );
+            ]
+          ()
+    | Some _, _ ->
+        Printf.eprintf "error: --connect takes a single DIAGRAM\n";
+        2
+    | None, _ ->
     if batch then
       match load_sm_model sm_path with
       | Error m ->
@@ -790,7 +935,7 @@ let fmeda_cmd =
     Term.(
       const run $ diagrams_arg $ reliability_arg $ sm_arg $ exclude_arg
       $ monitored_arg $ output_arg $ target_arg $ strict_arg $ jobs_arg
-      $ sched_arg $ cache_arg $ explain_arg $ batch_arg)
+      $ sched_arg $ cache_arg $ explain_arg $ batch_arg $ connect_arg)
 
 (* same optimize *)
 
@@ -934,11 +1079,29 @@ let fta_cmd =
       & info [ "open-psa" ] ~docv:"FILE"
           ~doc:"Write the tree as Open-PSA MEF XML.")
   in
-  let run pos_path from_path reliability_path engine max_card out dot psa =
+  let run pos_path from_path reliability_path engine max_card out dot psa
+      connect =
     match (match from_path with Some p -> Some p | None -> pos_path) with
     | None ->
         Printf.eprintf "error: give a DIAGRAM argument or --from FILE\n";
         2
+    | Some diagram_path when connect <> None ->
+        let socket = Option.get connect in
+        daemon_analyse ~socket ~analysis:Serve.Protocol.Fta ~diagram_path
+          ?reliability_path
+          ~params:
+            [
+              ( "engine",
+                match engine with
+                | `Auto -> ""
+                | `Bdd -> "bdd"
+                | `Mocus -> "mocus" );
+              ( "max_cardinality",
+                match max_card with
+                | None -> ""
+                | Some k -> string_of_int k );
+            ]
+          ()
     | Some path ->
         with_diagram_and_models path reliability_path
           (fun diagram reliability ->
@@ -1033,7 +1196,7 @@ let fta_cmd =
   Cmd.v (Cmd.info "fta" ~doc)
     Term.(
       const run $ diagram_pos $ from_arg $ reliability_arg $ engine_arg
-      $ card_arg $ out_arg $ dot_arg $ psa_arg)
+      $ card_arg $ out_arg $ dot_arg $ psa_arg $ connect_arg)
 
 (* same assess *)
 
@@ -1227,11 +1390,42 @@ let assess_cmd =
     end
   in
   let run path from reliability_path mission trials precision method_ seed out
-      check =
+      check connect =
     match path with
     | None ->
         Printf.eprintf "error: give a MODEL argument\n";
         2
+    | Some diagram_path when connect <> None ->
+        if Filename.check_suffix diagram_path ".xml" then begin
+          Printf.eprintf
+            "error: --connect assesses block diagrams (the daemon lowers \
+             them); load Open-PSA trees locally\n";
+          2
+        end
+        else
+          let socket = Option.get connect in
+          daemon_analyse ~socket ~analysis:Serve.Protocol.Assess
+            ~diagram_path ?reliability_path
+            ~params:
+              [
+                ("mission_hours", Printf.sprintf "%.17g" mission);
+                ( "trials",
+                  match trials with
+                  | None -> ""
+                  | Some t -> string_of_int t );
+                ( "rel_precision",
+                  match precision with
+                  | None -> ""
+                  | Some p -> Printf.sprintf "%.17g" p );
+                ( "method",
+                  match method_ with
+                  | Assess.Mc.Direct -> "direct"
+                  | Assess.Mc.Importance -> "importance"
+                  | Assess.Mc.Stratified -> "stratified" );
+                ("seed", string_of_int seed);
+                ("check", if check then "true" else "");
+              ]
+            ()
     | Some path -> (
         match load_tree path from reliability_path with
         | Error m ->
@@ -1283,7 +1477,7 @@ let assess_cmd =
     Term.(
       const run $ model_pos $ from_arg $ reliability_arg $ mission_arg
       $ trials_arg $ precision_arg $ method_arg $ seed_arg $ out_arg
-      $ check_arg)
+      $ check_arg $ connect_arg)
 
 (* same assure *)
 
@@ -1941,11 +2135,86 @@ let scale_cmd =
   Cmd.v (Cmd.info "scale" ~doc)
     Term.(const run $ n_arg $ topology_arg $ analysis_arg $ jobs_arg $ sched_arg)
 
+(* same serve / same client *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/same.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix domain socket to listen on (or connect to).")
+
+let serve_cmd =
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persist the engine's content-addressed cache in $(docv) \
+             (survives daemon restarts).  Default: memory-only.")
+  in
+  let run socket cache jobs =
+    set_jobs jobs;
+    let jobs =
+      match jobs with Some n when n >= 1 -> n | _ -> Exec.default_jobs ()
+    in
+    match
+      Serve.Server.run
+        { Serve.Server.socket_path = socket; cache_dir = cache; jobs }
+    with
+    | () -> 0
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "error: %s: %s\n" arg (Unix.error_message e);
+        1
+  in
+  let doc =
+    "Run the analysis daemon: one warm engine behind a Unix socket.  \
+     Concurrent requests with identical content share one computation \
+     (single-flight) and one cache entry; sessions stream model edits and \
+     get back only the FMEA rows that changed.  Stop with SIGTERM or a \
+     $(b,shutdown) request."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ cache_dir_arg $ jobs_arg)
+
+let client_cmd =
+  let request_arg =
+    let requests =
+      [
+        ("ping", Serve.Protocol.Ping);
+        ("stats", Serve.Protocol.Stats);
+        ("shutdown", Serve.Protocol.Shutdown);
+      ]
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum requests)) None
+      & info [] ~docv:"REQUEST"
+          ~doc:"$(b,ping), $(b,stats) or $(b,shutdown).")
+  in
+  let run socket request =
+    match Serve.Client.one_shot ~socket request with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok json ->
+        print_endline (Modelio.Json.to_string ~indent:2 json);
+        0
+  in
+  let doc =
+    "Control a running $(b,same serve) daemon (analyses route through it \
+     with the analysis commands' $(b,--connect) option)."
+  in
+  Cmd.v (Cmd.info "client" ~doc) Term.(const run $ socket_arg $ request_arg)
+
 let main =
   let doc = "Safety Analysis Management Environment (DECISIVE tooling)" in
   let info = Cmd.info "same" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
+      serve_cmd;
+      client_cmd;
       lint_cmd;
       diagnose_cmd;
       scale_cmd;

@@ -44,6 +44,7 @@ type t = {
   fp_models : (Reliability.Reliability_model.t, Fingerprint.t) Ident_memo.t;
   conversions : (Blockdiag.Diagram.t, Blockdiag.To_netlist.result) Ident_memo.t;
   fp_netlists : (Blockdiag.Diagram.t, Fingerprint.t) Ident_memo.t;
+  fp_structures : (Circuit.Netlist.t, Fingerprint.t) Ident_memo.t;
   ssam_views : (Blockdiag.Diagram.t * Reliability.Reliability_model.t, Ssam.Model.t) Ident_memo.t;
   lock : Mutex.t;
 }
@@ -78,6 +79,7 @@ let create ?cache () =
       fp_models = Ident_memo.create 8;
       conversions = Ident_memo.create 8;
       fp_netlists = Ident_memo.create 8;
+      fp_structures = Ident_memo.create 8;
       ssam_views = Ident_memo.create 8;
       lock = Mutex.create ();
     }
@@ -190,6 +192,13 @@ let fp_netlist_of t d netlist =
   Ident_memo.find_or t.fp_netlists t.lock d (fun () ->
       Fingerprint.netlist netlist)
 
+(* The structural fingerprint pretty-prints every element; keyed by the
+   netlist value itself, which [convert]'s identity memo keeps stable
+   across a session's edits. *)
+let fp_structure_of t netlist =
+  Ident_memo.find_or t.fp_structures t.lock netlist (fun () ->
+      Fingerprint.netlist_structure netlist)
+
 let ssam_view t d rm =
   Ident_memo.find_or
     ~eq:(fun (d1, r1) (d2, r2) -> d1 == d2 && r1 == r2)
@@ -233,15 +242,24 @@ let reuse_hook t ~previous:prev ~diagram ~reliability ~element_types
          fp_netlist)
   then None
   else begin
-    let impact =
-      Ssam.Diff.analyse
-        ~old_model:(ssam_view t prev.prev_diagram prev.prev_reliability)
-        ~new_model:(ssam_view t diagram reliability)
-    in
     let impacted = Hashtbl.create 32 in
-    List.iter
-      (fun id -> Hashtbl.replace impacted id ())
-      impact.Ssam.Diff.impacted_components;
+    (* When the new diagram is the very value analysed last time — the
+       warm incremental-session case, where only reliability entries
+       move between edits — the SSAM diff cannot flag anything the
+       per-type entry check below does not: with an identical structure,
+       a component's aggregated view changes exactly when its type's
+       reliability entry does.  Skip the two view builds and the model
+       diff; they dominate the warm one-edit cost otherwise. *)
+    if prev.prev_diagram != diagram then begin
+      let impact =
+        Ssam.Diff.analyse
+          ~old_model:(ssam_view t prev.prev_diagram prev.prev_reliability)
+          ~new_model:(ssam_view t diagram reliability)
+      in
+      List.iter
+        (fun id -> Hashtbl.replace impacted id ())
+        impact.Ssam.Diff.impacted_components
+    end;
     (* Netlist element ids of subsystem blocks are "sub/block"-qualified;
        SSAM component ids are not.  Check both spellings. *)
     let is_impacted id =
@@ -266,21 +284,23 @@ let reuse_hook t ~previous:prev ~diagram ~reliability ~element_types
         in
         Hashtbl.replace types id ty)
       (Circuit.Netlist.elements prev_netlist);
-    let entry_fp rm ty =
-      match Reliability.Reliability_model.find rm ty with
-      | None -> Fingerprint.leaf "no-entry"
-      | Some e -> Fingerprint.reliability_entry e
-    in
-    (* Component types repeat across rows; fingerprint each type once
-       per hook instead of twice per row. *)
+    (* Component types repeat across rows; compare each type once per
+       hook instead of twice per row.  Structural entry equality is
+       strictly stronger than fingerprint equality, so it can only ever
+       reuse less, never wrongly more. *)
     let entry_verdicts = Hashtbl.create 16 in
     let entry_unchanged ty =
       match Hashtbl.find_opt entry_verdicts ty with
       | Some v -> v
       | None ->
           let v =
-            Fingerprint.equal (entry_fp prev.prev_reliability ty)
-              (entry_fp reliability ty)
+            match
+              ( Reliability.Reliability_model.find prev.prev_reliability ty,
+                Reliability.Reliability_model.find reliability ty )
+            with
+            | None, None -> true
+            | Some a, Some b -> Reliability.Reliability_model.equal_entry a b
+            | _ -> false
           in
           Hashtbl.add entry_verdicts ty v;
           v
@@ -320,7 +340,7 @@ let injection_fmea t ?previous ~options diagram reliability =
   memo t ~stage:"fmea.injection" ~key (fun () ->
       let prepared =
         golden_run t ~options
-          ~fp_structure:(Fingerprint.netlist_structure netlist)
+          ~fp_structure:(fp_structure_of t netlist)
           ~fp_options netlist
       in
       let reuse =
@@ -390,7 +410,7 @@ let injection_fmea_fleet t ~options variants reliability =
             Stats.incr_miss t.p_stats;
             let prepared =
               golden_run t ~options
-                ~fp_structure:(Fingerprint.netlist_structure netlist)
+                ~fp_structure:(fp_structure_of t netlist)
                 ~fp_options netlist
             in
             let injections =

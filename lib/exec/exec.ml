@@ -31,13 +31,54 @@ let env_jobs () =
           end;
           None)
 
+(* Per-thread job budgets: the analysis daemon multiplexes many
+   concurrent requests onto the one shared pool, and caps each request's
+   batches so a heavy assessment cannot starve cheap incremental diffs.
+   Keyed by the calling systhread (each domain's root is a distinct
+   thread, so budgets never leak across domains), consulted by
+   [default_jobs] under every batch submission. *)
+
+let budgets : (int, int) Hashtbl.t = Hashtbl.create 8
+let budgets_lock = Mutex.create ()
+
+let jobs_budget () =
+  Mutex.lock budgets_lock;
+  let b = Hashtbl.find_opt budgets (Thread.id (Thread.self ())) in
+  Mutex.unlock budgets_lock;
+  b
+
+let with_jobs n f =
+  let n = Stdlib.max 1 n in
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock budgets_lock;
+  let prev = Hashtbl.find_opt budgets tid in
+  Hashtbl.replace budgets tid n;
+  Mutex.unlock budgets_lock;
+  let restore () =
+    Mutex.lock budgets_lock;
+    (match prev with
+    | Some p -> Hashtbl.replace budgets tid p
+    | None -> Hashtbl.remove budgets tid);
+    Mutex.unlock budgets_lock
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e
+
 let default_jobs () =
-  match !jobs_override with
-  | Some n -> n
-  | None -> (
-      match env_jobs () with
-      | Some n -> n
-      | None -> Stdlib.max 1 (Domain.recommended_domain_count ()))
+  let base =
+    match !jobs_override with
+    | Some n -> n
+    | None -> (
+        match env_jobs () with
+        | Some n -> n
+        | None -> Stdlib.max 1 (Domain.recommended_domain_count ()))
+  in
+  match jobs_budget () with Some b -> Stdlib.min b base | None -> base
 
 let set_default_jobs n = jobs_override := Some (Stdlib.max 1 n)
 

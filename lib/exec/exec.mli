@@ -39,6 +39,19 @@ val set_default_jobs : int -> unit
 (** Override the job count (clamped to >= 1).  Takes effect on the next
     parallel call: the global pool is resized lazily. *)
 
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs n f] runs [f ()] with the {e calling thread's} effective
+    job count capped at [n] (clamped to >= 1): every {!default_jobs}
+    consultation made by [f] on this thread — and therefore every pool
+    batch it submits without an explicit [?jobs] — sees at most [n]
+    workers.  Nests (the innermost cap wins) and restores the previous
+    budget on return or exception.  Other threads are unaffected: this is
+    the fair-scheduling hook the analysis daemon uses to give each
+    concurrent request a budget slice of the shared pool. *)
+
+val jobs_budget : unit -> int option
+(** The calling thread's current {!with_jobs} cap, if inside one. *)
+
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map f xs] is [List.map f xs] evaluated on the pool, results
     in input order.  One pool task per element — right when each task is

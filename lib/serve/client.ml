@@ -1,0 +1,80 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s (is `same serve` running?)"
+           path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t request =
+  let line = Modelio.Json.to_string (Protocol.request_to_json request) in
+  match Protocol.write_frame t.oc line with
+  | exception Sys_error m -> Error (Printf.sprintf "send failed: %s" m)
+  | () -> (
+      match Protocol.read_frame t.ic with
+      | None -> Error "server closed the connection"
+      | exception Sys_error m -> Error (Printf.sprintf "receive failed: %s" m)
+      | Some reply -> (
+          match Modelio.Json.parse reply with
+          | exception Modelio.Json.Parse_error { pos; message } ->
+              Error
+                (Printf.sprintf "bad response JSON at offset %d: %s" pos
+                   message)
+          | json -> (
+              match Modelio.Json.(Option.bind (member "ok" json) to_bool) with
+              | Some true -> Ok json
+              | Some false | None ->
+                  Error
+                    (match
+                       Modelio.Json.(Option.bind (member "error" json) to_str)
+                     with
+                    | Some m -> m
+                    | None -> "malformed response envelope"))))
+
+type analysis_response = {
+  r_output : string;
+  r_exit : int;
+  r_cached : bool;
+  r_coalesced : bool;
+}
+
+let analyse t a =
+  match rpc t (Protocol.Analyse a) with
+  | Error _ as e -> e
+  | Ok json -> (
+      let str k = Modelio.Json.(Option.bind (member k json) to_str) in
+      let num k = Modelio.Json.(Option.bind (member k json) to_float) in
+      let bool_ k =
+        Option.value ~default:false
+          Modelio.Json.(Option.bind (member k json) to_bool)
+      in
+      match (str "output", num "exit") with
+      | Some r_output, Some exit ->
+          Ok
+            {
+              r_output;
+              r_exit = int_of_float exit;
+              r_cached = bool_ "cached";
+              r_coalesced = bool_ "coalesced";
+            }
+      | _ -> Error "malformed analyse response")
+
+let one_shot ~socket request =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok t ->
+      let r = rpc t request in
+      close t;
+      r

@@ -1,0 +1,30 @@
+(** Client side of the `same serve` protocol: connect, exchange
+    newline-delimited JSON frames, decode response envelopes. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's Unix socket. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> (Modelio.Json.t, string) result
+(** One request/response round-trip on the open connection.  [Error] on
+    transport failures, malformed response JSON, or an
+    [{"ok": false}] envelope (carrying the server's error message). *)
+
+type analysis_response = {
+  r_output : string;
+  r_exit : int;
+  r_cached : bool;
+  r_coalesced : bool;
+}
+
+val analyse :
+  t -> Protocol.analyse -> (analysis_response, string) result
+(** {!rpc} an [analyse] request and decode the envelope. *)
+
+val one_shot :
+  socket:string -> Protocol.request -> (Modelio.Json.t, string) result
+(** Connect, {!rpc} once, close — what `same client` and `--connect`
+    use. *)

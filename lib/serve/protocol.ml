@@ -1,0 +1,179 @@
+type analysis = Fmea | Fmeda | Fta | Assess | Diagnose | Lint
+
+let analysis_to_string = function
+  | Fmea -> "fmea"
+  | Fmeda -> "fmeda"
+  | Fta -> "fta"
+  | Assess -> "assess"
+  | Diagnose -> "diagnose"
+  | Lint -> "lint"
+
+let analysis_of_string = function
+  | "fmea" -> Some Fmea
+  | "fmeda" -> Some Fmeda
+  | "fta" -> Some Fta
+  | "assess" -> Some Assess
+  | "diagnose" -> Some Diagnose
+  | "lint" -> Some Lint
+  | _ -> None
+
+type analyse = {
+  a_analysis : analysis;
+  a_diagram : string;
+  a_reliability : string option;
+  a_sm : string option;
+  a_params : (string * string) list;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Analyse of analyse
+  | Open_session of {
+      o_diagram : string;
+      o_reliability : string option;
+      o_params : (string * string) list;
+    }
+  | Edit of {
+      e_session : string;
+      e_diagram : string option;
+      e_reliability : string option;
+    }
+  | Close_session of string
+
+open Modelio.Json
+
+let opt_field name = function
+  | None -> []
+  | Some s -> [ (name, String s) ]
+
+let params_to_json params =
+  match params with
+  | [] -> []
+  | ps -> [ ("params", Object (List.map (fun (k, v) -> (k, String v)) ps)) ]
+
+let request_to_json = function
+  | Ping -> Object [ ("cmd", String "ping") ]
+  | Stats -> Object [ ("cmd", String "stats") ]
+  | Shutdown -> Object [ ("cmd", String "shutdown") ]
+  | Analyse a ->
+      Object
+        ([
+           ("cmd", String "analyse");
+           ("analysis", String (analysis_to_string a.a_analysis));
+           ("diagram", String a.a_diagram);
+         ]
+        @ opt_field "reliability" a.a_reliability
+        @ opt_field "sm" a.a_sm
+        @ params_to_json a.a_params)
+  | Open_session { o_diagram; o_reliability; o_params } ->
+      Object
+        ([ ("cmd", String "open"); ("diagram", String o_diagram) ]
+        @ opt_field "reliability" o_reliability
+        @ params_to_json o_params)
+  | Edit { e_session; e_diagram; e_reliability } ->
+      Object
+        ([ ("cmd", String "edit"); ("session", String e_session) ]
+        @ opt_field "diagram" e_diagram
+        @ opt_field "reliability" e_reliability)
+  | Close_session s ->
+      Object [ ("cmd", String "close"); ("session", String s) ]
+
+let str_member name j = Option.bind (member name j) to_str
+
+let params_of_json j =
+  match member "params" j with
+  | None -> Ok []
+  | Some (Object fields) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, String v) :: rest -> go ((k, v) :: acc) rest
+        | (k, _) :: _ ->
+            Error (Printf.sprintf "param %S must be a string" k)
+      in
+      go [] fields
+  | Some _ -> Error "params must be an object of strings"
+
+let request_of_json j =
+  let ( let* ) = Result.bind in
+  match str_member "cmd" j with
+  | None -> Error "missing \"cmd\""
+  | Some "ping" -> Ok Ping
+  | Some "stats" -> Ok Stats
+  | Some "shutdown" -> Ok Shutdown
+  | Some "analyse" -> (
+      let* params = params_of_json j in
+      match str_member "analysis" j with
+      | None -> Error "analyse: missing \"analysis\""
+      | Some kind -> (
+          match analysis_of_string kind with
+          | None -> Error (Printf.sprintf "analyse: unknown analysis %S" kind)
+          | Some a_analysis -> (
+              match str_member "diagram" j with
+              | None -> Error "analyse: missing \"diagram\""
+              | Some a_diagram ->
+                  Ok
+                    (Analyse
+                       {
+                         a_analysis;
+                         a_diagram;
+                         a_reliability = str_member "reliability" j;
+                         a_sm = str_member "sm" j;
+                         a_params = params;
+                       }))))
+  | Some "open" -> (
+      let* params = params_of_json j in
+      match str_member "diagram" j with
+      | None -> Error "open: missing \"diagram\""
+      | Some o_diagram ->
+          Ok
+            (Open_session
+               {
+                 o_diagram;
+                 o_reliability = str_member "reliability" j;
+                 o_params = params;
+               }))
+  | Some "edit" -> (
+      match str_member "session" j with
+      | None -> Error "edit: missing \"session\""
+      | Some e_session ->
+          let e_diagram = str_member "diagram" j in
+          let e_reliability = str_member "reliability" j in
+          if e_diagram = None && e_reliability = None then
+            Error "edit: give \"diagram\" and/or \"reliability\""
+          else Ok (Edit { e_session; e_diagram; e_reliability }))
+  | Some "close" -> (
+      match str_member "session" j with
+      | None -> Error "close: missing \"session\""
+      | Some s -> Ok (Close_session s))
+  | Some cmd -> Error (Printf.sprintf "unknown cmd %S" cmd)
+
+(* The request fingerprint covers everything that can change the answer:
+   kind, model texts, and the parameters in a canonical (sorted) order so
+   two clients spelling the same request differently still share it. *)
+let fingerprint a =
+  let module F = Engine.Fingerprint in
+  let opt = function None -> "\x00absent" | Some s -> s in
+  let params =
+    List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) a.a_params
+  in
+  F.node
+    (F.leaf (analysis_to_string a.a_analysis)
+    :: F.leaf a.a_diagram
+    :: F.leaf (opt a.a_reliability)
+    :: F.leaf (opt a.a_sm)
+    :: List.map (fun (k, v) -> F.leaf (k ^ "\x00" ^ v)) params)
+
+let ok fields = Object (("ok", Bool true) :: fields)
+
+let error msg = Object [ ("ok", Bool false); ("error", String msg) ]
+
+let read_frame ic = In_channel.input_line ic
+
+let write_frame oc line =
+  if String.contains line '\n' then
+    invalid_arg "Protocol.write_frame: embedded newline";
+  output_string oc line;
+  output_char oc '\n';
+  flush oc

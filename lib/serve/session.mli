@@ -1,0 +1,44 @@
+(** The daemon's session table: one entry per client model under
+    incremental editing.
+
+    A session holds the artefacts the incremental engine needs for
+    diff-driven row reuse — the previous diagram, reliability model and
+    FMEA table ({!Engine.Pipeline.previous}).  A client posts its model
+    once ([open]), then streams edits; each edit re-analyses against the
+    previous iteration and the server returns only the rows that
+    changed.
+
+    The table itself is mutex-guarded; each session additionally carries
+    its own lock so concurrent edits to {e one} session serialise (an
+    edit's reuse baseline must be the table it replaces) while edits to
+    different sessions proceed in parallel. *)
+
+type session = {
+  s_id : string;
+  s_lock : Mutex.t;
+  s_options : Fmea.Injection_fmea.options;
+  mutable s_diagram : Blockdiag.Diagram.t;
+  mutable s_reliability : Reliability.Reliability_model.t;
+  mutable s_table : Fmea.Table.t;
+  mutable s_revision : int;
+}
+
+type t
+
+val create : unit -> t
+
+val open_session :
+  t ->
+  options:Fmea.Injection_fmea.options ->
+  diagram:Blockdiag.Diagram.t ->
+  reliability:Reliability.Reliability_model.t ->
+  table:Fmea.Table.t ->
+  session
+(** Fresh session with a server-unique id ("s1", "s2", ...). *)
+
+val find : t -> string -> session option
+
+val close : t -> string -> bool
+(** [true] if the session existed. *)
+
+val count : t -> int

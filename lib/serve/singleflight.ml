@@ -1,0 +1,44 @@
+type 'a state = Running | Done of ('a, exn) result
+
+type 'a cell = { mutable state : 'a state; cond : Condition.t }
+
+type 'a t = { lock : Mutex.t; cells : (string, 'a cell) Hashtbl.t }
+
+type outcome = Led | Coalesced
+
+let create () = { lock = Mutex.create (); cells = Hashtbl.create 16 }
+
+let run t ~key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.cells key with
+  | Some cell ->
+      (* Follower: wait (on the table lock's condition) for the leader to
+         publish, then share its result.  The cell stays readable after
+         the leader removed it from the table — we hold a reference. *)
+      let rec await () =
+        match cell.state with
+        | Running ->
+            Condition.wait cell.cond t.lock;
+            await ()
+        | Done r -> r
+      in
+      let r = await () in
+      Mutex.unlock t.lock;
+      (match r with Ok v -> (v, Coalesced) | Error e -> raise e)
+  | None ->
+      let cell = { state = Running; cond = Condition.create () } in
+      Hashtbl.add t.cells key cell;
+      Mutex.unlock t.lock;
+      let r = match f () with v -> Ok v | exception e -> Error e in
+      Mutex.lock t.lock;
+      cell.state <- Done r;
+      Hashtbl.remove t.cells key;
+      Condition.broadcast cell.cond;
+      Mutex.unlock t.lock;
+      (match r with Ok v -> (v, Led) | Error e -> raise e)
+
+let in_flight t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.cells in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,27 @@
+(** Single-flight request deduplication.
+
+    Concurrent calls under one key share a single execution of the
+    computation: the first arrival (the {e leader}) runs it; every caller
+    that arrives while it is still in flight (a {e follower}) blocks and
+    receives the leader's result — value or exception — without running
+    anything.  Once the leader finishes, the key is vacated: later calls
+    start a fresh flight (a persistent result cache, not this module, is
+    responsible for serving them cheaply).
+
+    This is the coalescing half of the `same serve` daemon: N identical
+    concurrent requests cost ~1 solve. *)
+
+type 'a t
+
+type outcome =
+  | Led  (** this caller executed the computation *)
+  | Coalesced  (** this caller shared an in-flight leader's result *)
+
+val create : unit -> 'a t
+
+val run : 'a t -> key:string -> (unit -> 'a) -> 'a * outcome
+(** If the leader's computation raised, every sharing caller re-raises
+    the same exception. *)
+
+val in_flight : 'a t -> int
+(** Keys currently being computed. *)

@@ -79,6 +79,80 @@ print(f"assess CLI OK: P(top) {a['top_probability']:.3e} "
       f"+/- {a['ci_halfwidth']:.1e}, bit-identical across SAME_JOBS")
 EOF
 
+echo "== serve: warm-engine daemon smoke =="
+SOCK=_build/ci-serve.sock
+rm -f "$SOCK"
+"$SAME" serve --socket "$SOCK" -j 4 &
+SERVE_PID=$!
+ok=0
+for _ in $(seq 1 100); do
+  if [ -S "$SOCK" ]; then ok=1; break; fi
+  sleep 0.1
+done
+[ "$ok" -eq 1 ] || { echo "FAIL: daemon socket never appeared" >&2; exit 1; }
+"$SAME" client ping --socket "$SOCK" > /dev/null
+
+echo "== serve: warm answers equal the cold CLI =="
+"$SAME" fmea examples/models/psu.bd > _build/serve_cold.txt
+"$SAME" fmea examples/models/psu.bd --connect "$SOCK" > _build/serve_warm1.txt
+"$SAME" fmea examples/models/psu.bd --connect "$SOCK" > _build/serve_warm2.txt
+cmp _build/serve_cold.txt _build/serve_warm1.txt
+cmp _build/serve_warm1.txt _build/serve_warm2.txt
+"$SAME" lint examples/models/psu.bd > _build/serve_lint_cold.txt
+"$SAME" lint examples/models/psu.bd --connect "$SOCK" > _build/serve_lint_warm.txt
+cmp _build/serve_lint_cold.txt _build/serve_lint_warm.txt
+"$SAME" fta --from examples/models/psu.bd --engine bdd > _build/serve_fta_cold.txt
+"$SAME" fta --from examples/models/psu.bd --engine bdd \
+  --connect "$SOCK" > _build/serve_fta_warm.txt
+cmp _build/serve_fta_cold.txt _build/serve_fta_warm.txt
+
+echo "== serve: N identical concurrent requests, one computation =="
+before=$("$SAME" client stats --socket "$SOCK" \
+  | python3 -c "import json,sys; print(json.load(sys.stdin)['computed'])")
+cc_pids=""
+for i in 1 2 3 4; do
+  "$SAME" assess examples/models/psu.bd --trials 2000000 --seed 9 \
+    --connect "$SOCK" > "_build/serve_cc_$i.txt" &
+  cc_pids="$cc_pids $!"
+done
+for pid in $cc_pids; do wait "$pid"; done
+after=$("$SAME" client stats --socket "$SOCK" \
+  | python3 -c "import json,sys; print(json.load(sys.stdin)['computed'])")
+solves=$((after - before))
+[ "$solves" -eq 1 ] || {
+  echo "FAIL: $solves computations for 4 identical concurrent requests" >&2
+  exit 1
+}
+cmp _build/serve_cc_1.txt _build/serve_cc_2.txt
+cmp _build/serve_cc_1.txt _build/serve_cc_3.txt
+cmp _build/serve_cc_1.txt _build/serve_cc_4.txt
+
+echo "== serve: responses bit-identical across daemon job counts =="
+SOCK1=_build/ci-serve-j1.sock
+rm -f "$SOCK1"
+"$SAME" serve --socket "$SOCK1" -j 1 &
+SERVE1_PID=$!
+ok=0
+for _ in $(seq 1 100); do
+  if [ -S "$SOCK1" ]; then ok=1; break; fi
+  sleep 0.1
+done
+[ "$ok" -eq 1 ] || { echo "FAIL: -j 1 daemon socket never appeared" >&2; exit 1; }
+"$SAME" assess examples/models/psu.bd --trials 2000000 --seed 9 \
+  --connect "$SOCK1" > _build/serve_j1.txt
+cmp _build/serve_cc_1.txt _build/serve_j1.txt
+"$SAME" client shutdown --socket "$SOCK1" > /dev/null
+wait "$SERVE1_PID" || {
+  echo "FAIL: -j 1 daemon exited non-zero after shutdown request" >&2; exit 1
+}
+
+echo "== serve: clean shutdown on SIGTERM =="
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+  echo "FAIL: daemon exited non-zero on SIGTERM" >&2; exit 1
+}
+[ ! -S "$SOCK" ] || { echo "FAIL: daemon left its socket behind" >&2; exit 1; }
+
 echo "== bench --smoke: fta + assess + regression acceptance =="
 SAME_JOBS=4 dune exec bench/main.exe -- --smoke > /dev/null
 python3 - <<'EOF'
@@ -145,6 +219,25 @@ for e in batch:
                  f"below 1.0x")
 print("batch_fmea OK: " + ", ".join(
     f"{e['name']} {e['speedup']:.2f}x" for e in batch))
+
+serve = r.get("serve")
+if not serve:
+    sys.exit("serve section is empty")
+for e in serve:
+    # The warm daemon must clear the published 10x one-edit latency win
+    # over a cold CLI process, and N identical concurrent requests must
+    # coalesce onto exactly one solve with bit-identical replies.
+    if e["warm_p50_s"] * 10.0 > e["cold_cli_s"]:
+        sys.exit(f"{e['name']}: warm p50 {e['warm_p50_s'] * 1e3:.2f} ms "
+                 f"not 10x under cold CLI {e['cold_cli_s'] * 1e3:.2f} ms")
+    if e["coalesced_solves"] != 1:
+        sys.exit(f"{e['name']}: {e['coalesced_solves']:.0f} solves for "
+                 f"{e['coalesced_requests']:.0f} identical requests")
+    if not e["identical"]:
+        sys.exit(f"{e['name']}: coalesced replies differ")
+print("serve OK: " + ", ".join(
+    f"{e['name']} {e['speedup']:.0f}x warm, "
+    f"{e['coalesced_requests']:.0f} requests -> 1 solve" for e in serve))
 EOF
 
 echo "CI OK"

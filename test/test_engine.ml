@@ -141,6 +141,38 @@ let test_cache_disk_roundtrip () =
       (* ...and the disk hit was promoted into memory. *)
       Alcotest.(check bool) "promoted" true (Engine.Cache.in_memory c2 k))
 
+(* The serve daemon hits one cache from many request threads at once;
+   domains racing store/find/evict must neither crash nor break the
+   capacity invariant, and a key that was just stored by the same domain
+   must be readable (no lost updates within a domain). *)
+let test_cache_concurrent_access () =
+  let c = Engine.Cache.create ~capacity:16 () in
+  let domains = 4 and per_domain = 200 in
+  let errors = Atomic.make 0 in
+  let worker d =
+    for i = 0 to per_domain - 1 do
+      (* Overlapping key ranges force eviction races: 32 hot keys over a
+         16-slot cache. *)
+      let k = key_of (Printf.sprintf "hot-%d" ((d + i) mod 32)) in
+      let payload = Printf.sprintf "%d/%d" d i in
+      Engine.Cache.store c k payload;
+      (match Engine.Cache.find c k with
+      | Some (`Memory p) | Some (`Disk p) ->
+          (* Another domain may have overwritten it, but whatever is
+             there must be a well-formed payload for this key. *)
+          if not (String.contains p '/') then Atomic.incr errors
+      | None ->
+          (* Evicted between store and find under pressure — legal. *)
+          ());
+      ignore (Engine.Cache.memory_count c)
+    done
+  in
+  let spawned = List.init domains (fun d -> Domain.spawn (fun () -> worker d)) in
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "no torn payloads" 0 (Atomic.get errors);
+  Alcotest.(check bool) "capacity invariant held" true
+    (Engine.Cache.memory_count c <= 16)
+
 let test_cache_corruption_recovers () =
   with_temp_dir (fun dir ->
       let computes = ref 0 in
@@ -534,6 +566,8 @@ let suite =
     Alcotest.test_case "cache: disk round-trip" `Quick test_cache_disk_roundtrip;
     Alcotest.test_case "cache: corruption recovery" `Quick
       test_cache_corruption_recovers;
+    Alcotest.test_case "cache: concurrent domains" `Quick
+      test_cache_concurrent_access;
     Alcotest.test_case "pipeline: warm equals cold" `Quick
       test_warm_equals_cold_basic;
     QCheck_alcotest.to_alcotest prop_warm_equals_cold;

@@ -34,6 +34,7 @@ let () =
       ("gsn-render", Test_assurance.render_suite);
       ("analyst", Test_analyst.suite);
       ("store", Test_store.suite);
+      ("serve", Test_serve.suite);
       ("decisive", Test_decisive.suite);
       ("software-fmea", Test_decisive.software_suite);
       ("cli", Test_cli.suite);

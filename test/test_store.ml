@@ -118,6 +118,39 @@ let test_stores_agree () =
   in
   Alcotest.(check int) "same verdicts" full lazy_result
 
+let test_backend_auto () =
+  (* A set the budget cannot hold must stream, whatever the scheduler
+     thinks. *)
+  let tight = Budget.create ~max_bytes:(Budget.bytes_per_element * 10) in
+  let big = { Synthetic.set_name = "big"; target_elements = 10_000 } in
+  Alcotest.(check bool) "overflow forces lazy" true
+    (Backend.choose ~budget:tight big = `Lazy);
+  (* A single-unit set is never worth windowed dispatch. *)
+  let small = { Synthetic.set_name = "small"; target_elements = 50 } in
+  Alcotest.(check bool) "single unit stays full" true
+    (Backend.choose small = `Full);
+  (* Whatever `Auto picks, the answer matches both explicit backends. *)
+  List.iter
+    (fun target ->
+      let spec = { Synthetic.set_name = "auto-agree"; target_elements = target } in
+      let via b =
+        match Backend.evaluate ~backend:b spec with
+        | Ok (_, sr) -> sr
+        | Error _ -> Alcotest.fail "evaluate failed"
+      in
+      let auto = via `Auto in
+      Alcotest.(check int) "auto = full" (via `Full) auto;
+      Alcotest.(check int) "auto = lazy" (via `Lazy) auto)
+    [ 109; 1369 ]
+
+let test_backend_names () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "name round-trips" true
+        (Backend.of_string (Backend.to_string b) = Some b))
+    [ `Auto; `Full; `Lazy ];
+  Alcotest.(check bool) "unknown rejected" true (Backend.of_string "mmap" = None)
+
 let test_lazy_peak_memory () =
   (* Peak residency is one unit per worker; with one worker that is the
      seed's "peak is one unit" guarantee. *)
@@ -159,6 +192,8 @@ let suite =
     Alcotest.test_case "lazy store streams past the budget" `Quick
       test_lazy_store_handles_what_full_cannot;
     Alcotest.test_case "stores agree" `Quick test_stores_agree;
+    Alcotest.test_case "backend auto policy" `Quick test_backend_auto;
+    Alcotest.test_case "backend names" `Quick test_backend_names;
     Alcotest.test_case "lazy peak memory" `Quick test_lazy_peak_memory;
     QCheck_alcotest.to_alcotest prop_synthetic_any_size;
   ]
